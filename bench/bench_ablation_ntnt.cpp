@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces the Section-4.2 design-choice experiment: should an
+ * NT-Path explore non-taken edges at the branches *it* encounters?
+ *
+ * The paper's experiment on 164.gzip: following non-taken edges
+ * inside NT-Paths enlarges branch coverage only slightly (about 2%)
+ * but raises the fraction of NT-Paths that crash before 1000
+ * instructions from 5% to 16% — much worse state consistency — so
+ * PathExpander follows only the actual branch outcomes inside an
+ * NT-Path.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "src/support/status.hh"
+#include "src/support/strutil.hh"
+#include "src/support/table.hh"
+
+using namespace pe;
+using namespace pe::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "Section 4.2 ablation: following non-taken edges "
+                 "inside NT-Paths\n\n";
+
+    Table table({"Application", "Variant", "Coverage", "Crash ratio",
+                 "Stopped early"});
+
+    for (const char *name : {"pe_gzip", "pe_go", "pe_vpr"}) {
+        App app = loadApp(name);
+        for (bool follow : {false, true}) {
+            auto cfg = appConfig(app, core::PeMode::Standard);
+            cfg.maxNtPathLength = 1000;
+            cfg.followNonTakenInNt = follow;
+            auto r = runAppCfg(app, cfg, Tool::None);
+
+            double crash = r.ntFraction(core::NtStopCause::Crash);
+            double early =
+                crash + r.ntFraction(core::NtStopCause::UnsafeEvent);
+            table.addRow({name,
+                          follow ? "flip cold edges" : "actual outcome",
+                          fmtPercent(r.coverage.combinedFraction()),
+                          fmtPercent(crash), fmtPercent(early)});
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPaper (gzip): flipping non-taken edges inside "
+                 "NT-Paths gains ~2% coverage but raises the crash "
+                 "ratio from 5% to 16%; PathExpander therefore "
+                 "follows actual outcomes.\n";
+    return 0;
+}

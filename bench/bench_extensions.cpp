@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Benchmarks for the two extensions the paper itself proposes:
+ *
+ *  - Section 7.1: "adding random factor into PathExpander's NT-Path
+ *    selection" to recover hot-entry-edge misses;
+ *  - Section 3.2: OS-assisted sandboxing of unsafe events, predicted
+ *    to let "more than 90% of NT-Paths potentially execute up to
+ *    1000 instructions".
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "src/support/status.hh"
+#include "src/support/strutil.hh"
+#include "src/support/table.hh"
+
+using namespace pe;
+using namespace pe::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "Extensions proposed by the paper\n\n";
+
+    // ---- random-factor NT-Path selection (Section 7.1) ----
+    {
+        std::cout << "Random spawn factor vs the hot-entry-edge "
+                     "misses (schedule 305, schedule2 405):\n";
+        Table table({"Fraction", "schedule NT-Paths", "bug 305",
+                     "schedule2 NT-Paths", "bug 405",
+                     "Std overhead (schedule)"});
+        App sched = loadApp("schedule");
+        App sched2 = loadApp("schedule2");
+        auto base = runApp(sched, core::PeMode::Off, Tool::None);
+
+        for (double f : {0.0, 0.05, 0.2, 0.5}) {
+            auto run = [&](App &app, const char *bugId, bool &hit,
+                           uint64_t &spawns) -> core::RunResult {
+                auto cfg = appConfig(app, core::PeMode::Standard);
+                cfg.randomSpawnFraction = f;
+                auto r = runAppCfg(app, cfg, Tool::Assertions);
+                auto analysis = analyze(app, r, Tool::Assertions);
+                for (const auto &o : analysis.outcomes) {
+                    if (o.bug->id == bugId)
+                        hit = o.detected;
+                }
+                spawns = r.ntPathsSpawned;
+                return r;
+            };
+            bool hit305 = false;
+            bool hit405 = false;
+            uint64_t s1 = 0;
+            uint64_t s2 = 0;
+            auto r1 = run(sched, "sched-a305", hit305, s1);
+            run(sched2, "sched2-a405", hit405, s2);
+            double overhead =
+                (static_cast<double>(r1.cycles) -
+                 static_cast<double>(base.cycles)) /
+                static_cast<double>(base.cycles);
+            table.addRow({fmtDouble(f, 2), std::to_string(s1),
+                          hit305 ? "DETECTED" : "missed",
+                          std::to_string(s2),
+                          hit405 ? "DETECTED" : "missed",
+                          fmtPercent(overhead)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // ---- speculative I/O sandboxing (Section 3.2) ----
+    {
+        std::cout << "Speculative I/O sandboxing vs NT-Path survival "
+                     "(Figure-3 setup):\n";
+        Table table({"Application", "sandboxIo", "NT-Paths",
+                     "crash", "unsafe", "survive >= cap"});
+        for (const char *name : {"pe_go", "pe_gzip", "pe_vpr"}) {
+            App app = loadApp(name);
+            for (bool sandbox : {false, true}) {
+                auto cfg = appConfig(app, core::PeMode::Standard);
+                cfg.maxNtPathLength = 1000;
+                cfg.ntPathCounterThreshold = 1;
+                cfg.variableFixing = false;
+                cfg.sandboxIo = sandbox;
+                auto r = runAppCfg(app, cfg, Tool::None);
+                double crash =
+                    r.ntFraction(core::NtStopCause::Crash);
+                double unsafe =
+                    r.ntFraction(core::NtStopCause::UnsafeEvent);
+                table.addRow({name, sandbox ? "on" : "off",
+                              std::to_string(r.ntRecords.size()),
+                              fmtPercent(crash), fmtPercent(unsafe),
+                              fmtPercent(1.0 - crash - unsafe)});
+            }
+            table.addSeparator();
+        }
+        table.print(std::cout);
+        std::cout << "\nPaper's prediction (Section 3.2): with OS "
+                     "support for unsafe events, more than 90% of "
+                     "NT-Paths can run the full 1000 instructions.\n";
+    }
+    return 0;
+}

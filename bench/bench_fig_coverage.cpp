@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces the Section-7.3 coverage result: branch coverage of one
+ * monitored run, baseline vs. PathExpander ("PathExpander increases
+ * the code coverage of each test case from 40% to 65% on average").
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "src/support/status.hh"
+#include "src/support/strutil.hh"
+#include "src/support/table.hh"
+
+using namespace pe;
+using namespace pe::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "Section 7.3: single-input branch coverage, baseline "
+                 "vs PathExpander\n\n";
+
+    Table table({"Application", "Edges", "Baseline", "PathExpander",
+                 "NT-Paths", "NT-only edges"});
+
+    double baseSum = 0;
+    double peSum = 0;
+    int n = 0;
+
+    for (const auto &name : workloads::workloadNames()) {
+        App app = loadApp(name);
+        auto base = runApp(app, core::PeMode::Off, Tool::None);
+        auto pe = runApp(app, core::PeMode::Standard, Tool::None);
+
+        baseSum += base.coverage.takenFraction();
+        peSum += pe.coverage.combinedFraction();
+        ++n;
+
+        table.addRow({name,
+                      std::to_string(pe.coverage.totalEdges()),
+                      fmtPercent(base.coverage.takenFraction()),
+                      fmtPercent(pe.coverage.combinedFraction()),
+                      std::to_string(pe.ntPathsSpawned),
+                      std::to_string(pe.coverage.ntOnlyCovered())});
+    }
+    table.addSeparator();
+    table.addRow({"Average", "", fmtPercent(baseSum / n),
+                  fmtPercent(peSum / n), "", ""});
+    table.print(std::cout);
+
+    std::cout << "\nPaper: coverage rises from 40% to 65% on average "
+                 "(single input).\n"
+              << "Measured: " << fmtPercent(baseSum / n) << " -> "
+              << fmtPercent(peSum / n) << ".\n";
+    return 0;
+}

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the simulator substrate:
+ * interpreter dispatch, cache model, BTB, versioned-buffer access and
+ * whole-engine throughput.  These are performance baselines for the
+ * simulator itself (host-side), not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/branch/btb.hh"
+#include "src/core/engine.hh"
+#include "src/mem/cache.hh"
+#include "src/mem/versioned_buffer.hh"
+#include "src/minic/compiler.hh"
+#include "src/support/rng.hh"
+#include "src/workloads/workload.hh"
+
+using namespace pe;
+
+namespace
+{
+
+const char *loopSource = R"(
+int acc = 0;
+int main() {
+    int i = 0;
+    while (i < 20000) {
+        if (i % 3 == 0) {
+            acc = acc + i;
+        } else {
+            acc = acc - 1;
+        }
+        i = i + 1;
+    }
+    print_int(acc);
+    return 0;
+}
+)";
+
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    auto program = minic::compile(loopSource, "loop");
+    auto cfg = core::PeConfig::forMode(core::PeMode::Off);
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        core::PathExpanderEngine engine(program, cfg);
+        auto r = engine.run({});
+        instructions += r.takenInstructions;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_EngineStandardMode(benchmark::State &state)
+{
+    auto program = minic::compile(loopSource, "loop");
+    auto cfg = core::PeConfig::forMode(core::PeMode::Standard);
+    for (auto _ : state) {
+        core::PathExpanderEngine engine(program, cfg);
+        auto r = engine.run({});
+        benchmark::DoNotOptimize(r.ntPathsSpawned);
+    }
+}
+BENCHMARK(BM_EngineStandardMode)->Unit(benchmark::kMillisecond);
+
+void
+BM_EngineCmpMode(benchmark::State &state)
+{
+    auto program = minic::compile(loopSource, "loop");
+    auto cfg = core::PeConfig::forMode(core::PeMode::Cmp);
+    for (auto _ : state) {
+        core::PathExpanderEngine engine(program, cfg);
+        auto r = engine.run({});
+        benchmark::DoNotOptimize(r.ntPathsSpawned);
+    }
+}
+BENCHMARK(BM_EngineCmpMode)->Unit(benchmark::kMillisecond);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::Cache cache(mem::defaultL1Geometry());
+    Rng rng(42);
+    std::vector<uint32_t> addrs(4096);
+    for (auto &a : addrs)
+        a = static_cast<uint32_t>(rng.nextBelow(1 << 16));
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addrs[i & 4095]));
+        ++i;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BtbLookupUpdate(benchmark::State &state)
+{
+    branch::Btb btb;
+    Rng rng(7);
+    std::vector<uint32_t> pcs(1024);
+    for (auto &pc : pcs)
+        pc = static_cast<uint32_t>(rng.nextBelow(1 << 14));
+    size_t i = 0;
+    for (auto _ : state) {
+        uint32_t pc = pcs[i & 1023];
+        benchmark::DoNotOptimize(btb.count(pc, false));
+        btb.increment(pc, (i & 1) != 0);
+        ++i;
+    }
+}
+BENCHMARK(BM_BtbLookupUpdate);
+
+void
+BM_VersionedBufferChain(benchmark::State &state)
+{
+    mem::MainMemory memory(1 << 16);
+    mem::VersionedBuffer a(1);
+    mem::VersionedBuffer b(2);
+    b.setParent(&a);
+    Rng rng(99);
+    for (int i = 0; i < 256; ++i)
+        a.write(static_cast<uint32_t>(rng.nextBelow(1 << 12)), i);
+    mem::MemCtx ctx(memory, &b);
+    size_t i = 0;
+    for (auto _ : state) {
+        uint32_t addr = static_cast<uint32_t>(i * 97 % (1 << 12));
+        ctx.write(addr, static_cast<int32_t>(i));
+        benchmark::DoNotOptimize(ctx.read(addr ^ 1));
+        ++i;
+    }
+}
+BENCHMARK(BM_VersionedBufferChain);
+
+void
+BM_MiniCCompile(benchmark::State &state)
+{
+    const auto &w = workloads::getWorkload("print_tokens2");
+    for (auto _ : state) {
+        auto program = minic::compile(w.source, w.name);
+        benchmark::DoNotOptimize(program.code.size());
+    }
+}
+BENCHMARK(BM_MiniCCompile)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

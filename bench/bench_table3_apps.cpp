@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces Table 3: "Applications and bugs evaluated" — the seven
+ * buggy applications, their original sizes, seeded bug counts and
+ * detection tools, plus the compiled size of our re-creations.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "src/support/status.hh"
+#include "src/support/table.hh"
+
+using namespace pe;
+using namespace pe::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "Table 3: Applications and bugs evaluated\n\n";
+
+    Table table({"Application", "Orig. LOC", "#Bugs", "Detection Tool",
+                 "PE-RISC instrs", "Branches"});
+
+    int totalBugs = 0;
+    for (const auto &name : workloads::buggyWorkloadNames()) {
+        App app = loadApp(name);
+        const auto &w = *app.workload;
+        std::string tool = w.tools == "memory"
+                               ? "CCured and iWatcher"
+                               : "Assertions";
+        totalBugs += static_cast<int>(w.bugs.size());
+        table.addRow({name, std::to_string(w.paperLoc),
+                      std::to_string(w.bugs.size()), tool,
+                      std::to_string(app.program.code.size()),
+                      std::to_string(app.program.numBranches())});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nDistinct seeded bugs: " << totalBugs
+              << "; memory bugs are each tested under both memory "
+                 "checkers, giving the 38 tool-bug combinations of "
+                 "Table 4.\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Table 5: "False-positive pruning by key variable value
+ * fix" — false positives and bugs detected before/after the
+ * Section-4.4 consistency fixing, for the memory checkers.
+ *
+ * The paper reports the fixes cutting false positives from 13 to 4
+ * on average, and enabling detection of the man bug.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "src/support/status.hh"
+#include "src/support/strutil.hh"
+#include "src/support/table.hh"
+
+using namespace pe;
+using namespace pe::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "Table 5: False positives and bugs detected before/"
+                 "after key-variable consistency fixing\n\n";
+
+    const char *apps[] = {"pe_go", "pe_bc", "pe_man", "print_tokens2"};
+    const Tool tools[] = {Tool::Ccured, Tool::Iwatcher};
+
+    Table table({"Detection Method", "Application", "FP Before",
+                 "FP After", "Bugs Before", "Bugs After"});
+
+    double fpBeforeSum = 0;
+    double fpAfterSum = 0;
+    int rows = 0;
+
+    for (Tool tool : tools) {
+        for (const char *name : apps) {
+            App app = loadApp(name);
+            auto before = runApp(app, core::PeMode::Standard, tool, 0,
+                                 /*fixing=*/false);
+            auto after = runApp(app, core::PeMode::Standard, tool, 0,
+                                /*fixing=*/true);
+            auto ab = analyze(app, before, tool);
+            auto aa = analyze(app, after, tool);
+
+            fpBeforeSum += ab.falsePositiveSites;
+            fpAfterSum += aa.falsePositiveSites;
+            ++rows;
+
+            table.addRow({toolName(tool), name,
+                          std::to_string(ab.falsePositiveSites),
+                          std::to_string(aa.falsePositiveSites),
+                          std::to_string(ab.numDetected),
+                          std::to_string(aa.numDetected)});
+        }
+        if (tool == Tool::Ccured)
+            table.addSeparator();
+    }
+    table.addSeparator();
+    table.addRow({"Average", "",
+                  fmtDouble(fpBeforeSum / rows, 1),
+                  fmtDouble(fpAfterSum / rows, 1), "", ""});
+    table.print(std::cout);
+
+    std::cout << "\nPaper: fixing prunes false positives from 13 to 4 "
+                 "on average and enables detecting the man bug.\n";
+    return 0;
+}

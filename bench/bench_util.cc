@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bench helper implementation.
+ */
+
+#include "bench_util.hh"
+
+#include "src/support/status.hh"
+
+namespace pe::bench
+{
+
+const char *
+toolName(Tool tool)
+{
+    switch (tool) {
+      case Tool::None: return "none";
+      case Tool::Ccured: return "CCured-like";
+      case Tool::Iwatcher: return "iWatcher-like";
+      case Tool::Assertions: return "assertions";
+    }
+    return "?";
+}
+
+std::unique_ptr<detect::Detector>
+makeDetector(Tool tool)
+{
+    switch (tool) {
+      case Tool::None:
+        return nullptr;
+      case Tool::Ccured:
+        return std::make_unique<detect::BoundsChecker>();
+      case Tool::Iwatcher:
+        return std::make_unique<detect::WatchChecker>();
+      case Tool::Assertions:
+        return std::make_unique<detect::AssertChecker>();
+    }
+    return nullptr;
+}
+
+App
+loadApp(const std::string &name)
+{
+    const auto &workload = workloads::getWorkload(name);
+    return App{&workload, minic::compile(workload.source, name)};
+}
+
+core::PeConfig
+appConfig(const App &app, core::PeMode mode)
+{
+    auto cfg = core::PeConfig::forMode(mode);
+    cfg.maxNtPathLength = app.workload->maxNtPathLength;
+    return cfg;
+}
+
+core::RunResult
+runApp(const App &app, core::PeMode mode, Tool tool, size_t inputIdx,
+       bool fixing, bool software)
+{
+    pe_assert(inputIdx < app.workload->benignInputs.size(),
+              "input index out of range");
+    auto cfg = appConfig(app, mode);
+    cfg.variableFixing = fixing;
+    if (software)
+        cfg.costModel = core::CostModelKind::Software;
+    auto detector = makeDetector(tool);
+    core::PathExpanderEngine engine(app.program, cfg, detector.get());
+    return engine.run(app.workload->benignInputs[inputIdx]);
+}
+
+core::RunResult
+runAppCfg(const App &app, const core::PeConfig &cfg, Tool tool,
+          size_t inputIdx)
+{
+    pe_assert(inputIdx < app.workload->benignInputs.size(),
+              "input index out of range");
+    auto detector = makeDetector(tool);
+    core::PathExpanderEngine engine(app.program, cfg, detector.get());
+    return engine.run(app.workload->benignInputs[inputIdx]);
+}
+
+workloads::DetectionAnalysis
+analyze(const App &app, const core::RunResult &result, Tool tool)
+{
+    bool memory = tool == Tool::Ccured || tool == Tool::Iwatcher;
+    return workloads::analyzeReports(*app.workload, app.program,
+                                     result.monitor, memory);
+}
+
+} // namespace pe::bench

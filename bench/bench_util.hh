@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: compile-and-run
+ * plumbing for the evaluation workloads under each PathExpander
+ * configuration and detection tool.
+ */
+
+#ifndef PE_BENCH_BENCH_UTIL_HH
+#define PE_BENCH_BENCH_UTIL_HH
+
+#include <memory>
+#include <string>
+
+#include "src/core/engine.hh"
+#include "src/minic/compiler.hh"
+#include "src/swpe/software_pe.hh"
+#include "src/workloads/analysis.hh"
+#include "src/workloads/workload.hh"
+
+namespace pe::bench
+{
+
+/** Detection tools evaluated in the paper (Section 6.2). */
+enum class Tool
+{
+    None,
+    Ccured,     //!< software-only checker -> BoundsChecker
+    Iwatcher,   //!< hardware-assisted checker -> WatchChecker
+    Assertions, //!< AssertChecker
+};
+
+const char *toolName(Tool tool);
+
+/** Instantiate the detector for @p tool (nullptr for None). */
+std::unique_ptr<detect::Detector> makeDetector(Tool tool);
+
+/** A compiled workload ready to run. */
+struct App
+{
+    const workloads::Workload *workload;
+    isa::Program program;
+};
+
+/** Compile workload @p name. */
+App loadApp(const std::string &name);
+
+/** Paper-default config for @p mode, adjusted to the workload. */
+core::PeConfig appConfig(const App &app, core::PeMode mode);
+
+/**
+ * Run @p app's input @p inputIdx under @p mode with @p tool.
+ * @param fixing arm the NT-entry predicate (Section 4.4 fixes).
+ * @param software use the Section-5 software cost model.
+ */
+core::RunResult runApp(const App &app, core::PeMode mode, Tool tool,
+                       size_t inputIdx = 0, bool fixing = true,
+                       bool software = false);
+
+/** Run with a fully caller-specified configuration. */
+core::RunResult runAppCfg(const App &app, const core::PeConfig &cfg,
+                          Tool tool, size_t inputIdx = 0);
+
+/** Convenience: detection analysis of @p result for @p tool. */
+workloads::DetectionAnalysis analyze(const App &app,
+                                     const core::RunResult &result,
+                                     Tool tool);
+
+} // namespace pe::bench
+
+#endif // PE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The paper's Figure-1 story, end to end: the print_tokens2 v10
+ * buffer overrun (an unterminated-quote scan) is invisible to a
+ * dynamic memory checker on ordinary inputs, because the buggy path
+ * needs a token that starts with a quotation mark.  PathExpander
+ * executes that non-taken path in the sandbox and both memory
+ * checkers catch the overrun — with the same ordinary input.
+ *
+ *   $ ./examples/bug_hunt
+ */
+
+#include <iostream>
+
+#include "src/core/engine.hh"
+#include "src/minic/compiler.hh"
+#include "src/workloads/analysis.hh"
+#include "src/workloads/workload.hh"
+
+using namespace pe;
+
+namespace
+{
+
+void
+report(const char *label, const core::RunResult &result,
+       const workloads::Workload &workload, const isa::Program &program)
+{
+    auto analysis =
+        workloads::analyzeReports(workload, program, result.monitor,
+                                  /*memoryTools=*/true);
+    std::cout << "  " << label << ": ";
+    if (analysis.numDetected > 0) {
+        std::cout << "BUG DETECTED";
+        for (const auto &r : result.monitor.distinctReports()) {
+            if (program.funcOf(r.pc) == "classify_quoted") {
+                std::cout << " (" << detect::reportKindName(r.kind)
+                          << " at " << r.site << ")";
+                break;
+            }
+        }
+    } else {
+        std::cout << "missed";
+    }
+    std::cout << "  [" << result.ntPathsSpawned << " NT-Paths, "
+              << analysis.falsePositiveSites << " false positives]\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Hunting the Figure-1 bug in print_tokens2\n"
+              << "=========================================\n\n";
+
+    const auto &workload = workloads::getWorkload("print_tokens2");
+    auto program = minic::compile(workload.source, workload.name);
+
+    std::cout << "The bug (print_tokens2 v10, paper Figure 1):\n"
+              << "    int classify_quoted() {\n"
+              << "        int i = 1;\n"
+              << "        while (tok[i] != '\"') {  // no bound "
+                 "check\n"
+              << "            i = i + 1;\n"
+              << "        }\n"
+              << "        ...\n\n"
+              << "Input: an ordinary token stream with no "
+                 "quote-initial tokens.\n\n";
+
+    const auto &input = workload.benignInputs[0];
+
+    for (auto tool : {0, 1}) {
+        std::cout << (tool == 0 ? "CCured-like software checker:\n"
+                                : "iWatcher-like hardware checker:\n");
+        for (auto mode : {core::PeMode::Off, core::PeMode::Standard}) {
+            std::unique_ptr<detect::Detector> det;
+            if (tool == 0)
+                det = std::make_unique<detect::BoundsChecker>();
+            else
+                det = std::make_unique<detect::WatchChecker>();
+            auto cfg = core::PeConfig::forMode(mode);
+            cfg.maxNtPathLength = workload.maxNtPathLength;
+            core::PathExpanderEngine engine(program, cfg, det.get());
+            auto r = engine.run(input);
+            report(mode == core::PeMode::Off ? "baseline    "
+                                             : "PathExpander",
+                   r, workload, program);
+        }
+        std::cout << "\n";
+    }
+
+    std::cout << "As in the paper, the bug needs a special input to "
+                 "manifest on the taken\npath -- but PathExpander "
+                 "exposes it with the general input by executing\n"
+                 "the quote-handling path as an NT-Path.\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Coverage explorer: watch cumulative branch coverage grow as test
+ * cases accumulate, with and without PathExpander, on the schedule
+ * workload — the Section-7.4 experiment as an interactive-style tool.
+ *
+ *   $ ./examples/coverage_explorer [workload]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "src/core/engine.hh"
+#include "src/coverage/coverage.hh"
+#include "src/minic/compiler.hh"
+#include "src/support/strutil.hh"
+#include "src/workloads/workload.hh"
+
+using namespace pe;
+
+namespace
+{
+
+std::string
+bar(double fraction, int width = 40)
+{
+    int filled = static_cast<int>(fraction * width + 0.5);
+    return std::string(filled, '#') +
+           std::string(width - filled, '.');
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "schedule";
+    const auto &workload = workloads::getWorkload(name);
+    auto program = minic::compile(workload.source, workload.name);
+
+    std::cout << "Cumulative branch coverage on '" << name << "' ("
+              << program.numBranches() << " branches, "
+              << 2 * program.numBranches() << " edges)\n\n";
+
+    coverage::BranchCoverage cumBase(program);
+    coverage::BranchCoverage cumPe(program);
+
+    size_t inputs = std::min<size_t>(workload.benignInputs.size(), 20);
+    for (size_t i = 0; i < inputs; ++i) {
+        {
+            core::PathExpanderEngine engine(
+                program, core::PeConfig::forMode(core::PeMode::Off));
+            cumBase.mergeFrom(
+                engine.run(workload.benignInputs[i]).coverage);
+        }
+        {
+            auto cfg = core::PeConfig::forMode(core::PeMode::Standard);
+            cfg.maxNtPathLength = workload.maxNtPathLength;
+            core::PathExpanderEngine engine(program, cfg);
+            cumPe.mergeFrom(
+                engine.run(workload.benignInputs[i]).coverage);
+        }
+        if (i == 0 || (i + 1) % 5 == 0) {
+            std::cout << "after " << (i + 1 < 10 ? " " : "") << i + 1
+                      << " input(s):\n"
+                      << "  baseline      ["
+                      << bar(cumBase.takenFraction()) << "] "
+                      << fmtPercent(cumBase.takenFraction()) << "\n"
+                      << "  +PathExpander ["
+                      << bar(cumPe.combinedFraction()) << "] "
+                      << fmtPercent(cumPe.combinedFraction()) << "\n";
+        }
+    }
+
+    double gap =
+        cumPe.combinedFraction() - cumBase.takenFraction();
+    std::cout << "\nPathExpander keeps a "
+              << fmtDouble(gap * 100, 1)
+              << "pp cumulative-coverage lead: the edges it reaches "
+                 "need inputs the\ngenerator never produces "
+                 "(error handling, rare modes, deep states).\n";
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Custom-detector example: PathExpander's generality claim (paper
+ * Section 1.4: "PathExpander makes no assumption about bug types or
+ * dynamic bug detection methods") demonstrated by plugging a
+ * user-written checker into the engine.
+ *
+ * The TaintedStoreChecker below flags any store of a "tainted" magic
+ * constant to memory — a toy taint-tracking tool.  Nothing in
+ * PathExpander changes: detector reports raised on NT-Paths land in
+ * the monitor area and survive the squash.
+ *
+ *   $ ./examples/custom_detector
+ */
+
+#include <iostream>
+
+#include "src/core/engine.hh"
+#include "src/minic/compiler.hh"
+
+using namespace pe;
+
+namespace
+{
+
+/**
+ * A user-defined dynamic tool: reports every store whose address
+ * falls inside the "secret" global's object.  Integration needs only
+ * the Detector interface — exactly the paper's "simple integration
+ * with dynamic checkers" property.
+ */
+class SecretWriteChecker : public detect::Detector
+{
+  public:
+    SecretWriteChecker(uint32_t lo, uint32_t hi) : lo(lo), hi(hi) {}
+
+    const char *name() const override { return "secret-writes"; }
+
+    void
+    onMemAccess(const detect::DetectCtx &ctx, uint32_t addr,
+                bool isWrite) override
+    {
+        if (!isWrite || addr < lo || addr >= hi)
+            return;
+        detect::Report r;
+        r.kind = detect::ReportKind::WildAccess;   // reuse a kind
+        r.pc = ctx.pc;
+        r.addr = addr;
+        r.fromNtPath = ctx.fromNtPath;
+        r.ntSpawnPc = ctx.ntSpawnPc;
+        r.site = ctx.program->describePc(ctx.pc);
+        ctx.monitor->add(r);
+    }
+
+  private:
+    uint32_t lo;
+    uint32_t hi;
+};
+
+// The audit path (never taken with this input) writes into the
+// secret region -- a policy violation only an NT-Path can expose.
+const char *source = R"(
+int secret[4];
+int audit_mode = 0;
+int checksum = 0;
+
+int audit() {
+    secret[0] = checksum;       // policy violation: secret written
+    return secret[0];
+}
+
+int main() {
+    int v = read_int();
+    while (v != -1) {
+        checksum = checksum + v;
+        if (audit_mode == 1) {
+            audit();
+        }
+        v = read_int();
+    }
+    print_int(checksum);
+    return 0;
+}
+)";
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Custom detector under PathExpander\n"
+              << "==================================\n\n";
+
+    auto program = minic::compile(source, "custom");
+
+    // Locate the secret array: the startup stub registers every
+    // global array (li base; li size; regobj), so scan it for the
+    // first GlobalArray registration.
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    for (uint32_t pc = program.entry; pc + 2 < program.code.size();
+         ++pc) {
+        const auto &a = program.code[pc];
+        const auto &b = program.code[pc + 1];
+        const auto &c = program.code[pc + 2];
+        if (a.op == isa::Opcode::Li && b.op == isa::Opcode::Li &&
+            c.op == isa::Opcode::Regobj &&
+            c.imm == static_cast<int32_t>(
+                         isa::ObjectKind::GlobalArray)) {
+            lo = static_cast<uint32_t>(a.imm);
+            hi = lo + static_cast<uint32_t>(b.imm);
+            break;
+        }
+    }
+    std::cout << "watching the secret region: words [" << lo << ", "
+              << hi << ")\n\n";
+    SecretWriteChecker checker(lo, hi);
+
+    std::vector<int32_t> input = {1, 2, 3, -1};
+
+    core::PathExpanderEngine baseline(
+        program, core::PeConfig::forMode(core::PeMode::Off), &checker);
+    auto base = baseline.run(input);
+    std::cout << "baseline:     " << base.monitor.reports().size()
+              << " policy reports\n";
+
+    SecretWriteChecker checker2(lo, hi);
+    core::PathExpanderEngine pe(
+        program, core::PeConfig::forMode(core::PeMode::Standard),
+        &checker2);
+    auto withPe = pe.run(input);
+    std::cout << "PathExpander: "
+              << withPe.monitor.distinctReports().size()
+              << " distinct policy report(s)\n\n";
+
+    for (const auto &r : withPe.monitor.distinctReports()) {
+        std::cout << "  write into the protected region at " << r.site
+                  << (r.fromNtPath ? "  [on an NT-Path]" : "") << "\n";
+    }
+
+    std::cout << "\nOutput unchanged by exploration: \""
+              << withPe.io.charOutput << "\" vs baseline \""
+              << base.io.charOutput << "\".\n"
+              << "Any tool written against the Detector interface "
+                 "gains path coverage for free.\n";
+    return 0;
+}

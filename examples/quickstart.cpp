@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Quickstart: compile a small MiniC program with a latent bug, run it
+ * under a dynamic checker with and without PathExpander, and print
+ * what each saw.
+ *
+ *   $ ./examples/quickstart
+ *
+ * The bug hides on a path the input never takes; the baseline
+ * monitored run misses it, PathExpander's NT-Path exploration finds
+ * it — without changing the program's output.
+ */
+
+#include <iostream>
+
+#include "src/core/engine.hh"
+#include "src/minic/compiler.hh"
+#include "src/support/strutil.hh"
+
+using namespace pe;
+
+namespace
+{
+
+// A tiny log rotator: the "rotate" branch only runs when the log
+// fills up (it never does with this input), and its copy loop has a
+// classic off-by-one overrun.
+const char *source = R"(
+int log[16];
+int log_len = 0;
+int rotated = 0;
+
+int rotate() {
+    int i = 0;
+    while (i <= 16) {           // BUG: should be i < 16
+        log[i] = 0;
+        i = i + 1;
+    }
+    log_len = 0;
+    rotated = rotated + 1;
+    return 0;
+}
+
+int append(int v) {
+    if (log_len > 15) {
+        rotate();
+    }
+    log[log_len] = v;
+    log_len = log_len + 1;
+    return log_len;
+}
+
+int main() {
+    int v = read_int();
+    while (v != -1) {
+        append(v);
+        v = read_int();
+    }
+    print_str("entries=");
+    print_int(log_len);
+    print_char(10);
+    return 0;
+}
+)";
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "PathExpander quickstart\n=======================\n\n";
+
+    // 1. Compile MiniC to PE-RISC.  The compiler inserts the
+    //    predicated consistency fixes and object registrations.
+    isa::Program program = minic::compile(source, "quickstart");
+    std::cout << "compiled " << program.code.size()
+              << " instructions, " << program.numBranches()
+              << " branches\n\n";
+
+    // 2. A benign input: only five entries, the log never fills.
+    std::vector<int32_t> input = {10, 20, 30, 40, 50, -1};
+
+    // 3. Baseline: the dynamic checker alone.
+    detect::WatchChecker baselineChecker;
+    core::PathExpanderEngine baseline(
+        program, core::PeConfig::forMode(core::PeMode::Off),
+        &baselineChecker);
+    auto base = baseline.run(input);
+    std::cout << "baseline run:     output \"" << base.io.charOutput
+              << "\", " << base.monitor.reports().size()
+              << " reports, coverage "
+              << fmtPercent(base.coverage.takenFraction()) << "\n";
+
+    // 4. The same checker with PathExpander (standard configuration).
+    detect::WatchChecker peChecker;
+    core::PathExpanderEngine pe(
+        program, core::PeConfig::forMode(core::PeMode::Standard),
+        &peChecker);
+    auto withPe = pe.run(input);
+    std::cout << "PathExpander run: output \"" << withPe.io.charOutput
+              << "\", " << withPe.monitor.distinctReports().size()
+              << " distinct report(s), coverage "
+              << fmtPercent(withPe.coverage.combinedFraction())
+              << " (explored " << withPe.ntPathsSpawned
+              << " NT-Paths)\n\n";
+
+    for (const auto &r : withPe.monitor.distinctReports()) {
+        std::cout << "  report: " << detect::reportKindName(r.kind)
+                  << " at " << r.site
+                  << (r.fromNtPath ? "  [found on an NT-Path]" : "")
+                  << "\n";
+    }
+
+    std::cout << "\nThe overrun in rotate() is invisible to the "
+                 "baseline because the\nrotate branch is never taken "
+                 "with this input; PathExpander executed it\nin the "
+                 "sandbox and the checker caught the guard-zone "
+                 "write.\n";
+    return 0;
+}

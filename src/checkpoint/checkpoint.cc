@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Checkpoint/rollback implementation.
+ */
+
+#include "src/checkpoint/checkpoint.hh"
+
+#include "src/sim/core.hh"
+
+namespace pe::checkpoint
+{
+
+RegCheckpoint
+take(const sim::Core &core)
+{
+    RegCheckpoint cp;
+    cp.regs = core.regs;
+    cp.pc = core.pc;
+    cp.ntEntryPred = core.ntEntryPred;
+    return cp;
+}
+
+void
+restore(sim::Core &core, const RegCheckpoint &cp)
+{
+    core.regs = cp.regs;
+    core.pc = cp.pc;
+    core.ntEntryPred = cp.ntEntryPred;
+}
+
+} // namespace pe::checkpoint

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Architectural-register checkpointing for the standard configuration
+ * (paper Section 4.2: "it checkpoints the architectural registers as
+ * well as the program counter in a way similar to previous work").
+ */
+
+#ifndef PE_CHECKPOINT_CHECKPOINT_HH
+#define PE_CHECKPOINT_CHECKPOINT_HH
+
+#include <array>
+#include <cstdint>
+
+#include "src/isa/regs.hh"
+
+namespace pe::sim
+{
+struct Core;
+} // namespace pe::sim
+
+namespace pe::checkpoint
+{
+
+/** Snapshot of one core's architectural state. */
+struct RegCheckpoint
+{
+    std::array<int32_t, isa::numRegs> regs{};
+    uint32_t pc = 0;
+    bool ntEntryPred = false;
+};
+
+/** Capture @p core into a checkpoint. */
+RegCheckpoint take(const sim::Core &core);
+
+/** Restore @p core from @p cp. */
+void restore(sim::Core &core, const RegCheckpoint &cp);
+
+} // namespace pe::checkpoint
+
+#endif // PE_CHECKPOINT_CHECKPOINT_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Configuration helpers.
+ */
+
+#include "src/core/config.hh"
+
+namespace pe::core
+{
+
+const char *
+peModeName(PeMode mode)
+{
+    switch (mode) {
+      case PeMode::Off: return "baseline";
+      case PeMode::Standard: return "pe-standard";
+      case PeMode::Cmp: return "pe-cmp";
+    }
+    return "?";
+}
+
+PeConfig
+PeConfig::forMode(PeMode m)
+{
+    PeConfig cfg;
+    cfg.mode = m;
+    cfg.timing = (m == PeMode::Cmp) ? sim::TimingConfig::cmpConfig()
+                                    : sim::TimingConfig::standardConfig();
+    return cfg;
+}
+
+} // namespace pe::core

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * PathExpander engine: shared helpers, baseline and the standard
+ * (inline checkpoint/rollback) configuration.  The CMP driver lives in
+ * cmp.cc.
+ */
+
+#include "src/core/engine.hh"
+
+#include "src/checkpoint/checkpoint.hh"
+#include "src/core/engine_impl.hh"
+#include "src/mem/versioned_buffer.hh"
+#include "src/support/status.hh"
+
+namespace pe::core
+{
+
+namespace engine_detail
+{
+
+uint64_t
+chargeStep(const isa::Program &, const PeConfig &cfg,
+           PathExpanderEngine::RunState &state,
+           detect::Detector *detector, int coreId,
+           const sim::StepResult &res, uint64_t now, bool inNt)
+{
+    uint64_t cycles = sim::opcodeCost(cfg.timing, res.op);
+
+    if (res.memRead || res.memWrite) {
+        cycles += state.hierarchy.accessLatency(coreId, res.memAddr,
+                                                now + cycles);
+        if (detector)
+            cycles += detector->memAccessCost();
+    }
+    if (res.boundsCheck && detector)
+        cycles += detector->boundsCheckCost();
+
+    if (softwareCosts(cfg)) {
+        const SoftwareCostParams &sw = cfg.swCosts;
+        cycles += sw.perInstructionDilation;
+        if (res.branch)
+            cycles += sw.branchAnalysisCost;
+        if (inNt && res.memWrite)
+            cycles += sw.ntWriteLogCost;
+    }
+    return cycles;
+}
+
+void
+routeEvents(const isa::Program &program, const PeConfig &cfg,
+            PathExpanderEngine::RunState &state,
+            detect::Detector *detector, detect::ObjectRegistry &registry,
+            mem::MemCtx &ctx, const sim::StepResult &res, bool fromNt,
+            uint32_t ntSpawnPc)
+{
+    if (res.registeredObject)
+        registry.registerObject(res.objBase, res.objSize, res.objKind);
+    if (res.unregisteredObject)
+        registry.unregisterObject(res.objBase);
+
+    if (!detector)
+        return;
+    if (!res.memRead && !res.memWrite && !res.boundsCheck &&
+        !res.assertFired) {
+        return;
+    }
+
+    detect::DetectCtx dctx;
+    dctx.program = &program;
+    dctx.registry = &registry;
+    dctx.monitor = &state.result.monitor;
+    dctx.pc = res.pc;
+    dctx.fromNtPath = fromNt;
+    dctx.ntSpawnPc = ntSpawnPc;
+    dctx.dataBase = program.dataBase;
+    dctx.heapBase = program.heapBase;
+    dctx.heapTop =
+        static_cast<uint32_t>(ctx.read(isa::Program::heapPtrCell));
+    dctx.stackBase = cfg.layout.heapLimit();
+    dctx.memWords = cfg.layout.memWords;
+
+    if (res.boundsCheck)
+        detector->onBoundsCheck(dctx, res.checkAddr);
+    if (res.memRead)
+        detector->onMemAccess(dctx, res.memAddr, false);
+    if (res.memWrite)
+        detector->onMemAccess(dctx, res.memAddr, true);
+    if (res.assertFired)
+        detector->onAssert(dctx, res.assertId);
+}
+
+} // namespace engine_detail
+
+using namespace engine_detail;
+
+PathExpanderEngine::PathExpanderEngine(const isa::Program &prog,
+                                       const PeConfig &config,
+                                       detect::Detector *det)
+    : program(prog), cfg(config), detector(det)
+{
+    pe_assert(cfg.numCores >= 1, "need at least one core");
+    pe_assert(cfg.maxNtPathLength > 0, "MaxNTPathLength must be positive");
+}
+
+RunResult
+PathExpanderEngine::run(const std::vector<int32_t> &input)
+{
+    RunState state(program, cfg);
+    state.result.io.input = input;
+    sim::loadProgram(program, state.memory, state.primary, cfg.layout);
+
+    if (cfg.mode == PeMode::Cmp)
+        runCmp(state);
+    else
+        runInline(state);
+
+    state.result.l2ContentionCycles =
+        state.hierarchy.l2Port().contentionCycles();
+    if (state.result.coreCycles.empty())
+        state.result.coreCycles.push_back(state.result.cycles);
+
+    // FNV-1a digest of the architected memory image, for the
+    // sandboxing invariant (PathExpander must not perturb it).
+    uint64_t digest = 0xcbf29ce484222325ull;
+    for (uint32_t a = 0; a < state.memory.size(); ++a) {
+        digest ^= static_cast<uint32_t>(state.memory.read(a));
+        digest *= 0x100000001b3ull;
+    }
+    state.result.memoryDigest = digest;
+    return std::move(state.result);
+}
+
+namespace
+{
+
+/**
+ * Execute one NT-Path inline on the primary core (standard
+ * configuration, Figure 4(a)).
+ *
+ * The caller has already decided to spawn: the register checkpoint is
+ * taken here, execution redirects onto the non-taken edge with the
+ * NT-entry predicate optionally armed, all stores go to a fresh
+ * versioned buffer, and on termination everything but the monitor
+ * area rolls back.
+ *
+ * @return cycles consumed (charged to the single core, serially).
+ */
+uint64_t
+exploreNtInline(const isa::Program &program, const PeConfig &cfg,
+                PathExpanderEngine::RunState &state,
+                detect::Detector *detector,
+                const sim::StepResult &branchRes, uint64_t startCycle)
+{
+    RunResult &result = state.result;
+    sim::Core &core = state.primary;
+
+    uint64_t cycles = 0;
+    const bool sw = softwareCosts(cfg);
+    cycles += sw ? cfg.swCosts.checkpointCost : cfg.timing.spawnOverhead;
+
+    auto checkpoint = checkpoint::take(core);
+
+    bool ntDir = ntEdgeDir(branchRes);
+    core.pc = ntEdgeTarget(branchRes);
+    core.ntEntryPred = cfg.variableFixing;
+
+    mem::VersionedBuffer buf(1);
+    mem::MemCtx ctx(state.memory, &buf);
+    detect::ObjectRegistry overlay(&state.registry);
+
+    // With the sandboxIo extension the NT-Path runs against a
+    // speculative copy of the I/O channel, discarded at squash.
+    sim::IoChannel specIo = result.io;
+    sim::IoChannel &ntIo = cfg.sandboxIo ? specIo : result.io;
+    const bool allowIo = cfg.sandboxIo;
+
+    result.coverage.onNtEdge(branchRes.pc, ntDir);
+
+    NtPathRecord record;
+    record.spawnBranchPc = branchRes.pc;
+    record.spawnEdgeTaken = ntDir;
+
+    const uint32_t l1Capacity = state.hierarchy.l1LineCapacity();
+
+    for (;;) {
+        if (record.length >= cfg.maxNtPathLength) {
+            record.cause = NtStopCause::MaxLength;
+            break;
+        }
+        sim::StepResult res =
+            sim::step(program, core, ctx, ntIo, allowIo, cfg.layout);
+        if (res.crashed()) {
+            // The exception is swallowed, never delivered to the OS.
+            record.cause = NtStopCause::Crash;
+            record.crashKind = res.crash;
+            break;
+        }
+        if (res.unsafeEvent) {
+            record.cause = NtStopCause::UnsafeEvent;
+            break;
+        }
+
+        ++record.length;
+        ++result.ntInstructions;
+        cycles += chargeStep(program, cfg, state, detector, /*core=*/0,
+                             res, startCycle + cycles, /*inNt=*/true);
+        routeEvents(program, cfg, state, detector, overlay, ctx, res,
+                    /*fromNt=*/true, branchRes.pc);
+
+        if (res.exited) {
+            record.cause = NtStopCause::ProgramEnd;
+            break;
+        }
+
+        if (res.branch) {
+            bool followed = res.branchTaken;
+            if (cfg.followNonTakenInNt &&
+                state.btb.count(res.pc, !res.branchTaken) == 0) {
+                // Ablation: redirect onto the cold non-taken edge.
+                followed = !res.branchTaken;
+                core.pc = followed ? res.branchTarget
+                                   : res.branchFallthrough;
+                state.btb.increment(res.pc, followed);
+            }
+            result.coverage.onNtEdge(res.pc, followed);
+        }
+
+        if (buf.numLines() > l1Capacity) {
+            record.cause = NtStopCause::CapacityOverflow;
+            break;
+        }
+    }
+
+    // Squash: gang-invalidate the Vtag lines, restore the checkpoint,
+    // drop the registry overlay.  Only the monitor area survives.
+    if (sw) {
+        cycles += cfg.swCosts.restoreRegsCost +
+                  cfg.swCosts.ntRestorePerWord * buf.numWords();
+    } else {
+        cycles += cfg.timing.squashOverhead;
+    }
+    checkpoint::restore(core, checkpoint);
+
+    result.ntRecords.push_back(record);
+    return cycles;
+}
+
+} // namespace
+
+void
+PathExpanderEngine::runInline(RunState &state)
+{
+    RunResult &result = state.result;
+    sim::Core &core = state.primary;
+    mem::MemCtx ctx(state.memory, nullptr);
+
+    uint64_t &cycles = result.cycles;
+    const bool peActive = cfg.mode != PeMode::Off;
+
+    for (;;) {
+        if (result.takenInstructions >= cfg.maxTakenInstructions) {
+            result.hitInstructionLimit = true;
+            break;
+        }
+
+        sim::StepResult res = sim::step(program, core, ctx, result.io,
+                                        /*allowIo=*/true, cfg.layout);
+        if (res.crashed()) {
+            result.programCrashed = true;
+            result.programCrashKind = res.crash;
+            break;
+        }
+        pe_assert(!res.unsafeEvent, "unsafe event on the taken path");
+
+        ++result.takenInstructions;
+        ++state.sinceCounterReset;
+        cycles += chargeStep(program, cfg, state, detector, /*core=*/0,
+                             res, cycles, /*inNt=*/false);
+        routeEvents(program, cfg, state, detector, state.registry, ctx,
+                    res, /*fromNt=*/false, 0);
+
+        if (res.exited)
+            break;
+
+        if (res.branch) {
+            result.coverage.onTakenEdge(res.pc, res.branchTaken);
+
+            if (peActive) {
+                state.btb.increment(res.pc, res.branchTaken);
+                bool ntDir = ntEdgeDir(res);
+                if (shouldSpawn(cfg, state, res.pc, ntDir)) {
+                    // Exercise counters are also bumped at the entry
+                    // of an NT-Path (Section 4.2).
+                    state.btb.increment(res.pc, ntDir);
+                    ++result.ntPathsSpawned;
+                    cycles += exploreNtInline(program, cfg, state,
+                                              detector, res, cycles);
+                }
+            }
+        }
+
+        if (peActive &&
+            state.sinceCounterReset >= cfg.counterResetInterval) {
+            state.btb.resetCounters();
+            state.sinceCounterReset = 0;
+        }
+    }
+}
+
+uint64_t
+baselineCycles(const isa::Program &program,
+               const std::vector<int32_t> &input,
+               const sim::MachineLayout &layout)
+{
+    PeConfig cfg = PeConfig::forMode(PeMode::Off);
+    cfg.layout = layout;
+    PathExpanderEngine engine(program, cfg, nullptr);
+    return engine.run(input).cycles;
+}
+
+} // namespace pe::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The PathExpander engine.
+ *
+ * One class runs all four evaluation modes of the paper:
+ *
+ *  - PeMode::Off       — the baseline monitored run (dynamic checker
+ *                        only, no NT-Paths);
+ *  - PeMode::Standard  — Figure 4(a): at a selected branch, checkpoint
+ *                        the registers, execute the non-taken path in
+ *                        the versioned-L1 sandbox, squash and resume;
+ *  - PeMode::Cmp       — Figure 4(b): NT-Paths execute on the idle
+ *                        cores of the CMP under the tree-structured
+ *                        TLS dependence rules with commit/squash
+ *                        tokens;
+ *  - CostModelKind::Software on top of Standard — the Section 5 PIN
+ *    implementation: identical path semantics, dynamic-binary-
+ *    instrumentation cost model.
+ */
+
+#ifndef PE_CORE_ENGINE_HH
+#define PE_CORE_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/config.hh"
+#include "src/core/result.hh"
+#include "src/detect/detector.hh"
+#include "src/isa/program.hh"
+
+namespace pe::core
+{
+
+/** Runs a program under a PathExpander configuration. */
+class PathExpanderEngine
+{
+  public:
+    /**
+     * @param detector the dynamic bug detection tool to integrate
+     *        with, or nullptr for coverage/overhead-only runs.
+     */
+    PathExpanderEngine(const isa::Program &program, const PeConfig &config,
+                       detect::Detector *detector = nullptr);
+
+    /** Execute the program on @p input; returns all run artifacts. */
+    RunResult run(const std::vector<int32_t> &input);
+
+    const PeConfig &config() const { return cfg; }
+
+    /** Per-run internals; defined in engine_impl.hh (not public API). */
+    struct RunState;
+
+  private:
+    void runInline(RunState &state);
+    void runCmp(RunState &state);
+
+    const isa::Program &program;
+    PeConfig cfg;
+    detect::Detector *detector;
+};
+
+/**
+ * Convenience: run @p program on @p input in baseline (Off) mode and
+ * return the completion time in cycles, for overhead computations.
+ */
+uint64_t baselineCycles(const isa::Program &program,
+                        const std::vector<int32_t> &input,
+                        const sim::MachineLayout &layout = {});
+
+} // namespace pe::core
+
+#endif // PE_CORE_ENGINE_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared internal state and helpers of the PathExpander engine,
+ * used by both the inline (Off/Standard) and the CMP drivers.
+ *
+ * This is an implementation header (included only by engine.cc and
+ * cmp.cc), not part of the public API.
+ */
+
+#ifndef PE_CORE_ENGINE_IMPL_HH
+#define PE_CORE_ENGINE_IMPL_HH
+
+#include <utility>
+
+#include "src/branch/btb.hh"
+#include "src/core/engine.hh"
+#include "src/mem/hierarchy.hh"
+#include "src/mem/main_memory.hh"
+#include "src/sim/interpreter.hh"
+#include "src/support/rng.hh"
+
+namespace pe::core
+{
+
+/** All per-run mutable state. */
+struct PathExpanderEngine::RunState
+{
+    RunState(const isa::Program &program, const PeConfig &config)
+        : memory(config.layout.memWords),
+          btb(config.btbParams),
+          hierarchy(config.mode == PeMode::Cmp ? config.numCores : 1,
+                    config.timing.mem),
+          result(program),
+          sinceCounterReset(0),
+          rng(config.randomSpawnSeed)
+    {
+        // Resolve the tagged checking functions to code ranges.
+        for (const auto &name : config.noSpawnFuncs) {
+            for (const auto &f : program.funcs) {
+                if (f.name == name)
+                    noSpawnRanges.emplace_back(f.startPc, f.endPc);
+            }
+        }
+    }
+
+    /** True when @p pc lies inside a tagged checking function. */
+    bool
+    inNoSpawnRegion(uint32_t pc) const
+    {
+        for (const auto &[lo, hi] : noSpawnRanges) {
+            if (pc >= lo && pc < hi)
+                return true;
+        }
+        return false;
+    }
+
+    mem::MainMemory memory;
+    branch::Btb btb;
+    mem::MemHierarchy hierarchy;
+    detect::ObjectRegistry registry;    //!< primary-path object view
+    RunResult result;
+    sim::Core primary;
+    uint64_t sinceCounterReset;
+    Rng rng;                            //!< random spawn factor
+    std::vector<std::pair<uint32_t, uint32_t>> noSpawnRanges;
+};
+
+namespace engine_detail
+{
+
+/** True when the software (PIN) cost model applies to this run. */
+inline bool
+softwareCosts(const PeConfig &cfg)
+{
+    return cfg.costModel == CostModelKind::Software &&
+           cfg.mode != PeMode::Off;
+}
+
+/**
+ * Cycles consumed by one executed step on @p coreId at time @p now:
+ * base opcode cost, memory-hierarchy latency, detector check cost and
+ * (when applicable) the software-implementation instrumentation cost.
+ */
+uint64_t chargeStep(const isa::Program &program, const PeConfig &cfg,
+                    PathExpanderEngine::RunState &state,
+                    detect::Detector *detector, int coreId,
+                    const sim::StepResult &res, uint64_t now, bool inNt);
+
+/**
+ * Route one step's events into the object registry view @p registry
+ * and the installed @p detector (reports go to the monitor area).
+ */
+void routeEvents(const isa::Program &program, const PeConfig &cfg,
+                 PathExpanderEngine::RunState &state,
+                 detect::Detector *detector,
+                 detect::ObjectRegistry &registry, mem::MemCtx &ctx,
+                 const sim::StepResult &res, bool fromNt,
+                 uint32_t ntSpawnPc);
+
+/**
+ * NT-Path selection (Section 4.2 plus the random-factor extension):
+ * spawn when the non-taken edge's exercise count is below the
+ * threshold, or — with randomSpawnFraction > 0 — occasionally even
+ * when it is not.
+ */
+inline bool
+shouldSpawn(const PeConfig &cfg, PathExpanderEngine::RunState &state,
+            uint32_t pc, bool ntDir)
+{
+    if (state.inNoSpawnRegion(pc))
+        return false;
+    if (state.btb.count(pc, ntDir) < cfg.ntPathCounterThreshold)
+        return true;
+    return cfg.randomSpawnFraction > 0.0 &&
+           state.rng.nextDouble() < cfg.randomSpawnFraction;
+}
+
+/** Direction and entry PC of the non-taken edge of a resolved branch. */
+inline bool
+ntEdgeDir(const sim::StepResult &res)
+{
+    return !res.branchTaken;
+}
+
+inline uint32_t
+ntEdgeTarget(const sim::StepResult &res)
+{
+    return res.branchTaken ? res.branchFallthrough : res.branchTarget;
+}
+
+} // namespace engine_detail
+
+} // namespace pe::core
+
+#endif // PE_CORE_ENGINE_IMPL_HH

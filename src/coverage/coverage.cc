@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Branch-coverage implementation.
+ */
+
+#include "src/coverage/coverage.hh"
+
+namespace pe::coverage
+{
+
+BranchCoverage::BranchCoverage(const isa::Program &program)
+    : total(2 * program.numBranches())
+{}
+
+void
+BranchCoverage::onTakenEdge(uint32_t pc, bool taken)
+{
+    takenEdges.insert(key(pc, taken));
+}
+
+void
+BranchCoverage::onNtEdge(uint32_t pc, bool taken)
+{
+    ntEdges.insert(key(pc, taken));
+}
+
+size_t
+BranchCoverage::ntOnlyCovered() const
+{
+    size_t n = 0;
+    for (uint64_t k : ntEdges) {
+        if (!takenEdges.count(k))
+            ++n;
+    }
+    return n;
+}
+
+size_t
+BranchCoverage::combinedCovered() const
+{
+    return takenEdges.size() + ntOnlyCovered();
+}
+
+double
+BranchCoverage::takenFraction() const
+{
+    return total ? static_cast<double>(takenCovered()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+BranchCoverage::combinedFraction() const
+{
+    return total ? static_cast<double>(combinedCovered()) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+void
+BranchCoverage::mergeFrom(const BranchCoverage &other)
+{
+    takenEdges.insert(other.takenEdges.begin(), other.takenEdges.end());
+    ntEdges.insert(other.ntEdges.begin(), other.ntEdges.end());
+}
+
+} // namespace pe::coverage

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Branch-coverage accounting.
+ *
+ * The paper evaluates PathExpander with the branch-coverage metric
+ * (Section 2/3.1: path coverage is what the design targets but cannot
+ * be measured, so branch coverage — the fraction of static branch
+ * edges executed — is reported).  We track taken-path edges and
+ * NT-Path edges separately so both the baseline coverage and the
+ * PE-augmented coverage of a run fall out of one tracker, and support
+ * merging across runs for the cumulative-coverage experiment
+ * (Section 7.4).
+ */
+
+#ifndef PE_COVERAGE_COVERAGE_HH
+#define PE_COVERAGE_COVERAGE_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "src/isa/program.hh"
+
+namespace pe::coverage
+{
+
+/** Tracks which static branch edges a monitored run exercised. */
+class BranchCoverage
+{
+  public:
+    explicit BranchCoverage(const isa::Program &program);
+
+    /** Edge (branch at @p pc, direction @p taken) ran on the taken path. */
+    void onTakenEdge(uint32_t pc, bool taken);
+
+    /** Edge ran inside an NT-Path (monitored by the detector). */
+    void onNtEdge(uint32_t pc, bool taken);
+
+    size_t totalEdges() const { return total; }
+    size_t takenCovered() const { return takenEdges.size(); }
+    size_t ntOnlyCovered() const;
+    size_t combinedCovered() const;
+
+    /** Baseline branch coverage (taken path only). */
+    double takenFraction() const;
+
+    /** Coverage of the PE-monitored run (taken plus NT edges). */
+    double combinedFraction() const;
+
+    /** Union this run's edges into @p this (cumulative coverage). */
+    void mergeFrom(const BranchCoverage &other);
+
+    const std::unordered_set<uint64_t> &takenSet() const
+    {
+        return takenEdges;
+    }
+    const std::unordered_set<uint64_t> &ntSet() const { return ntEdges; }
+
+  private:
+    static uint64_t key(uint32_t pc, bool taken)
+    {
+        return (static_cast<uint64_t>(pc) << 1) | (taken ? 1 : 0);
+    }
+
+    size_t total;
+    std::unordered_set<uint64_t> takenEdges;
+    std::unordered_set<uint64_t> ntEdges;
+};
+
+} // namespace pe::coverage
+
+#endif // PE_COVERAGE_COVERAGE_HH

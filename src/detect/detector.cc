@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Detector implementations.
+ */
+
+#include "src/detect/detector.hh"
+
+namespace pe::detect
+{
+
+void
+Detector::onBoundsCheck(const DetectCtx &, uint32_t)
+{}
+
+void
+Detector::onMemAccess(const DetectCtx &, uint32_t, bool)
+{}
+
+void
+Detector::onAssert(const DetectCtx &, int32_t)
+{}
+
+void
+Detector::reportMem(const DetectCtx &ctx, ReportKind kind, uint32_t addr)
+{
+    Report r;
+    r.kind = kind;
+    r.pc = ctx.pc;
+    r.addr = addr;
+    r.fromNtPath = ctx.fromNtPath;
+    r.ntSpawnPc = ctx.ntSpawnPc;
+    r.site = ctx.program ? ctx.program->describePc(ctx.pc) : "?";
+    ctx.monitor->add(r);
+}
+
+bool
+classifyViolation(const DetectCtx &ctx, uint32_t addr, bool watchOnly,
+                  ReportKind &kind)
+{
+    switch (ctx.registry->classify(addr)) {
+      case AddrClass::Guard:
+        kind = ReportKind::GuardHit;
+        return true;
+      case AddrClass::FreedPayload:
+      case AddrClass::FreedGuard:
+        kind = ReportKind::UseAfterFree;
+        return true;
+      case AddrClass::Payload:
+        return false;
+      case AddrClass::Unknown:
+        break;
+    }
+
+    // Not inside any registered object.  The null zone is covered by
+    // both checkers (iWatcher watches it; CCured null-checks).
+    if (addr < isa::Program::nullZoneWords) {
+        kind = ReportKind::WildAccess;
+        return true;
+    }
+    if (watchOnly) {
+        // Watchpoints cover only registered ranges and the null page;
+        // anything else is invisible to the hardware checker.
+        return false;
+    }
+
+    // CCured-like policy: runtime cells, plain globals, the live heap
+    // and the stack are fine; everything else is a wild access.
+    if (addr >= isa::Program::nullZoneWords && addr < ctx.heapBase)
+        return false;                   // runtime cells and globals
+    if (addr >= ctx.heapBase && addr < ctx.heapTop)
+        return false;                           // allocated heap
+    if (addr >= ctx.stackBase && addr < ctx.memWords)
+        return false;                           // stack
+    kind = ReportKind::WildAccess;
+    return true;
+}
+
+void
+BoundsChecker::onBoundsCheck(const DetectCtx &ctx, uint32_t addr)
+{
+    ReportKind kind;
+    if (classifyViolation(ctx, addr, false, kind))
+        reportMem(ctx, kind, addr);
+}
+
+void
+WatchChecker::onMemAccess(const DetectCtx &ctx, uint32_t addr, bool)
+{
+    ReportKind kind;
+    if (classifyViolation(ctx, addr, true, kind))
+        reportMem(ctx, kind, addr);
+}
+
+void
+AssertChecker::onAssert(const DetectCtx &ctx, int32_t id)
+{
+    Report r;
+    r.kind = ReportKind::AssertFail;
+    r.pc = ctx.pc;
+    r.assertId = id;
+    r.fromNtPath = ctx.fromNtPath;
+    r.ntSpawnPc = ctx.ntSpawnPc;
+    r.site = ctx.program ? ctx.program->describePc(ctx.pc) : "?";
+    ctx.monitor->add(r);
+}
+
+} // namespace pe::detect

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The dynamic bug detector interface and the three detection methods
+ * evaluated in the paper (Section 6.2):
+ *
+ *  - BoundsChecker: a CCured-like software-only memory checker that
+ *    validates every compiler-inserted Chkb hook against the object
+ *    registry and red zones; each check costs cycles (the software
+ *    overhead CCured pays).
+ *  - WatchChecker: an iWatcher-like hardware-assisted checker whose
+ *    watchpoints cover all guard words and freed objects; it observes
+ *    every load/store at (near-)zero cost and only pays when
+ *    triggered.
+ *  - AssertChecker: plain assertions (the Assert instruction).
+ *
+ * PathExpander "makes no assumption about bug types or dynamic bug
+ * detection methods": the engine only routes step events to whatever
+ * Detector is installed, which is the paper's "simple integration"
+ * property.
+ */
+
+#ifndef PE_DETECT_DETECTOR_HH
+#define PE_DETECT_DETECTOR_HH
+
+#include <cstdint>
+
+#include "src/detect/registry.hh"
+#include "src/detect/report.hh"
+#include "src/isa/program.hh"
+
+namespace pe::detect
+{
+
+/** Per-event context handed to a detector. */
+struct DetectCtx
+{
+    const isa::Program *program = nullptr;
+    const ObjectRegistry *registry = nullptr;
+    MonitorArea *monitor = nullptr;
+
+    uint32_t pc = 0;
+    bool fromNtPath = false;
+    uint32_t ntSpawnPc = 0;
+
+    /** Layout facts for wild-access classification. */
+    uint32_t dataBase = 0;
+    uint32_t heapBase = 0;
+    uint32_t heapTop = 0;       //!< current bump-pointer value
+    uint32_t stackBase = 0;     //!< lowest stack address
+    uint32_t memWords = 0;
+};
+
+/** Abstract dynamic bug detector. */
+class Detector
+{
+  public:
+    virtual ~Detector() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Compiler-inserted bounds-check hook (Chkb) at @p addr. */
+    virtual void onBoundsCheck(const DetectCtx &ctx, uint32_t addr);
+
+    /** Any data load/store at @p addr. */
+    virtual void onMemAccess(const DetectCtx &ctx, uint32_t addr,
+                             bool isWrite);
+
+    /** Assertion @p id evaluated false. */
+    virtual void onAssert(const DetectCtx &ctx, int32_t id);
+
+    /** Extra cycles charged per Chkb hook. */
+    virtual uint64_t boundsCheckCost() const { return 0; }
+
+    /** Extra cycles charged per load/store. */
+    virtual uint64_t memAccessCost() const { return 0; }
+
+  protected:
+    /** Emit a memory-violation report. */
+    void reportMem(const DetectCtx &ctx, ReportKind kind, uint32_t addr);
+};
+
+/** CCured-like software bounds checker. */
+class BoundsChecker : public Detector
+{
+  public:
+    const char *name() const override { return "ccured-like"; }
+    void onBoundsCheck(const DetectCtx &ctx, uint32_t addr) override;
+    uint64_t boundsCheckCost() const override { return checkCost; }
+
+  private:
+    /** Cost of one software bounds check (metadata load + compares). */
+    static constexpr uint64_t checkCost = 6;
+};
+
+/** iWatcher-like hardware-assisted checker. */
+class WatchChecker : public Detector
+{
+  public:
+    const char *name() const override { return "iwatcher-like"; }
+    void onMemAccess(const DetectCtx &ctx, uint32_t addr,
+                     bool isWrite) override;
+    uint64_t memAccessCost() const override { return 0; }
+};
+
+/** Assertion-based detection. */
+class AssertChecker : public Detector
+{
+  public:
+    const char *name() const override { return "assertions"; }
+    void onAssert(const DetectCtx &ctx, int32_t id) override;
+};
+
+/**
+ * Shared address-classification policy: map @p addr to a ReportKind,
+ * or ReportKind-free "fine" (returned as std::nullopt-like sentinel).
+ *
+ * @param watchOnly true for watchpoint semantics: only guard/freed
+ *        ranges and the null page are covered by watchpoints; other
+ *        wild addresses are invisible to the checker.
+ * @return true and sets @p kind when a violation should be reported.
+ */
+bool classifyViolation(const DetectCtx &ctx, uint32_t addr, bool watchOnly,
+                       ReportKind &kind);
+
+} // namespace pe::detect
+
+#endif // PE_DETECT_DETECTOR_HH

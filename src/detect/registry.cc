@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Object registry implementation.
+ */
+
+#include "src/detect/registry.hh"
+
+#include "src/support/status.hh"
+
+namespace pe::detect
+{
+
+void
+ObjectRegistry::registerObject(uint32_t base, uint32_t size,
+                               isa::ObjectKind kind)
+{
+    pe_assert(base >= isa::Program::guardWords,
+              "object base leaves no room for the low guard");
+    ObjectInfo info{base, size, kind, true};
+
+    // Drop own entries overlapping the new span (stack/heap reuse).
+    auto it = objects.lower_bound(info.spanStart());
+    if (it != objects.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second.spanEnd() > info.spanStart())
+            it = prev;
+    }
+    while (it != objects.end() && it->second.spanStart() < info.spanEnd())
+        it = objects.erase(it);
+
+    objects.emplace(info.spanStart(), info);
+}
+
+void
+ObjectRegistry::unregisterObject(uint32_t base)
+{
+    uint32_t span = base - isa::Program::guardWords;
+    auto it = objects.find(span);
+    if (it != objects.end()) {
+        // Stack arrays simply vanish at scope exit (their memory is
+        // ordinary stack again); heap blocks leave a tombstone so
+        // later touches classify as use-after-free.
+        if (it->second.kind == isa::ObjectKind::StackArray)
+            objects.erase(it);
+        else
+            it->second.live = false;
+        return;
+    }
+    // Tombstone an object known only to the parent chain.
+    for (const ObjectRegistry *p = parent; p; p = p->parent) {
+        auto pit = p->objects.find(span);
+        if (pit != p->objects.end()) {
+            ObjectInfo dead = pit->second;
+            dead.live = false;
+            objects.emplace(span, dead);
+            return;
+        }
+    }
+    // Freeing something never registered: ignore (the checker will
+    // classify later touches of that memory as it sees fit).
+}
+
+const ObjectInfo *
+ObjectRegistry::findOwn(uint32_t addr) const
+{
+    auto it = objects.upper_bound(addr);
+    if (it == objects.begin())
+        return nullptr;
+    --it;
+    const ObjectInfo &obj = it->second;
+    if (addr >= obj.spanStart() && addr < obj.spanEnd())
+        return &obj;
+    return nullptr;
+}
+
+AddrClass
+ObjectRegistry::classify(uint32_t addr) const
+{
+    for (const ObjectRegistry *r = this; r; r = r->parent) {
+        if (const ObjectInfo *obj = r->findOwn(addr)) {
+            bool payload = addr >= obj->base && addr < obj->base + obj->size;
+            if (obj->live)
+                return payload ? AddrClass::Payload : AddrClass::Guard;
+            // A dead stack array is plain stack memory again: an
+            // overlay tombstone (scope exited inside an NT-Path)
+            // classifies as unknown, not use-after-free.
+            if (obj->kind == isa::ObjectKind::StackArray)
+                return AddrClass::Unknown;
+            return payload ? AddrClass::FreedPayload
+                           : AddrClass::FreedGuard;
+        }
+    }
+    return AddrClass::Unknown;
+}
+
+std::optional<ObjectInfo>
+ObjectRegistry::findContaining(uint32_t addr) const
+{
+    for (const ObjectRegistry *r = this; r; r = r->parent) {
+        if (const ObjectInfo *obj = r->findOwn(addr))
+            return *obj;
+    }
+    return std::nullopt;
+}
+
+size_t
+ObjectRegistry::numLiveOwn() const
+{
+    size_t n = 0;
+    for (const auto &[span, obj] : objects) {
+        if (obj.live)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace pe::detect

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The object registry: what the dynamic checkers know about live
+ * memory objects and their guard zones.
+ *
+ * Every array, heap block and the blank structure is registered with
+ * a payload span surrounded by Program::guardWords of red zone on each
+ * side (the compiler allocates the guard words).  The registry
+ * classifies an address as payload, guard, freed or unknown.
+ *
+ * Registries form parent chains exactly like VersionedBuffer: an
+ * NT-Path gets an overlay registry so that objects it allocates or
+ * frees roll back with the path when it is squashed, while the
+ * primary path's registry is never polluted.
+ */
+
+#ifndef PE_DETECT_REGISTRY_HH
+#define PE_DETECT_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/isa/program.hh"
+
+namespace pe::detect
+{
+
+/** Classification of an address against the registered objects. */
+enum class AddrClass : uint8_t
+{
+    Unknown = 0,    //!< not inside any registered object span
+    Payload,        //!< inside a live object's payload
+    Guard,          //!< inside a live object's red zone
+    FreedPayload,   //!< inside a freed object's former payload
+    FreedGuard,     //!< inside a freed object's former red zone
+};
+
+/** One registered object. */
+struct ObjectInfo
+{
+    uint32_t base = 0;      //!< payload start
+    uint32_t size = 0;      //!< payload words
+    isa::ObjectKind kind = isa::ObjectKind::GlobalArray;
+    bool live = true;
+
+    uint32_t spanStart() const { return base - isa::Program::guardWords; }
+    uint32_t spanEnd() const
+    {
+        return base + size + isa::Program::guardWords;
+    }
+};
+
+/** Interval registry of objects, with optional overlay chaining. */
+class ObjectRegistry
+{
+  public:
+    ObjectRegistry() = default;
+
+    /** Build an overlay on top of @p parentRegistry (not owned). */
+    explicit ObjectRegistry(const ObjectRegistry *parentRegistry)
+        : parent(parentRegistry)
+    {}
+
+    /**
+     * Register a live object with payload [base, base+size).  Any
+     * previously registered object overlapping the new span (stack or
+     * heap reuse) is dropped from this level first.
+     */
+    void registerObject(uint32_t base, uint32_t size, isa::ObjectKind kind);
+
+    /**
+     * Mark the object whose payload starts at @p base as freed.  If
+     * the object lives in the parent chain it is copied here as a
+     * tombstone, so the parent stays untouched.
+     */
+    void unregisterObject(uint32_t base);
+
+    /** Classify @p addr, consulting overlays before parents. */
+    AddrClass classify(uint32_t addr) const;
+
+    /** The object whose span contains @p addr, if any. */
+    std::optional<ObjectInfo> findContaining(uint32_t addr) const;
+
+    size_t numOwn() const { return objects.size(); }
+    size_t numLiveOwn() const;
+
+  private:
+    const ObjectInfo *findOwn(uint32_t addr) const;
+
+    const ObjectRegistry *parent = nullptr;
+    std::map<uint32_t, ObjectInfo> objects;     //!< keyed by spanStart
+};
+
+} // namespace pe::detect
+
+#endif // PE_DETECT_REGISTRY_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * MonitorArea implementation.
+ */
+
+#include "src/detect/report.hh"
+
+namespace pe::detect
+{
+
+const char *
+reportKindName(ReportKind kind)
+{
+    switch (kind) {
+      case ReportKind::GuardHit: return "guard-hit";
+      case ReportKind::WildAccess: return "wild-access";
+      case ReportKind::UseAfterFree: return "use-after-free";
+      case ReportKind::AssertFail: return "assert-fail";
+    }
+    return "?";
+}
+
+uint64_t
+MonitorArea::siteKey(const Report &r)
+{
+    uint64_t id = r.kind == ReportKind::AssertFail
+                      ? static_cast<uint32_t>(r.assertId)
+                      : r.pc;
+    return (static_cast<uint64_t>(r.kind) << 32) | id;
+}
+
+void
+MonitorArea::add(const Report &report)
+{
+    all.push_back(report);
+    sites.insert(siteKey(report));
+}
+
+std::vector<Report>
+MonitorArea::distinctReports() const
+{
+    std::set<uint64_t> seen;
+    std::vector<Report> out;
+    for (const auto &r : all) {
+        if (seen.insert(siteKey(r)).second)
+            out.push_back(r);
+    }
+    return out;
+}
+
+void
+MonitorArea::clear()
+{
+    all.clear();
+    sites.clear();
+}
+
+} // namespace pe::detect

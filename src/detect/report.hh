@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Bug reports and the monitor memory area.
+ *
+ * The paper stores detector error reports in "a special memory area
+ * pointed by the Monitor_memory_area register" which is exempt from
+ * NT-Path rollback (Section 4.1): reports made while executing an
+ * NT-Path survive the squash.  MonitorArea models exactly that.
+ */
+
+#ifndef PE_DETECT_REPORT_HH
+#define PE_DETECT_REPORT_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pe::detect
+{
+
+/** Kinds of violations the detectors can report. */
+enum class ReportKind : uint8_t
+{
+    GuardHit,       //!< access landed in an object's red zone
+    WildAccess,     //!< access outside every known object
+    UseAfterFree,   //!< access inside a freed object
+    AssertFail,     //!< assertion evaluated false
+};
+
+const char *reportKindName(ReportKind kind);
+
+/** One detector report. */
+struct Report
+{
+    ReportKind kind;
+    uint32_t pc = 0;            //!< reporting instruction
+    uint32_t addr = 0;          //!< offending address (memory kinds)
+    int32_t assertId = 0;       //!< assertion id (AssertFail)
+    bool fromNtPath = false;    //!< raised while executing an NT-Path
+    uint32_t ntSpawnPc = 0;     //!< branch that spawned the NT-Path
+    std::string site;           //!< human-readable "func:line"
+};
+
+/**
+ * The monitor memory area: the append-only report store that NT-Path
+ * squashes never roll back.
+ */
+class MonitorArea
+{
+  public:
+    void add(const Report &report);
+
+    const std::vector<Report> &reports() const { return all; }
+
+    /**
+     * Distinct report sites, the unit in which the paper counts both
+     * detected bugs and false positives: (kind, pc) for memory
+     * violations, (kind, assertId) for assertion failures.
+     */
+    size_t numDistinctSites() const { return sites.size(); }
+
+    /** Reports deduplicated by site (first occurrence kept). */
+    std::vector<Report> distinctReports() const;
+
+    void clear();
+
+  private:
+    static uint64_t siteKey(const Report &report);
+
+    std::vector<Report> all;
+    std::set<uint64_t> sites;
+};
+
+} // namespace pe::detect
+
+#endif // PE_DETECT_REPORT_HH

@@ -1,0 +1,499 @@
+/**
+ * @file
+ * PE-RISC assembler implementation.
+ */
+
+#include "src/isa/assembler.hh"
+
+#include <cctype>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/isa/regs.hh"
+#include "src/support/status.hh"
+#include "src/support/strutil.hh"
+
+namespace pe::isa
+{
+
+namespace
+{
+
+struct DataSym
+{
+    uint32_t addr;
+    int32_t size;       //!< 1 for scalars; payload words for arrays
+    bool isArray;
+};
+
+class Assembler
+{
+  public:
+    Assembler(const std::string &src, const std::string &name)
+        : source(src)
+    {
+        program.name = name;
+    }
+
+    Program run();
+
+  private:
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        pe_fatal("asm error at line ", lineNo, ": ", msg);
+    }
+
+    // ---- token helpers ------------------------------------------
+    static std::vector<std::string> tokenize(const std::string &line);
+
+    uint8_t parseReg(const std::string &tok) const;
+    int32_t parseImmediate(const std::string &tok) const;
+
+    /** Parse `imm(rX)` or `symbol(rX)`. */
+    std::pair<int32_t, uint8_t>
+    parseMemOperand(const std::string &tok) const;
+
+    bool isLabelRef(const std::string &tok) const;
+
+    void parseDirective(const std::vector<std::string> &toks);
+    void parseInstruction(std::vector<std::string> toks);
+
+    void
+    emit(const Instruction &inst)
+    {
+        program.code.push_back(inst);
+        program.locs.push_back(SourceLoc{lineNo, 0});
+    }
+
+    void patch();
+
+    const std::string &source;
+    Program program;
+    int lineNo = 0;
+
+    std::unordered_map<std::string, DataSym> dataSyms;
+    std::unordered_map<std::string, uint32_t> labels;
+    struct Fixup
+    {
+        uint32_t pc;
+        std::string label;
+        int line;
+    };
+    std::vector<Fixup> fixups;
+    std::vector<int32_t> data;
+    bool codeStarted = false;
+};
+
+std::vector<std::string>
+Assembler::tokenize(const std::string &line)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            if (!cur.empty()) {
+                toks.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        toks.push_back(cur);
+    return toks;
+}
+
+uint8_t
+Assembler::parseReg(const std::string &tok) const
+{
+    static const std::unordered_map<std::string, uint8_t> named = {
+        {"zero", reg::zero}, {"sp", reg::sp}, {"fp", reg::fp},
+        {"ra", reg::ra},     {"rv", reg::rv},
+    };
+    auto it = named.find(tok);
+    if (it != named.end())
+        return it->second;
+    if (tok.size() >= 2 && tok[0] == 'r') {
+        int n = 0;
+        for (size_t i = 1; i < tok.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+                error("bad register '" + tok + "'");
+            n = n * 10 + (tok[i] - '0');
+        }
+        if (n >= numRegs)
+            error("register out of range '" + tok + "'");
+        return static_cast<uint8_t>(n);
+    }
+    error("expected a register, found '" + tok + "'");
+}
+
+int32_t
+Assembler::parseImmediate(const std::string &tok) const
+{
+    auto sym = dataSyms.find(tok);
+    if (sym != dataSyms.end())
+        return static_cast<int32_t>(sym->second.addr);
+    try {
+        size_t used = 0;
+        long long v = std::stoll(tok, &used, 0);
+        if (used != tok.size())
+            error("bad immediate '" + tok + "'");
+        if (v < INT32_MIN || v > INT32_MAX)
+            error("immediate out of range '" + tok + "'");
+        return static_cast<int32_t>(v);
+    } catch (const std::exception &) {
+        error("bad immediate '" + tok + "'");
+    }
+}
+
+std::pair<int32_t, uint8_t>
+Assembler::parseMemOperand(const std::string &tok) const
+{
+    size_t open = tok.find('(');
+    if (open == std::string::npos || tok.back() != ')')
+        error("expected imm(reg), found '" + tok + "'");
+    std::string immPart = tok.substr(0, open);
+    std::string regPart = tok.substr(open + 1,
+                                     tok.size() - open - 2);
+    int32_t imm = immPart.empty() ? 0 : parseImmediate(immPart);
+    return {imm, parseReg(regPart)};
+}
+
+bool
+Assembler::isLabelRef(const std::string &tok) const
+{
+    if (tok.empty())
+        return false;
+    char c = tok[0];
+    return (std::isalpha(static_cast<unsigned char>(c)) ||
+            c == '_') &&
+           !dataSyms.count(tok);
+}
+
+void
+Assembler::parseDirective(const std::vector<std::string> &toks)
+{
+    if (codeStarted)
+        error("data directives must precede code");
+    if (toks[0] == ".data") {
+        if (toks.size() < 2 || toks.size() > 3)
+            error(".data name [init]");
+        if (dataSyms.count(toks[1]))
+            error("duplicate symbol '" + toks[1] + "'");
+        int32_t init =
+            toks.size() == 3 ? parseImmediate(toks[2]) : 0;
+        uint32_t addr = program.dataBase +
+                        static_cast<uint32_t>(data.size());
+        data.push_back(init);
+        dataSyms.emplace(toks[1], DataSym{addr, 1, false});
+        return;
+    }
+    if (toks[0] == ".array") {
+        if (toks.size() < 3)
+            error(".array name size [values...]");
+        if (dataSyms.count(toks[1]))
+            error("duplicate symbol '" + toks[1] + "'");
+        int32_t size = parseImmediate(toks[2]);
+        if (size <= 0)
+            error("array size must be positive");
+        if (static_cast<size_t>(size) + 3 < toks.size())
+            error("too many initializers");
+        for (uint32_t g = 0; g < Program::guardWords; ++g)
+            data.push_back(0);
+        uint32_t payload = program.dataBase +
+                           static_cast<uint32_t>(data.size());
+        for (int32_t i = 0; i < size; ++i) {
+            size_t ti = 3 + static_cast<size_t>(i);
+            data.push_back(ti < toks.size()
+                               ? parseImmediate(toks[ti])
+                               : 0);
+        }
+        for (uint32_t g = 0; g < Program::guardWords; ++g)
+            data.push_back(0);
+        dataSyms.emplace(toks[1], DataSym{payload, size, true});
+        return;
+    }
+    error("unknown directive '" + toks[0] + "'");
+}
+
+void
+Assembler::parseInstruction(std::vector<std::string> toks)
+{
+    codeStarted = true;
+    std::string op = toks[0];
+    auto want = [&](size_t n) {
+        if (toks.size() != n + 1) {
+            error("'" + op + "' expects " + std::to_string(n) +
+                  " operand(s)");
+        }
+    };
+    auto branchTarget = [&](const std::string &tok) -> int32_t {
+        if (isLabelRef(tok)) {
+            fixups.push_back(
+                {static_cast<uint32_t>(program.code.size()), tok,
+                 lineNo});
+            return 0;
+        }
+        return parseImmediate(tok);
+    };
+
+    static const std::unordered_map<std::string, Opcode> rType = {
+        {"add", Opcode::Add}, {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul}, {"div", Opcode::Div},
+        {"rem", Opcode::Rem}, {"and", Opcode::And},
+        {"or", Opcode::Or},   {"xor", Opcode::Xor},
+        {"shl", Opcode::Shl}, {"shr", Opcode::Shr},
+        {"sra", Opcode::Sra}, {"slt", Opcode::Slt},
+        {"sle", Opcode::Sle}, {"seq", Opcode::Seq},
+        {"sne", Opcode::Sne}, {"sgt", Opcode::Sgt},
+        {"sge", Opcode::Sge},
+    };
+    static const std::unordered_map<std::string, Opcode> iType = {
+        {"addi", Opcode::Addi}, {"andi", Opcode::Andi},
+        {"ori", Opcode::Ori},   {"xori", Opcode::Xori},
+        {"shli", Opcode::Shli}, {"shri", Opcode::Shri},
+        {"slti", Opcode::Slti},
+    };
+    static const std::unordered_map<std::string, Opcode> branches = {
+        {"beq", Opcode::Beq}, {"bne", Opcode::Bne},
+        {"blt", Opcode::Blt}, {"bge", Opcode::Bge},
+        {"ble", Opcode::Ble}, {"bgt", Opcode::Bgt},
+    };
+    static const std::unordered_map<std::string, Syscall> syscalls = {
+        {"exit", Syscall::Exit},
+        {"print_int", Syscall::PrintInt},
+        {"print_char", Syscall::PrintChar},
+        {"read_int", Syscall::ReadInt},
+        {"read_char", Syscall::ReadChar},
+    };
+    static const std::unordered_map<std::string, ObjectKind> kinds = {
+        {"global", ObjectKind::GlobalArray},
+        {"stack", ObjectKind::StackArray},
+        {"heap", ObjectKind::HeapBlock},
+        {"blank", ObjectKind::BlankStruct},
+    };
+
+    if (auto it = rType.find(op); it != rType.end()) {
+        want(3);
+        emit(makeR(it->second, parseReg(toks[1]), parseReg(toks[2]),
+                   parseReg(toks[3])));
+        return;
+    }
+    if (auto it = iType.find(op); it != iType.end()) {
+        want(3);
+        emit(makeI(it->second, parseReg(toks[1]), parseReg(toks[2]),
+                   parseImmediate(toks[3])));
+        return;
+    }
+    if (auto it = branches.find(op); it != branches.end()) {
+        want(3);
+        uint8_t rs1 = parseReg(toks[1]);
+        uint8_t rs2 = parseReg(toks[2]);
+        emit(makeBranch(it->second, rs1, rs2, branchTarget(toks[3])));
+        return;
+    }
+    if (op == "nop") {
+        want(0);
+        emit(Instruction{});
+        return;
+    }
+    if (op == "li") {
+        want(2);
+        emit(makeLi(parseReg(toks[1]), parseImmediate(toks[2])));
+        return;
+    }
+    if (op == "ld") {
+        want(2);
+        auto [imm, base] = parseMemOperand(toks[2]);
+        emit(makeI(Opcode::Ld, parseReg(toks[1]), base, imm));
+        return;
+    }
+    if (op == "st") {
+        want(2);
+        auto [imm, base] = parseMemOperand(toks[2]);
+        emit(Instruction{Opcode::St, 0, base, parseReg(toks[1]),
+                         imm});
+        return;
+    }
+    if (op == "jmp") {
+        want(1);
+        emit(makeJmp(branchTarget(toks[1])));
+        return;
+    }
+    if (op == "jal") {
+        want(2);
+        uint8_t rd = parseReg(toks[1]);
+        emit(makeJal(rd, branchTarget(toks[2])));
+        return;
+    }
+    if (op == "jr") {
+        want(1);
+        emit(makeJr(parseReg(toks[1])));
+        return;
+    }
+    if (op == "alloc") {
+        want(2);
+        emit(makeR(Opcode::Alloc, parseReg(toks[1]),
+                   parseReg(toks[2]), 0));
+        return;
+    }
+    if (op == "chkb") {
+        want(1);
+        auto [imm, base] = parseMemOperand(toks[1]);
+        emit(makeI(Opcode::Chkb, 0, base, imm));
+        return;
+    }
+    if (op == "assert") {
+        want(2);
+        int32_t id = parseImmediate(toks[2]);
+        emit(Instruction{Opcode::Assert, 0, parseReg(toks[1]), 0,
+                         id});
+        program.assertLocs[id] = SourceLoc{lineNo, 0};
+        return;
+    }
+    if (op == "regobj") {
+        want(3);
+        auto kind = kinds.find(toks[3]);
+        if (kind == kinds.end())
+            error("unknown object kind '" + toks[3] + "'");
+        emit(Instruction{Opcode::Regobj, 0, parseReg(toks[1]),
+                         parseReg(toks[2]),
+                         static_cast<int32_t>(kind->second)});
+        return;
+    }
+    if (op == "unregobj") {
+        want(1);
+        emit(Instruction{Opcode::Unregobj, 0, parseReg(toks[1]), 0,
+                         0});
+        return;
+    }
+    if (op == "pfix") {
+        want(2);
+        emit(makeI(Opcode::Pfix, parseReg(toks[1]), 0,
+                   parseImmediate(toks[2])));
+        return;
+    }
+    if (op == "pfixst") {
+        want(2);
+        auto [imm, base] = parseMemOperand(toks[2]);
+        emit(Instruction{Opcode::Pfixst, 0, base, parseReg(toks[1]),
+                         imm});
+        return;
+    }
+    if (op == "sys") {
+        if (toks.size() < 2)
+            error("sys needs a selector");
+        auto call = syscalls.find(toks[1]);
+        if (call == syscalls.end())
+            error("unknown syscall '" + toks[1] + "'");
+        uint8_t r = 0;
+        if (toks.size() == 3)
+            r = parseReg(toks[2]);
+        else if (toks.size() > 3)
+            error("sys takes at most one register");
+        bool isRead = call->second == Syscall::ReadInt ||
+                      call->second == Syscall::ReadChar;
+        emit(makeSys(call->second, isRead ? r : 0,
+                     isRead ? 0 : r));
+        return;
+    }
+    error("unknown mnemonic '" + op + "'");
+}
+
+void
+Assembler::patch()
+{
+    for (const auto &f : fixups) {
+        auto it = labels.find(f.label);
+        if (it == labels.end()) {
+            pe_fatal("asm error at line ", f.line,
+                     ": undefined label '", f.label, "'");
+        }
+        program.code[f.pc].imm = static_cast<int32_t>(it->second);
+    }
+}
+
+Program
+Assembler::run()
+{
+    // Pass 1: parse everything; labels resolve via fixups.
+    std::vector<std::string> lines = split(source, '\n');
+
+    // The automatic prologue registers every .array; it is emitted
+    // first, so scan the directives up front.
+    for (const auto &raw : lines) {
+        ++lineNo;
+        auto toks = tokenize(raw);
+        if (toks.empty())
+            continue;
+        if (toks[0][0] == '.')
+            parseDirective(toks);
+        else
+            break;  // first code line; stop the directive scan
+    }
+
+    // Emit the registration prologue.
+    for (const auto &[name, sym] : dataSyms) {
+        if (!sym.isArray)
+            continue;
+        emit(makeLi(reg::s0, static_cast<int32_t>(sym.addr)));
+        emit(makeLi(reg::s1, sym.size));
+        emit(Instruction{Opcode::Regobj, 0, reg::s0, reg::s1,
+                         static_cast<int32_t>(
+                             ObjectKind::GlobalArray)});
+    }
+
+    // Pass 2: the code lines.
+    lineNo = 0;
+    bool inData = true;
+    for (const auto &raw : lines) {
+        ++lineNo;
+        auto toks = tokenize(raw);
+        if (toks.empty())
+            continue;
+        if (toks[0][0] == '.') {
+            if (!inData)
+                error("data directives must precede code");
+            continue;   // handled in the directive scan
+        }
+        inData = false;
+        // Leading label(s).
+        while (!toks.empty() && toks[0].back() == ':') {
+            std::string label = toks[0].substr(0, toks[0].size() - 1);
+            if (label.empty())
+                error("empty label");
+            if (labels.count(label))
+                error("duplicate label '" + label + "'");
+            labels.emplace(label,
+                           static_cast<uint32_t>(program.code.size()));
+            toks.erase(toks.begin());
+        }
+        if (toks.empty())
+            continue;
+        parseInstruction(std::move(toks));
+    }
+
+    patch();
+    program.dataInit = data;
+    program.heapBase =
+        program.dataBase + static_cast<uint32_t>(data.size());
+    program.entry = 0;
+    program.funcs.push_back(FuncInfo{
+        "asm", 0, static_cast<uint32_t>(program.code.size())});
+    return std::move(program);
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &name)
+{
+    return Assembler(source, name).run();
+}
+
+} // namespace pe::isa

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * A textual assembler for PE-RISC.
+ *
+ * The MiniC compiler is the normal way to produce programs, but
+ * hand-written assembly is invaluable for tests, micro-benchmarks and
+ * for poking at the PathExpander hardware directly (e.g. crafting a
+ * branch with specific Pfix sequences).  Example:
+ *
+ *     .data   counter 0           # scalar word with initializer
+ *     .array  buf 8               # guarded array (auto-registered)
+ *
+ *     main:
+ *         li      r8, 5
+ *     loop:
+ *         addi    r8, r8, -1
+ *         bgt     r8, r0, loop
+ *         ld      r9, counter(r0) # data symbols usable as immediates
+ *         sys     print_int r9
+ *         sys     exit
+ *
+ * Syntax:
+ *  - one instruction per line; `#` starts a comment;
+ *  - labels are `name:` on their own line or before an instruction;
+ *  - branch/jump targets may be labels or absolute integers;
+ *  - `name(rX)` memory operands; data symbol names may be used
+ *    wherever an immediate is expected;
+ *  - syscall selectors: exit, print_int, print_char, read_int,
+ *    read_char (with the value/destination register as the operand);
+ *  - object kinds for regobj: global, stack, heap, blank.
+ *
+ * Arrays declared with `.array` are surrounded by guard words and
+ * registered with the dynamic checkers by an automatic prologue.
+ */
+
+#ifndef PE_ISA_ASSEMBLER_HH
+#define PE_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "src/isa/program.hh"
+
+namespace pe::isa
+{
+
+/**
+ * Assemble @p source into a program image named @p name.
+ * Throws FatalError with a line diagnostic on malformed input.
+ */
+Program assemble(const std::string &source,
+                 const std::string &name = "asm");
+
+} // namespace pe::isa
+
+#endif // PE_ISA_ASSEMBLER_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * PE-RISC instruction representation, binary encoding and disassembly.
+ */
+
+#ifndef PE_ISA_INSTRUCTION_HH
+#define PE_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/isa/opcode.hh"
+
+namespace pe::isa
+{
+
+/**
+ * One decoded PE-RISC instruction.
+ *
+ * All instructions share a single format: opcode, three register
+ * specifiers and a signed 32-bit immediate.  Unused fields are zero.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int32_t imm = 0;
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/**
+ * Encode @p inst into the 64-bit binary format:
+ *   bits [63:56] opcode, [55:50] rd, [49:44] rs1, [43:38] rs2,
+ *   bits [31:0]  immediate (two's complement).
+ */
+uint64_t encode(const Instruction &inst);
+
+/** Decode a 64-bit instruction word; panics on an invalid opcode. */
+Instruction decode(uint64_t word);
+
+/** Render @p inst as assembly text, e.g. "beq r8, r9, 42". */
+std::string disassemble(const Instruction &inst);
+
+// Convenience builders used by the code generator and tests.
+Instruction makeR(Opcode op, uint8_t rd, uint8_t rs1, uint8_t rs2);
+Instruction makeI(Opcode op, uint8_t rd, uint8_t rs1, int32_t imm);
+Instruction makeLi(uint8_t rd, int32_t imm);
+Instruction makeBranch(Opcode op, uint8_t rs1, uint8_t rs2,
+                       int32_t target);
+Instruction makeJmp(int32_t target);
+Instruction makeJal(uint8_t rd, int32_t target);
+Instruction makeJr(uint8_t rs1);
+Instruction makeSys(Syscall call, uint8_t rd = 0, uint8_t rs1 = 0);
+
+} // namespace pe::isa
+
+#endif // PE_ISA_INSTRUCTION_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The PE-RISC object format: serialize a compiled Program (code in
+ * the 64-bit binary encoding, data image, symbol metadata) to a byte
+ * stream and load it back.
+ *
+ * This is how compiled workloads can be shipped without their MiniC
+ * sources (e.g. `pe_run --emit-obj prog.po` and later
+ * `pe_run prog.po`), and it exercises the binary instruction encoding
+ * end to end.
+ *
+ * Layout (all integers little-endian):
+ *
+ *   magic   "PERISC1\0"
+ *   u32     name length, bytes
+ *   u32     dataBase, heapBase, entry, blankAddr
+ *   u32     code count,   u64 encoded instructions
+ *   u32     locs count,   i32 line + i32 col each
+ *   u32     data count,   i32 words
+ *   u32     func count,   {u32 len, bytes, u32 startPc, u32 endPc}
+ *   u32     assert count, {i32 id, i32 line}
+ */
+
+#ifndef PE_ISA_OBJFILE_HH
+#define PE_ISA_OBJFILE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "src/isa/program.hh"
+
+namespace pe::isa
+{
+
+/** Serialize @p program to @p os. */
+void saveObject(const Program &program, std::ostream &os);
+
+/** Deserialize a program; throws FatalError on malformed input. */
+Program loadObject(std::istream &is);
+
+/** Convenience file wrappers (throw FatalError on I/O failure). */
+void saveObjectFile(const Program &program, const std::string &path);
+Program loadObjectFile(const std::string &path);
+
+} // namespace pe::isa
+
+#endif // PE_ISA_OBJFILE_HH

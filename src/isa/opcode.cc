@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Opcode property tables.
+ */
+
+#include "src/isa/opcode.hh"
+
+#include "src/support/status.hh"
+
+namespace pe::isa
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Sra: return "sra";
+      case Opcode::Slt: return "slt";
+      case Opcode::Sle: return "sle";
+      case Opcode::Seq: return "seq";
+      case Opcode::Sne: return "sne";
+      case Opcode::Sgt: return "sgt";
+      case Opcode::Sge: return "sge";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Shli: return "shli";
+      case Opcode::Shri: return "shri";
+      case Opcode::Slti: return "slti";
+      case Opcode::Li: return "li";
+      case Opcode::Ld: return "ld";
+      case Opcode::St: return "st";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Ble: return "ble";
+      case Opcode::Bgt: return "bgt";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jr: return "jr";
+      case Opcode::Alloc: return "alloc";
+      case Opcode::Chkb: return "chkb";
+      case Opcode::Assert: return "assert";
+      case Opcode::Regobj: return "regobj";
+      case Opcode::Unregobj: return "unregobj";
+      case Opcode::Pfix: return "pfix";
+      case Opcode::Pfixst: return "pfixst";
+      case Opcode::Sys: return "sys";
+      default:
+        pe_panic("opcodeName: bad opcode ", static_cast<int>(op));
+    }
+}
+
+bool
+isConditionalBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+      case Opcode::Ble:
+      case Opcode::Bgt:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isMemoryOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::Pfixst:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isPredicatedFix(Opcode op)
+{
+    return op == Opcode::Pfix || op == Opcode::Pfixst;
+}
+
+} // namespace pe::isa

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Program image helpers.
+ */
+
+#include "src/isa/program.hh"
+
+#include <sstream>
+
+namespace pe::isa
+{
+
+SourceLoc
+Program::locOf(uint32_t pc) const
+{
+    if (pc < locs.size())
+        return locs[pc];
+    return SourceLoc{};
+}
+
+const std::string &
+Program::funcOf(uint32_t pc) const
+{
+    static const std::string unknown = "?";
+    for (const auto &f : funcs) {
+        if (pc >= f.startPc && pc < f.endPc)
+            return f.name;
+    }
+    return unknown;
+}
+
+std::vector<uint32_t>
+Program::branchPcs() const
+{
+    std::vector<uint32_t> pcs;
+    for (uint32_t pc = 0; pc < code.size(); ++pc) {
+        if (isConditionalBranch(code[pc].op))
+            pcs.push_back(pc);
+    }
+    return pcs;
+}
+
+size_t
+Program::numBranches() const
+{
+    return branchPcs().size();
+}
+
+std::string
+Program::describePc(uint32_t pc) const
+{
+    std::ostringstream oss;
+    oss << funcOf(pc) << ":" << locOf(pc).line;
+    return oss.str();
+}
+
+} // namespace pe::isa

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The loadable program image produced by the MiniC compiler and
+ * consumed by the simulator, the coverage tracker and PathExpander.
+ */
+
+#ifndef PE_ISA_PROGRAM_HH
+#define PE_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/isa/instruction.hh"
+
+namespace pe::isa
+{
+
+/** Source position inside the MiniC translation unit. */
+struct SourceLoc
+{
+    int line = 0;
+    int col = 0;
+};
+
+/** Kinds of memory objects registered with the dynamic checkers. */
+enum class ObjectKind : int32_t
+{
+    GlobalArray = 0,
+    StackArray = 1,
+    HeapBlock = 2,
+    BlankStruct = 3,
+};
+
+/** Function extent, for symbolization of report sites. */
+struct FuncInfo
+{
+    std::string name;
+    uint32_t startPc = 0;   //!< first code index
+    uint32_t endPc = 0;     //!< one past the last code index
+};
+
+/**
+ * A complete PE-RISC program image.
+ *
+ * Code lives in a separate (Harvard) instruction store indexed by PC.
+ * Data memory layout, in word addresses:
+ *
+ *   [0, dataBase)              reserved words (heap-pointer cell, ...)
+ *   [dataBase, heapBase)       globals, string literals, blank struct
+ *   [heapBase, stack)          heap, bump-allocated upward
+ *   [... memWords)             stack, growing downward from the top
+ */
+struct Program
+{
+    /**
+     * Words [0, nullZoneWords) are the unmapped "null zone": both
+     * checkers treat accesses there as wild (null-pointer derefs).
+     * Runtime cells (the heap bump pointer) live just above it.
+     */
+    static constexpr uint32_t nullZoneWords = 8;
+    /** Word address of the heap bump-pointer cell. */
+    static constexpr uint32_t heapPtrCell = 8;
+    /** First word address usable for globals. */
+    static constexpr uint32_t defaultDataBase = 16;
+    /** Guard-zone width, in words, around every checked object. */
+    static constexpr uint32_t guardWords = 2;
+
+    std::vector<Instruction> code;
+    std::vector<SourceLoc> locs;            //!< parallel to code
+
+    std::vector<int32_t> dataInit;          //!< globals image at dataBase
+    uint32_t dataBase = defaultDataBase;
+    uint32_t heapBase = defaultDataBase;    //!< first heap word
+    uint32_t entry = 0;                     //!< initial PC
+    uint32_t blankAddr = 0;                 //!< blank-structure base
+
+    std::vector<FuncInfo> funcs;
+    std::unordered_map<int32_t, SourceLoc> assertLocs;
+    std::string name;                       //!< workload name
+
+    /** Source location of code index @p pc (0/0 when unknown). */
+    SourceLoc locOf(uint32_t pc) const;
+
+    /** Name of the function containing @p pc ("?" when unknown). */
+    const std::string &funcOf(uint32_t pc) const;
+
+    /** All conditional-branch code indices, in program order. */
+    std::vector<uint32_t> branchPcs() const;
+
+    /** Count of conditional branches (== branchPcs().size()). */
+    size_t numBranches() const;
+
+    /** Human-readable "func:line" tag for a report site. */
+    std::string describePc(uint32_t pc) const;
+};
+
+} // namespace pe::isa
+
+#endif // PE_ISA_PROGRAM_HH

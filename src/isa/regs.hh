@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Register-file conventions for PE-RISC.
+ *
+ * 32 general-purpose 32-bit registers.  r0 reads as zero and ignores
+ * writes.  The remaining conventions exist for the MiniC ABI:
+ *
+ *   r1  sp   stack pointer (full-descending, word granularity)
+ *   r2  fp   frame pointer
+ *   r3  ra   return address (code index)
+ *   r4  rv   return value
+ *   r5-r7    assembler/runtime temporaries
+ *   r8-r27   expression evaluation stack of the MiniC code generator
+ *   r28-r31  code-generator scratch (address computation, fixing)
+ */
+
+#ifndef PE_ISA_REGS_HH
+#define PE_ISA_REGS_HH
+
+#include <cstdint>
+
+namespace pe::isa
+{
+
+constexpr int numRegs = 32;
+
+namespace reg
+{
+constexpr uint8_t zero = 0;
+constexpr uint8_t sp = 1;
+constexpr uint8_t fp = 2;
+constexpr uint8_t ra = 3;
+constexpr uint8_t rv = 4;
+constexpr uint8_t t0 = 5;
+constexpr uint8_t t1 = 6;
+constexpr uint8_t t2 = 7;
+constexpr uint8_t evalBase = 8;   //!< first expression-stack register
+constexpr uint8_t evalLimit = 28; //!< one past the last expression register
+constexpr uint8_t s0 = 28;        //!< codegen scratch
+constexpr uint8_t s1 = 29;
+constexpr uint8_t s2 = 30;
+constexpr uint8_t s3 = 31;
+} // namespace reg
+
+} // namespace pe::isa
+
+#endif // PE_ISA_REGS_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cache timing model implementation.
+ */
+
+#include "src/mem/cache.hh"
+
+#include <algorithm>
+
+#include "src/support/status.hh"
+
+namespace pe::mem
+{
+
+Cache::Cache(const CacheGeometry &g) : geom(g)
+{
+    pe_assert(g.lineBytes >= 4 && g.lineBytes % 4 == 0,
+              "line size must be a multiple of a word");
+    pe_assert(g.numLines() % g.ways == 0, "lines not divisible by ways");
+    wordsPerLineLocal = g.lineBytes / 4;
+    ways.resize(static_cast<size_t>(geom.numSets()) * geom.ways);
+}
+
+uint32_t
+Cache::lineOf(uint32_t wordAddr) const
+{
+    return wordAddr / wordsPerLineLocal;
+}
+
+bool
+Cache::access(uint32_t wordAddr)
+{
+    uint32_t line = lineOf(wordAddr);
+    uint32_t set = line % geom.numSets();
+    uint32_t tag = line / geom.numSets();
+    Way *base = &ways[static_cast<size_t>(set) * geom.ways];
+    ++useClock;
+
+    for (uint32_t w = 0; w < geom.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lastUse = useClock;
+            ++hitCount;
+            return true;
+        }
+    }
+
+    // Miss: fill the LRU (or first invalid) way.
+    ++missCount;
+    Way *victim = base;
+    for (uint32_t w = 0; w < geom.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    return false;
+}
+
+bool
+Cache::contains(uint32_t wordAddr) const
+{
+    uint32_t line = lineOf(wordAddr);
+    uint32_t set = line % geom.numSets();
+    uint32_t tag = line / geom.numSets();
+    const Way *base = &ways[static_cast<size_t>(set) * geom.ways];
+    for (uint32_t w = 0; w < geom.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    std::fill(ways.begin(), ways.end(), Way{});
+}
+
+uint64_t
+SharedPort::acquire(uint64_t now, uint64_t hold)
+{
+    uint64_t start = std::max(now, freeAt);
+    waited += start - now;
+    freeAt = start + hold;
+    return start;
+}
+
+void
+SharedPort::reset()
+{
+    freeAt = 0;
+    waited = 0;
+}
+
+} // namespace pe::mem

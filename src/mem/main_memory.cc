@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Main memory implementation.
+ */
+
+#include "src/mem/main_memory.hh"
+
+#include "src/support/status.hh"
+
+namespace pe::mem
+{
+
+MainMemory::MainMemory(uint32_t words) : image(words, 0)
+{
+    pe_assert(words > 0, "zero-sized memory");
+}
+
+int32_t
+MainMemory::read(uint32_t addr) const
+{
+    pe_assert(valid(addr), "main memory read out of range: ", addr);
+    return image[addr];
+}
+
+void
+MainMemory::write(uint32_t addr, int32_t value)
+{
+    pe_assert(valid(addr), "main memory write out of range: ", addr);
+    image[addr] = value;
+}
+
+} // namespace pe::mem

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Flat word-addressed main memory.
+ */
+
+#ifndef PE_MEM_MAIN_MEMORY_HH
+#define PE_MEM_MAIN_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pe::mem
+{
+
+/**
+ * The architected memory image: committed state only.  Uncommitted
+ * path state (NT-Paths and, in CMP mode, taken-path segments) lives in
+ * VersionedBuffer overlays on top of this.
+ */
+class MainMemory
+{
+  public:
+    explicit MainMemory(uint32_t words);
+
+    bool valid(uint32_t addr) const { return addr < image.size(); }
+    uint32_t size() const { return static_cast<uint32_t>(image.size()); }
+
+    int32_t read(uint32_t addr) const;
+    void write(uint32_t addr, int32_t value);
+
+  private:
+    std::vector<int32_t> image;
+};
+
+} // namespace pe::mem
+
+#endif // PE_MEM_MAIN_MEMORY_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Versioned buffer implementation.
+ */
+
+#include "src/mem/versioned_buffer.hh"
+
+#include "src/support/status.hh"
+
+namespace pe::mem
+{
+
+std::optional<int32_t>
+VersionedBuffer::lookup(uint32_t addr) const
+{
+    auto it = words.find(addr);
+    if (it == words.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+VersionedBuffer::write(uint32_t addr, int32_t value)
+{
+    words[addr] = value;
+    lines.insert(addr / wordsPerLine);
+}
+
+void
+VersionedBuffer::commitTo(MainMemory &main) const
+{
+    for (const auto &[addr, value] : words)
+        main.write(addr, value);
+}
+
+void
+VersionedBuffer::clear()
+{
+    words.clear();
+    lines.clear();
+}
+
+int32_t
+MemCtx::read(uint32_t addr) const
+{
+    pe_assert(mainMem->valid(addr), "MemCtx read out of range: ", addr);
+    for (const VersionedBuffer *b = buf; b; b = b->parent()) {
+        if (auto v = b->lookup(addr))
+            return *v;
+    }
+    return mainMem->read(addr);
+}
+
+void
+MemCtx::write(uint32_t addr, int32_t value)
+{
+    pe_assert(mainMem->valid(addr), "MemCtx write out of range: ", addr);
+    if (buf)
+        buf->write(addr, value);
+    else
+        mainMem->write(addr, value);
+}
+
+} // namespace pe::mem

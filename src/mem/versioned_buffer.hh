@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Versioned write buffers: the simulator model of the paper's
+ * Vtag-tagged L1 cache lines.
+ *
+ * In the standard configuration, an NT-Path's stores are buffered in
+ * the L1 cache and bookmarked with a 1-bit Volatile tag; squashing the
+ * path gang-invalidates those lines (paper Section 4.2).  With the CMP
+ * optimization every path (taken-path segment or NT-Path) owns an
+ * 8-bit path ID and its lines are tagged with it (Section 4.3).
+ *
+ * Functionally both reduce to the same thing: an overlay of dirty
+ * words on top of a parent version.  VersionedBuffer implements that
+ * overlay; the path-ID plumbing and the commit/squash-token protocol
+ * live in the PathExpander engine.
+ */
+
+#ifndef PE_MEM_VERSIONED_BUFFER_HH
+#define PE_MEM_VERSIONED_BUFFER_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/mem/main_memory.hh"
+
+namespace pe::mem
+{
+
+/** Words per cache line (32 bytes / 4-byte words, per Table 2). */
+constexpr uint32_t wordsPerLine = 8;
+
+/** One path's speculative write set. */
+class VersionedBuffer
+{
+  public:
+    /** @param id the 8-bit path ID (0 is reserved for committed). */
+    explicit VersionedBuffer(int id) : _pathId(id) {}
+
+    int pathId() const { return _pathId; }
+
+    const VersionedBuffer *parent() const { return _parent; }
+    VersionedBuffer *parent() { return _parent; }
+    void setParent(VersionedBuffer *p) { _parent = p; }
+
+    /** The buffered value of @p addr, if this path wrote it. */
+    std::optional<int32_t> lookup(uint32_t addr) const;
+
+    /** Buffer a store of @p value to @p addr. */
+    void write(uint32_t addr, int32_t value);
+
+    /** Number of distinct words written. */
+    size_t numWords() const { return words.size(); }
+
+    /** Number of distinct L1 lines holding this path's dirty data. */
+    size_t numLines() const { return lines.size(); }
+
+    /** Commit: drain the write set into main memory (lazy ID recycle). */
+    void commitTo(MainMemory &main) const;
+
+    /** Squash: gang-invalidate all tagged lines. */
+    void clear();
+
+    const std::unordered_map<uint32_t, int32_t> &writes() const
+    {
+        return words;
+    }
+
+  private:
+    int _pathId;
+    VersionedBuffer *_parent = nullptr;
+    std::unordered_map<uint32_t, int32_t> words;
+    std::unordered_set<uint32_t> lines;
+};
+
+/**
+ * A path's view of memory: its own buffer (if any), then its ancestor
+ * buffers, then committed main memory.  This is the tree-structured
+ * data dependence of Figure 6(c): a path reads data produced or
+ * propagated by its parent segments, and updates made after its parent
+ * segment are invisible to it.
+ */
+class MemCtx
+{
+  public:
+    MemCtx(MainMemory &main, VersionedBuffer *buffer)
+        : mainMem(&main), buf(buffer)
+    {}
+
+    bool valid(uint32_t addr) const { return mainMem->valid(addr); }
+
+    /** Read through the version chain. */
+    int32_t read(uint32_t addr) const;
+
+    /** Write to the path's buffer, or directly to main if none. */
+    void write(uint32_t addr, int32_t value);
+
+    VersionedBuffer *buffer() { return buf; }
+    const VersionedBuffer *buffer() const { return buf; }
+
+  private:
+    MainMemory *mainMem;
+    VersionedBuffer *buf;
+};
+
+} // namespace pe::mem
+
+#endif // PE_MEM_VERSIONED_BUFFER_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * MiniC abstract syntax tree.
+ *
+ * All values are 32-bit words; 'int' and 'int*' share one machine
+ * representation, but declarations record pointer-ness so the code
+ * generator can pick the right consistency-fix value (blank-structure
+ * address vs. boundary integer, paper Section 4.4).
+ */
+
+#ifndef PE_MINIC_AST_HH
+#define PE_MINIC_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pe::minic
+{
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** Binary operators. */
+enum class BinOp : uint8_t
+{
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    LogAnd, LogOr,
+};
+
+/** Unary operators. */
+enum class UnOp : uint8_t
+{
+    Neg,        //!< -e
+    Not,        //!< !e
+    Deref,      //!< *e
+    AddrOf,     //!< &lvalue
+};
+
+/** Expression node kinds. */
+enum class ExprKind : uint8_t
+{
+    IntLit,     //!< integer / character literal
+    StrLit,     //!< string literal (decays to payload address)
+    Ident,      //!< variable reference (array names decay to address)
+    Unary,
+    Binary,
+    Assign,     //!< lhs = rhs (lhs: Ident, Deref or Index)
+    Call,       //!< function call or builtin
+    Index,      //!< base[index]
+};
+
+/** One expression node. */
+struct Expr
+{
+    ExprKind kind;
+    int line = 0;
+
+    // IntLit
+    int32_t intValue = 0;
+    // StrLit / Ident / Call
+    std::string name;
+    // Unary / Binary
+    UnOp unOp = UnOp::Neg;
+    BinOp binOp = BinOp::Add;
+    // Children: Unary(a), Binary(a,b), Assign(a=lhs,b=rhs),
+    // Index(a=base,b=index).
+    ExprPtr a;
+    ExprPtr b;
+    // Call arguments.
+    std::vector<ExprPtr> args;
+};
+
+/** Statement node kinds. */
+enum class StmtKind : uint8_t
+{
+    Block,
+    VarDecl,    //!< int x; int x = e; int a[N]; int *p;
+    If,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    Assert,     //!< assert(expr) or assert(expr, id)
+    ExprStmt,
+};
+
+/** One statement node. */
+struct Stmt
+{
+    StmtKind kind;
+    int line = 0;
+
+    // Block
+    std::vector<StmtPtr> body;
+    // VarDecl
+    std::string name;
+    bool isPointer = false;
+    bool isArray = false;
+    int32_t arraySize = 0;
+    ExprPtr init;
+    // If: cond/thenS/elseS; While: cond/thenS;
+    // For: init=initS, cond, step, thenS (body).
+    ExprPtr cond;
+    StmtPtr initS;
+    ExprPtr step;
+    StmtPtr thenS;
+    StmtPtr elseS;
+    // Return / ExprStmt / Assert
+    ExprPtr expr;
+    int32_t assertId = 0;   //!< 0 = derive from the source line
+};
+
+/** One function definition. */
+struct FuncDecl
+{
+    std::string name;
+    int line = 0;
+    std::vector<std::string> params;
+    std::vector<bool> paramIsPointer;
+    StmtPtr body;
+};
+
+/** One global variable. */
+struct GlobalDecl
+{
+    std::string name;
+    int line = 0;
+    bool isPointer = false;
+    bool isArray = false;
+    int32_t arraySize = 0;
+    int32_t initValue = 0;
+    std::vector<int32_t> arrayInit;     //!< optional array initializer
+};
+
+/** A parsed translation unit. */
+struct TranslationUnit
+{
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> funcs;
+};
+
+} // namespace pe::minic
+
+#endif // PE_MINIC_AST_HH

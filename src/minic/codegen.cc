@@ -1,0 +1,1152 @@
+/**
+ * @file
+ * MiniC code generator implementation.
+ */
+
+#include "src/minic/codegen.hh"
+
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/isa/regs.hh"
+#include "src/support/status.hh"
+
+namespace pe::minic
+{
+
+namespace
+{
+
+using isa::Instruction;
+using isa::ObjectKind;
+using isa::Opcode;
+namespace reg = isa::reg;
+
+constexpr uint32_t guardW = isa::Program::guardWords;
+constexpr int32_t blankStructWords = 16;
+constexpr int maxEvalDepth = reg::evalLimit - reg::evalBase;
+
+/** A local variable or parameter. */
+struct LocalSym
+{
+    bool isArray = false;
+    bool isPointer = false;
+    int32_t off = 0;        //!< fp-relative: scalar slot or array payload
+    int32_t size = 0;       //!< array payload words
+};
+
+/** A global variable. */
+struct GlobalSym
+{
+    bool isArray = false;
+    bool isPointer = false;
+    uint32_t addr = 0;      //!< absolute: scalar word or array payload
+    int32_t size = 0;
+};
+
+/** Where a fixable condition variable lives. */
+struct FixHome
+{
+    bool isGlobal = false;
+    int32_t fpOff = 0;      //!< local: offset from fp
+    uint32_t addr = 0;      //!< global: absolute address
+};
+
+/** Consistency-fix plan for the two edges of one branch. */
+struct CondFix
+{
+    bool valid = false;
+    FixHome home;
+    bool hasTrueVal = false;
+    bool hasFalseVal = false;
+    int32_t trueVal = 0;    //!< value satisfying the true edge
+    int32_t falseVal = 0;   //!< value satisfying the false edge
+};
+
+class CodeGen
+{
+  public:
+    CodeGen(const TranslationUnit &tu, const std::string &name)
+        : unit(tu)
+    {
+        program.name = name;
+    }
+
+    isa::Program run();
+
+  private:
+    // ---- emission ------------------------------------------------
+    uint32_t emit(const Instruction &inst, int line)
+    {
+        program.code.push_back(inst);
+        program.locs.push_back(isa::SourceLoc{line, 0});
+        return static_cast<uint32_t>(program.code.size() - 1);
+    }
+
+    int newLabel() { return nextLabel++; }
+
+    void placeLabel(int label)
+    {
+        labelPc[label] = static_cast<uint32_t>(program.code.size());
+    }
+
+    void emitBranchTo(Opcode op, uint8_t rs1, uint8_t rs2, int label,
+                      int line)
+    {
+        uint32_t pc = emit(isa::makeBranch(op, rs1, rs2, 0), line);
+        labelFixups.push_back({pc, label});
+    }
+
+    void emitJmpTo(int label, int line)
+    {
+        uint32_t pc = emit(isa::makeJmp(0), line);
+        labelFixups.push_back({pc, label});
+    }
+
+    void emitCallTo(const std::string &func, int line)
+    {
+        uint32_t pc = emit(isa::makeJal(reg::ra, 0), line);
+        callFixups.push_back({pc, func, line});
+    }
+
+    // ---- data segment --------------------------------------------
+    uint32_t allocGuarded(int32_t payloadWords, ObjectKind kind);
+    uint32_t allocScalar(int32_t initValue);
+    uint32_t internString(const std::string &text);
+
+    // ---- symbols -------------------------------------------------
+    const LocalSym *findLocal(const std::string &name) const;
+    const GlobalSym *findGlobal(const std::string &name) const;
+
+    [[noreturn]] void error(int line, const std::string &msg) const
+    {
+        pe_fatal("minic codegen error at line ", line, " in ",
+                 program.name, ": ", msg);
+    }
+
+    // ---- expressions ----------------------------------------------
+    uint8_t evalReg(int depth) const
+    {
+        if (depth >= maxEvalDepth)
+            pe_fatal("minic: expression too deep in ", program.name);
+        return static_cast<uint8_t>(reg::evalBase + depth);
+    }
+
+    void genExpr(const Expr &e, int depth);
+    void genCall(const Expr &e, int depth);
+    void genAssign(const Expr &e, int depth);
+    void genIdentLoad(const Expr &e, int depth);
+    void genIdentStore(const Expr &e, uint8_t valueReg);
+
+    // ---- conditions and fixing -------------------------------------
+    CondFix genCondBranchFalse(const Expr &cond, int falseLabel);
+    void emitEdgeFix(const CondFix &fix, bool trueEdge, int line);
+    std::optional<FixHome> homeOf(const Expr &e) const;
+    bool identIsPointer(const Expr &e) const;
+
+    // ---- statements ------------------------------------------------
+    void genStmt(const Stmt &s);
+    void genVarDecl(const Stmt &s);
+    void genIf(const Stmt &s);
+    void genWhile(const Stmt &s);
+    void genFor(const Stmt &s);
+
+    // ---- functions -------------------------------------------------
+    void genFunc(const FuncDecl &func);
+    void genStub();
+    void patchFixups();
+
+    // ---- members ---------------------------------------------------
+    const TranslationUnit &unit;
+    isa::Program program;
+
+    // Data segment under construction.
+    std::vector<int32_t> data;      //!< image from dataBase upward
+    std::unordered_map<std::string, uint32_t> stringPool;
+    struct RegEntry
+    {
+        uint32_t addr;
+        int32_t size;
+        ObjectKind kind;
+    };
+    std::vector<RegEntry> startupRegs;
+    uint32_t blankAddr = 0;
+
+    // Symbols.
+    std::unordered_map<std::string, GlobalSym> globals;
+    std::unordered_map<std::string, uint32_t> funcPc;
+    std::vector<std::unordered_map<std::string, LocalSym>> scopes;
+
+    // Per-function state.
+    int32_t nextSlot = 0;           //!< frame words used so far
+    uint32_t frameFixupPc = 0;
+    int epilogueLabel = 0;
+    std::vector<std::pair<int32_t, int32_t>> funcArrays; //!< off,size
+    std::vector<int> breakLabels;
+    std::vector<int> continueLabels;
+
+    // Fixups.
+    int nextLabel = 0;
+    std::unordered_map<int, uint32_t> labelPc;
+    struct LabelFixup
+    {
+        uint32_t pc;
+        int label;
+    };
+    struct CallFixup
+    {
+        uint32_t pc;
+        std::string func;
+        int line;
+    };
+    std::vector<LabelFixup> labelFixups;
+    std::vector<CallFixup> callFixups;
+};
+
+// ---- data segment ---------------------------------------------------
+
+uint32_t
+CodeGen::allocGuarded(int32_t payloadWords, ObjectKind kind)
+{
+    for (uint32_t i = 0; i < guardW; ++i)
+        data.push_back(0);
+    uint32_t payload = program.dataBase +
+                       static_cast<uint32_t>(data.size());
+    for (int32_t i = 0; i < payloadWords; ++i)
+        data.push_back(0);
+    for (uint32_t i = 0; i < guardW; ++i)
+        data.push_back(0);
+    startupRegs.push_back({payload, payloadWords, kind});
+    return payload;
+}
+
+uint32_t
+CodeGen::allocScalar(int32_t initValue)
+{
+    uint32_t addr = program.dataBase +
+                    static_cast<uint32_t>(data.size());
+    data.push_back(initValue);
+    return addr;
+}
+
+uint32_t
+CodeGen::internString(const std::string &text)
+{
+    auto it = stringPool.find(text);
+    if (it != stringPool.end())
+        return it->second;
+    uint32_t payload = allocGuarded(
+        static_cast<int32_t>(text.size()) + 1, ObjectKind::GlobalArray);
+    for (size_t i = 0; i < text.size(); ++i) {
+        data[payload - program.dataBase + i] =
+            static_cast<unsigned char>(text[i]);
+    }
+    // Terminator already zero.
+    stringPool.emplace(text, payload);
+    return payload;
+}
+
+// ---- symbols ----------------------------------------------------------
+
+const LocalSym *
+CodeGen::findLocal(const std::string &name) const
+{
+    for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+        auto found = it->find(name);
+        if (found != it->end())
+            return &found->second;
+    }
+    return nullptr;
+}
+
+const GlobalSym *
+CodeGen::findGlobal(const std::string &name) const
+{
+    auto it = globals.find(name);
+    return it == globals.end() ? nullptr : &it->second;
+}
+
+// ---- expressions --------------------------------------------------------
+
+void
+CodeGen::genIdentLoad(const Expr &e, int depth)
+{
+    uint8_t r = evalReg(depth);
+    if (const LocalSym *local = findLocal(e.name)) {
+        if (local->isArray)
+            emit(isa::makeI(Opcode::Addi, r, reg::fp, local->off),
+                 e.line);
+        else
+            emit(isa::makeI(Opcode::Ld, r, reg::fp, local->off),
+                 e.line);
+        return;
+    }
+    if (const GlobalSym *global = findGlobal(e.name)) {
+        if (global->isArray)
+            emit(isa::makeLi(r, static_cast<int32_t>(global->addr)),
+                 e.line);
+        else
+            emit(isa::makeI(Opcode::Ld, r, reg::zero,
+                            static_cast<int32_t>(global->addr)),
+                 e.line);
+        return;
+    }
+    error(e.line, "undefined variable '" + e.name + "'");
+}
+
+void
+CodeGen::genIdentStore(const Expr &e, uint8_t valueReg)
+{
+    if (const LocalSym *local = findLocal(e.name)) {
+        if (local->isArray)
+            error(e.line, "cannot assign to array '" + e.name + "'");
+        emit(Instruction{Opcode::St, 0, reg::fp, valueReg, local->off},
+             e.line);
+        return;
+    }
+    if (const GlobalSym *global = findGlobal(e.name)) {
+        if (global->isArray)
+            error(e.line, "cannot assign to array '" + e.name + "'");
+        emit(Instruction{Opcode::St, 0, reg::zero, valueReg,
+                         static_cast<int32_t>(global->addr)},
+             e.line);
+        return;
+    }
+    error(e.line, "undefined variable '" + e.name + "'");
+}
+
+void
+CodeGen::genAssign(const Expr &e, int depth)
+{
+    const Expr &lhs = *e.a;
+    uint8_t r = evalReg(depth);
+
+    switch (lhs.kind) {
+      case ExprKind::Ident:
+        genExpr(*e.b, depth);
+        genIdentStore(lhs, r);
+        return;
+      case ExprKind::Unary: {
+        pe_assert(lhs.unOp == UnOp::Deref, "bad assign lhs");
+        genExpr(*lhs.a, depth);             // address
+        genExpr(*e.b, depth + 1);           // value
+        uint8_t v = evalReg(depth + 1);
+        emit(isa::makeI(Opcode::Chkb, 0, r, 0), e.line);
+        emit(Instruction{Opcode::St, 0, r, v, 0}, e.line);
+        emit(isa::makeI(Opcode::Addi, r, v, 0), e.line);
+        return;
+      }
+      case ExprKind::Index: {
+        genExpr(*lhs.a, depth);             // base
+        genExpr(*lhs.b, depth + 1);         // index
+        uint8_t i = evalReg(depth + 1);
+        emit(isa::makeR(Opcode::Add, r, r, i), e.line);
+        genExpr(*e.b, depth + 1);           // value
+        emit(isa::makeI(Opcode::Chkb, 0, r, 0), e.line);
+        emit(Instruction{Opcode::St, 0, r, i, 0}, e.line);
+        emit(isa::makeI(Opcode::Addi, r, i, 0), e.line);
+        return;
+      }
+      default:
+        error(e.line, "assignment target is not an lvalue");
+    }
+}
+
+void
+CodeGen::genCall(const Expr &e, int depth)
+{
+    uint8_t r = evalReg(depth);
+    int line = e.line;
+    auto argc = [&](size_t n) {
+        if (e.args.size() != n) {
+            error(line, "builtin '" + e.name + "' expects " +
+                            std::to_string(n) + " argument(s)");
+        }
+    };
+
+    // ---- builtins ----
+    if (e.name == "print_int") {
+        argc(1);
+        genExpr(*e.args[0], depth);
+        emit(isa::makeSys(isa::Syscall::PrintInt, 0, r), line);
+        return;
+    }
+    if (e.name == "print_char") {
+        argc(1);
+        genExpr(*e.args[0], depth);
+        emit(isa::makeSys(isa::Syscall::PrintChar, 0, r), line);
+        return;
+    }
+    if (e.name == "print_str") {
+        argc(1);
+        genExpr(*e.args[0], depth);
+        int loop = newLabel();
+        int done = newLabel();
+        placeLabel(loop);
+        emit(isa::makeI(Opcode::Chkb, 0, r, 0), line);
+        emit(isa::makeI(Opcode::Ld, reg::t0, r, 0), line);
+        emitBranchTo(Opcode::Beq, reg::t0, reg::zero, done, line);
+        emit(isa::makeSys(isa::Syscall::PrintChar, 0, reg::t0), line);
+        emit(isa::makeI(Opcode::Addi, r, r, 1), line);
+        emitJmpTo(loop, line);
+        placeLabel(done);
+        emit(isa::makeLi(r, 0), line);
+        return;
+    }
+    if (e.name == "read_int") {
+        argc(0);
+        emit(isa::makeSys(isa::Syscall::ReadInt, r, 0), line);
+        return;
+    }
+    if (e.name == "read_char") {
+        argc(0);
+        emit(isa::makeSys(isa::Syscall::ReadChar, r, 0), line);
+        return;
+    }
+    if (e.name == "malloc") {
+        argc(1);
+        genExpr(*e.args[0], depth);
+        emit(isa::makeI(Opcode::Addi, reg::s0, r,
+                        2 * static_cast<int32_t>(guardW)), line);
+        emit(isa::makeR(Opcode::Alloc, reg::s1, reg::s0, 0), line);
+        emit(isa::makeI(Opcode::Addi, reg::s1, reg::s1,
+                        static_cast<int32_t>(guardW)), line);
+        emit(Instruction{Opcode::Regobj, 0, reg::s1, r,
+                         static_cast<int32_t>(ObjectKind::HeapBlock)},
+             line);
+        emit(isa::makeI(Opcode::Addi, r, reg::s1, 0), line);
+        return;
+    }
+    if (e.name == "free") {
+        argc(1);
+        genExpr(*e.args[0], depth);
+        emit(Instruction{Opcode::Unregobj, 0, r, 0, 0}, line);
+        return;
+    }
+    if (e.name == "exit") {
+        argc(0);
+        emit(isa::makeSys(isa::Syscall::Exit), line);
+        emit(isa::makeLi(r, 0), line);
+        return;
+    }
+
+    // ---- user call ----
+    int n = static_cast<int>(e.args.size());
+    for (int i = 0; i < n; ++i)
+        genExpr(*e.args[i], depth + i);
+
+    // Save live evaluation registers first, then push the arguments
+    // on top so the callee finds arg i at fp + 2 + i.
+    if (depth > 0) {
+        emit(isa::makeI(Opcode::Addi, reg::sp, reg::sp, -depth), line);
+        for (int j = 0; j < depth; ++j) {
+            emit(Instruction{Opcode::St, 0, reg::sp, evalReg(j), j},
+                 line);
+        }
+    }
+    if (n > 0) {
+        emit(isa::makeI(Opcode::Addi, reg::sp, reg::sp, -n), line);
+        for (int i = 0; i < n; ++i) {
+            emit(Instruction{Opcode::St, 0, reg::sp,
+                             evalReg(depth + i), i}, line);
+        }
+    }
+    emitCallTo(e.name, line);
+    if (n > 0)
+        emit(isa::makeI(Opcode::Addi, reg::sp, reg::sp, n), line);
+    if (depth > 0) {
+        for (int j = 0; j < depth; ++j)
+            emit(isa::makeI(Opcode::Ld, evalReg(j), reg::sp, j), line);
+        emit(isa::makeI(Opcode::Addi, reg::sp, reg::sp, depth), line);
+    }
+    emit(isa::makeI(Opcode::Addi, r, reg::rv, 0), line);
+}
+
+void
+CodeGen::genExpr(const Expr &e, int depth)
+{
+    uint8_t r = evalReg(depth);
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        emit(isa::makeLi(r, e.intValue), e.line);
+        return;
+      case ExprKind::StrLit:
+        emit(isa::makeLi(r, static_cast<int32_t>(internString(e.name))),
+             e.line);
+        return;
+      case ExprKind::Ident:
+        genIdentLoad(e, depth);
+        return;
+
+      case ExprKind::Unary:
+        switch (e.unOp) {
+          case UnOp::Neg:
+            genExpr(*e.a, depth);
+            emit(isa::makeR(Opcode::Sub, r, reg::zero, r), e.line);
+            return;
+          case UnOp::Not:
+            genExpr(*e.a, depth);
+            emit(isa::makeR(Opcode::Seq, r, r, reg::zero), e.line);
+            return;
+          case UnOp::Deref:
+            genExpr(*e.a, depth);
+            emit(isa::makeI(Opcode::Chkb, 0, r, 0), e.line);
+            emit(isa::makeI(Opcode::Ld, r, r, 0), e.line);
+            return;
+          case UnOp::AddrOf: {
+            const Expr &lv = *e.a;
+            if (lv.kind == ExprKind::Ident) {
+                if (const LocalSym *local = findLocal(lv.name)) {
+                    emit(isa::makeI(Opcode::Addi, r, reg::fp,
+                                    local->off), e.line);
+                } else if (const GlobalSym *g = findGlobal(lv.name)) {
+                    emit(isa::makeLi(r,
+                                     static_cast<int32_t>(g->addr)),
+                         e.line);
+                } else {
+                    error(e.line,
+                          "undefined variable '" + lv.name + "'");
+                }
+            } else if (lv.kind == ExprKind::Index) {
+                genExpr(*lv.a, depth);
+                genExpr(*lv.b, depth + 1);
+                emit(isa::makeR(Opcode::Add, r, r, evalReg(depth + 1)),
+                     e.line);
+            } else {    // &*e == e
+                genExpr(*lv.a, depth);
+            }
+            return;
+          }
+        }
+        return;
+
+      case ExprKind::Binary: {
+        if (e.binOp == BinOp::LogAnd || e.binOp == BinOp::LogOr) {
+            int shortLbl = newLabel();
+            int endLbl = newLabel();
+            genExpr(*e.a, depth);
+            if (e.binOp == BinOp::LogAnd)
+                emitBranchTo(Opcode::Beq, r, reg::zero, shortLbl,
+                             e.line);
+            else
+                emitBranchTo(Opcode::Bne, r, reg::zero, shortLbl,
+                             e.line);
+            genExpr(*e.b, depth);
+            emit(isa::makeR(Opcode::Sne, r, r, reg::zero), e.line);
+            emitJmpTo(endLbl, e.line);
+            placeLabel(shortLbl);
+            emit(isa::makeLi(r, e.binOp == BinOp::LogAnd ? 0 : 1),
+                 e.line);
+            placeLabel(endLbl);
+            return;
+        }
+
+        genExpr(*e.a, depth);
+        genExpr(*e.b, depth + 1);
+        uint8_t r2 = evalReg(depth + 1);
+        Opcode op;
+        switch (e.binOp) {
+          case BinOp::Add: op = Opcode::Add; break;
+          case BinOp::Sub: op = Opcode::Sub; break;
+          case BinOp::Mul: op = Opcode::Mul; break;
+          case BinOp::Div: op = Opcode::Div; break;
+          case BinOp::Rem: op = Opcode::Rem; break;
+          case BinOp::And: op = Opcode::And; break;
+          case BinOp::Or: op = Opcode::Or; break;
+          case BinOp::Xor: op = Opcode::Xor; break;
+          case BinOp::Shl: op = Opcode::Shl; break;
+          case BinOp::Shr: op = Opcode::Shr; break;
+          case BinOp::Eq: op = Opcode::Seq; break;
+          case BinOp::Ne: op = Opcode::Sne; break;
+          case BinOp::Lt: op = Opcode::Slt; break;
+          case BinOp::Le: op = Opcode::Sle; break;
+          case BinOp::Gt: op = Opcode::Sgt; break;
+          case BinOp::Ge: op = Opcode::Sge; break;
+          default:
+            pe_panic("unhandled binop");
+        }
+        emit(isa::makeR(op, r, r, r2), e.line);
+        return;
+      }
+
+      case ExprKind::Assign:
+        genAssign(e, depth);
+        return;
+      case ExprKind::Call:
+        genCall(e, depth);
+        return;
+      case ExprKind::Index: {
+        genExpr(*e.a, depth);
+        genExpr(*e.b, depth + 1);
+        emit(isa::makeR(Opcode::Add, r, r, evalReg(depth + 1)),
+             e.line);
+        emit(isa::makeI(Opcode::Chkb, 0, r, 0), e.line);
+        emit(isa::makeI(Opcode::Ld, r, r, 0), e.line);
+        return;
+      }
+    }
+    pe_panic("unhandled expression kind");
+}
+
+// ---- conditions and fixing ---------------------------------------------
+
+std::optional<FixHome>
+CodeGen::homeOf(const Expr &e) const
+{
+    if (e.kind != ExprKind::Ident)
+        return std::nullopt;
+    if (const LocalSym *local = findLocal(e.name)) {
+        if (local->isArray)
+            return std::nullopt;
+        FixHome h;
+        h.isGlobal = false;
+        h.fpOff = local->off;
+        return h;
+    }
+    if (const GlobalSym *g = findGlobal(e.name)) {
+        if (g->isArray)
+            return std::nullopt;
+        FixHome h;
+        h.isGlobal = true;
+        h.addr = g->addr;
+        return h;
+    }
+    return std::nullopt;
+}
+
+bool
+CodeGen::identIsPointer(const Expr &e) const
+{
+    if (e.kind != ExprKind::Ident)
+        return false;
+    if (const LocalSym *local = findLocal(e.name))
+        return local->isPointer;
+    if (const GlobalSym *g = findGlobal(e.name))
+        return g->isPointer;
+    return false;
+}
+
+namespace
+{
+
+/** Branch op taken when the relation is FALSE. */
+Opcode
+inverseBranch(BinOp op)
+{
+    switch (op) {
+      case BinOp::Eq: return Opcode::Bne;
+      case BinOp::Ne: return Opcode::Beq;
+      case BinOp::Lt: return Opcode::Bge;
+      case BinOp::Le: return Opcode::Bgt;
+      case BinOp::Gt: return Opcode::Ble;
+      case BinOp::Ge: return Opcode::Blt;
+      default:
+        pe_panic("not a relational op");
+    }
+}
+
+BinOp
+mirrorRelop(BinOp op)
+{
+    switch (op) {
+      case BinOp::Eq: return BinOp::Eq;
+      case BinOp::Ne: return BinOp::Ne;
+      case BinOp::Lt: return BinOp::Gt;
+      case BinOp::Le: return BinOp::Ge;
+      case BinOp::Gt: return BinOp::Lt;
+      case BinOp::Ge: return BinOp::Le;
+      default:
+        pe_panic("not a relational op");
+    }
+}
+
+bool
+isRelop(BinOp op)
+{
+    switch (op) {
+      case BinOp::Eq: case BinOp::Ne: case BinOp::Lt:
+      case BinOp::Le: case BinOp::Gt: case BinOp::Ge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+constexpr int32_t intMin = std::numeric_limits<int32_t>::min();
+constexpr int32_t intMax = std::numeric_limits<int32_t>::max();
+
+/** Boundary values making `var RELOP c` true / false (Section 4.4). */
+void
+boundaryValues(BinOp op, int32_t c, CondFix &fix)
+{
+    auto setTrue = [&](int64_t v) {
+        if (v >= intMin && v <= intMax) {
+            fix.hasTrueVal = true;
+            fix.trueVal = static_cast<int32_t>(v);
+        }
+    };
+    auto setFalse = [&](int64_t v) {
+        if (v >= intMin && v <= intMax) {
+            fix.hasFalseVal = true;
+            fix.falseVal = static_cast<int32_t>(v);
+        }
+    };
+    int64_t cc = c;
+    switch (op) {
+      case BinOp::Lt: setTrue(cc - 1); setFalse(cc); break;
+      case BinOp::Le: setTrue(cc); setFalse(cc + 1); break;
+      case BinOp::Gt: setTrue(cc + 1); setFalse(cc); break;
+      case BinOp::Ge: setTrue(cc); setFalse(cc - 1); break;
+      case BinOp::Eq:
+        setTrue(cc);
+        setFalse(cc == intMax ? cc - 1 : cc + 1);
+        break;
+      case BinOp::Ne:
+        setTrue(cc == intMax ? cc - 1 : cc + 1);
+        setFalse(cc);
+        break;
+      default:
+        pe_panic("not a relational op");
+    }
+}
+
+} // namespace
+
+CondFix
+CodeGen::genCondBranchFalse(const Expr &cond, int falseLabel)
+{
+    CondFix fix;
+
+    // Shape: var RELOP literal (possibly mirrored), incl. pointer
+    // null tests (p == 0 / p != 0).
+    if (cond.kind == ExprKind::Binary && isRelop(cond.binOp)) {
+        const Expr *var = cond.a.get();
+        const Expr *lit = cond.b.get();
+        BinOp op = cond.binOp;
+        if (var->kind == ExprKind::IntLit &&
+            lit->kind == ExprKind::Ident) {
+            std::swap(var, lit);
+            op = mirrorRelop(op);
+        }
+        if (var->kind == ExprKind::Ident &&
+            lit->kind == ExprKind::IntLit) {
+            genExpr(*var, 0);
+            genExpr(*lit, 1);
+            emitBranchTo(inverseBranch(op), evalReg(0), evalReg(1),
+                         falseLabel, cond.line);
+            if (auto home = homeOf(*var)) {
+                bool pointer = identIsPointer(*var);
+                if (pointer) {
+                    // Only null tests are fixable for pointers.
+                    if (lit->intValue == 0 &&
+                        (op == BinOp::Eq || op == BinOp::Ne)) {
+                        fix.valid = true;
+                        fix.home = *home;
+                        fix.hasTrueVal = fix.hasFalseVal = true;
+                        bool eq = op == BinOp::Eq;
+                        fix.trueVal =
+                            eq ? 0 : static_cast<int32_t>(blankAddr);
+                        fix.falseVal =
+                            eq ? static_cast<int32_t>(blankAddr) : 0;
+                    }
+                } else {
+                    fix.valid = true;
+                    fix.home = *home;
+                    boundaryValues(op, lit->intValue, fix);
+                }
+            }
+            return fix;
+        }
+        // var RELOP var: direct branch, no fix (the fix would need a
+        // runtime value; see DESIGN.md).
+        genExpr(*cond.a, 0);
+        genExpr(*cond.b, 1);
+        emitBranchTo(inverseBranch(cond.binOp), evalReg(0), evalReg(1),
+                     falseLabel, cond.line);
+        return fix;
+    }
+
+    // Shape: !var.
+    if (cond.kind == ExprKind::Unary && cond.unOp == UnOp::Not &&
+        cond.a->kind == ExprKind::Ident) {
+        genExpr(*cond.a, 0);
+        emitBranchTo(Opcode::Bne, evalReg(0), reg::zero, falseLabel,
+                     cond.line);
+        if (auto home = homeOf(*cond.a)) {
+            fix.valid = true;
+            fix.home = *home;
+            fix.hasTrueVal = fix.hasFalseVal = true;
+            fix.trueVal = 0;
+            fix.falseVal = identIsPointer(*cond.a)
+                               ? static_cast<int32_t>(blankAddr)
+                               : 1;
+        }
+        return fix;
+    }
+
+    // Shape: bare var.
+    if (cond.kind == ExprKind::Ident) {
+        genExpr(cond, 0);
+        emitBranchTo(Opcode::Beq, evalReg(0), reg::zero, falseLabel,
+                     cond.line);
+        if (auto home = homeOf(cond)) {
+            fix.valid = true;
+            fix.home = *home;
+            fix.hasTrueVal = fix.hasFalseVal = true;
+            fix.trueVal = identIsPointer(cond)
+                              ? static_cast<int32_t>(blankAddr)
+                              : 1;
+            fix.falseVal = 0;
+        }
+        return fix;
+    }
+
+    // Generic condition: materialize and test against zero.
+    genExpr(cond, 0);
+    emitBranchTo(Opcode::Beq, evalReg(0), reg::zero, falseLabel,
+                 cond.line);
+    return fix;
+}
+
+void
+CodeGen::emitEdgeFix(const CondFix &fix, bool trueEdge, int line)
+{
+    if (!fix.valid)
+        return;
+    bool has = trueEdge ? fix.hasTrueVal : fix.hasFalseVal;
+    if (!has)
+        return;
+    int32_t value = trueEdge ? fix.trueVal : fix.falseVal;
+    emit(isa::makeI(Opcode::Pfix, reg::s3, 0, value), line);
+    if (fix.home.isGlobal) {
+        emit(Instruction{Opcode::Pfixst, 0, reg::zero, reg::s3,
+                         static_cast<int32_t>(fix.home.addr)}, line);
+    } else {
+        emit(Instruction{Opcode::Pfixst, 0, reg::fp, reg::s3,
+                         fix.home.fpOff}, line);
+    }
+}
+
+// ---- statements -----------------------------------------------------------
+
+void
+CodeGen::genVarDecl(const Stmt &s)
+{
+    if (scopes.back().count(s.name))
+        error(s.line, "redefinition of '" + s.name + "'");
+
+    LocalSym sym;
+    sym.isPointer = s.isPointer;
+    if (s.isArray) {
+        sym.isArray = true;
+        sym.size = s.arraySize;
+        int32_t total = s.arraySize + 2 * static_cast<int32_t>(guardW);
+        int32_t firstSlot = nextSlot;
+        nextSlot += total;
+        // Payload base address = fp + (guardW - firstSlot - total).
+        sym.off = static_cast<int32_t>(guardW) - firstSlot - total;
+        scopes.back().emplace(s.name, sym);
+        funcArrays.emplace_back(sym.off, sym.size);
+
+        emit(isa::makeI(Opcode::Addi, reg::s0, reg::fp, sym.off),
+             s.line);
+        emit(isa::makeLi(reg::s1, sym.size), s.line);
+        emit(Instruction{Opcode::Regobj, 0, reg::s0, reg::s1,
+                         static_cast<int32_t>(ObjectKind::StackArray)},
+             s.line);
+        return;
+    }
+
+    sym.off = -(1 + nextSlot);
+    ++nextSlot;
+    scopes.back().emplace(s.name, sym);
+    if (s.init) {
+        genExpr(*s.init, 0);
+        emit(Instruction{Opcode::St, 0, reg::fp, evalReg(0), sym.off},
+             s.line);
+    }
+}
+
+void
+CodeGen::genIf(const Stmt &s)
+{
+    int elseLbl = newLabel();
+    int endLbl = newLabel();
+    CondFix fix = genCondBranchFalse(*s.cond, elseLbl);
+    emitEdgeFix(fix, /*trueEdge=*/true, s.line);
+    genStmt(*s.thenS);
+    emitJmpTo(endLbl, s.line);
+    placeLabel(elseLbl);
+    emitEdgeFix(fix, /*trueEdge=*/false, s.line);
+    if (s.elseS)
+        genStmt(*s.elseS);
+    placeLabel(endLbl);
+}
+
+void
+CodeGen::genWhile(const Stmt &s)
+{
+    int condLbl = newLabel();
+    int falseLbl = newLabel();
+    int endLbl = newLabel();
+    placeLabel(condLbl);
+    CondFix fix = genCondBranchFalse(*s.cond, falseLbl);
+    emitEdgeFix(fix, /*trueEdge=*/true, s.line);
+    breakLabels.push_back(endLbl);
+    continueLabels.push_back(condLbl);
+    genStmt(*s.thenS);
+    breakLabels.pop_back();
+    continueLabels.pop_back();
+    emitJmpTo(condLbl, s.line);
+    placeLabel(falseLbl);
+    emitEdgeFix(fix, /*trueEdge=*/false, s.line);
+    placeLabel(endLbl);
+}
+
+void
+CodeGen::genFor(const Stmt &s)
+{
+    scopes.emplace_back();      // for-scope (init declaration)
+    if (s.initS)
+        genStmt(*s.initS);
+
+    int condLbl = newLabel();
+    int stepLbl = newLabel();
+    int falseLbl = newLabel();
+    int endLbl = newLabel();
+
+    placeLabel(condLbl);
+    CondFix fix;
+    if (s.cond) {
+        fix = genCondBranchFalse(*s.cond, falseLbl);
+        emitEdgeFix(fix, /*trueEdge=*/true, s.line);
+    }
+    breakLabels.push_back(endLbl);
+    continueLabels.push_back(stepLbl);
+    genStmt(*s.thenS);
+    breakLabels.pop_back();
+    continueLabels.pop_back();
+    placeLabel(stepLbl);
+    if (s.step) {
+        genExpr(*s.step, 0);
+    }
+    emitJmpTo(condLbl, s.line);
+    placeLabel(falseLbl);
+    if (s.cond)
+        emitEdgeFix(fix, /*trueEdge=*/false, s.line);
+    placeLabel(endLbl);
+    scopes.pop_back();
+}
+
+void
+CodeGen::genStmt(const Stmt &s)
+{
+    switch (s.kind) {
+      case StmtKind::Block:
+        scopes.emplace_back();
+        for (const auto &child : s.body)
+            genStmt(*child);
+        scopes.pop_back();
+        return;
+      case StmtKind::VarDecl:
+        genVarDecl(s);
+        return;
+      case StmtKind::If:
+        genIf(s);
+        return;
+      case StmtKind::While:
+        genWhile(s);
+        return;
+      case StmtKind::For:
+        genFor(s);
+        return;
+      case StmtKind::Return:
+        if (s.expr) {
+            genExpr(*s.expr, 0);
+            emit(isa::makeI(Opcode::Addi, reg::rv, evalReg(0), 0),
+                 s.line);
+        } else {
+            emit(isa::makeLi(reg::rv, 0), s.line);
+        }
+        emitJmpTo(epilogueLabel, s.line);
+        return;
+      case StmtKind::Break:
+        if (breakLabels.empty())
+            error(s.line, "break outside a loop");
+        emitJmpTo(breakLabels.back(), s.line);
+        return;
+      case StmtKind::Continue:
+        if (continueLabels.empty())
+            error(s.line, "continue outside a loop");
+        emitJmpTo(continueLabels.back(), s.line);
+        return;
+      case StmtKind::Assert: {
+        int32_t id = s.assertId ? s.assertId : s.line;
+        genExpr(*s.expr, 0);
+        emit(Instruction{Opcode::Assert, 0, evalReg(0), 0, id},
+             s.line);
+        program.assertLocs[id] = isa::SourceLoc{s.line, 0};
+        return;
+      }
+      case StmtKind::ExprStmt:
+        genExpr(*s.expr, 0);
+        return;
+    }
+    pe_panic("unhandled statement kind");
+}
+
+// ---- functions --------------------------------------------------------------
+
+void
+CodeGen::genFunc(const FuncDecl &func)
+{
+    if (funcPc.count(func.name))
+        pe_fatal("minic: redefinition of function '", func.name, "'");
+    uint32_t start = static_cast<uint32_t>(program.code.size());
+    funcPc.emplace(func.name, start);
+
+    scopes.clear();
+    scopes.emplace_back();
+    nextSlot = 0;
+    funcArrays.clear();
+    epilogueLabel = newLabel();
+    breakLabels.clear();
+    continueLabels.clear();
+
+    // Parameters: pushed by the caller; arg i lives at fp + 2 + i.
+    for (size_t i = 0; i < func.params.size(); ++i) {
+        LocalSym sym;
+        sym.isPointer = func.paramIsPointer[i];
+        sym.off = 2 + static_cast<int32_t>(i);
+        if (scopes.back().count(func.params[i]))
+            error(func.line, "duplicate parameter '" + func.params[i] +
+                                 "'");
+        scopes.back().emplace(func.params[i], sym);
+    }
+
+    int line = func.line;
+    // Prologue: push ra, push fp, set up the frame.
+    emit(isa::makeI(Opcode::Addi, reg::sp, reg::sp, -1), line);
+    emit(Instruction{Opcode::St, 0, reg::sp, reg::ra, 0}, line);
+    emit(isa::makeI(Opcode::Addi, reg::sp, reg::sp, -1), line);
+    emit(Instruction{Opcode::St, 0, reg::sp, reg::fp, 0}, line);
+    emit(isa::makeI(Opcode::Addi, reg::fp, reg::sp, 0), line);
+    frameFixupPc =
+        emit(isa::makeI(Opcode::Addi, reg::sp, reg::sp, 0), line);
+
+    genStmt(*func.body);
+
+    // Implicit `return 0` at the end of the body.
+    emit(isa::makeLi(reg::rv, 0), line);
+
+    placeLabel(epilogueLabel);
+    for (const auto &[off, size] : funcArrays) {
+        emit(isa::makeI(Opcode::Addi, reg::s0, reg::fp, off), line);
+        emit(Instruction{Opcode::Unregobj, 0, reg::s0, 0, 0}, line);
+    }
+    emit(isa::makeI(Opcode::Addi, reg::sp, reg::fp, 0), line);
+    emit(isa::makeI(Opcode::Ld, reg::fp, reg::sp, 0), line);
+    emit(isa::makeI(Opcode::Ld, reg::ra, reg::sp, 1), line);
+    emit(isa::makeI(Opcode::Addi, reg::sp, reg::sp, 2), line);
+    emit(isa::makeJr(reg::ra), line);
+
+    // Patch the frame-allocation placeholder.
+    program.code[frameFixupPc].imm = -nextSlot;
+
+    isa::FuncInfo info;
+    info.name = func.name;
+    info.startPc = start;
+    info.endPc = static_cast<uint32_t>(program.code.size());
+    program.funcs.push_back(info);
+}
+
+void
+CodeGen::genStub()
+{
+    program.entry = static_cast<uint32_t>(program.code.size());
+    int line = 0;
+    for (const auto &entry : startupRegs) {
+        emit(isa::makeLi(reg::s0, static_cast<int32_t>(entry.addr)),
+             line);
+        emit(isa::makeLi(reg::s1, entry.size), line);
+        emit(Instruction{Opcode::Regobj, 0, reg::s0, reg::s1,
+                         static_cast<int32_t>(entry.kind)}, line);
+    }
+    emitCallTo("main", line);
+    emit(isa::makeSys(isa::Syscall::Exit), line);
+
+    isa::FuncInfo info;
+    info.name = "_start";
+    info.startPc = program.entry;
+    info.endPc = static_cast<uint32_t>(program.code.size());
+    program.funcs.push_back(info);
+}
+
+void
+CodeGen::patchFixups()
+{
+    for (const auto &f : labelFixups) {
+        auto it = labelPc.find(f.label);
+        pe_assert(it != labelPc.end(), "unplaced label");
+        program.code[f.pc].imm = static_cast<int32_t>(it->second);
+    }
+    for (const auto &f : callFixups) {
+        auto it = funcPc.find(f.func);
+        if (it == funcPc.end()) {
+            pe_fatal("minic: call to undefined function '", f.func,
+                     "' at line ", f.line, " in ", program.name);
+        }
+        program.code[f.pc].imm = static_cast<int32_t>(it->second);
+    }
+}
+
+isa::Program
+CodeGen::run()
+{
+    // Blank structure first (Section 4.4: created at program start).
+    blankAddr = allocGuarded(blankStructWords, ObjectKind::BlankStruct);
+    program.blankAddr = blankAddr;
+
+    // Globals.
+    for (const auto &g : unit.globals) {
+        if (globals.count(g.name))
+            pe_fatal("minic: redefinition of global '", g.name, "'");
+        GlobalSym sym;
+        sym.isPointer = g.isPointer;
+        if (g.isArray) {
+            sym.isArray = true;
+            sym.size = g.arraySize;
+            sym.addr = allocGuarded(g.arraySize,
+                                    ObjectKind::GlobalArray);
+            for (size_t i = 0; i < g.arrayInit.size(); ++i)
+                data[sym.addr - program.dataBase + i] = g.arrayInit[i];
+        } else {
+            sym.addr = allocScalar(g.initValue);
+        }
+        globals.emplace(g.name, sym);
+    }
+
+    for (const auto &func : unit.funcs)
+        genFunc(func);
+    if (!funcPc.count("main"))
+        pe_fatal("minic: no 'main' function in ", program.name);
+    genStub();
+    patchFixups();
+
+    program.dataInit = data;
+    program.heapBase =
+        program.dataBase + static_cast<uint32_t>(data.size());
+    return std::move(program);
+}
+
+} // namespace
+
+isa::Program
+generate(const TranslationUnit &unit, const std::string &name)
+{
+    return CodeGen(unit, name).run();
+}
+
+} // namespace pe::minic

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * MiniC code generator.
+ *
+ * Besides ordinary code generation, this is the compiler half of
+ * PathExpander (paper Section 4.4):
+ *
+ *  - at both edges of every if/while/for branch whose condition has a
+ *    fixable shape (scalar variable vs. constant, pointer null test,
+ *    bare variable), it inserts predicated variable-fixing
+ *    instructions (Pfix/Pfixst) that force the condition variable to
+ *    the boundary value satisfying that edge — they execute only at
+ *    the entrance of an NT-Path (Table 1);
+ *  - it allocates a blank data structure at program start; pointer
+ *    fixes point null pointers at it;
+ *  - every array, string literal and heap block gets guard words and
+ *    a Regobj registration so the dynamic checkers know object
+ *    bounds;
+ *  - every array/pointer access is preceded by a Chkb hook.
+ */
+
+#ifndef PE_MINIC_CODEGEN_HH
+#define PE_MINIC_CODEGEN_HH
+
+#include <string>
+
+#include "src/isa/program.hh"
+#include "src/minic/ast.hh"
+
+namespace pe::minic
+{
+
+/** Generate a PE-RISC program image from @p unit. */
+isa::Program generate(const TranslationUnit &unit,
+                      const std::string &name);
+
+} // namespace pe::minic
+
+#endif // PE_MINIC_CODEGEN_HH

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * MiniC compiler driver.
+ */
+
+#include "src/minic/compiler.hh"
+
+#include "src/minic/codegen.hh"
+#include "src/minic/lexer.hh"
+#include "src/minic/parser.hh"
+
+namespace pe::minic
+{
+
+isa::Program
+compile(const std::string &source, const std::string &name)
+{
+    return generate(parse(lex(source)), name);
+}
+
+} // namespace pe::minic

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * MiniC compiler driver: source text to a loadable PE-RISC program.
+ */
+
+#ifndef PE_MINIC_COMPILER_HH
+#define PE_MINIC_COMPILER_HH
+
+#include <string>
+
+#include "src/isa/program.hh"
+
+namespace pe::minic
+{
+
+/**
+ * Compile MiniC @p source into a program image named @p name.
+ * Throws FatalError on lexical, syntax or semantic errors.
+ */
+isa::Program compile(const std::string &source, const std::string &name);
+
+} // namespace pe::minic
+
+#endif // PE_MINIC_COMPILER_HH

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * MiniC lexer implementation.
+ */
+
+#include "src/minic/lexer.hh"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "src/support/status.hh"
+
+namespace pe::minic
+{
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::EndOfFile: return "end of file";
+      case TokenKind::IntLit: return "integer literal";
+      case TokenKind::CharLit: return "character literal";
+      case TokenKind::StrLit: return "string literal";
+      case TokenKind::Ident: return "identifier";
+      case TokenKind::KwInt: return "'int'";
+      case TokenKind::KwIf: return "'if'";
+      case TokenKind::KwElse: return "'else'";
+      case TokenKind::KwWhile: return "'while'";
+      case TokenKind::KwFor: return "'for'";
+      case TokenKind::KwReturn: return "'return'";
+      case TokenKind::KwBreak: return "'break'";
+      case TokenKind::KwContinue: return "'continue'";
+      case TokenKind::KwAssert: return "'assert'";
+      case TokenKind::LParen: return "'('";
+      case TokenKind::RParen: return "')'";
+      case TokenKind::LBrace: return "'{'";
+      case TokenKind::RBrace: return "'}'";
+      case TokenKind::LBracket: return "'['";
+      case TokenKind::RBracket: return "']'";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Semicolon: return "';'";
+      case TokenKind::Plus: return "'+'";
+      case TokenKind::Minus: return "'-'";
+      case TokenKind::Star: return "'*'";
+      case TokenKind::Slash: return "'/'";
+      case TokenKind::Percent: return "'%'";
+      case TokenKind::Amp: return "'&'";
+      case TokenKind::Pipe: return "'|'";
+      case TokenKind::Caret: return "'^'";
+      case TokenKind::Shl: return "'<<'";
+      case TokenKind::Shr: return "'>>'";
+      case TokenKind::AmpAmp: return "'&&'";
+      case TokenKind::PipePipe: return "'||'";
+      case TokenKind::Bang: return "'!'";
+      case TokenKind::Assign: return "'='";
+      case TokenKind::Eq: return "'=='";
+      case TokenKind::Ne: return "'!='";
+      case TokenKind::Lt: return "'<'";
+      case TokenKind::Le: return "'<='";
+      case TokenKind::Gt: return "'>'";
+      case TokenKind::Ge: return "'>='";
+    }
+    return "?";
+}
+
+namespace
+{
+
+const std::unordered_map<std::string, TokenKind> keywords = {
+    {"int", TokenKind::KwInt},
+    {"if", TokenKind::KwIf},
+    {"else", TokenKind::KwElse},
+    {"while", TokenKind::KwWhile},
+    {"for", TokenKind::KwFor},
+    {"return", TokenKind::KwReturn},
+    {"break", TokenKind::KwBreak},
+    {"continue", TokenKind::KwContinue},
+    {"assert", TokenKind::KwAssert},
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : source(src) {}
+
+    std::vector<Token> run();
+
+  private:
+    char peek(size_t ahead = 0) const
+    {
+        return pos + ahead < source.size() ? source[pos + ahead] : '\0';
+    }
+
+    char advance()
+    {
+        char c = source[pos++];
+        if (c == '\n') {
+            ++line;
+            col = 1;
+        } else {
+            ++col;
+        }
+        return c;
+    }
+
+    bool match(char expected)
+    {
+        if (peek() != expected)
+            return false;
+        advance();
+        return true;
+    }
+
+    [[noreturn]] void error(const std::string &msg) const
+    {
+        pe_fatal("minic lex error at line ", line, ":", col, ": ", msg);
+    }
+
+    Token make(TokenKind kind, int atLine, int atCol) const
+    {
+        Token t;
+        t.kind = kind;
+        t.line = atLine;
+        t.col = atCol;
+        return t;
+    }
+
+    int32_t escapedChar(char c) const
+    {
+        switch (c) {
+          case 'n': return '\n';
+          case 't': return '\t';
+          case 'r': return '\r';
+          case '0': return '\0';
+          case '\\': return '\\';
+          case '\'': return '\'';
+          case '"': return '"';
+          default:
+            error(std::string("unknown escape '\\") + c + "'");
+        }
+    }
+
+    const std::string &source;
+    size_t pos = 0;
+    int line = 1;
+    int col = 1;
+};
+
+std::vector<Token>
+Lexer::run()
+{
+    std::vector<Token> tokens;
+    while (pos < source.size()) {
+        int atLine = line;
+        int atCol = col;
+        char c = advance();
+
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+
+        // Comments.
+        if (c == '/' && peek() == '/') {
+            while (pos < source.size() && peek() != '\n')
+                advance();
+            continue;
+        }
+        if (c == '/' && peek() == '*') {
+            advance();
+            while (pos < source.size() &&
+                   !(peek() == '*' && peek(1) == '/')) {
+                advance();
+            }
+            if (pos >= source.size())
+                error("unterminated block comment");
+            advance();
+            advance();
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string text(1, c);
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_') {
+                text.push_back(advance());
+            }
+            auto it = keywords.find(text);
+            Token t = make(it != keywords.end() ? it->second
+                                                : TokenKind::Ident,
+                           atLine, atCol);
+            t.text = text;
+            tokens.push_back(t);
+            continue;
+        }
+
+        // Integer literals (decimal only; leading '-' is a unary op).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            int64_t value = c - '0';
+            while (std::isdigit(static_cast<unsigned char>(peek()))) {
+                value = value * 10 + (advance() - '0');
+                if (value > 0x7fffffffll)
+                    error("integer literal out of range");
+            }
+            Token t = make(TokenKind::IntLit, atLine, atCol);
+            t.intValue = static_cast<int32_t>(value);
+            tokens.push_back(t);
+            continue;
+        }
+
+        // Character literals.
+        if (c == '\'') {
+            if (pos >= source.size())
+                error("unterminated character literal");
+            char d = advance();
+            int32_t value =
+                d == '\\' ? escapedChar(advance())
+                          : static_cast<int32_t>(
+                                static_cast<unsigned char>(d));
+            if (!match('\''))
+                error("unterminated character literal");
+            Token t = make(TokenKind::CharLit, atLine, atCol);
+            t.intValue = value;
+            tokens.push_back(t);
+            continue;
+        }
+
+        // String literals.
+        if (c == '"') {
+            std::string text;
+            for (;;) {
+                if (pos >= source.size())
+                    error("unterminated string literal");
+                char d = advance();
+                if (d == '"')
+                    break;
+                if (d == '\\')
+                    text.push_back(
+                        static_cast<char>(escapedChar(advance())));
+                else
+                    text.push_back(d);
+            }
+            Token t = make(TokenKind::StrLit, atLine, atCol);
+            t.text = text;
+            tokens.push_back(t);
+            continue;
+        }
+
+        // Operators and punctuation.
+        TokenKind kind;
+        switch (c) {
+          case '(': kind = TokenKind::LParen; break;
+          case ')': kind = TokenKind::RParen; break;
+          case '{': kind = TokenKind::LBrace; break;
+          case '}': kind = TokenKind::RBrace; break;
+          case '[': kind = TokenKind::LBracket; break;
+          case ']': kind = TokenKind::RBracket; break;
+          case ',': kind = TokenKind::Comma; break;
+          case ';': kind = TokenKind::Semicolon; break;
+          case '+': kind = TokenKind::Plus; break;
+          case '-': kind = TokenKind::Minus; break;
+          case '*': kind = TokenKind::Star; break;
+          case '/': kind = TokenKind::Slash; break;
+          case '%': kind = TokenKind::Percent; break;
+          case '^': kind = TokenKind::Caret; break;
+          case '&':
+            kind = match('&') ? TokenKind::AmpAmp : TokenKind::Amp;
+            break;
+          case '|':
+            kind = match('|') ? TokenKind::PipePipe : TokenKind::Pipe;
+            break;
+          case '!':
+            kind = match('=') ? TokenKind::Ne : TokenKind::Bang;
+            break;
+          case '=':
+            kind = match('=') ? TokenKind::Eq : TokenKind::Assign;
+            break;
+          case '<':
+            kind = match('=') ? TokenKind::Le
+                 : match('<') ? TokenKind::Shl
+                              : TokenKind::Lt;
+            break;
+          case '>':
+            kind = match('=') ? TokenKind::Ge
+                 : match('>') ? TokenKind::Shr
+                              : TokenKind::Gt;
+            break;
+          default:
+            error(std::string("unexpected character '") + c + "'");
+        }
+        tokens.push_back(make(kind, atLine, atCol));
+    }
+    tokens.push_back(make(TokenKind::EndOfFile, line, col));
+    return tokens;
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    return Lexer(source).run();
+}
+
+} // namespace pe::minic

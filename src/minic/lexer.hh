@@ -1,0 +1,25 @@
+/**
+ * @file
+ * MiniC lexer.
+ */
+
+#ifndef PE_MINIC_LEXER_HH
+#define PE_MINIC_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "src/minic/token.hh"
+
+namespace pe::minic
+{
+
+/**
+ * Tokenize @p source.  Throws FatalError (via fatal()) on malformed
+ * input.  Supports //-comments and C-style block comments.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace pe::minic
+
+#endif // PE_MINIC_LEXER_HH

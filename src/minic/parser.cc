@@ -1,0 +1,562 @@
+/**
+ * @file
+ * MiniC parser implementation.
+ *
+ * Grammar (EBNF):
+ *   unit      := (global | func)*
+ *   global    := 'int' '*'? ident ('=' '-'? intlit)? ';'
+ *              | 'int' ident '[' intlit ']' ('=' '{' intlist '}')? ';'
+ *   func      := 'int' ident '(' params? ')' block
+ *   params    := 'int' '*'? ident (',' 'int' '*'? ident)*
+ *   block     := '{' stmt* '}'
+ *   stmt      := block | vardecl | if | while | for | return
+ *              | break ';' | continue ';' | assert | expr ';'
+ *   vardecl   := 'int' '*'? ident ('=' expr)? ';'
+ *              | 'int' ident '[' intlit ']' ';'
+ *   if        := 'if' '(' expr ')' stmt ('else' stmt)?
+ *   while     := 'while' '(' expr ')' stmt
+ *   for       := 'for' '(' forinit? ';' expr? ';' expr? ')' stmt
+ *   assert    := 'assert' '(' expr (',' intlit)? ')' ';'
+ *   expr      := assign
+ *   assign    := logor ('=' assign)?            (lhs must be lvalue)
+ *   logor     := logand ('||' logand)*
+ *   logand    := bitor ('&&' bitor)*
+ *   bitor     := bitxor ('|' bitxor)*
+ *   bitxor    := bitand ('^' bitand)*
+ *   bitand    := equality ('&' equality)*
+ *   equality  := relational (('=='|'!=') relational)*
+ *   relational:= shift (('<'|'<='|'>'|'>=') shift)*
+ *   shift     := additive (('<<'|'>>') additive)*
+ *   additive  := multiplicative (('+'|'-') multiplicative)*
+ *   multiplicative := unary (('*'|'/'|'%') unary)*
+ *   unary     := ('-'|'!'|'*'|'&') unary | postfix
+ *   postfix   := primary ('[' expr ']' | '(' args ')')*
+ *   primary   := intlit | charlit | strlit | ident | '(' expr ')'
+ */
+
+#include "src/minic/parser.hh"
+
+#include "src/support/status.hh"
+
+namespace pe::minic
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::vector<Token> &toks) : tokens(toks) {}
+
+    TranslationUnit run();
+
+  private:
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t i = pos + ahead;
+        return i < tokens.size() ? tokens[i] : tokens.back();
+    }
+
+    const Token &advance() { return tokens[pos++]; }
+
+    bool check(TokenKind kind) const { return peek().kind == kind; }
+
+    bool match(TokenKind kind)
+    {
+        if (!check(kind))
+            return false;
+        advance();
+        return true;
+    }
+
+    const Token &expect(TokenKind kind, const char *context)
+    {
+        if (!check(kind)) {
+            pe_fatal("minic parse error at line ", peek().line, ":",
+                     peek().col, ": expected ", tokenKindName(kind),
+                     " in ", context, ", found ",
+                     tokenKindName(peek().kind));
+        }
+        return advance();
+    }
+
+    [[noreturn]] void error(const std::string &msg) const
+    {
+        pe_fatal("minic parse error at line ", peek().line, ":",
+                 peek().col, ": ", msg);
+    }
+
+    // Declarations.
+    void parseTopLevel(TranslationUnit &unit);
+    FuncDecl parseFunc(const Token &name);
+    GlobalDecl parseGlobalTail(const Token &name, bool isPointer);
+
+    // Statements.
+    StmtPtr parseStmt();
+    StmtPtr parseBlock();
+    StmtPtr parseVarDecl();
+    StmtPtr parseIf();
+    StmtPtr parseWhile();
+    StmtPtr parseFor();
+    StmtPtr parseAssert();
+
+    // Expressions.
+    ExprPtr parseExpr();
+    ExprPtr parseAssign();
+    ExprPtr parseBinary(int minLevel);
+    ExprPtr parseUnary();
+    ExprPtr parsePostfix();
+    ExprPtr parsePrimary();
+
+    static bool isLvalue(const Expr &e)
+    {
+        return e.kind == ExprKind::Ident ||
+               e.kind == ExprKind::Index ||
+               (e.kind == ExprKind::Unary && e.unOp == UnOp::Deref);
+    }
+
+    ExprPtr makeExpr(ExprKind kind, int line)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = line;
+        return e;
+    }
+
+    StmtPtr makeStmt(StmtKind kind, int line)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->kind = kind;
+        s->line = line;
+        return s;
+    }
+
+    int32_t parseSignedIntLit(const char *context);
+
+    const std::vector<Token> &tokens;
+    size_t pos = 0;
+};
+
+int32_t
+Parser::parseSignedIntLit(const char *context)
+{
+    bool neg = match(TokenKind::Minus);
+    const Token &lit = check(TokenKind::CharLit)
+                           ? expect(TokenKind::CharLit, context)
+                           : expect(TokenKind::IntLit, context);
+    return neg ? -lit.intValue : lit.intValue;
+}
+
+TranslationUnit
+Parser::run()
+{
+    TranslationUnit unit;
+    while (!check(TokenKind::EndOfFile))
+        parseTopLevel(unit);
+    return unit;
+}
+
+void
+Parser::parseTopLevel(TranslationUnit &unit)
+{
+    expect(TokenKind::KwInt, "top-level declaration");
+    bool isPointer = match(TokenKind::Star);
+    const Token &name = expect(TokenKind::Ident, "declaration name");
+
+    if (!isPointer && check(TokenKind::LParen)) {
+        unit.funcs.push_back(parseFunc(name));
+        return;
+    }
+    unit.globals.push_back(parseGlobalTail(name, isPointer));
+}
+
+FuncDecl
+Parser::parseFunc(const Token &name)
+{
+    FuncDecl func;
+    func.name = name.text;
+    func.line = name.line;
+    expect(TokenKind::LParen, "function parameter list");
+    if (!check(TokenKind::RParen)) {
+        do {
+            expect(TokenKind::KwInt, "parameter type");
+            bool ptr = match(TokenKind::Star);
+            const Token &p = expect(TokenKind::Ident, "parameter name");
+            func.params.push_back(p.text);
+            func.paramIsPointer.push_back(ptr);
+        } while (match(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "function parameter list");
+    func.body = parseBlock();
+    return func;
+}
+
+GlobalDecl
+Parser::parseGlobalTail(const Token &name, bool isPointer)
+{
+    GlobalDecl g;
+    g.name = name.text;
+    g.line = name.line;
+    g.isPointer = isPointer;
+
+    if (!isPointer && match(TokenKind::LBracket)) {
+        g.isArray = true;
+        g.arraySize = expect(TokenKind::IntLit, "array size").intValue;
+        if (g.arraySize <= 0)
+            error("array size must be positive");
+        expect(TokenKind::RBracket, "array declaration");
+        if (match(TokenKind::Assign)) {
+            expect(TokenKind::LBrace, "array initializer");
+            if (!check(TokenKind::RBrace)) {
+                do {
+                    g.arrayInit.push_back(
+                        parseSignedIntLit("array initializer"));
+                } while (match(TokenKind::Comma));
+            }
+            expect(TokenKind::RBrace, "array initializer");
+            if (static_cast<int32_t>(g.arrayInit.size()) > g.arraySize)
+                error("too many array initializers");
+        }
+    } else if (match(TokenKind::Assign)) {
+        g.initValue = parseSignedIntLit("global initializer");
+    }
+    expect(TokenKind::Semicolon, "global declaration");
+    return g;
+}
+
+StmtPtr
+Parser::parseBlock()
+{
+    const Token &open = expect(TokenKind::LBrace, "block");
+    auto block = makeStmt(StmtKind::Block, open.line);
+    while (!check(TokenKind::RBrace)) {
+        if (check(TokenKind::EndOfFile))
+            error("unterminated block");
+        block->body.push_back(parseStmt());
+    }
+    expect(TokenKind::RBrace, "block");
+    return block;
+}
+
+StmtPtr
+Parser::parseStmt()
+{
+    switch (peek().kind) {
+      case TokenKind::LBrace:
+        return parseBlock();
+      case TokenKind::KwInt:
+        return parseVarDecl();
+      case TokenKind::KwIf:
+        return parseIf();
+      case TokenKind::KwWhile:
+        return parseWhile();
+      case TokenKind::KwFor:
+        return parseFor();
+      case TokenKind::KwAssert:
+        return parseAssert();
+      case TokenKind::KwReturn: {
+        const Token &kw = advance();
+        auto s = makeStmt(StmtKind::Return, kw.line);
+        if (!check(TokenKind::Semicolon))
+            s->expr = parseExpr();
+        expect(TokenKind::Semicolon, "return statement");
+        return s;
+      }
+      case TokenKind::KwBreak: {
+        const Token &kw = advance();
+        expect(TokenKind::Semicolon, "break statement");
+        return makeStmt(StmtKind::Break, kw.line);
+      }
+      case TokenKind::KwContinue: {
+        const Token &kw = advance();
+        expect(TokenKind::Semicolon, "continue statement");
+        return makeStmt(StmtKind::Continue, kw.line);
+      }
+      default: {
+        auto s = makeStmt(StmtKind::ExprStmt, peek().line);
+        s->expr = parseExpr();
+        expect(TokenKind::Semicolon, "expression statement");
+        return s;
+      }
+    }
+}
+
+StmtPtr
+Parser::parseVarDecl()
+{
+    const Token &kw = expect(TokenKind::KwInt, "variable declaration");
+    auto s = makeStmt(StmtKind::VarDecl, kw.line);
+    s->isPointer = match(TokenKind::Star);
+    s->name = expect(TokenKind::Ident, "variable name").text;
+
+    if (!s->isPointer && match(TokenKind::LBracket)) {
+        s->isArray = true;
+        s->arraySize = expect(TokenKind::IntLit, "array size").intValue;
+        if (s->arraySize <= 0)
+            error("array size must be positive");
+        expect(TokenKind::RBracket, "array declaration");
+    } else if (match(TokenKind::Assign)) {
+        s->init = parseExpr();
+    }
+    expect(TokenKind::Semicolon, "variable declaration");
+    return s;
+}
+
+StmtPtr
+Parser::parseIf()
+{
+    const Token &kw = advance();
+    auto s = makeStmt(StmtKind::If, kw.line);
+    expect(TokenKind::LParen, "if condition");
+    s->cond = parseExpr();
+    expect(TokenKind::RParen, "if condition");
+    s->thenS = parseStmt();
+    if (match(TokenKind::KwElse))
+        s->elseS = parseStmt();
+    return s;
+}
+
+StmtPtr
+Parser::parseWhile()
+{
+    const Token &kw = advance();
+    auto s = makeStmt(StmtKind::While, kw.line);
+    expect(TokenKind::LParen, "while condition");
+    s->cond = parseExpr();
+    expect(TokenKind::RParen, "while condition");
+    s->thenS = parseStmt();
+    return s;
+}
+
+StmtPtr
+Parser::parseFor()
+{
+    const Token &kw = advance();
+    auto s = makeStmt(StmtKind::For, kw.line);
+    expect(TokenKind::LParen, "for header");
+    if (!check(TokenKind::Semicolon)) {
+        if (check(TokenKind::KwInt)) {
+            s->initS = parseVarDecl();  // consumes the ';'
+        } else {
+            auto init = makeStmt(StmtKind::ExprStmt, peek().line);
+            init->expr = parseExpr();
+            expect(TokenKind::Semicolon, "for header");
+            s->initS = std::move(init);
+        }
+    } else {
+        advance();
+    }
+    if (!check(TokenKind::Semicolon))
+        s->cond = parseExpr();
+    expect(TokenKind::Semicolon, "for header");
+    if (!check(TokenKind::RParen))
+        s->step = parseExpr();
+    expect(TokenKind::RParen, "for header");
+    s->thenS = parseStmt();
+    return s;
+}
+
+StmtPtr
+Parser::parseAssert()
+{
+    const Token &kw = advance();
+    auto s = makeStmt(StmtKind::Assert, kw.line);
+    expect(TokenKind::LParen, "assert");
+    s->expr = parseExpr();
+    if (match(TokenKind::Comma))
+        s->assertId = expect(TokenKind::IntLit, "assert id").intValue;
+    expect(TokenKind::RParen, "assert");
+    expect(TokenKind::Semicolon, "assert");
+    return s;
+}
+
+ExprPtr
+Parser::parseExpr()
+{
+    return parseAssign();
+}
+
+ExprPtr
+Parser::parseAssign()
+{
+    ExprPtr lhs = parseBinary(0);
+    if (match(TokenKind::Assign)) {
+        if (!isLvalue(*lhs))
+            error("assignment target is not an lvalue");
+        auto e = makeExpr(ExprKind::Assign, lhs->line);
+        e->a = std::move(lhs);
+        e->b = parseAssign();
+        return e;
+    }
+    return lhs;
+}
+
+namespace
+{
+
+struct BinLevel
+{
+    TokenKind token;
+    BinOp op;
+    int level;
+};
+
+// Lowest level binds loosest.
+const BinLevel binLevels[] = {
+    {TokenKind::PipePipe, BinOp::LogOr, 0},
+    {TokenKind::AmpAmp, BinOp::LogAnd, 1},
+    {TokenKind::Pipe, BinOp::Or, 2},
+    {TokenKind::Caret, BinOp::Xor, 3},
+    {TokenKind::Amp, BinOp::And, 4},
+    {TokenKind::Eq, BinOp::Eq, 5},
+    {TokenKind::Ne, BinOp::Ne, 5},
+    {TokenKind::Lt, BinOp::Lt, 6},
+    {TokenKind::Le, BinOp::Le, 6},
+    {TokenKind::Gt, BinOp::Gt, 6},
+    {TokenKind::Ge, BinOp::Ge, 6},
+    {TokenKind::Shl, BinOp::Shl, 7},
+    {TokenKind::Shr, BinOp::Shr, 7},
+    {TokenKind::Plus, BinOp::Add, 8},
+    {TokenKind::Minus, BinOp::Sub, 8},
+    {TokenKind::Star, BinOp::Mul, 9},
+    {TokenKind::Slash, BinOp::Div, 9},
+    {TokenKind::Percent, BinOp::Rem, 9},
+};
+constexpr int maxBinLevel = 9;
+
+} // namespace
+
+ExprPtr
+Parser::parseBinary(int minLevel)
+{
+    if (minLevel > maxBinLevel)
+        return parseUnary();
+
+    ExprPtr lhs = parseBinary(minLevel + 1);
+    for (;;) {
+        const BinLevel *hit = nullptr;
+        for (const auto &bl : binLevels) {
+            if (bl.level == minLevel && check(bl.token)) {
+                hit = &bl;
+                break;
+            }
+        }
+        if (!hit)
+            return lhs;
+        int line = peek().line;
+        advance();
+        auto e = makeExpr(ExprKind::Binary, line);
+        e->binOp = hit->op;
+        e->a = std::move(lhs);
+        e->b = parseBinary(minLevel + 1);
+        lhs = std::move(e);
+    }
+}
+
+ExprPtr
+Parser::parseUnary()
+{
+    int line = peek().line;
+    if (match(TokenKind::Minus)) {
+        auto e = makeExpr(ExprKind::Unary, line);
+        e->unOp = UnOp::Neg;
+        e->a = parseUnary();
+        return e;
+    }
+    if (match(TokenKind::Bang)) {
+        auto e = makeExpr(ExprKind::Unary, line);
+        e->unOp = UnOp::Not;
+        e->a = parseUnary();
+        return e;
+    }
+    if (match(TokenKind::Star)) {
+        auto e = makeExpr(ExprKind::Unary, line);
+        e->unOp = UnOp::Deref;
+        e->a = parseUnary();
+        return e;
+    }
+    if (match(TokenKind::Amp)) {
+        auto e = makeExpr(ExprKind::Unary, line);
+        e->unOp = UnOp::AddrOf;
+        e->a = parseUnary();
+        if (!isLvalue(*e->a))
+            error("'&' operand is not an lvalue");
+        return e;
+    }
+    return parsePostfix();
+}
+
+ExprPtr
+Parser::parsePostfix()
+{
+    ExprPtr e = parsePrimary();
+    for (;;) {
+        if (match(TokenKind::LBracket)) {
+            auto idx = makeExpr(ExprKind::Index, e->line);
+            idx->a = std::move(e);
+            idx->b = parseExpr();
+            expect(TokenKind::RBracket, "index expression");
+            e = std::move(idx);
+        } else if (check(TokenKind::LParen) &&
+                   e->kind == ExprKind::Ident) {
+            advance();
+            auto call = makeExpr(ExprKind::Call, e->line);
+            call->name = e->name;
+            if (!check(TokenKind::RParen)) {
+                do {
+                    call->args.push_back(parseExpr());
+                } while (match(TokenKind::Comma));
+            }
+            expect(TokenKind::RParen, "call");
+            e = std::move(call);
+        } else {
+            return e;
+        }
+    }
+}
+
+ExprPtr
+Parser::parsePrimary()
+{
+    const Token &t = peek();
+    switch (t.kind) {
+      case TokenKind::IntLit:
+      case TokenKind::CharLit: {
+        advance();
+        auto e = makeExpr(ExprKind::IntLit, t.line);
+        e->intValue = t.intValue;
+        return e;
+      }
+      case TokenKind::StrLit: {
+        advance();
+        auto e = makeExpr(ExprKind::StrLit, t.line);
+        e->name = t.text;
+        return e;
+      }
+      case TokenKind::Ident: {
+        advance();
+        auto e = makeExpr(ExprKind::Ident, t.line);
+        e->name = t.text;
+        return e;
+      }
+      case TokenKind::LParen: {
+        advance();
+        ExprPtr e = parseExpr();
+        expect(TokenKind::RParen, "parenthesized expression");
+        return e;
+      }
+      default:
+        error("expected an expression");
+    }
+}
+
+} // namespace
+
+TranslationUnit
+parse(const std::vector<Token> &tokens)
+{
+    return Parser(tokens).run();
+}
+
+} // namespace pe::minic

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * MiniC recursive-descent parser.
+ */
+
+#ifndef PE_MINIC_PARSER_HH
+#define PE_MINIC_PARSER_HH
+
+#include <vector>
+
+#include "src/minic/ast.hh"
+#include "src/minic/token.hh"
+
+namespace pe::minic
+{
+
+/** Parse @p tokens; throws FatalError on syntax errors. */
+TranslationUnit parse(const std::vector<Token> &tokens);
+
+} // namespace pe::minic
+
+#endif // PE_MINIC_PARSER_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * MiniC tokens.
+ *
+ * MiniC is the small C-like language in which the evaluation
+ * workloads are written.  It compiles to PE-RISC via src/minic; the
+ * code generator is also the "compiler" of the paper's Section 4.4:
+ * it inserts the predicated variable-fixing instructions at every
+ * branch edge and allocates the blank structure.
+ */
+
+#ifndef PE_MINIC_TOKEN_HH
+#define PE_MINIC_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace pe::minic
+{
+
+enum class TokenKind : uint8_t
+{
+    EndOfFile,
+    // Literals and identifiers.
+    IntLit, CharLit, StrLit, Ident,
+    // Keywords.
+    KwInt, KwIf, KwElse, KwWhile, KwFor, KwReturn, KwBreak,
+    KwContinue, KwAssert,
+    // Punctuation.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semicolon,
+    // Operators.
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Shl, Shr,
+    AmpAmp, PipePipe, Bang,
+    Assign,
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+const char *tokenKindName(TokenKind kind);
+
+/** One lexed token. */
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;       //!< identifier / literal spelling
+    int32_t intValue = 0;   //!< value of IntLit / CharLit
+    int line = 0;
+    int col = 0;
+};
+
+} // namespace pe::minic
+
+#endif // PE_MINIC_TOKEN_HH

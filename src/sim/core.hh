@@ -1,0 +1,48 @@
+/**
+ * @file
+ * One simulated CPU core: architectural registers, PC and the
+ * PathExpander NT-entry predicate register (paper Section 4.4).
+ */
+
+#ifndef PE_SIM_CORE_HH
+#define PE_SIM_CORE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "src/isa/regs.hh"
+
+namespace pe::sim
+{
+
+/** Architectural state of a core. */
+struct Core
+{
+    std::array<int32_t, isa::numRegs> regs{};
+    uint32_t pc = 0;
+
+    /**
+     * The special predicate register: set by hardware when execution
+     * is redirected onto an NT-Path, cleared at the first non-fixing
+     * instruction.  While set, Pfix/Pfixst execute; otherwise they
+     * behave as NOPs.
+     */
+    bool ntEntryPred = false;
+
+    /** Read a register; r0 always reads zero. */
+    int32_t readReg(uint8_t r) const
+    {
+        return r == isa::reg::zero ? 0 : regs[r];
+    }
+
+    /** Write a register; writes to r0 are ignored. */
+    void writeReg(uint8_t r, int32_t v)
+    {
+        if (r != isa::reg::zero)
+            regs[r] = v;
+    }
+};
+
+} // namespace pe::sim
+
+#endif // PE_SIM_CORE_HH

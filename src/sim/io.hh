@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Program I/O channel.
+ *
+ * Input is a pre-supplied stream of words (the test case); output is
+ * collected for inspection.  I/O system calls are exactly the "unsafe
+ * events" of the paper: they cannot be sandboxed without OS support,
+ * so an NT-Path is squashed when it reaches one (the interpreter is
+ * told whether I/O is currently allowed).
+ */
+
+#ifndef PE_SIM_IO_HH
+#define PE_SIM_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pe::sim
+{
+
+/** Input stream plus captured output of one run. */
+struct IoChannel
+{
+    std::vector<int32_t> input;
+    size_t inputPos = 0;
+
+    std::vector<int32_t> intOutput;
+    std::string charOutput;
+
+    /** Next input word, or -1 at end of input. */
+    int32_t readWord()
+    {
+        if (inputPos >= input.size())
+            return -1;
+        return input[inputPos++];
+    }
+
+    bool atEof() const { return inputPos >= input.size(); }
+
+    void printInt(int32_t v)
+    {
+        intOutput.push_back(v);
+        charOutput += std::to_string(v);
+    }
+
+    void printChar(int32_t v)
+    {
+        charOutput.push_back(static_cast<char>(v & 0xff));
+    }
+};
+
+} // namespace pe::sim
+
+#endif // PE_SIM_IO_HH

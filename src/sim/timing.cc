@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Opcode cost table.
+ */
+
+#include "src/sim/timing.hh"
+
+namespace pe::sim
+{
+
+uint64_t
+opcodeCost(const TimingConfig &t, isa::Opcode op)
+{
+    using isa::Opcode;
+    switch (op) {
+      case Opcode::Mul:
+        return t.mulCost;
+      case Opcode::Div:
+      case Opcode::Rem:
+        return t.divCost;
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt:
+        return t.branchCost;
+      case Opcode::Jmp: case Opcode::Jal: case Opcode::Jr:
+        return t.jumpCost;
+      case Opcode::Sys:
+        return t.sysCost;
+      case Opcode::Alloc:
+        return t.allocCost;
+      case Opcode::Regobj: case Opcode::Unregobj:
+        return t.regObjCost;
+      case Opcode::Pfix: case Opcode::Pfixst:
+        return t.fixCost;
+      default:
+        return t.aluCost;
+    }
+}
+
+} // namespace pe::sim

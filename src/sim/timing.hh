@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Timing parameters of the simulated machine (paper Table 2) plus the
+ * per-opcode execution costs of our simple in-order core model.
+ *
+ * The paper uses a cycle-accurate out-of-order CMP simulator; we use
+ * per-operation costs plus the modeled memory hierarchy.  The paper's
+ * results are relative (overhead percentages, orders of magnitude), so
+ * this preserves the reported shapes; see DESIGN.md "Substitutions".
+ */
+
+#ifndef PE_SIM_TIMING_HH
+#define PE_SIM_TIMING_HH
+
+#include <cstdint>
+
+#include "src/isa/opcode.hh"
+#include "src/mem/hierarchy.hh"
+
+namespace pe::sim
+{
+
+/** Machine timing parameters; defaults follow Table 2. */
+struct TimingConfig
+{
+    // Core operation costs (cycles), excluding memory hierarchy time.
+    uint64_t aluCost = 1;
+    uint64_t mulCost = 3;
+    uint64_t divCost = 12;
+    uint64_t branchCost = 1;
+    uint64_t jumpCost = 1;
+    uint64_t sysCost = 10;
+    uint64_t allocCost = 2;
+    uint64_t regObjCost = 1;
+    uint64_t fixCost = 1;       //!< Pfix/Pfixst (predicate set or not)
+
+    // PathExpander control overheads (Table 2).
+    uint64_t spawnOverhead = 20;
+    uint64_t squashOverhead = 10;
+
+    // Memory hierarchy latencies and ports (Table 2).
+    pe::mem::MemTimingParams mem;
+
+    /** Table 2: L1 latency is 2 cycles in the non-CMP configuration. */
+    static TimingConfig standardConfig()
+    {
+        TimingConfig t;
+        t.mem.l1HitLatency = 2;
+        return t;
+    }
+
+    /** Table 2: L1 latency is 3 cycles with the CMP option. */
+    static TimingConfig cmpConfig()
+    {
+        TimingConfig t;
+        t.mem.l1HitLatency = 3;
+        return t;
+    }
+};
+
+/** Base execution cost of @p op, excluding memory hierarchy time. */
+uint64_t opcodeCost(const TimingConfig &timing, isa::Opcode op);
+
+} // namespace pe::sim
+
+#endif // PE_SIM_TIMING_HH

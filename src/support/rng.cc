@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SplitMix64 implementation (public-domain algorithm by Steele et al.).
+ */
+
+#include "src/support/rng.hh"
+
+#include "src/support/status.hh"
+
+namespace pe
+{
+
+uint64_t
+Rng::next64()
+{
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    pe_assert(bound > 0, "nextBelow(0)");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    pe_assert(lo <= hi, "nextRange with lo > hi");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next64());
+    return lo + static_cast<int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace pe

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in the repository that needs randomness (workload input
+ * generators, the annealer in pe_vpr, parameter sweeps) draws from this
+ * SplitMix64-based generator so runs are reproducible bit-for-bit.
+ */
+
+#ifndef PE_SUPPORT_RNG_HH
+#define PE_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace pe
+{
+
+/**
+ * SplitMix64 PRNG.  Small state, excellent statistical quality for
+ * simulation purposes, and trivially seedable.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    uint64_t next64();
+
+    /** Uniform value in [0, bound).  bound must be > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    uint64_t state;
+};
+
+} // namespace pe
+
+#endif // PE_SUPPORT_RNG_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Statistics helper implementations.
+ */
+
+#include "src/support/stats.hh"
+
+#include <algorithm>
+
+#include "src/support/status.hh"
+
+namespace pe
+{
+
+void
+Summary::add(double v)
+{
+    if (n == 0) {
+        lo = hi = v;
+    } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    ++n;
+    total += v;
+}
+
+double
+Summary::mean() const
+{
+    return n ? total / static_cast<double>(n) : 0.0;
+}
+
+double
+Summary::min() const
+{
+    return n ? lo : 0.0;
+}
+
+double
+Summary::max() const
+{
+    return n ? hi : 0.0;
+}
+
+void
+Cdf::add(uint64_t v)
+{
+    samples.push_back(v);
+    sorted = false;
+}
+
+void
+Cdf::ensureSorted() const
+{
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+}
+
+double
+Cdf::fractionAtOrBelow(uint64_t x) const
+{
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(samples.begin(), samples.end(), x);
+    return static_cast<double>(it - samples.begin()) /
+           static_cast<double>(samples.size());
+}
+
+double
+Cdf::fractionBelow(uint64_t x) const
+{
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::lower_bound(samples.begin(), samples.end(), x);
+    return static_cast<double>(it - samples.begin()) /
+           static_cast<double>(samples.size());
+}
+
+uint64_t
+Cdf::quantile(double q) const
+{
+    pe_assert(!samples.empty(), "quantile of empty CDF");
+    ensureSorted();
+    if (q <= 0.0)
+        return samples.front();
+    if (q >= 1.0)
+        return samples.back();
+    size_t idx = static_cast<size_t>(q * static_cast<double>(samples.size()));
+    if (idx >= samples.size())
+        idx = samples.size() - 1;
+    return samples[idx];
+}
+
+} // namespace pe

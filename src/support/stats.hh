@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lightweight statistics helpers: scalar summaries and cumulative
+ * distribution functions (used for the Figure-3 latency CDFs).
+ */
+
+#ifndef PE_SUPPORT_STATS_HH
+#define PE_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pe
+{
+
+/** Streaming summary of a scalar sample set. */
+class Summary
+{
+  public:
+    void add(double v);
+
+    uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+  private:
+    uint64_t n = 0;
+    double total = 0;
+    double lo = 0;
+    double hi = 0;
+};
+
+/**
+ * Empirical cumulative distribution over integer samples.
+ *
+ * Used to reproduce the paper's Figure 3: "the percentage of NT-Paths
+ * that crash or reach an unsafe event before executing a given number
+ * of instructions."
+ */
+class Cdf
+{
+  public:
+    void add(uint64_t v);
+
+    /** Fraction of samples with value <= x; 0 when empty. */
+    double fractionAtOrBelow(uint64_t x) const;
+
+    /** Fraction of samples with value < x; 0 when empty. */
+    double fractionBelow(uint64_t x) const;
+
+    uint64_t count() const { return samples.size(); }
+
+    /** Smallest value v such that fractionAtOrBelow(v) >= q. */
+    uint64_t quantile(double q) const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<uint64_t> samples;
+    mutable bool sorted = true;
+};
+
+} // namespace pe
+
+#endif // PE_SUPPORT_STATS_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small string utilities shared across the repository.
+ */
+
+#ifndef PE_SUPPORT_STRUTIL_HH
+#define PE_SUPPORT_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace pe
+{
+
+/** Split @p s on @p sep; empty fields are kept. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string trim(const std::string &s);
+
+/** True when @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Render a double with @p digits fractional digits. */
+std::string fmtDouble(double v, int digits = 2);
+
+/** Render a fraction as a percentage string, e.g. "42.3%". */
+std::string fmtPercent(double fraction, int digits = 1);
+
+/** Left-pad @p s with spaces to at least @p width characters. */
+std::string padLeft(const std::string &s, size_t width);
+
+/** Right-pad @p s with spaces to at least @p width characters. */
+std::string padRight(const std::string &s, size_t width);
+
+} // namespace pe
+
+#endif // PE_SUPPORT_STRUTIL_HH

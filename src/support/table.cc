@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table rendering implementation.
+ */
+
+#include "src/support/table.hh"
+
+#include "src/support/status.hh"
+#include "src/support/strutil.hh"
+
+namespace pe
+{
+
+Table::Table(std::vector<std::string> hdr) : header(std::move(hdr))
+{
+    pe_assert(!header.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    pe_assert(row.size() == header.size(),
+              "row width ", row.size(), " != header width ", header.size());
+    rows.push_back(std::move(row));
+}
+
+void
+Table::addSeparator()
+{
+    rows.push_back({separatorMark});
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        if (row.size() == 1 && row[0] == separatorMark)
+            continue;
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emitLine = [&](const std::vector<std::string> &cells) {
+        os << "| ";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << padRight(cells[c], widths[c]);
+            os << (c + 1 == cells.size() ? " |" : " | ");
+        }
+        os << "\n";
+    };
+    auto emitSep = [&]() {
+        os << "|-";
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << std::string(widths[c], '-');
+            os << (c + 1 == widths.size() ? "-|" : "-|-");
+        }
+        os << "\n";
+    };
+
+    emitLine(header);
+    emitSep();
+    for (const auto &row : rows) {
+        if (row.size() == 1 && row[0] == separatorMark)
+            emitSep();
+        else
+            emitLine(row);
+    }
+}
+
+} // namespace pe

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses.
+ *
+ * Every bench binary prints paper-style rows through this class so the
+ * tables in bench_output.txt line up and are easy to diff against
+ * EXPERIMENTS.md.
+ */
+
+#ifndef PE_SUPPORT_TABLE_HH
+#define PE_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pe
+{
+
+/** Column-aligned text table with a header row and separators. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must have as many cells as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    static constexpr const char *separatorMark = "\x01sep";
+
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace pe
+
+#endif // PE_SUPPORT_TABLE_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Software-PathExpander implementation.
+ */
+
+#include "src/swpe/software_pe.hh"
+
+namespace pe::swpe
+{
+
+core::PeConfig
+softwareConfig()
+{
+    core::PeConfig cfg = core::PeConfig::forMode(core::PeMode::Standard);
+    cfg.costModel = core::CostModelKind::Software;
+    return cfg;
+}
+
+core::RunResult
+runSoftwarePe(const isa::Program &program,
+              const std::vector<int32_t> &input,
+              detect::Detector *detector, const core::PeConfig *base)
+{
+    core::PeConfig cfg = base ? *base : softwareConfig();
+    cfg.mode = core::PeMode::Standard;
+    cfg.costModel = core::CostModelKind::Software;
+    core::PathExpanderEngine engine(program, cfg, detector);
+    return engine.run(input);
+}
+
+} // namespace pe::swpe

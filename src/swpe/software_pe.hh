@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Software-PathExpander (paper Section 5).
+ *
+ * The pure-software implementation uses PIN-style dynamic binary
+ * instrumentation: every branch instruction is instrumented to
+ * maintain the exercise history in a hash table and decide whether to
+ * spawn; spawning saves the processor state through the checkpoint
+ * API; every NT-Path memory write logs the old value into a
+ * restore-log; and squashing replays the log and restores the
+ * registers.
+ *
+ * Path semantics are identical to the hardware standard configuration
+ * (so detection and coverage results match by construction — which is
+ * also true in the paper, Section 7: "All these results of different
+ * PathExpander implementation are similar").  Only the cost model
+ * differs; that difference is the paper's headline 3-4 orders of
+ * magnitude argument for the hardware design.
+ */
+
+#ifndef PE_SWPE_SOFTWARE_PE_HH
+#define PE_SWPE_SOFTWARE_PE_HH
+
+#include "src/core/engine.hh"
+
+namespace pe::swpe
+{
+
+/** Default configuration of the software implementation. */
+core::PeConfig softwareConfig();
+
+/** Run @p program under software PathExpander. */
+core::RunResult runSoftwarePe(const isa::Program &program,
+                              const std::vector<int32_t> &input,
+                              detect::Detector *detector = nullptr,
+                              const core::PeConfig *base = nullptr);
+
+} // namespace pe::swpe
+
+#endif // PE_SWPE_SOFTWARE_PE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Report-to-bug matching.
+ */
+
+#include "src/workloads/analysis.hh"
+
+namespace pe::workloads
+{
+
+namespace
+{
+
+bool
+matches(const BugSpec &bug, const detect::Report &report,
+        const isa::Program &program)
+{
+    if (bug.kind == BugSpec::Kind::Assertion) {
+        return report.kind == detect::ReportKind::AssertFail &&
+               report.assertId == bug.assertId;
+    }
+    if (report.kind == detect::ReportKind::AssertFail)
+        return false;
+    if (program.funcOf(report.pc) != bug.funcName)
+        return false;
+    if (bug.lineLo == 0 && bug.lineHi == 0)
+        return true;
+    int line = program.locOf(report.pc).line;
+    return line >= bug.lineLo && line <= bug.lineHi;
+}
+
+} // namespace
+
+DetectionAnalysis
+analyzeReports(const Workload &workload, const isa::Program &program,
+               const detect::MonitorArea &monitor, bool memoryTools)
+{
+    DetectionAnalysis out;
+    auto tested = memoryTools ? BugSpec::Kind::Memory
+                              : BugSpec::Kind::Assertion;
+
+    std::vector<detect::Report> distinct = monitor.distinctReports();
+
+    for (const auto &bug : workload.bugs) {
+        if (bug.kind != tested)
+            continue;
+        BugOutcome outcome;
+        outcome.bug = &bug;
+        for (const auto &r : distinct) {
+            if (matches(bug, r, program)) {
+                outcome.detected = true;
+                break;
+            }
+        }
+        if (outcome.detected)
+            ++out.numDetected;
+        out.outcomes.push_back(outcome);
+    }
+
+    for (const auto &r : distinct) {
+        bool isBug = false;
+        for (const auto &bug : workload.bugs) {
+            if (matches(bug, r, program)) {
+                isBug = true;
+                break;
+            }
+        }
+        if (!isBug)
+            ++out.falsePositiveSites;
+    }
+    return out;
+}
+
+} // namespace pe::workloads

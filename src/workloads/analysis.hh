@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Mapping detector reports back to seeded bugs.
+ *
+ * A memory-bug report matches a bug when it is a memory-violation
+ * kind raised inside the bug's faulting function; an assertion report
+ * matches on the assert id.  Distinct report sites that match no
+ * seeded bug are the (PathExpander-induced) false positives counted
+ * in the paper's Table 5.
+ */
+
+#ifndef PE_WORKLOADS_ANALYSIS_HH
+#define PE_WORKLOADS_ANALYSIS_HH
+
+#include "src/detect/report.hh"
+#include "src/isa/program.hh"
+#include "src/workloads/workload.hh"
+
+namespace pe::workloads
+{
+
+/** Outcome of one seeded bug. */
+struct BugOutcome
+{
+    const BugSpec *bug = nullptr;
+    bool detected = false;
+};
+
+/** Aggregate analysis of one run's reports. */
+struct DetectionAnalysis
+{
+    std::vector<BugOutcome> outcomes;
+    int numDetected = 0;
+    int falsePositiveSites = 0;
+};
+
+/**
+ * Analyze @p monitor against the seeded bugs of @p workload.
+ * @param memoryTools true when running under a memory checker
+ *        (CCured-like / iWatcher-like): only Memory bugs are "tested";
+ *        false for assertions: only Assertion bugs are tested.
+ */
+DetectionAnalysis analyzeReports(const Workload &workload,
+                                 const isa::Program &program,
+                                 const detect::MonitorArea &monitor,
+                                 bool memoryTools);
+
+} // namespace pe::workloads
+
+#endif // PE_WORKLOADS_ANALYSIS_HH

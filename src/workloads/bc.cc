@@ -1,0 +1,560 @@
+/**
+ * @file
+ * pe_bc: MiniC stand-in for bc-1.06 (paper Table 3: 17,042 LOC,
+ * 2 memory bugs).
+ *
+ * A line-oriented infix calculator (shunting-yard with explicit
+ * operator/value stacks, single-letter variables).
+ *
+ * Seeded memory bugs:
+ *  - bc-m1 (PE-detectable): the deep-nesting handler writes a
+ *    sentinel one word past op_stack (index 8 of an 8-word stack),
+ *    landing in the guard zone; benign expressions never nest past 6
+ *    so only an NT-Path reaches it.
+ *  - bc-m2 (hot-entry-edge): mirroring the real bc-1.06 more_arrays
+ *    overflow, the periodic rebalance (every 16th push) copies
+ *    push_count/2 words into a 24-word scratch buffer; the entry
+ *    edge `push_count % 16 == 0` is exercised intensively early (the
+ *    paper's category 2), so its counter saturates long before any
+ *    run pushes the 64+ values needed to overflow.
+ *
+ * The optional trace/history table pointers (enabled only by an '@'
+ * line) supply the null-dereference false positives that the
+ * blank-structure fix prunes (Table 5).
+ */
+
+#include "src/support/rng.hh"
+#include "src/workloads/workloads.hh"
+
+namespace pe::workloads
+{
+
+namespace
+{
+
+const char *source = R"MC(
+// ---- pe_bc (bc-1.06 stand-in) ----
+
+int val_stack[24];
+int vsp = 0;
+int op_stack[8];
+int osp = 0;
+int rebalance_tmp[24];
+
+int vars[26];
+int line_no = 0;
+int nesting = 0;
+int push_count = 0;
+int errors = 0;
+int cur = -2;           // current char; -2 = need read
+
+int *trace_hook = 0;    // optional tracing (never enabled benignly)
+int *hist_tab = 0;      // optional history table
+
+int next_char() {
+    cur = read_char();
+    return cur;
+}
+
+int peek_char() {
+    if (cur == -2) {
+        next_char();
+    }
+    return cur;
+}
+
+int is_digit(int c) {
+    if (c >= '0' && c <= '9') { return 1; }
+    return 0;
+}
+
+int is_lower(int c) {
+    if (c >= 'a' && c <= 'z') { return 1; }
+    return 0;
+}
+
+// Seeded bug bc-m2: every 16th push triggers a rebalance that copies
+// push_count/2 words into the 24-word scratch buffer with no bound
+// check -- fine until a run has pushed 64 or more values.
+int rebalance() {
+    int i = 0;
+    int limit = push_count / 2;
+    while (i < limit) {
+        rebalance_tmp[i] = val_stack[i % 24];
+        i = i + 1;
+    }
+    return limit;
+}
+
+int push_val(int v) {
+    if (vsp < 24) {
+        val_stack[vsp] = v;
+        vsp = vsp + 1;
+    }
+    push_count = push_count + 1;
+    if (push_count % 16 == 0) {
+        rebalance();
+    }
+    return vsp;
+}
+
+int pop_val() {
+    if (vsp > 0) {
+        vsp = vsp - 1;
+        return val_stack[vsp];
+    }
+    errors = errors + 1;
+    return 0;
+}
+
+int prec_of(int op) {
+    if (op == '+') { return 1; }
+    if (op == '-') { return 1; }
+    if (op == '*') { return 2; }
+    if (op == '/') { return 2; }
+    if (op == '%') { return 2; }
+    return 0;
+}
+
+int apply_op(int op) {
+    int b = pop_val();
+    int a = pop_val();
+    int r = 0;
+    if (op == '+') { r = a + b; }
+    if (op == '-') { r = a - b; }
+    if (op == '*') { r = a * b; }
+    if (op == '/') {
+        if (b == 0) {
+            errors = errors + 1;
+            r = 0;
+        } else {
+            r = a / b;
+        }
+    }
+    if (op == '%') {
+        if (b == 0) {
+            errors = errors + 1;
+            r = 0;
+        } else {
+            r = a % b;
+        }
+    }
+    push_val(r);
+    return r;
+}
+
+int push_op(int op) {
+    while (osp > 0 && prec_of(op_stack[osp - 1]) >= prec_of(op)) {
+        osp = osp - 1;
+        apply_op(op_stack[osp]);
+    }
+    if (osp < 8) {
+        op_stack[osp] = op;
+        osp = osp + 1;
+    }
+    return osp;
+}
+
+// Seeded bug bc-m1: the deep-nesting handler plants a sentinel one
+// word past the 8-entry operator stack, in the guard zone.
+int deep_nesting_guard() {
+    op_stack[8] = 0;
+    return nesting;
+}
+
+int parse_primary() {
+    int c = peek_char();
+    int v = 0;
+    if (is_digit(c)) {
+        while (is_digit(peek_char())) {
+            v = v * 10 + (cur - '0');
+            next_char();
+        }
+        return v;
+    }
+    if (is_lower(c)) {
+        v = vars[c - 'a'];
+        next_char();
+        return v;
+    }
+    if (c == '(') {
+        nesting = nesting + 1;
+        if (nesting > 6) {
+            deep_nesting_guard();
+        }
+        next_char();
+        v = parse_expr();
+        if (peek_char() == ')') {
+            nesting = nesting - 1;
+            next_char();
+        } else {
+            errors = errors + 1;
+        }
+        return v;
+    }
+    errors = errors + 1;
+    next_char();
+    return 0;
+}
+
+// Parse the operator/operand tail of an expression whose first
+// primary value is already known (needed for `a*b` lines, where the
+// leading variable was consumed while checking for an assignment).
+int parse_rest(int first) {
+    int base_osp = osp;
+    push_val(first);
+    int c = peek_char();
+    while (c == '+' || c == '-' || c == '*' || c == '/' || c == '%') {
+        push_op(c);
+        next_char();
+        push_val(parse_primary());
+        c = peek_char();
+    }
+    while (osp > base_osp) {
+        osp = osp - 1;
+        apply_op(op_stack[osp]);
+    }
+    return pop_val();
+}
+
+int parse_expr() {
+    return parse_rest(parse_primary());
+}
+
+// ---- optional diagnostics (never enabled benignly) ----
+
+int verbose = 0;
+int depth_mark = -1;
+int audit_buf[16];
+
+// Classify a result for verbose mode; rich branch structure that only
+// NT-Paths visit in monitored runs.
+int describe_result(int v) {
+    int kind = 0;
+    if (v == 0) {
+        kind = 1;
+    } else if (v < 0) {
+        kind = 2;
+        if (v < -1000) {
+            kind = 3;
+        }
+    } else if (v < 10) {
+        kind = 4;
+    } else if (v < 1000) {
+        kind = 5;
+        if (v % 2 == 0) {
+            kind = 6;
+        }
+    } else {
+        kind = 7;
+        if (v % 100 == 0) {
+            kind = 8;
+        }
+    }
+    if (errors > 0 && kind > 4) {
+        kind = kind + 10;
+    }
+    print_char('#');
+    print_int(kind);
+    print_char(10);
+    return kind;
+}
+
+// Deep audit: nested rarely-true conditions; even NT-Paths cannot
+// line both up, so this stays uncovered (like the deepest 10-30% of
+// real code the paper discusses in Section 2).
+// Recovery: scan both stacks and clear anomalies.  Reachable only by
+// inputs that both raise the verbosity and accumulate six errors.
+int repair_stacks() {
+    int repaired = 0;
+    int i = 0;
+    while (i < 24) {
+        if (val_stack[i] < -10000) {
+            val_stack[i] = -10000;
+            repaired = repaired + 1;
+        } else if (val_stack[i] > 10000) {
+            val_stack[i] = 10000;
+            repaired = repaired + 1;
+        }
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 8) {
+        int op = op_stack[i];
+        if (op != '+' && op != '-' && op != '*' && op != '/' &&
+            op != '%' && op != 0) {
+            op_stack[i] = 0;
+            repaired = repaired + 1;
+        }
+        i = i + 1;
+    }
+    if (vsp < 0) {
+        vsp = 0;
+        repaired = repaired + 1;
+    } else if (vsp > 24) {
+        vsp = 24;
+        repaired = repaired + 1;
+    }
+    if (osp < 0) {
+        osp = 0;
+    } else if (osp > 8) {
+        osp = 8;
+    }
+    if (repaired > 0 && nesting != 0) {
+        nesting = 0;
+    }
+    return repaired;
+}
+
+int deep_audit() {
+    int worst = 0;
+    if (verbose > 2) {
+        if (errors > 5) {
+            int i = 0;
+            while (i < 24) {
+                if (val_stack[i] < worst) {
+                    worst = val_stack[i];
+                }
+                i = i + 1;
+            }
+            repair_stacks();
+            if (worst < -100) {
+                print_int(worst);
+            }
+        }
+    }
+    return worst;
+}
+
+int audit_line() {
+    // depth_mark is -1 unless a debugging session armed it; the
+    // comparison is variable-vs-variable, so PathExpander has no fix
+    // for it (Section 4.4) and an NT-Path enters with the benign -1,
+    // indexing one below audit_buf -- a residual after-fix false
+    // positive.
+    if (depth_mark == line_no) {
+        audit_buf[depth_mark % 16] = errors;
+    }
+    return 0;
+}
+
+int *scale_tab = 0;     // optional fixed-point scaling ('$' line)
+
+int trace_value(int v) {
+    int slot = v % 12;
+    if (slot < 0) { slot = 0 - slot; }
+    if (trace_hook != 0) {
+        trace_hook[slot] = trace_hook[slot] + 1;
+        if (trace_hook[0] > 100) {
+            trace_hook[0] = 0;
+        }
+    }
+    if (hist_tab != 0) {
+        int prev = hist_tab[line_no % 10];
+        if (prev == v) {
+            errors = errors + 0;    // repeated result: no-op audit
+        }
+        hist_tab[line_no % 10] = v;
+    }
+    if (scale_tab != 0) {
+        int s = scale_tab[line_no % 6];
+        if (s > 0) {
+            v = v * s;
+        }
+        scale_tab[line_no % 6] = s + 1;
+    }
+    return v;
+}
+
+int skip_line() {
+    while (peek_char() != 10 && peek_char() != -1) {
+        next_char();
+    }
+    return 0;
+}
+
+// One line: [a-z '='] expr '\n', or '@' to enable tracing.
+int do_line() {
+    int c = peek_char();
+    int target = -1;
+    int v = 0;
+    if (c == -1) { return 0; }
+    if (c == 10) {
+        next_char();
+        return 1;
+    }
+    line_no = line_no + 1;
+    if (c == '@') {
+        trace_hook = malloc(12);
+        hist_tab = malloc(10);
+        next_char();
+        return 1;
+    }
+    if (c == '#') {
+        verbose = verbose + 1;
+        next_char();
+        return 1;
+    }
+    if (c == '!') {
+        depth_mark = line_no + 1;
+        next_char();
+        return 1;
+    }
+    if (c == '$') {
+        scale_tab = malloc(6);
+        next_char();
+        return 1;
+    }
+    if (is_lower(c)) {
+        int save = cur;
+        next_char();
+        if (peek_char() == '=') {
+            target = save - 'a';
+            next_char();
+            v = parse_expr();
+        } else {
+            // Not an assignment: the letter was the first operand.
+            v = parse_rest(vars[save - 'a']);
+        }
+    } else {
+        v = parse_expr();
+    }
+    trace_value(v);
+    audit_line();
+    if (verbose > 0) {
+        describe_result(v);
+    }
+    if (verbose > 2) {
+        deep_audit();
+    }
+    if (target >= 0) {
+        vars[target] = v;
+    } else {
+        print_int(v);
+        print_char(10);
+    }
+    return 1;
+}
+
+int main() {
+    while (do_line()) {
+    }
+    print_str("lines=");
+    print_int(line_no);
+    print_char(10);
+    print_str("errors=");
+    print_int(errors);
+    print_char(10);
+    return 0;
+}
+)MC";
+
+std::vector<int32_t>
+chars(const std::string &text)
+{
+    std::vector<int32_t> out;
+    for (char c : text)
+        out.push_back(static_cast<unsigned char>(c));
+    return out;
+}
+
+/**
+ * Production-rule based benign expression generator (the paper uses
+ * such a generator for bc): nesting <= 1, and the per-run primary
+ * budget keeps total pushes (primaries + operator results) below 64,
+ * so both seeded bugs stay dormant on the taken path.
+ */
+std::vector<int32_t>
+benignSession(Rng &rng)
+{
+    std::string text;
+    int budget = 26;    // primaries; total pushes stay < 2*26 = 52
+    int lines = static_cast<int>(rng.nextRange(3, 7));
+    for (int l = 0; l < lines && budget > 3; ++l) {
+        std::string expr;
+        int terms = static_cast<int>(rng.nextRange(1, 3));
+        for (int t = 0; t <= terms && budget > 1; ++t) {
+            if (t > 0) {
+                const char ops[] = {'+', '-', '*', '/'};
+                expr += ops[rng.nextBelow(4)];
+            }
+            if (rng.nextBool(0.25)) {
+                expr += '(';
+                expr += std::to_string(rng.nextRange(1, 99));
+                const char inner[] = {'+', '-', '*'};
+                expr += inner[rng.nextBelow(3)];
+                expr += std::to_string(rng.nextRange(1, 9));
+                expr += ')';
+                budget -= 2;
+            } else if (t > 0 && rng.nextBool(0.3)) {
+                expr += static_cast<char>('a' + rng.nextBelow(4));
+            } else {
+                expr += std::to_string(rng.nextRange(1, 999));
+            }
+            --budget;
+        }
+        if (rng.nextBool(0.4)) {
+            text += static_cast<char>('a' + rng.nextBelow(4));
+            text += '=';
+        }
+        text += expr;
+        text += '\n';
+    }
+    return chars(text);
+}
+
+} // namespace
+
+Workload
+makeBc()
+{
+    Workload w;
+    w.name = "pe_bc";
+    w.description = "bc-1.06 stand-in (infix calculator)";
+    w.tools = "memory";
+    w.paperLoc = 17042;
+    w.maxNtPathLength = 1000;
+    w.source = source;
+
+    Rng rng(0xbadc0de6);
+    for (int i = 0; i < 50; ++i)
+        w.benignInputs.push_back(benignSession(rng));
+
+    {
+        BugSpec b;
+        b.id = "bc-m1";
+        b.kind = BugSpec::Kind::Memory;
+        b.funcName = "deep_nesting_guard";
+        b.expectPeDetect = true;
+        b.description = "sentinel write one past op_stack (guard "
+                        "zone) on deep nesting";
+        w.bugs.push_back(b);
+    }
+    {
+        BugSpec b;
+        b.id = "bc-m2";
+        b.kind = BugSpec::Kind::Memory;
+        b.funcName = "rebalance";
+        b.expectPeDetect = false;
+        b.missCategory = "hot-entry-edge";
+        b.description = "rebalance copy overflows the scratch buffer "
+                        "after 64 pushes; entry edge saturates early";
+        w.bugs.push_back(b);
+    }
+
+    // bc-m1 trigger: nesting depth 7.
+    w.triggerInputs["bc-m1"] = chars("(((((((1)))))))\n");
+    {
+        // bc-m2 trigger: a long sum pushes 70+ primaries (plus the
+        // operator results) in one run.
+        std::string t = "1";
+        for (int i = 0; i < 72; ++i)
+            t += "+1";
+        t += "\n";
+        w.triggerInputs["bc-m2"] = chars(t);
+    }
+
+    return w;
+}
+
+} // namespace pe::workloads

@@ -1,0 +1,597 @@
+/**
+ * @file
+ * pe_go: MiniC stand-in for SPEC95 099.go (paper Table 3: 29,623 LOC,
+ * 2 memory bugs; also one of the three Figure-3 applications).
+ *
+ * A 9x9 board-game move evaluator: stones are placed from the input
+ * move list, simple captures are resolved, and influence/liberty maps
+ * are recomputed after every move.  Like the original, it is
+ * compute-only until the final score dump, so NT-Paths almost never
+ * hit unsafe events — the paper's Figure 3(a) shows only 0.5% of
+ * go's NT-Paths stopping before 1000 instructions.
+ *
+ * Seeded memory bugs:
+ *  - go-m1 (PE-detectable): score_edges() walks one past the edge
+ *    accumulation row (classic `<=` off-by-one) into the guard zone;
+ *    reachable only through the cold edge_focus branch.
+ *  - go-m2 (special-input-only): the late-game capture-log flush
+ *    overruns capture_log, but it hides behind two nested conditions
+ *    (phase == 2 AND captures > 10); an NT-Path flips the outer
+ *    branch and then follows the actual inner outcome, so only a
+ *    special input reaches it (paper Section 7.1, category 4).
+ *
+ * The optional pattern/joseki table pointers (null unless a directive
+ * move enables them) are the source of the null-dereference false
+ * positives that Section 4.4's blank-structure fix prunes (Table 5).
+ */
+
+#include "src/support/rng.hh"
+#include "src/workloads/workloads.hh"
+
+namespace pe::workloads
+{
+
+namespace
+{
+
+const char *source = R"MC(
+// ---- pe_go (099.go stand-in) ----
+
+int board[81];          // 0 empty, 1 black, 2 white
+int influence[81];
+int liberties[81];
+int edge_row[9];
+int capture_log[12];
+
+int move_count = 0;
+int captures = 0;
+int black_score = 0;
+int white_score = 0;
+int phase = 1;
+int edge_focus = 0;
+int corner_plays = 0;
+
+int *pattern_tab = 0;   // optional pattern table (directive-enabled)
+int *joseki_tab = 0;    // optional joseki table (directive-enabled)
+int analysis_level = 0; // optional analysis passes (directive-enabled)
+
+int moves_x[128];
+int moves_y[128];
+int num_moves = 0;
+
+int cell(int x, int y) {
+    return y * 9 + x;
+}
+
+int in_board(int x, int y) {
+    if (x < 0) { return 0; }
+    if (x > 8) { return 0; }
+    if (y < 0) { return 0; }
+    if (y > 8) { return 0; }
+    return 1;
+}
+
+int enemy_of(int color) {
+    if (color == 1) { return 2; }
+    return 1;
+}
+
+// A stone with all four in-board neighbours hostile is captured.
+int try_capture(int x, int y) {
+    int color = board[cell(x, y)];
+    int foe = enemy_of(color);
+    int surrounded = 1;
+    if (in_board(x - 1, y) && board[cell(x - 1, y)] != foe) {
+        surrounded = 0;
+    }
+    if (in_board(x + 1, y) && board[cell(x + 1, y)] != foe) {
+        surrounded = 0;
+    }
+    if (in_board(x, y - 1) && board[cell(x, y - 1)] != foe) {
+        surrounded = 0;
+    }
+    if (in_board(x, y + 1) && board[cell(x, y + 1)] != foe) {
+        surrounded = 0;
+    }
+    if (x == 0 || x == 8 || y == 0 || y == 8) {
+        surrounded = 0;     // simplified: edge stones are safe
+    }
+    if (surrounded == 1) {
+        board[cell(x, y)] = 0;
+        if (captures < 12) {
+            capture_log[captures] = cell(x, y);
+        }
+        captures = captures + 1;
+        return 1;
+    }
+    return 0;
+}
+
+int count_liberties(int x, int y) {
+    int libs = 0;
+    if (in_board(x - 1, y) && board[cell(x - 1, y)] == 0) {
+        libs = libs + 1;
+    }
+    if (in_board(x + 1, y) && board[cell(x + 1, y)] == 0) {
+        libs = libs + 1;
+    }
+    if (in_board(x, y - 1) && board[cell(x, y - 1)] == 0) {
+        libs = libs + 1;
+    }
+    if (in_board(x, y + 1) && board[cell(x, y + 1)] == 0) {
+        libs = libs + 1;
+    }
+    return libs;
+}
+
+int refresh_liberties() {
+    int y = 0;
+    while (y < 9) {
+        int x = 0;
+        while (x < 9) {
+            if (board[cell(x, y)] != 0) {
+                liberties[cell(x, y)] = count_liberties(x, y);
+            } else {
+                liberties[cell(x, y)] = 0;
+            }
+            x = x + 1;
+        }
+        y = y + 1;
+    }
+    return 0;
+}
+
+int spread_influence() {
+    int i = 0;
+    while (i < 81) {
+        int v = 0;
+        if (board[i] == 1) { v = 8; }
+        if (board[i] == 2) { v = 0 - 8; }
+        influence[i] = v;
+        i = i + 1;
+    }
+    int pass = 0;
+    while (pass < 2) {
+        i = 0;
+        while (i < 81) {
+            int acc = influence[i] * 2;
+            if (i >= 9) { acc = acc + influence[i - 9]; }
+            if (i < 72) { acc = acc + influence[i + 9]; }
+            if (i % 9 != 0) { acc = acc + influence[i - 1]; }
+            if (i % 9 != 8) { acc = acc + influence[i + 1]; }
+            influence[i] = acc / 2;
+            i = i + 1;
+        }
+        pass = pass + 1;
+    }
+    return 0;
+}
+
+// Seeded bug go-m1: accumulates the ninth edge cell too -- the `<=`
+// walks one word past edge_row into its guard zone.
+int score_edges() {
+    int i = 0;
+    int sum = 0;
+    while (i < 9) {
+        edge_row[i] = influence[i] + influence[72 + i];
+        i = i + 1;
+    }
+    i = 0;
+    while (i <= 9) {
+        sum = sum + edge_row[i];
+        i = i + 1;
+    }
+    return sum;
+}
+
+// Seeded bug go-m2: flushes the capture log with an off-by-one scan;
+// hidden behind phase == 2 AND captures > 10.
+int flush_capture_log() {
+    int i = 0;
+    int sum = 0;
+    while (i <= 12) {
+        sum = sum + capture_log[i];
+        i = i + 1;
+    }
+    return sum;
+}
+
+int *territory_tab = 0; // optional territory cache (directive-enabled)
+int replay_mark = -1;
+int replay_notes[10];
+
+int apply_patterns(int c) {
+    int bonus = 0;
+    if (pattern_tab != 0) {
+        bonus = bonus + pattern_tab[c % 16];
+        if (pattern_tab[0] > 99) {
+            pattern_tab[0] = 0;
+        }
+        pattern_tab[c % 16] = bonus;
+    }
+    if (joseki_tab != 0) {
+        bonus = bonus + joseki_tab[c % 8];
+        joseki_tab[c % 8] = joseki_tab[c % 8] + 1;
+    }
+    if (territory_tab != 0) {
+        int row = c / 9;
+        bonus = bonus + territory_tab[row];
+        if (territory_tab[row] < influence[c]) {
+            territory_tab[row] = influence[c];
+        }
+    }
+    // replay_mark is -1 unless a replay session armed it; the
+    // comparison is variable-vs-variable, so no consistency fix
+    // applies (a residual after-fix false positive).
+    if (replay_mark == move_count) {
+        replay_notes[replay_mark % 10] = c;
+    }
+    return bonus;
+}
+
+// ---- optional analysis passes (configuration-gated; benign runs
+// ---- never enable them, so NT-Paths are their only visitor) ----
+
+int region_density(int base) {
+    int stones = 0;
+    int cells = 0;
+    int dy = 0;
+    while (dy < 3) {
+        int dx = 0;
+        while (dx < 3) {
+            int c = base + dy * 9 + dx;
+            if (c >= 0 && c < 81) {
+                cells = cells + 1;
+                if (board[c] != 0) {
+                    stones = stones + 1;
+                }
+            }
+            dx = dx + 1;
+        }
+        dy = dy + 1;
+    }
+    if (cells != 0) {
+        return stones * 100 / cells;
+    }
+    return 0;
+}
+
+int diag_territory() {
+    int score = 0;
+    int r = 0;
+    while (r < 9) {
+        int d = region_density(r * 9);
+        if (d > 66) {
+            score = score + 3;
+        } else if (d > 33) {
+            score = score + 2;
+        } else if (d > 0) {
+            score = score + 1;
+        }
+        if (d == 100) {
+            score = score + 5;
+        }
+        r = r + 3;
+    }
+    return score;
+}
+
+int diag_shape(int c) {
+    int kind = 0;
+    int libs = liberties[c % 81];
+    if (libs == 0) {
+        kind = 1;
+    } else if (libs == 1) {
+        kind = 2;
+        if (influence[c % 81] > 4) {
+            kind = 3;
+        }
+    } else if (libs == 2) {
+        kind = 4;
+        if (c % 9 == 0 || c % 9 == 8) {
+            kind = 5;
+        }
+    } else {
+        kind = 6;
+        if (influence[c % 81] < 0 - 4) {
+            kind = 7;
+        }
+    }
+    return kind;
+}
+
+int diag_balance() {
+    int b = 0;
+    int w = 0;
+    int i = 0;
+    while (i < 81) {        // sampled scan
+        if (influence[i] > 0) { b = b + 1; }
+        if (influence[i] < 0) { w = w + 1; }
+        i = i + 4;
+    }
+    // A real analysis pass runs only after both sides have played, so
+    // w is nonzero there; an NT-Path arriving on an early board
+    // divides by zero and crashes (one of Figure 3's crash sites).
+    return b * 100 / w;
+}
+
+// Dame resolution: decide neutral points in a close endgame.
+int resolve_dame(int c) {
+    int owner = 0;
+    int b_adj = 0;
+    int w_adj = 0;
+    if (c >= 9 && board[c - 9] == 1) { b_adj = b_adj + 1; }
+    if (c >= 9 && board[c - 9] == 2) { w_adj = w_adj + 1; }
+    if (c < 72 && board[c + 9] == 1) { b_adj = b_adj + 1; }
+    if (c < 72 && board[c + 9] == 2) { w_adj = w_adj + 1; }
+    if (c % 9 != 0 && board[c - 1] == 1) { b_adj = b_adj + 1; }
+    if (c % 9 != 0 && board[c - 1] == 2) { w_adj = w_adj + 1; }
+    if (c % 9 != 8 && board[c + 1] == 1) { b_adj = b_adj + 1; }
+    if (c % 9 != 8 && board[c + 1] == 2) { w_adj = w_adj + 1; }
+    if (b_adj > w_adj) {
+        owner = 1;
+    } else if (w_adj > b_adj) {
+        owner = 2;
+    }
+    return owner;
+}
+
+int deep_endgame(int margin) {
+    // Reachable only in a scored endgame with a close margin: two
+    // nested rarely-true conditions even an NT-Path cannot line up.
+    int adjust = 0;
+    if (margin < 3) {
+        if (captures > 20) {
+            int i = 0;
+            while (i < 81) {
+                if (board[i] == 0 && influence[i] == 0) {
+                    if (resolve_dame(i) == 1) {
+                        adjust = adjust + 1;
+                    }
+                }
+                i = i + 1;
+            }
+            if (adjust > 40) {
+                adjust = 40;
+            }
+        }
+    }
+    return adjust;
+}
+
+int analysis_pass(int c) {
+    int v = 0;
+    if (analysis_level > 0) {
+        v = v + diag_territory();
+        v = v + diag_shape(c);
+    }
+    if (analysis_level > 1) {
+        v = v + diag_balance();
+    }
+    if (analysis_level > 2) {
+        v = v + deep_endgame(black_score - white_score);
+    }
+    return v;
+}
+
+int play_move(int x, int y, int color) {
+    int c = cell(x, y);
+    if (board[c] != 0) { return 0; }
+    board[c] = color;
+    move_count = move_count + 1;
+    if (move_count > 40) {
+        phase = 2;
+    }
+    if ((x == 0 || x == 8) && (y == 0 || y == 8)) {
+        corner_plays = corner_plays + 1;
+    }
+    try_capture(x, y);
+    refresh_liberties();
+    spread_influence();
+
+    if (edge_focus == 1) {
+        black_score = black_score + score_edges();
+    }
+    if (phase == 2) {
+        if (captures > 10) {
+            white_score = white_score + flush_capture_log();
+        }
+    }
+    black_score = black_score + apply_patterns(c);
+    black_score = black_score + analysis_pass(c);
+    return 1;
+}
+
+int final_score() {
+    int i = 0;
+    int b = 0;
+    int w = 0;
+    while (i < 81) {
+        if (influence[i] > 2) { b = b + 1; }
+        if (influence[i] < 0 - 2) { w = w + 1; }
+        i = i + 1;
+    }
+    print_str("black=");
+    print_int(b + black_score);
+    print_char(10);
+    print_str("white=");
+    print_int(w + white_score);
+    print_char(10);
+    print_str("captures=");
+    print_int(captures);
+    print_char(10);
+    return 0;
+}
+
+// Directive moves (x == 9) enable optional analysis features:
+// y == 0 edge scoring, y == 1 pattern table, y == 2 joseki table,
+// y == 3+ deeper analysis passes.
+int handle_directive(int y) {
+    if (y == 0) {
+        edge_focus = 1;
+    }
+    if (y == 1) {
+        pattern_tab = malloc(16);
+    }
+    if (y == 2) {
+        joseki_tab = malloc(8);
+    }
+    if (y >= 3) {
+        analysis_level = y - 2;
+    }
+    if (y == 7) {
+        territory_tab = malloc(9);
+    }
+    if (y == 8) {
+        replay_mark = move_count + 3;
+    }
+    return y;
+}
+
+// SPEC-style: the whole move list is read up front, then the
+// evaluator runs without touching I/O until the final score dump.
+int read_game() {
+    int x = read_int();
+    while (x != -1 && num_moves < 128) {
+        int y = read_int();
+        if (y == -1) { return num_moves; }
+        moves_x[num_moves] = x;
+        moves_y[num_moves] = y;
+        num_moves = num_moves + 1;
+        x = read_int();
+    }
+    return num_moves;
+}
+
+int main() {
+    int color = 1;
+    int i = 0;
+    read_game();
+    while (i < num_moves) {
+        int x = moves_x[i];
+        int y = moves_y[i];
+        if (x == 9) {
+            handle_directive(y);
+        } else if (in_board(x, y)) {
+            if (play_move(x, y, color)) {
+                color = enemy_of(color);
+            }
+        }
+        i = i + 1;
+    }
+    final_score();
+    return 0;
+}
+)MC";
+
+/** Random benign games: 20-34 moves, no corner openings needed. */
+std::vector<int32_t>
+benignGame(Rng &rng)
+{
+    std::vector<int32_t> in;
+    int n = static_cast<int>(rng.nextRange(20, 34));
+    for (int i = 0; i < n; ++i) {
+        in.push_back(static_cast<int32_t>(rng.nextRange(0, 8)));
+        in.push_back(static_cast<int32_t>(rng.nextRange(0, 8)));
+    }
+    in.push_back(-1);
+    return in;
+}
+
+} // namespace
+
+Workload
+makeGo()
+{
+    Workload w;
+    w.name = "pe_go";
+    w.description = "SPEC95 099.go stand-in (board evaluator)";
+    w.tools = "memory";
+    w.paperLoc = 29623;
+    w.maxNtPathLength = 1000;
+    w.source = source;
+
+    Rng rng(0xbadc0de5);
+    for (int i = 0; i < 50; ++i)
+        w.benignInputs.push_back(benignGame(rng));
+
+    {
+        BugSpec b;
+        b.id = "go-m1";
+        b.kind = BugSpec::Kind::Memory;
+        b.funcName = "score_edges";
+        b.expectPeDetect = true;
+        b.description = "off-by-one edge accumulation overruns "
+                        "edge_row into its guard zone";
+        w.bugs.push_back(b);
+    }
+    {
+        BugSpec b;
+        b.id = "go-m2";
+        b.kind = BugSpec::Kind::Memory;
+        b.funcName = "flush_capture_log";
+        b.expectPeDetect = false;
+        b.missCategory = "special-input";
+        b.description = "capture-log flush overrun behind two nested "
+                        "conditions";
+        w.bugs.push_back(b);
+    }
+
+    {
+        // go-m1 trigger: the (9,0) directive enables edge scoring;
+        // the next move runs the faulty score_edges.
+        std::vector<int32_t> in = {9, 0, 4, 4, 2, 2, -1};
+        w.triggerInputs["go-m1"] = in;
+    }
+    {
+        // go-m2 trigger: surround an interior cell with white, then
+        // let black repeatedly play into it (captured every time),
+        // with filler moves to push move_count past 40.
+        std::vector<int32_t> in;
+        auto mv = [&in](int x, int y) {
+            in.push_back(x);
+            in.push_back(y);
+        };
+        // Black throwaways alternate with white building the trap
+        // around (4,4): white at (3,4), (5,4), (4,3), (4,5).
+        mv(0, 0);   // B
+        mv(3, 4);   // W
+        mv(0, 1);   // B
+        mv(5, 4);   // W
+        mv(0, 2);   // B
+        mv(4, 3);   // W
+        mv(0, 3);   // B
+        mv(4, 5);   // W
+        // Now black plays (4,4): all four neighbours white ->
+        // captured immediately; white plays a fresh cell; repeat.
+        int wx = 6;
+        int wy = 0;
+        for (int k = 0; k < 12; ++k) {
+            mv(4, 4);           // B, captured and removed
+            mv(wx, wy);         // W filler on a fresh cell
+            wy += 1;
+            if (wy == 4) {
+                wy = 0;
+                wx += 1;
+            }
+        }
+        // Pad past move 40 (phase 2) with fresh cells; every move
+        // from 41 on runs the faulty capture-log flush.
+        int px = 0;
+        int py = 5;
+        for (int k = 0; k < 14; ++k) {
+            mv(px, py);
+            px += 1;
+            if (px == 4) {
+                px = 0;
+                py += 1;
+            }
+        }
+        in.push_back(-1);
+        w.triggerInputs["go-m2"] = in;
+    }
+
+    return w;
+}
+
+} // namespace pe::workloads

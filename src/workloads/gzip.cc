@@ -1,0 +1,317 @@
+/**
+ * @file
+ * pe_gzip: MiniC stand-in for SPEC2000 164.gzip (Figure 3(b),
+ * coverage and overhead experiments; no seeded bugs).
+ *
+ * An LZ77-style compressor: a sliding-window longest-match search
+ * over the input, emitting literals and (length, distance) pairs.
+ * Output happens throughout the main loop, so NT-Paths frequently
+ * reach an I/O system call — reproducing the paper's observation
+ * that "for many applications, such as gzip and vpr, the majority of
+ * NT-Paths stop early due to unsafe events".
+ */
+
+#include "src/support/rng.hh"
+#include "src/workloads/workloads.hh"
+
+namespace pe::workloads
+{
+
+namespace
+{
+
+const char *source = R"MC(
+// ---- pe_gzip (164.gzip stand-in) ----
+
+int inbuf[600];
+int in_len = 0;
+
+int hash_head[64];
+
+int outbuf[96];         // pending output tokens
+int out_len = 0;
+
+int literals = 0;
+int matches = 0;
+int total_match_len = 0;
+int out_tokens = 0;
+int checksum = 0;
+int level = 6;          // compression effort 1..9
+int min_match = 3;
+int max_chain = 16;
+int stats_mode = 0;     // optional statistics pass ('S' prefix)
+
+int read_input() {
+    int c = read_char();
+    while (c != -1 && in_len < 600) {
+        inbuf[in_len] = c;
+        in_len = in_len + 1;
+        c = read_char();
+    }
+    return in_len;
+}
+
+int hash3(int pos) {
+    int h = inbuf[pos] * 5;
+    if (pos + 1 < in_len) { h = h + inbuf[pos + 1] * 3; }
+    if (pos + 2 < in_len) { h = h + inbuf[pos + 2]; }
+    h = h % 64;
+    if (h < 0) { h = 0 - h; }
+    return h;
+}
+
+int match_len(int a, int b) {
+    int n = 0;
+    while (b + n < in_len && n < 32) {
+        if (inbuf[a + n] != inbuf[b + n]) {
+            return n;
+        }
+        n = n + 1;
+    }
+    return n;
+}
+
+// Scan backwards for the longest match within the window.
+int find_match(int pos, int *best_dist) {
+    int best = 0;
+    int chain = max_chain;
+    int cand = pos - 1;
+    int window = 128;
+    if (level > 7) { window = 256; }
+    while (cand >= 0 && pos - cand <= window && chain > 0) {
+        if (inbuf[cand] == inbuf[pos]) {
+            int len = match_len(cand, pos);
+            if (len > best) {
+                best = len;
+                *best_dist = pos - cand;
+            }
+            chain = chain - 1;
+        }
+        cand = cand - 1;
+    }
+    return best;
+}
+
+// Output is buffered like the real gzip: tokens accumulate in outbuf
+// and are flushed to the output stream only when the buffer fills.
+int flush_out() {
+    int i = 0;
+    while (i < out_len) {
+        if (outbuf[i] < 0) {
+            print_char('M');
+            print_int(0 - outbuf[i]);
+        } else {
+            print_char('L');
+            print_int(outbuf[i]);
+        }
+        i = i + 1;
+    }
+    out_len = 0;
+    return i;
+}
+
+int emit_token(int token) {
+    if (out_len >= 90) {
+        flush_out();
+    }
+    outbuf[out_len] = token;
+    out_len = out_len + 1;
+    out_tokens = out_tokens + 1;
+    return out_len;
+}
+
+int emit_literal(int c) {
+    emit_token(c);
+    literals = literals + 1;
+    checksum = checksum + c;
+    return 1;
+}
+
+int emit_match(int len, int dist) {
+    emit_token(0 - (len * 512 + dist));
+    matches = matches + 1;
+    total_match_len = total_match_len + len;
+    checksum = checksum + len * 7 + dist;
+    return len;
+}
+
+// ---- optional statistics pass (never enabled benignly) ----
+
+int stat_ratio() {
+    // Average input bytes covered per match: a real statistics pass
+    // runs once matches exist; an NT-Path arriving before the first
+    // match divides by zero and crashes (a Figure-3 crash site).
+    return in_len * 100 / total_match_len;
+}
+
+int stat_histogram() {
+    int buckets[8];
+    int i = 0;
+    while (i < 8) {
+        buckets[i] = 0;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < out_len) {
+        int b = outbuf[i] % 8;
+        if (b < 0) { b = 0 - b; }
+        buckets[b] = buckets[b] + 1;
+        i = i + 1;
+    }
+    int best = 0;
+    i = 1;
+    while (i < 8) {
+        if (buckets[i] > buckets[best]) {
+            best = i;
+        }
+        i = i + 1;
+    }
+    return best;
+}
+
+// Retune the hash chains from scratch; reachable only at the deepest
+// statistics level with an already-large output.
+int retune_tables() {
+    int rebuilt = 0;
+    int i = 0;
+    while (i < 64) {
+        hash_head[i] = 0 - 1;
+        i = i + 1;
+    }
+    i = 0;
+    while (i + 2 < in_len && i < 256) {
+        int h = hash3(i);
+        if (hash_head[h] < 0) {
+            hash_head[h] = i;
+            rebuilt = rebuilt + 1;
+        } else if (i - hash_head[h] > 128) {
+            hash_head[h] = i;       // refresh stale heads
+        }
+        i = i + 1;
+    }
+    if (rebuilt < 8 && level > 5) {
+        max_chain = max_chain / 2;  // sparse input: shorter chains
+        if (max_chain < 4) {
+            max_chain = 4;
+        }
+    }
+    return rebuilt;
+}
+
+int stats_pass() {
+    int v = 0;
+    if (stats_mode > 0) {
+        v = v + stat_histogram();
+    }
+    if (stats_mode > 1) {
+        v = v + stat_ratio();
+    }
+    if (stats_mode > 2) {
+        if (out_tokens > 200) {
+            v = v + retune_tables();
+        }
+    }
+    return v;
+}
+
+int deflate() {
+    int pos = 0;
+    while (pos < in_len) {
+        int dist = 0;
+        int len = find_match(pos, &dist);
+        int lazy = 0;
+        if (len >= min_match && level > 3 && pos + 1 < in_len) {
+            // Lazy matching: peek whether the next position is
+            // better (exercised only at higher levels).
+            int d2 = 0;
+            int l2 = find_match(pos + 1, &d2);
+            if (l2 > len + 1) {
+                lazy = 1;
+            }
+        }
+        if (len >= min_match && lazy == 0) {
+            emit_match(len, dist);
+            int h = hash3(pos);
+            hash_head[h] = pos;
+            pos = pos + len;
+        } else {
+            emit_literal(inbuf[pos]);
+            int h = hash3(pos);
+            hash_head[h] = pos;
+            pos = pos + 1;
+        }
+        stats_pass();
+    }
+    return out_tokens;
+}
+
+int main() {
+    int mode = read_char();
+    if (mode >= '1' && mode <= '9') {
+        level = mode - '0';
+    }
+    if (mode == 'S') {
+        stats_mode = 2;
+    }
+    if (level > 8) {
+        max_chain = 64;
+    }
+    read_input();
+    deflate();
+    flush_out();
+    print_char(10);
+    print_str("lit=");
+    print_int(literals);
+    print_char(10);
+    print_str("match=");
+    print_int(matches);
+    print_char(10);
+    print_str("sum=");
+    print_int(checksum);
+    print_char(10);
+    return 0;
+}
+)MC";
+
+/** Compressible text: repeated phrases with noise, level prefix. */
+std::vector<int32_t>
+benignData(Rng &rng)
+{
+    static const char *phrases[] = {
+        "the quick brown fox ", "pack my box with ", "jumped over ",
+        "compression ratio ", "sliding window ",
+    };
+    std::vector<int32_t> in;
+    in.push_back('0' + static_cast<int32_t>(rng.nextRange(4, 7)));
+    int n = static_cast<int>(rng.nextRange(12, 25));
+    for (int i = 0; i < n; ++i) {
+        const char *p = phrases[rng.nextBelow(5)];
+        for (const char *q = p; *q; ++q)
+            in.push_back(static_cast<unsigned char>(*q));
+        if (rng.nextBool(0.3))
+            in.push_back(static_cast<int32_t>(rng.nextRange('a', 'z')));
+    }
+    return in;
+}
+
+} // namespace
+
+Workload
+makeGzip()
+{
+    Workload w;
+    w.name = "pe_gzip";
+    w.description = "SPEC2000 164.gzip stand-in (LZ77 compressor)";
+    w.tools = "none";
+    w.paperLoc = 8605;
+    w.maxNtPathLength = 1000;
+    w.source = source;
+
+    Rng rng(0xbadc0de8);
+    for (int i = 0; i < 50; ++i)
+        w.benignInputs.push_back(benignData(rng));
+
+    return w;
+}
+
+} // namespace pe::workloads

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * pe_man: MiniC stand-in for man-1.5h1 (paper Table 3: 4,675 LOC,
+ * 1 memory bug).
+ *
+ * A page formatter: reads lines, word-wraps them to the page width,
+ * and handles a handful of roff-style directives.
+ *
+ * Seeded memory bug man-m1 — the paper's showcase for consistency
+ * fixing (Table 5: the man bug is detected only *after* key-variable
+ * fixing):
+ *
+ *  - format_special() is guarded by `if (fmt_spec != 0)`; benign
+ *    inputs never install a format spec, so fmt_spec is null.
+ *  - Without fixing, the NT-Path enters with fmt_spec == 0 and the
+ *    first thing format_special does is read the spec's record
+ *    header at fmt_spec[-2]; address -2 wraps out of the address
+ *    space, the NT-Path crashes, and the bug below is never reached.
+ *  - With fixing, the compiler's predicated fix points fmt_spec at
+ *    the blank structure; the header read lands in the blank's guard
+ *    zone (one of the few remaining after-fix false positives) and
+ *    execution survives to the real bug: the header fill loop writes
+ *    `page_width/4 + 1` words into the 12-word hdr_buf.
+ */
+
+#include "src/support/rng.hh"
+#include "src/workloads/workloads.hh"
+
+namespace pe::workloads
+{
+
+namespace
+{
+
+const char *source = R"MC(
+// ---- pe_man (man-1.5h1 stand-in) ----
+
+int line_buf[40];
+int line_len = 0;
+int out_col = 0;
+int hdr_buf[12];
+
+int page_width = 60;
+int lines_in = 0;
+int lines_out = 0;
+int words_out = 0;
+int bold_mode = 0;
+int indent = 0;
+int section_count = 0;
+
+int *fmt_spec = 0;      // installed by the .F directive only
+int *macro_tab = 0;     // installed by the .M directive only
+int *hyphen_dict = 0;   // installed by the .D directive only
+int *font_map = 0;      // installed by the .G directive only
+
+int read_line() {
+    int c = read_char();
+    line_len = 0;
+    if (c == -1) { return 0; }
+    while (c != -1 && c != 10) {
+        if (line_len < 39) {
+            line_buf[line_len] = c;
+            line_len = line_len + 1;
+        }
+        c = read_char();
+    }
+    line_buf[line_len] = 0;
+    lines_in = lines_in + 1;
+    return 1;
+}
+
+int read_spec_header(int *spec) {
+    // The spec record carries a two-word header before the payload
+    // pointer handed around (like a malloc header).
+    return spec[0 - 2];
+}
+
+// Seeded bug man-m1: fills the section header rule using the page
+// width with no bound check; hdr_buf holds only 12 words but
+// page_width/4 + 1 == 16 get written, walking into the guard zone.
+int format_special() {
+    int kind = read_spec_header(fmt_spec);
+    int j = 0;
+    while (j <= page_width / 4) {
+        hdr_buf[j] = '=';
+        j = j + 1;
+    }
+    if (kind > 0) {
+        indent = kind;
+    }
+    return j;
+}
+
+// ---- optional formatting passes (never enabled benignly) ----
+
+int hyphen_mode = 0;
+int justify_mode = 0;
+int toc_mark = -1;
+int toc_buf[10];
+
+// Hyphenation scoring: rich branch structure visited only by
+// NT-Paths during monitored runs.
+int hyphen_score(int len) {
+    int score = 0;
+    if (len < 4) {
+        score = 0;
+    } else if (len < 7) {
+        score = 1;
+        if (line_buf[0] == 'a' || line_buf[0] == 'e') {
+            score = 2;
+        }
+    } else if (len < 10) {
+        score = 3;
+        if (bold_mode == 1) {
+            score = 4;
+        }
+    } else {
+        score = 5;
+        if (indent > 4) {
+            score = 6;
+        }
+    }
+    return score;
+}
+
+int justify_gaps(int words, int slack) {
+    int per = 0;
+    if (words > 1) {
+        per = slack / (words - 1);
+        if (per > 4) {
+            per = 4;
+        }
+    } else if (slack > 8) {
+        per = 2;
+    }
+    if (per < 0) {
+        per = 0;
+    }
+    return per;
+}
+
+// Deep path: a justified, hyphenated, deeply indented line -- three
+// rare conditions no single NT-Path flip can line up.
+// Recovery: rebuild a line whose layout state went inconsistent.
+// Reachable only when justification, hyphenation and a deep indent
+// coincide -- a combination no single NT-Path flip produces.
+int rebuild_layout() {
+    int moved = 0;
+    int write = 0;
+    int i = 0;
+    while (i < line_len) {
+        int c = line_buf[i];
+        if (c == 9) {
+            c = 32;                 // tabs become spaces
+            moved = moved + 1;
+        }
+        if (c == 32 && write == 0) {
+            moved = moved + 1;      // drop leading blanks
+        } else if (c == 32 && i + 1 < line_len &&
+                   line_buf[i + 1] == 32) {
+            moved = moved + 1;      // squeeze runs of blanks
+        } else {
+            line_buf[write] = c;
+            write = write + 1;
+        }
+        i = i + 1;
+    }
+    if (write < line_len) {
+        line_buf[write] = 0;
+        line_len = write;
+    }
+    if (out_col > page_width) {
+        out_col = page_width;
+        moved = moved + 1;
+    }
+    if (indent > write) {
+        indent = write / 2;
+    }
+    return moved;
+}
+
+int deep_layout() {
+    int adjust = 0;
+    if (justify_mode == 1) {
+        if (hyphen_mode == 1) {
+            if (indent > 8) {
+                int i = 0;
+                while (i < line_len) {
+                    if (line_buf[i] == '-') {
+                        adjust = adjust + 1;
+                    }
+                    i = i + 1;
+                }
+                adjust = adjust + rebuild_layout();
+            }
+        }
+    }
+    return adjust;
+}
+
+int toc_note() {
+    // toc_mark is -1 unless the .T directive armed it; the comparison
+    // is variable-vs-variable so no consistency fix applies, and an
+    // NT-Path indexes one below toc_buf (a residual false positive).
+    if (toc_mark == lines_in) {
+        toc_buf[toc_mark % 10] = section_count;
+    }
+    return 0;
+}
+
+int expand_macros(int c) {
+    if (macro_tab != 0) {
+        int slot = c % 16;
+        if (slot < 0) { slot = 0; }
+        return macro_tab[slot];
+    }
+    return c;
+}
+
+int dict_lookup(int c0, int len) {
+    int score = 0;
+    if (hyphen_dict != 0) {
+        int k = c0 % 6;
+        if (k < 0) { k = 0; }
+        score = hyphen_dict[k];
+        if (hyphen_dict[k + 1] == len) {
+            score = score + 2;
+        }
+        hyphen_dict[k] = len;
+    }
+    return score;
+}
+
+int map_font(int c) {
+    if (font_map != 0) {
+        int slot = c % 7;
+        if (slot < 0) { slot = 0; }
+        if (font_map[slot] != 0) {
+            return font_map[slot];
+        }
+        font_map[slot] = c;
+    }
+    return c;
+}
+
+int emit_word(int start, int len) {
+    int i = 0;
+    if (out_col + len > page_width) {
+        print_char(10);
+        out_col = 0;
+        lines_out = lines_out + 1;
+    }
+    if (out_col == 0) {
+        while (i < indent) {
+            print_char(32);
+            out_col = out_col + 1;
+            i = i + 1;
+        }
+    }
+    dict_lookup(line_buf[start], len);
+    i = 0;
+    while (i < len) {
+        int c = expand_macros(line_buf[start + i]);
+        c = map_font(c);
+        if (bold_mode == 1) {
+            print_char(c);  // crude bold: double-strike
+        }
+        print_char(c);
+        out_col = out_col + 1;
+        i = i + 1;
+    }
+    print_char(32);
+    out_col = out_col + 1;
+    words_out = words_out + 1;
+    return out_col;
+}
+
+int handle_directive() {
+    int c = line_buf[1];
+    if (c == 'B') {
+        bold_mode = 1;
+    }
+    if (c == 'b') {
+        bold_mode = 0;
+    }
+    if (c == 'I') {
+        indent = indent + 2;
+        if (indent > 12) { indent = 12; }
+    }
+    if (c == 'i') {
+        indent = 0;
+    }
+    if (c == 'S') {
+        section_count = section_count + 1;
+        print_char(10);
+        out_col = 0;
+    }
+    if (c == 'F') {
+        fmt_spec = malloc(6) + 2;   // payload after a 2-word header
+        fmt_spec[0 - 2] = 3;        // header: kind
+        fmt_spec[0 - 1] = 6;        // header: size
+    }
+    if (c == 'M') {
+        macro_tab = malloc(16);
+    }
+    if (c == 'H') {
+        hyphen_mode = 1;
+    }
+    if (c == 'J') {
+        justify_mode = 1;
+    }
+    if (c == 'T') {
+        toc_mark = lines_in + 1;
+    }
+    if (c == 'D') {
+        hyphen_dict = malloc(8);
+    }
+    if (c == 'G') {
+        font_map = malloc(7);
+    }
+    return c;
+}
+
+int process_line() {
+    int i = 0;
+    int start = 0;
+
+    if (line_len >= 2 && line_buf[0] == '.') {
+        handle_directive();
+        return 0;
+    }
+    if (fmt_spec != 0) {
+        format_special();
+    }
+    toc_note();
+    if (hyphen_mode == 1) {
+        hyphen_score(line_len);
+    }
+    if (justify_mode == 1) {
+        justify_gaps(line_len / 5, page_width - out_col);
+        deep_layout();
+    }
+    while (i <= line_len) {
+        int c = 0;
+        if (i < line_len) { c = line_buf[i]; }
+        if (c == 32 || c == 0) {
+            if (i > start) {
+                emit_word(start, i - start);
+            }
+            start = i + 1;
+        }
+        i = i + 1;
+    }
+    return 0;
+}
+
+int main() {
+    while (read_line()) {
+        process_line();
+    }
+    print_char(10);
+    print_str("lines=");
+    print_int(lines_in);
+    print_char(10);
+    print_str("words=");
+    print_int(words_out);
+    print_char(10);
+    print_str("sections=");
+    print_int(section_count);
+    print_char(10);
+    return 0;
+}
+)MC";
+
+std::vector<int32_t>
+chars(const std::string &text)
+{
+    std::vector<int32_t> out;
+    for (char c : text)
+        out.push_back(static_cast<unsigned char>(c));
+    return out;
+}
+
+/** Benign pages: words plus .B/.b/.I/.i/.S directives, never .F/.M. */
+std::vector<int32_t>
+benignPage(Rng &rng)
+{
+    static const char *words[] = {
+        "the", "command", "prints", "formatted", "manual", "pages",
+        "with", "options", "described", "below", "output", "file",
+    };
+    static const char *directives[] = {".B", ".b", ".I", ".i", ".S"};
+    std::string text;
+    int lines = static_cast<int>(rng.nextRange(6, 16));
+    for (int l = 0; l < lines; ++l) {
+        if (rng.nextBool(0.25)) {
+            text += directives[rng.nextBelow(5)];
+            text += '\n';
+            continue;
+        }
+        int n = static_cast<int>(rng.nextRange(3, 8));
+        for (int i = 0; i < n; ++i) {
+            text += words[rng.nextBelow(12)];
+            text += ' ';
+        }
+        text += '\n';
+    }
+    return chars(text);
+}
+
+} // namespace
+
+Workload
+makeMan()
+{
+    Workload w;
+    w.name = "pe_man";
+    w.description = "man-1.5h1 stand-in (page formatter)";
+    w.tools = "memory";
+    w.paperLoc = 4675;
+    w.maxNtPathLength = 1000;
+    w.source = source;
+
+    Rng rng(0xbadc0de7);
+    for (int i = 0; i < 50; ++i)
+        w.benignInputs.push_back(benignPage(rng));
+
+    {
+        BugSpec b;
+        b.id = "man-m1";
+        b.kind = BugSpec::Kind::Memory;
+        b.funcName = "format_special";
+        b.expectPeDetect = true;    // with variable fixing (default)
+        b.description = "header rule fill overruns hdr_buf; detected "
+                        "only with the blank-structure pointer fix";
+        w.bugs.push_back(b);
+    }
+
+    // Trigger: install a format spec, then format a text line.
+    w.triggerInputs["man-m1"] = chars(".F\nhello world\n");
+
+    return w;
+}
+
+} // namespace pe::workloads

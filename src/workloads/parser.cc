@@ -1,0 +1,370 @@
+/**
+ * @file
+ * pe_parser: MiniC stand-in for SPEC2000 197.parser (coverage and
+ * overhead experiments; no seeded bugs).
+ *
+ * A sentence grammar checker: words are looked up in a small
+ * dictionary with part-of-speech tags and sentences are validated
+ * against a phrase grammar by a backtracking matcher.
+ */
+
+#include "src/support/rng.hh"
+#include "src/workloads/workloads.hh"
+
+namespace pe::workloads
+{
+
+namespace
+{
+
+const char *source = R"MC(
+// ---- pe_parser (197.parser stand-in) ----
+
+// Part-of-speech tags: 1 det, 2 noun, 3 verb, 4 adj, 5 adv, 6 prep,
+// 0 unknown.
+int word_buf[12];
+int word_len = 0;
+
+int tags[40];           // tag sequence of the current sentence
+int ntags = 0;
+
+int sentences = 0;
+int accepted = 0;
+int rejected = 0;
+int unknown_words = 0;
+int long_sentences = 0;
+
+int dict_the[4] = { 't', 'h', 'e', 0 };
+int dict_a[2] = { 'a', 0 };
+int dict_dog[4] = { 'd', 'o', 'g', 0 };
+int dict_cat[4] = { 'c', 'a', 't', 0 };
+int dict_man[4] = { 'm', 'a', 'n', 0 };
+int dict_park[5] = { 'p', 'a', 'r', 'k', 0 };
+int dict_sees[5] = { 's', 'e', 'e', 's', 0 };
+int dict_walks[6] = { 'w', 'a', 'l', 'k', 's', 0 };
+int dict_likes[6] = { 'l', 'i', 'k', 'e', 's', 0 };
+int dict_big[4] = { 'b', 'i', 'g', 0 };
+int dict_old[4] = { 'o', 'l', 'd', 0 };
+int dict_quickly[8] = { 'q', 'u', 'i', 'c', 'k', 'l', 'y', 0 };
+int dict_in[3] = { 'i', 'n', 0 };
+int dict_on[3] = { 'o', 'n', 0 };
+
+int word_is(int *entry) {
+    int i = 0;
+    while (entry[i] != 0 && i < word_len) {
+        if (entry[i] != word_buf[i]) { return 0; }
+        i = i + 1;
+    }
+    if (entry[i] == 0 && i == word_len) { return 1; }
+    return 0;
+}
+
+int lookup_tag() {
+    if (word_is(dict_the) || word_is(dict_a)) { return 1; }
+    if (word_is(dict_dog) || word_is(dict_cat)) { return 2; }
+    if (word_is(dict_man) || word_is(dict_park)) { return 2; }
+    if (word_is(dict_sees) || word_is(dict_walks)) { return 3; }
+    if (word_is(dict_likes)) { return 3; }
+    if (word_is(dict_big) || word_is(dict_old)) { return 4; }
+    if (word_is(dict_quickly)) { return 5; }
+    if (word_is(dict_in) || word_is(dict_on)) { return 6; }
+    return 0;
+}
+
+// NP := det adj* noun | noun
+int match_np(int pos) {
+    int p = pos;
+    if (p < ntags && tags[p] == 1) {
+        p = p + 1;
+        while (p < ntags && tags[p] == 4) {
+            p = p + 1;
+        }
+        if (p < ntags && tags[p] == 2) {
+            return p + 1;
+        }
+        return -1;
+    }
+    if (p < ntags && tags[p] == 2) {
+        return p + 1;
+    }
+    return -1;
+}
+
+// PP := prep NP
+int match_pp(int pos) {
+    if (pos < ntags && tags[pos] == 6) {
+        return match_np(pos + 1);
+    }
+    return -1;
+}
+
+// VP := verb adv? NP? PP?
+int match_vp(int pos) {
+    int p = pos;
+    if (p >= ntags || tags[p] != 3) {
+        return -1;
+    }
+    p = p + 1;
+    if (p < ntags && tags[p] == 5) {
+        p = p + 1;
+    }
+    int after_np = match_np(p);
+    if (after_np > 0) {
+        p = after_np;
+    }
+    int after_pp = match_pp(p);
+    if (after_pp > 0) {
+        p = after_pp;
+    }
+    return p;
+}
+
+// S := NP VP
+int match_sentence() {
+    int p = match_np(0);
+    if (p < 0) { return 0; }
+    p = match_vp(p);
+    if (p < 0) { return 0; }
+    if (p == ntags) { return 1; }
+    return 0;
+}
+
+// ---- style analysis (enabled by a "!style" word; never benign) ----
+
+int style_mode = 0;
+
+int style_check() {
+    int score = 0;
+    int i = 0;
+    int nouns = 0;
+    int verbs = 0;
+    int adjs = 0;
+    while (i < ntags) {
+        if (tags[i] == 2) {
+            nouns = nouns + 1;
+        } else if (tags[i] == 3) {
+            verbs = verbs + 1;
+        } else if (tags[i] == 4) {
+            adjs = adjs + 1;
+            if (i + 1 < ntags && tags[i + 1] == 4) {
+                score = score + 1;  // stacked adjectives
+            }
+        } else if (tags[i] == 5) {
+            if (i == 0) {
+                score = score + 2;  // leading adverb
+            }
+        }
+        i = i + 1;
+    }
+    if (verbs > 1) {
+        score = score + verbs - 1;
+    }
+    if (nouns == 0) {
+        score = score + 3;
+    } else if (adjs > nouns) {
+        score = score + 1;
+    }
+    return score;
+}
+
+// Suggestions: propose fixes for a rejected sentence.  Reachable
+// only with style mode armed twice and four-plus long sentences.
+int suggest_fixes() {
+    int fixes = 0;
+    int i = 0;
+    int last = -1;
+    while (i < ntags) {
+        int t = tags[i];
+        if (t == 0) {
+            fixes = fixes + 1;          // replace unknown word
+        } else if (t == last) {
+            if (t == 2) {
+                fixes = fixes + 1;      // noun noun: insert prep
+            } else if (t == 3) {
+                fixes = fixes + 2;      // verb verb: split sentence
+            } else if (t == 1) {
+                fixes = fixes + 1;      // det det: drop one
+            }
+        } else if (t == 6 && i + 1 == ntags) {
+            fixes = fixes + 1;          // trailing preposition
+        }
+        last = t;
+        i = i + 1;
+    }
+    if (ntags > 20) {
+        fixes = fixes + 2;
+    } else if (ntags > 12) {
+        fixes = fixes + 1;
+    }
+    return fixes;
+}
+
+int deep_style() {
+    int v = 0;
+    // Nested rare conditions: beyond a single NT-Path flip.
+    if (style_mode > 1) {
+        if (long_sentences > 3) {
+            int i = 0;
+            while (i < ntags) {
+                if (tags[i] == 6) {
+                    v = v + 1;
+                }
+                i = i + 1;
+            }
+            if (v > 2) {
+                v = 2;
+            }
+            v = v + suggest_fixes();
+        }
+    }
+    return v;
+}
+
+int read_word() {
+    int c = read_char();
+    while (c == 32) {
+        c = read_char();
+    }
+    if (c == -1) { return -1; }
+    if (c == 10 || c == '.') { return 0; }
+    word_len = 0;
+    while (c != -1 && c != 32 && c != 10 && c != '.') {
+        if (word_len < 11) {
+            word_buf[word_len] = c;
+            word_len = word_len + 1;
+        }
+        c = read_char();
+    }
+    return 1;
+}
+
+int main() {
+    int more = 1;
+    while (more) {
+        ntags = 0;
+        int r = read_word();
+        while (r == 1) {
+            int t = lookup_tag();
+            if (t == 0) {
+                unknown_words = unknown_words + 1;
+                if (word_buf[0] == '!') {
+                    style_mode = style_mode + 1;    // "!style"
+                }
+            }
+            if (ntags < 40) {
+                tags[ntags] = t;
+                ntags = ntags + 1;
+            }
+            r = read_word();
+        }
+        if (ntags > 0) {
+            sentences = sentences + 1;
+            if (ntags > 12) {
+                long_sentences = long_sentences + 1;
+            }
+            if (style_mode > 0) {
+                style_check();
+            }
+            if (style_mode > 1) {
+                deep_style();
+            }
+            if (match_sentence()) {
+                accepted = accepted + 1;
+                print_char('+');
+            } else {
+                rejected = rejected + 1;
+                print_char('-');
+            }
+        }
+        if (r == -1) { more = 0; }
+    }
+    print_char(10);
+    print_str("sentences=");
+    print_int(sentences);
+    print_char(10);
+    print_str("accepted=");
+    print_int(accepted);
+    print_char(10);
+    print_str("unknown=");
+    print_int(unknown_words);
+    print_char(10);
+    return 0;
+}
+)MC";
+
+std::vector<int32_t>
+chars(const std::string &text)
+{
+    std::vector<int32_t> out;
+    for (char c : text)
+        out.push_back(static_cast<unsigned char>(c));
+    return out;
+}
+
+std::vector<int32_t>
+benignText(Rng &rng)
+{
+    static const char *dets[] = {"the", "a"};
+    static const char *nouns[] = {"dog", "cat", "man", "park"};
+    static const char *verbs[] = {"sees", "walks", "likes"};
+    static const char *adjs[] = {"big", "old"};
+    static const char *preps[] = {"in", "on"};
+    std::string text;
+    int n = static_cast<int>(rng.nextRange(4, 10));
+    for (int s = 0; s < n; ++s) {
+        text += dets[rng.nextBelow(2)];
+        text += ' ';
+        if (rng.nextBool(0.4)) {
+            text += adjs[rng.nextBelow(2)];
+            text += ' ';
+        }
+        text += nouns[rng.nextBelow(4)];
+        text += ' ';
+        text += verbs[rng.nextBelow(3)];
+        text += ' ';
+        if (rng.nextBool(0.5)) {
+            if (rng.nextBool(0.3)) {
+                text += "quickly ";
+            }
+            text += dets[rng.nextBelow(2)];
+            text += ' ';
+            text += nouns[rng.nextBelow(4)];
+            text += ' ';
+        }
+        if (rng.nextBool(0.3)) {
+            text += preps[rng.nextBelow(2)];
+            text += ' ';
+            text += dets[rng.nextBelow(2)];
+            text += ' ';
+            text += nouns[rng.nextBelow(4)];
+            text += ' ';
+        }
+        if (rng.nextBool(0.15)) {
+            text += "zzyzx ";    // unknown word path
+        }
+        text += ".\n";
+    }
+    return chars(text);
+}
+
+} // namespace
+
+Workload
+makeParser()
+{
+    Workload w;
+    w.name = "pe_parser";
+    w.description = "SPEC2000 197.parser stand-in (grammar checker)";
+    w.tools = "none";
+    w.paperLoc = 10932;
+    w.maxNtPathLength = 1000;
+    w.source = source;
+
+    Rng rng(0xbadc0dea);
+    for (int i = 0; i < 50; ++i)
+        w.benignInputs.push_back(benignText(rng));
+
+    return w;
+}
+
+} // namespace pe::workloads

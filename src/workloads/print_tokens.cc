@@ -1,0 +1,461 @@
+/**
+ * @file
+ * print_tokens: MiniC re-creation of the Siemens print_tokens
+ * benchmark (paper Table 3: 726 LOC, 7 seeded bug versions).
+ *
+ * A stream tokenizer that prints one classified token per line.
+ * Seeded assertion bugs: 101-105 PE-detectable (invariant checks on
+ * cold branches violated whenever the branch body runs), 106
+ * special-input-only (nested cold conditions), 107
+ * inconsistency-masked (correlated variable not fixed).
+ */
+
+#include "src/support/rng.hh"
+#include "src/workloads/workloads.hh"
+
+namespace pe::workloads
+{
+
+namespace
+{
+
+const char *source = R"MC(
+// ---- print_tokens (Siemens-suite re-creation) ----
+
+int buf[12];
+int buf_len = 0;
+int pushback = -2;          // -2: empty
+
+int nesting = 0;
+int total = 0;
+int seen_any = 0;
+int numlen = 0;
+int ovf = 0;
+int dup_ops = 0;
+int reported = 0;
+int err_flag = 0;
+int mode = 0;
+int width = 4;
+int flush_req = 0;
+int flush_data = 0;
+int last_was_op = 0;
+
+int next_char() {
+    int c = 0;
+    if (pushback != -2) {
+        c = pushback;
+        pushback = -2;
+        return c;
+    }
+    return read_char();
+}
+
+int is_ws(int c) {
+    if (c == 32) { return 1; }
+    if (c == 10) { return 1; }
+    if (c == 9) { return 1; }
+    return 0;
+}
+
+int is_dig(int c) {
+    if (c >= '0') {
+        if (c <= '9') { return 1; }
+    }
+    return 0;
+}
+
+int is_letter(int c) {
+    if (c >= 'a' && c <= 'z') { return 1; }
+    if (c >= 'A' && c <= 'Z') { return 1; }
+    return 0;
+}
+
+int is_op(int c) {
+    if (c == '+') { return 1; }
+    if (c == '-') { return 1; }
+    if (c == '*') { return 1; }
+    if (c == '/') { return 1; }
+    return 0;
+}
+
+// Token kinds: 1 number, 2 identifier, 3 operator, 4 open, 5 close,
+// 6 error, 7 directive.
+int get_token() {
+    int c = next_char();
+    while (c != -1 && is_ws(c)) {
+        c = next_char();
+    }
+    if (c == -1) { return 0; }
+    buf_len = 0;
+
+    if (is_dig(c)) {
+        numlen = 0;
+        while (c != -1 && is_dig(c)) {
+            if (buf_len < 11) {
+                buf[buf_len] = c;
+                buf_len = buf_len + 1;
+            }
+            numlen = numlen + 1;
+            c = next_char();
+        }
+        pushback = c;
+        if (numlen > 5) {
+            // Seeded bug 103: long numbers must raise the overflow
+            // flag; the seeded fault forgot to set it.
+            assert(ovf == 1, 103);
+        }
+        return 1;
+    }
+
+    if (is_letter(c)) {
+        while (c != -1 && (is_letter(c) || is_dig(c))) {
+            if (buf_len < 11) {
+                buf[buf_len] = c;
+                buf_len = buf_len + 1;
+            }
+            c = next_char();
+        }
+        pushback = c;
+        return 2;
+    }
+
+    if (is_op(c)) {
+        buf[0] = c;
+        buf_len = 1;
+        if (last_was_op == 1) {
+            dup_ops = dup_ops + 1;
+        }
+        if (dup_ops > 3) {
+            // Seeded bug 104: runs of duplicate operators must have
+            // been reported; the fault dropped the report call.
+            assert(reported > 0, 104);
+            dup_ops = 0;
+        }
+        return 3;
+    }
+
+    if (c == '(') { return 4; }
+    if (c == ')') { return 5; }
+
+    if (c == '@') {
+        c = next_char();
+        if (is_dig(c)) {
+            mode = c - '0';
+        }
+        return 7;
+    }
+
+    err_flag = err_flag + 1;
+    return 6;
+}
+
+int handle_nesting(int kind) {
+    if (kind == 4) {
+        nesting = nesting + 1;
+    }
+    if (kind == 5) {
+        nesting = nesting - 1;
+        if (nesting < 0) {
+            // Seeded bug 105: underflow recovery must record an
+            // error first; the fault silently resets the tracker.
+            assert(err_flag > 0, 105);
+            nesting = 0;
+        }
+    }
+    if (nesting > 4) {
+        // Seeded bug 101: deep nesting should reset the tracker; the
+        // fault only decrements it.
+        nesting = nesting - 1;
+        assert(nesting == 0, 101);
+    }
+    return nesting;
+}
+
+// ---- diagnostics mode (directive @8 / @9; never enabled benignly) --
+
+int diag_level = 0;
+int kind_hist[8];
+
+int classify_run(int kind, int run) {
+    int c = 0;
+    if (run < 2) {
+        c = 1;
+    } else if (run < 5) {
+        c = 2;
+        if (kind == 3) {
+            c = 3;
+        }
+    } else {
+        c = 4;
+        if (kind == 1) {
+            c = 5;
+        } else if (kind == 2) {
+            c = 6;
+        }
+    }
+    if (nesting > 2 && c > 2) {
+        c = c + 10;
+    }
+    return c;
+}
+
+int histogram_note(int kind) {
+    if (kind >= 0 && kind < 8) {
+        kind_hist[kind] = kind_hist[kind] + 1;
+    }
+    int peak = 0;
+    int i = 1;
+    while (i < 8) {
+        if (kind_hist[i] > kind_hist[peak]) {
+            peak = i;
+        }
+        i = i + 1;
+    }
+    return peak;
+}
+
+// Recovery: recalibrate the histogram after repeated errors.
+// Reachable only with diagnostics armed twice and four-plus errors.
+int recalibrate() {
+    int dropped = 0;
+    int total_h = 0;
+    int i = 0;
+    while (i < 8) {
+        total_h = total_h + kind_hist[i];
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 8) {
+        if (kind_hist[i] * 8 > total_h * 3) {
+            kind_hist[i] = total_h * 3 / 8;     // cap dominant kinds
+            dropped = dropped + 1;
+        } else if (kind_hist[i] == 1) {
+            kind_hist[i] = 0;                   // drop singletons
+            dropped = dropped + 1;
+        }
+        i = i + 1;
+    }
+    if (dup_ops > 0) {
+        dup_ops = dup_ops - 1;
+    }
+    if (nesting > 2) {
+        nesting = 2;
+        dropped = dropped + 1;
+    }
+    if (dropped > 6) {
+        dropped = 6;
+    }
+    return dropped;
+}
+
+int deep_diag() {
+    int v = 0;
+    // Two nested rare conditions: beyond a single NT-Path flip.
+    if (diag_level > 1) {
+        if (err_flag > 3) {
+            int i = 0;
+            while (i < 8) {
+                if (kind_hist[i] == 0) {
+                    v = v + 1;
+                }
+                i = i + 1;
+            }
+            v = v + recalibrate();
+            if (v > 5) {
+                v = 5;
+            }
+        }
+    }
+    return v;
+}
+
+int diag_token(int kind) {
+    if (diag_level > 0) {
+        classify_run(kind, dup_ops);
+        histogram_note(kind);
+    }
+    if (diag_level > 1) {
+        deep_diag();
+    }
+    return kind;
+}
+
+int print_kind(int kind) {
+    print_str("tok:");
+    print_int(kind);
+    print_char(10);
+    return 0;
+}
+
+int handle_directive() {
+    if (mode == 8) {
+        diag_level = 1;
+    }
+    if (mode == 9) {
+        diag_level = 2;
+    }
+    if (mode == 2) {
+        if (width > 9) {
+            // Seeded bug 106 (special input): wide formatting in
+            // mode 2 hits the faulty layout code.
+            assert(width < 12, 106);
+        }
+        width = width + 1;
+    }
+    if (mode == 5) {
+        // Seeded bug 102: mode 5 is only legal after an error; the
+        // fault allows it unconditionally.
+        assert(err_flag > 0, 102);
+        mode = 0;
+    }
+    return mode;
+}
+
+int main() {
+    int kind = get_token();
+    while (kind != 0) {
+        total = total + 1;
+        seen_any = 1;
+        handle_nesting(kind);
+        if (kind == 3) {
+            last_was_op = 1;
+        } else {
+            last_was_op = 0;
+        }
+        handle_directive();
+        if (flush_req == 1) {
+            // Seeded bug 107 (inconsistency-masked): a real run with
+            // flush_req == 1 also carries flush_data != 0; the fault
+            // mishandles exactly that pairing.  On an NT-Path
+            // flush_req is fixed to 1 but flush_data keeps its benign
+            // value 0, masking the violation.
+            assert(flush_data == 0, 107);
+            flush_req = 0;
+        }
+        if (kind == 6) {
+            flush_req = 1;
+            flush_data = total;
+        }
+        diag_token(kind);
+        print_kind(kind);
+        kind = get_token();
+    }
+    if (total == 0) {
+        print_str("empty\n");
+    }
+    print_str("total=");
+    print_int(total);
+    print_char(10);
+    return 0;
+}
+)MC";
+
+std::vector<int32_t>
+chars(const std::string &text)
+{
+    std::vector<int32_t> out;
+    for (char c : text)
+        out.push_back(static_cast<unsigned char>(c));
+    return out;
+}
+
+/**
+ * Benign streams: numbers up to 5 digits, identifiers, single
+ * operators (never more than 3 duplicate pairs), shallow balanced
+ * parens, no '@' directives, no illegal characters.
+ */
+std::vector<int32_t>
+benignStream(Rng &rng)
+{
+    static const char *atoms[] = {
+        "12", "345", "7", "90", "4711", "x", "count", "sum", "tmp",
+        "alpha", "idx",
+    };
+    static const char ops[] = {'+', '-', '*', '/'};
+    std::string text;
+    int n = static_cast<int>(rng.nextRange(10, 70));
+    bool last_op = true;    // start with an atom
+    int depth = 0;
+    for (int i = 0; i < n; ++i) {
+        double roll = rng.nextDouble();
+        if (roll < 0.12 && depth < 3) {
+            text += "( ";
+            ++depth;
+            last_op = true;
+        } else if (roll < 0.2 && depth > 0) {
+            text += ") ";
+            --depth;
+            last_op = false;
+        } else if (roll < 0.55 && !last_op) {
+            text += ops[rng.nextBelow(4)];
+            text += ' ';
+            last_op = true;
+        } else {
+            text += atoms[rng.nextBelow(11)];
+            text += rng.nextBool(0.2) ? '\n' : ' ';
+            last_op = false;
+        }
+    }
+    while (depth-- > 0)
+        text += ") ";
+    return chars(text);
+}
+
+} // namespace
+
+Workload
+makePrintTokens()
+{
+    Workload w;
+    w.name = "print_tokens";
+    w.description = "Siemens print_tokens re-creation (tokenizer)";
+    w.tools = "assert";
+    w.paperLoc = 726;
+    w.maxNtPathLength = 200;
+    w.source = source;
+
+    Rng rng(0xbadc0de1);
+    for (int i = 0; i < 50; ++i)
+        w.benignInputs.push_back(benignStream(rng));
+
+    auto assertBug = [&w](int id, bool detect, const std::string &cat,
+                          const std::string &desc) {
+        BugSpec b;
+        b.id = "pt-a" + std::to_string(id);
+        b.kind = BugSpec::Kind::Assertion;
+        b.assertId = id;
+        b.expectPeDetect = detect;
+        b.missCategory = cat;
+        b.description = desc;
+        w.bugs.push_back(b);
+    };
+    assertBug(101, true, "", "deep nesting only decremented");
+    assertBug(102, true, "", "mode 5 legal without an error");
+    assertBug(103, true, "", "number overflow flag never set");
+    assertBug(104, true, "", "duplicate operators never reported");
+    assertBug(105, true, "", "paren underflow recovery drops the error");
+    assertBug(106, false, "special-input",
+              "nested cold branch (mode 2 with wide layout)");
+    assertBug(107, false, "inconsistency",
+              "flush_data correlated with the fixed variable");
+
+    w.triggerInputs["pt-a101"] = chars("( ( ( ( ( ( x");
+    w.triggerInputs["pt-a102"] = chars("@5 x");
+    w.triggerInputs["pt-a103"] = chars("1234567 x");
+    w.triggerInputs["pt-a104"] = chars("+ + + + + + + + + + x");
+    w.triggerInputs["pt-a105"] = chars(") x");
+    {
+        // Mode 2 repeatedly widens the layout until the faulty wide
+        // path fires (width reaches 12 on the 9th directive).
+        std::string t;
+        for (int i = 0; i < 10; ++i)
+            t += "@2 ";
+        t += "x";
+        w.triggerInputs["pt-a106"] = chars(t);
+    }
+    w.triggerInputs["pt-a107"] = chars("? x y");
+
+    return w;
+}
+
+} // namespace pe::workloads

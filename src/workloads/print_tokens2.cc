@@ -1,0 +1,542 @@
+/**
+ * @file
+ * print_tokens2: MiniC re-creation of the Siemens print_tokens2
+ * benchmark (paper Table 3: 570 LOC, 10 seeded bug versions).
+ *
+ * The program tokenizes a character stream and prints a classified
+ * summary.  Seeded bugs:
+ *
+ *  - v10 (memory, the paper's Figure 1): classify_quoted() scans for
+ *    the closing quote of a quoted token with `while (tok[i] != '"')`
+ *    and no bounds check; a quote-initial token without a second
+ *    quote overruns the token buffer.  Benign inputs never start a
+ *    token with '"', so only an NT-Path reaches the scan.
+ *  - 201/202/208/209 (assertions, PE-detectable): invariant checks on
+ *    cold branches that the seeded faults violate whenever the branch
+ *    body runs.
+ *  - 203 (assertion, inconsistency-masked, the paper's v3): the
+ *    invariant involves pending_data, which is correlated with the
+ *    branch condition but not fixed by PathExpander, so the NT-Path
+ *    state masks the violation.
+ *  - 204/205 (assertions, value-coverage-limited): sit on the hot
+ *    taken path and only fire for special input values.
+ *  - 206/207 (assertions, special-input-only, the paper's v6): behind
+ *    two nested cold conditions; the NT-Path flips the outer branch
+ *    but follows the actual (false) inner outcome.
+ */
+
+#include "src/support/rng.hh"
+#include "src/workloads/workloads.hh"
+
+namespace pe::workloads
+{
+
+namespace
+{
+
+const char *source = R"MC(
+// ---- print_tokens2 (Siemens-suite re-creation) ----
+
+int tok[10];
+int tok_len = 0;
+
+int line_num = 1;
+int num_tokens = 0;
+int num_keywords = 0;
+int num_numbers = 0;
+int num_idents = 0;
+int num_specials = 0;
+int num_strings = 0;
+int num_comments = 0;
+int error_count = 0;
+int paren_depth = 0;
+int state = 1;
+int pending = 0;
+int pending_data = 0;
+int last_kind = 0;
+
+int is_space(int c) {
+    if (c == 32) { return 1; }
+    if (c == 10) { return 1; }
+    if (c == 9) { return 1; }
+    return 0;
+}
+
+int is_digit(int c) {
+    if (c >= '0') {
+        if (c <= '9') { return 1; }
+    }
+    return 0;
+}
+
+int is_alpha(int c) {
+    if (c >= 'a') {
+        if (c <= 'z') { return 1; }
+    }
+    if (c >= 'A') {
+        if (c <= 'Z') { return 1; }
+    }
+    return 0;
+}
+
+// Read one whitespace-separated token into tok[]; 0 at end of input.
+int read_token() {
+    int c = read_char();
+    while (c != -1 && is_space(c)) {
+        if (c == 10) {
+            line_num = line_num + 1;
+        }
+        c = read_char();
+    }
+    if (c == -1) { return 0; }
+    tok_len = 0;
+    while (c != -1 && !is_space(c)) {
+        if (tok_len < 9) {
+            tok[tok_len] = c;
+            tok_len = tok_len + 1;
+        }
+        c = read_char();
+    }
+    tok[tok_len] = 0;
+    return 1;
+}
+
+int str_eq(int *a, int *b) {
+    int i = 0;
+    while (a[i] != 0 && b[i] != 0) {
+        if (a[i] != b[i]) { return 0; }
+        i = i + 1;
+    }
+    if (a[i] == b[i]) { return 1; }
+    return 0;
+}
+
+int is_keyword() {
+    if (str_eq(tok, "if")) { return 1; }
+    if (str_eq(tok, "else")) { return 1; }
+    if (str_eq(tok, "while")) { return 1; }
+    if (str_eq(tok, "return")) { return 1; }
+    if (str_eq(tok, "begin")) { return 1; }
+    if (str_eq(tok, "end")) { return 1; }
+    return 0;
+}
+
+int is_number() {
+    int i = 0;
+    while (i < tok_len) {
+        if (!is_digit(tok[i])) { return 0; }
+        i = i + 1;
+    }
+    if (tok_len > 0) { return 1; }
+    return 0;
+}
+
+// Figure 1 / seeded bug v10: scans for the closing quote without a
+// bounds check; a quoted token missing its second quote runs off the
+// end of tok[] into the guard zone.
+int classify_quoted() {
+    int i = 1;
+    while (tok[i] != '"') {
+        i = i + 1;
+    }
+    return i - 1;
+}
+
+int classify_special() {
+    int c = tok[0];
+    if (c == '(') {
+        paren_depth = paren_depth + 1;
+    }
+    if (c == ')') {
+        paren_depth = paren_depth - 1;
+        if (paren_depth < 0) {
+            error_count = error_count + 1;
+            paren_depth = 0;
+        }
+    }
+    if (paren_depth > 6) {
+        // Seeded bug 202: handler should reset the depth but only
+        // decrements it; the assertion checks the postcondition.
+        paren_depth = paren_depth - 1;
+        assert(paren_depth == 0, 202);
+    }
+    return 4;
+}
+
+int process_token() {
+    int kind = 0;
+    num_tokens = num_tokens + 1;
+    // Seeded bug 204 (value coverage): the 100th token is mishandled
+    // by the original fault; only inputs with >= 100 tokens expose it.
+    assert(num_tokens != 100, 204);
+    // Seeded bug 205 (value coverage): 9-character tokens are
+    // truncated incorrectly by the fault.
+    assert(tok_len != 9, 205);
+
+    if (tok[0] == '"') {
+        num_strings = num_strings + 1;
+        kind = 5;
+        classify_quoted();
+    } else if (is_keyword()) {
+        num_keywords = num_keywords + 1;
+        kind = 1;
+    } else if (is_number()) {
+        num_numbers = num_numbers + 1;
+        kind = 2;
+    } else if (is_alpha(tok[0])) {
+        num_idents = num_idents + 1;
+        kind = 3;
+    } else {
+        kind = classify_special();
+        num_specials = num_specials + 1;
+    }
+
+    if (tok[0] == '#') {
+        num_comments = num_comments + 1;
+        if (tok_len > 6) {
+            // Seeded bug 206 (special input): long #-tokens must be
+            // shebang lines; the fault drops the '!' check.
+            assert(tok[1] == '!', 206);
+        }
+    }
+
+    if (kind == 4 && last_kind == 4) {
+        state = state + 1;
+        if (state > 5) {
+            // Seeded bug 201: runs of special tokens push the state
+            // machine into a dead state; the fault forgets to record
+            // an error first.
+            assert(error_count > 0, 201);
+            state = 1;
+        }
+    } else {
+        state = 1;
+    }
+
+    if (pending == 1) {
+        // Seeded bug 203 (inconsistency-masked, the paper's v3): a
+        // real run with pending == 1 also carries pending_data != 0,
+        // and the seeded fault mishandles exactly that; on an NT-Path
+        // pending is fixed to 1 but pending_data keeps its benign 0,
+        // masking the violation.
+        assert(pending_data == 0, 203);
+        pending = 0;
+    }
+
+    if (tok[0] == '%') {
+        pending = 1;
+        pending_data = tok_len;
+        if (tok_len > 7) {
+            // Seeded bug 207 (special input): nested cold condition.
+            assert(tok[1] == '%', 207);
+        }
+    }
+
+    if (tok[0] == '&') {
+        lint_mode = lint_mode + 1;
+    }
+    if (tok[0] == '$') {
+        abbrev_tab = malloc(12);
+        locale_tab = malloc(8);
+        dialect_marker = num_tokens + 2;
+    }
+    note_dialect(kind);
+    if (lint_mode > 0) {
+        lint_token(kind);
+    }
+    if (lint_mode > 1) {
+        deep_lint();
+    }
+
+    last_kind = kind;
+    return kind;
+}
+
+// ---- lint mode (enabled by a "&lint" token; never benign) ----
+
+int lint_mode = 0;
+int style_warnings = 0;
+
+// ---- dialect support (enabled by a "$dialect" token; never
+// ---- benign).  The tables are the classic source of NT-Path
+// ---- null-dereference false positives before consistency fixing.
+
+int *abbrev_tab = 0;
+int *locale_tab = 0;
+int dialect_marker = -1;
+int dialect_notes[10];
+
+int note_dialect(int kind) {
+    if (abbrev_tab != 0) {
+        int k = tok[0] % 12;
+        if (k < 0) { k = 0; }
+        abbrev_tab[k] = abbrev_tab[k] + 1;
+        if (abbrev_tab[0] > 50) {
+            abbrev_tab[0] = 0;
+        }
+    }
+    if (locale_tab != 0) {
+        int slot = kind % 8;
+        if (slot < 0) { slot = 0; }
+        if (locale_tab[slot] == tok[0]) {
+            style_warnings = style_warnings + 1;
+        }
+        locale_tab[slot] = tok[0];
+    }
+    // dialect_marker is -1 unless armed; variable-vs-variable, so no
+    // consistency fix applies (a residual after-fix false positive).
+    if (dialect_marker == num_tokens) {
+        dialect_notes[dialect_marker % 10] = kind;
+    }
+    return kind;
+}
+
+int lint_token(int kind) {
+    int w = 0;
+    if (tok_len > 6) {
+        w = w + 1;
+        if (kind == 3) {
+            w = w + 1;
+        }
+    }
+    if (kind == 2) {
+        if (tok[0] == '0' && tok_len > 1) {
+            w = w + 2;      // leading zero
+        }
+    } else if (kind == 1) {
+        if (num_keywords > 10) {
+            w = w + 1;
+        }
+    } else if (kind == 4) {
+        if (paren_depth > 3) {
+            w = w + 1;
+        }
+        if (last_kind == 4) {
+            w = w + 1;
+        }
+    }
+    if (line_num > 40 && w > 0) {
+        w = w + 1;
+    }
+    style_warnings = style_warnings + w;
+    return w;
+}
+
+// Style report: summarize warnings by token class.  Reachable only
+// with lint mode armed twice and nine-plus accumulated warnings.
+int style_report() {
+    int grade = 0;
+    if (style_warnings > 20) {
+        grade = 4;
+    } else if (style_warnings > 14) {
+        grade = 3;
+        if (num_specials > num_idents) {
+            grade = 4;
+        }
+    } else {
+        grade = 2;
+        if (num_keywords == 0) {
+            grade = 3;
+        } else if (num_numbers > num_keywords * 3) {
+            grade = 3;
+        }
+    }
+    if (paren_depth != 0) {
+        grade = grade + 1;
+    }
+    if (error_count > 0 && grade > 2) {
+        grade = grade + 1;
+    }
+    return grade;
+}
+
+int deep_lint() {
+    int v = 0;
+    // Nested rare conditions: beyond a single NT-Path flip.
+    if (lint_mode > 1) {
+        if (style_warnings > 8) {
+            int i = 0;
+            while (i < tok_len) {
+                if (tok[i] == tok[0]) {
+                    v = v + 1;
+                }
+                i = i + 1;
+            }
+            v = v + style_report();
+        }
+    }
+    return v;
+}
+
+int print_summary() {
+    print_str("tokens=");
+    print_int(num_tokens);
+    print_char(10);
+    print_str("keywords=");
+    print_int(num_keywords);
+    print_char(10);
+    print_str("numbers=");
+    print_int(num_numbers);
+    print_char(10);
+    print_str("idents=");
+    print_int(num_idents);
+    print_char(10);
+    print_str("specials=");
+    print_int(num_specials);
+    print_char(10);
+    print_str("strings=");
+    print_int(num_strings);
+    print_char(10);
+    print_str("comments=");
+    print_int(num_comments);
+    print_char(10);
+    if (error_count > 0) {
+        // Seeded bug 208: the refactored error path should have
+        // excluded specials from the summary accounting.
+        assert(num_specials == 0, 208);
+        print_str("errors=");
+        print_int(error_count);
+        print_char(10);
+    }
+    if (num_strings > 0 && num_comments > 0) {
+        // Seeded bug 209: mixing strings and comments trips the
+        // faulty bookkeeping of last_kind.
+        assert(last_kind == 5, 209);
+    }
+    return 0;
+}
+
+int main() {
+    while (read_token()) {
+        process_token();
+    }
+    print_summary();
+    return 0;
+}
+)MC";
+
+/** Encode a text string as an input word stream. */
+std::vector<int32_t>
+chars(const std::string &text)
+{
+    std::vector<int32_t> out;
+    for (char c : text)
+        out.push_back(static_cast<unsigned char>(c));
+    return out;
+}
+
+/**
+ * Random benign token stream.  Deliberately avoids every trigger
+ * pattern: no quote-initial tokens, no '#'/'%' tokens, tokens shorter
+ * than 9 characters, fewer than 100 tokens, at most three consecutive
+ * special tokens, and parentheses only as balanced shallow pairs.
+ */
+std::vector<int32_t>
+benignStream(Rng &rng)
+{
+    static const char *plain[] = {
+        "if", "else", "while", "return", "begin", "end",
+        "alpha", "beta", "gamma", "delta", "count", "sum",
+        "12", "345", "7", "900",
+    };
+    static const char *specials[] = {"+", "-", ";", "="};
+    constexpr size_t numPlain = 16;
+    constexpr size_t numSpecials = 4;
+
+    std::string text;
+    int n = static_cast<int>(rng.nextRange(8, 60));
+    int consecutive_specials = 0;
+    for (int i = 0; i < n; ++i) {
+        double roll = rng.nextDouble();
+        if (roll < 0.1) {
+            text += "( ";
+            text += plain[rng.nextBelow(numPlain)];
+            text += " )";
+            consecutive_specials = 1;   // the trailing ')'
+        } else if (roll < 0.4 && consecutive_specials < 3) {
+            text += specials[rng.nextBelow(numSpecials)];
+            ++consecutive_specials;
+        } else {
+            text += plain[rng.nextBelow(numPlain)];
+            consecutive_specials = 0;
+        }
+        text += rng.nextBool(0.2) ? "\n" : " ";
+    }
+    return chars(text);
+}
+
+} // namespace
+
+Workload
+makePrintTokens2()
+{
+    Workload w;
+    w.name = "print_tokens2";
+    w.description = "Siemens print_tokens2 re-creation (tokenizer)";
+    w.tools = "assert";
+    w.paperLoc = 570;
+    w.maxNtPathLength = 200;
+
+    w.source = source;
+
+    Rng rng(0xbadc0de2);
+    for (int i = 0; i < 50; ++i)
+        w.benignInputs.push_back(benignStream(rng));
+
+    // Bugs.  The v10 memory bug sits in classify_quoted.
+    {
+        BugSpec b;
+        b.id = "pt2-v10";
+        b.kind = BugSpec::Kind::Memory;
+        b.funcName = "classify_quoted";
+        b.expectPeDetect = true;
+        b.description = "Figure 1: unterminated quote scan overruns "
+                        "tok[] (buffer overrun)";
+        w.bugs.push_back(b);
+        w.triggerInputs["pt2-v10"] = chars("begin \"unterminated end");
+    }
+    auto assertBug = [&w](int id, bool detect, const std::string &cat,
+                          const std::string &desc) {
+        BugSpec b;
+        b.id = "pt2-a" + std::to_string(id);
+        b.kind = BugSpec::Kind::Assertion;
+        b.assertId = id;
+        b.expectPeDetect = detect;
+        b.missCategory = cat;
+        b.description = desc;
+        w.bugs.push_back(b);
+    };
+    assertBug(201, true, "", "dead state entered without an error");
+    assertBug(202, true, "", "paren-depth overflow mishandled");
+    assertBug(208, true, "", "error path leaves state machine dirty");
+    assertBug(209, true, "", "string/comment bookkeeping fault");
+    assertBug(203, false, "inconsistency",
+              "pending_data correlated with the fixed variable");
+    assertBug(204, false, "value-coverage", "fires on the 100th token");
+    assertBug(205, false, "value-coverage",
+              "fires on 9-character tokens");
+    assertBug(206, false, "special-input",
+              "nested cold branch (long # token)");
+    assertBug(207, false, "special-input",
+              "nested cold branch (long % token)");
+
+    // Trigger inputs proving the bugs are real on the taken path.
+    w.triggerInputs["pt2-a201"] = chars("+ + + + + + + + + + +");
+    w.triggerInputs["pt2-a202"] = chars("( ( ( ( ( ( ( ( x");
+    {
+        std::string text;
+        for (int i = 0; i < 105; ++i)
+            text += "tok ";
+        w.triggerInputs["pt2-a204"] = chars(text);
+    }
+    w.triggerInputs["pt2-a205"] = chars("verylongid x");
+    w.triggerInputs["pt2-a206"] = chars("#cmnt567 x");
+    w.triggerInputs["pt2-a207"] = chars("%pendin8 x");
+    w.triggerInputs["pt2-a203"] = chars("%abc follow");
+    w.triggerInputs["pt2-a208"] = chars(") x");
+    w.triggerInputs["pt2-a209"] = chars("\"s\" #c plus");
+
+    return w;
+}
+
+} // namespace pe::workloads

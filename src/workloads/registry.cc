@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Workload registry.
+ */
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/support/status.hh"
+#include "src/workloads/workload.hh"
+#include "src/workloads/workloads.hh"
+
+namespace pe::workloads
+{
+
+namespace
+{
+
+using Factory = Workload (*)();
+
+struct RegistryEntry
+{
+    Factory factory;
+    bool buggy;     //!< one of the seven Table-3 applications
+};
+
+const std::vector<std::pair<std::string, RegistryEntry>> &
+registryList()
+{
+    static const std::vector<std::pair<std::string, RegistryEntry>>
+        list = {
+            {"pe_go", {makeGo, true}},
+            {"pe_bc", {makeBc, true}},
+            {"pe_man", {makeMan, true}},
+            {"print_tokens", {makePrintTokens, true}},
+            {"print_tokens2", {makePrintTokens2, true}},
+            {"schedule", {makeSchedule, true}},
+            {"schedule2", {makeSchedule2, true}},
+            {"pe_gzip", {makeGzip, false}},
+            {"pe_vpr", {makeVpr, false}},
+            {"pe_parser", {makeParser, false}},
+        };
+    return list;
+}
+
+} // namespace
+
+const Workload &
+getWorkload(const std::string &name)
+{
+    static std::unordered_map<std::string, std::unique_ptr<Workload>>
+        cache;
+    auto it = cache.find(name);
+    if (it != cache.end())
+        return *it->second;
+    for (const auto &[n, entry] : registryList()) {
+        if (n == name) {
+            auto made = std::make_unique<Workload>(entry.factory());
+            pe_assert(made->name == name,
+                      "workload name mismatch: ", name);
+            return *cache.emplace(name, std::move(made)).first->second;
+        }
+    }
+    pe_fatal("unknown workload '", name, "'");
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> out;
+    for (const auto &[n, entry] : registryList())
+        out.push_back(n);
+    return out;
+}
+
+std::vector<std::string>
+buggyWorkloadNames()
+{
+    std::vector<std::string> out;
+    for (const auto &[n, entry] : registryList()) {
+        if (entry.buggy)
+            out.push_back(n);
+    }
+    return out;
+}
+
+std::vector<std::string>
+specWorkloadNames()
+{
+    std::vector<std::string> out;
+    for (const auto &[n, entry] : registryList()) {
+        if (!entry.buggy)
+            out.push_back(n);
+    }
+    return out;
+}
+
+} // namespace pe::workloads

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * schedule: MiniC re-creation of the Siemens schedule benchmark
+ * (paper Table 3: 412 LOC, 5 seeded bug versions).
+ *
+ * A three-level priority scheduler driven by a command stream:
+ *   1 p   add a job with priority p (1..3)
+ *   2     tick: run the highest-priority job for one quantum
+ *   3     block the running job
+ *   4     unblock the oldest blocked job
+ *   5     finish the running job
+ *
+ * Seeded bugs: 301/302 PE-detectable; 303/304 value-coverage-limited
+ * (paper: schedule v1 and v3 "are limited by the value coverage
+ * problem instead of the path coverage problem"); 305 hot-entry-edge
+ * (the entry branch edge is intensively exercised early, saturating
+ * its 4-bit counter before the interesting state arises — the paper's
+ * category (2), fixable by adding a random factor to selection).
+ */
+
+#include "src/support/rng.hh"
+#include "src/workloads/workloads.hh"
+
+namespace pe::workloads
+{
+
+namespace
+{
+
+const char *source = R"MC(
+// ---- schedule (Siemens-suite re-creation) ----
+
+int q1[16];
+int q2[16];
+int q3[16];
+int n1 = 0;
+int n2 = 0;
+int n3 = 0;
+
+int blocked[16];
+int nblocked = 0;
+
+int running = 0;        // job id of the running job, 0 = none
+int next_id = 1;
+int quantum = 0;
+int ticks = 0;
+int njobs = 0;
+int finished = 0;
+int idle = 0;
+int starve = 0;
+int promoted = 0;
+int migrations = 0;
+
+int push(int *q, int n, int id) {
+    if (n < 16) {
+        q[n] = id;
+        return n + 1;
+    }
+    return n;
+}
+
+int shift(int *q, int n) {
+    int i = 1;
+    while (i < n) {
+        q[i - 1] = q[i];
+        i = i + 1;
+    }
+    return n - 1;
+}
+
+int add_job(int prio) {
+    int id = next_id;
+    next_id = next_id + 1;
+    njobs = njobs + 1;
+    // Seeded bug 303 (value coverage, the paper's v1): the 50th job
+    // corrupts the faulty bookkeeping.
+    assert(njobs != 50, 303);
+    if (prio == 3) {
+        n3 = push(q3, n3, id);
+    } else if (prio == 2) {
+        n2 = push(q2, n2, id);
+    } else {
+        n1 = push(q1, n1, id);
+    }
+    return id;
+}
+
+int dispatch() {
+    if (running != 0) { return running; }
+    if (n3 > 0) {
+        running = q3[0];
+        n3 = shift(q3, n3);
+    } else if (n2 > 0) {
+        running = q2[0];
+        n2 = shift(q2, n2);
+    } else if (n1 > 0) {
+        running = q1[0];
+        n1 = shift(q1, n1);
+    }
+    if (running != 0) {
+        quantum = 4;
+        idle = 0;
+    }
+    return running;
+}
+
+int tick() {
+    ticks = ticks + 1;
+    // Seeded bug 304 (value coverage, the paper's v3): tick 200
+    // overflows the faulty timeslice table.
+    assert(ticks != 200, 304);
+    dispatch();
+    if (running == 0) {
+        idle = idle + 1;
+        if (idle > 2) {
+            // Seeded bug 305 (hot entry edge): idle consolidation
+            // mishandles a long blocked queue.  The entry edge is
+            // exercised early with short queues, saturating its
+            // exercise counter before the queue ever grows.
+            assert(nblocked < 8, 305);
+            migrations = migrations + 1;
+        }
+        return 0;
+    }
+    // Busy: low-priority jobs starve while others run.
+    starve = starve + n1;
+    if (starve > 40) {
+        // Seeded bug 302: long starvation must promote a job; the
+        // fault never sets the flag.
+        assert(promoted == 1, 302);
+        starve = 0;
+    }
+    quantum = quantum - 1;
+    if (quantum == 0) {
+        // Timeslice over: requeue at priority 1 (aging).
+        n1 = push(q1, n1, running);
+        running = 0;
+    }
+    return 1;
+}
+
+// ---- accounting mode (command 9; never issued benignly) ----
+
+int accounting = 0;
+int tick_class[6];
+
+int classify_tick(int ran) {
+    int c = 0;
+    if (ran == 0) {
+        c = 1;
+        if (nblocked > 0) {
+            c = 2;
+        }
+    } else {
+        c = 3;
+        if (quantum <= 1) {
+            c = 4;
+        } else if (n3 > 4) {
+            c = 5;
+        }
+    }
+    tick_class[c] = tick_class[c] + 1;
+    return c;
+}
+
+int fairness_report() {
+    int spread = 0;
+    if (n1 > n3) {
+        spread = n1 - n3;
+    } else {
+        spread = n3 - n1;
+    }
+    if (spread > 4) {
+        spread = 4;
+        if (n2 == 0) {
+            spread = 5;
+        }
+    }
+    return spread;
+}
+
+// Recovery: rebalance the three ready queues after heavy churn.
+// Reachable only with accounting armed twice and 13+ finished jobs.
+int rebalance_queues() {
+    int moved = 0;
+    while (n3 > 8 && n1 < 16) {
+        n3 = n3 - 1;
+        n1 = push(q1, n1, q3[n3]);
+        moved = moved + 1;
+    }
+    while (n2 > 12 && n1 < 16) {
+        n2 = n2 - 1;
+        n1 = push(q1, n1, q2[n2]);
+        moved = moved + 1;
+    }
+    if (moved > 0) {
+        starve = 0;
+        promoted = 1;
+    }
+    if (n1 > 12 && n3 < 4) {
+        int give = n1 - 12;
+        while (give > 0 && n3 < 16) {
+            n1 = n1 - 1;
+            n3 = push(q3, n3, q1[n1]);
+            give = give - 1;
+            moved = moved + 1;
+        }
+    }
+    return moved;
+}
+
+int deep_accounting() {
+    int v = 0;
+    // Two nested rare conditions: beyond a single NT-Path flip.
+    if (accounting > 1) {
+        if (finished > 12) {
+            int i = 0;
+            while (i < 6) {
+                if (tick_class[i] > v) {
+                    v = tick_class[i];
+                }
+                i = i + 1;
+            }
+            v = v + rebalance_queues();
+        }
+    }
+    return v;
+}
+
+int block_running() {
+    if (running != 0) {
+        if (nblocked > 13) {
+            // Seeded bug 301: the block queue is nearly full and the
+            // overflow handling was dropped by the fault.
+            assert(nblocked < 14, 301);
+        }
+        nblocked = push(blocked, nblocked, running);
+        running = 0;
+    }
+    return nblocked;
+}
+
+int unblock_one() {
+    if (nblocked > 0) {
+        int id = blocked[0];
+        nblocked = shift(blocked, nblocked);
+        n2 = push(q2, n2, id);
+    }
+    return nblocked;
+}
+
+int main() {
+    int cmd = read_int();
+    while (cmd != 0 && cmd != -1) {
+        if (cmd == 1) {
+            int prio = read_int();
+            if (prio < 1) { prio = 1; }
+            if (prio > 3) { prio = 3; }
+            add_job(prio);
+        } else if (cmd == 2) {
+            tick();
+        } else if (cmd == 3) {
+            block_running();
+        } else if (cmd == 4) {
+            unblock_one();
+        } else if (cmd == 5) {
+            if (running != 0) {
+                finished = finished + 1;
+                running = 0;
+            }
+        } else if (cmd == 9) {
+            accounting = accounting + 1;
+        }
+        if (accounting > 0) {
+            classify_tick(running);
+            fairness_report();
+        }
+        if (accounting > 1) {
+            deep_accounting();
+        }
+        cmd = read_int();
+    }
+    print_str("jobs=");
+    print_int(njobs);
+    print_char(10);
+    print_str("ticks=");
+    print_int(ticks);
+    print_char(10);
+    print_str("finished=");
+    print_int(finished);
+    print_char(10);
+    print_str("migrations=");
+    print_int(migrations);
+    print_char(10);
+    return 0;
+}
+)MC";
+
+/**
+ * Benign command streams, two phases:
+ *  - phase 1: single jobs with blocked idle periods, so the
+ *    `idle > 2` consolidation edge is exercised both ways (and its
+ *    4-bit counter saturates) while the blocked queue is short;
+ *  - phase 2: the blocked queue grows to >= 8 while the machine is
+ *    kept busy, followed by at most two idle ticks — the faulty
+ *    consolidation never runs on the taken path, and PathExpander's
+ *    saturated counter blocks further NT-Paths there.
+ * Kept under 50 jobs and 200 ticks so 303/304 stay dormant, and
+ * starvation never accumulates past 40.
+ */
+std::vector<int32_t>
+benignStream(Rng &rng)
+{
+    std::vector<int32_t> in;
+    auto add = [&in](int prio) {
+        in.push_back(1);
+        in.push_back(prio);
+    };
+    auto ticks = [&in](int n) {
+        for (int i = 0; i < n; ++i)
+            in.push_back(2);
+    };
+
+    // Phase 1: job runs, gets blocked, machine idles, job finishes.
+    int bursts = static_cast<int>(rng.nextRange(2, 4));
+    for (int b = 0; b < bursts; ++b) {
+        add(static_cast<int>(rng.nextRange(1, 3)));
+        ticks(2);               // dispatch + run
+        in.push_back(3);        // block the runner -> queues empty
+        ticks(static_cast<int>(rng.nextRange(3, 5)));   // idle 1..4
+        in.push_back(4);        // unblock
+        in.push_back(2);        // dispatch it
+        in.push_back(5);        // finish it
+        ticks(2);               // idle 1..2
+    }
+
+    // Phase 2: build a long blocked queue while staying busy.
+    int burst = static_cast<int>(rng.nextRange(8, 10));
+    for (int i = 0; i < burst; ++i) {
+        add(3);
+        in.push_back(2);        // dispatch immediately (never idle)
+        in.push_back(3);        // block it
+    }
+    ticks(2);                   // idle 1..2 only: branch stays false
+    for (int i = 0; i < 3; ++i) {
+        in.push_back(4);        // unblock a few
+        in.push_back(2);
+        in.push_back(5);        // finish
+    }
+    in.push_back(0);
+    return in;
+}
+
+} // namespace
+
+Workload
+makeSchedule()
+{
+    Workload w;
+    w.name = "schedule";
+    w.description = "Siemens schedule re-creation (priority scheduler)";
+    w.tools = "assert";
+    w.paperLoc = 412;
+    w.maxNtPathLength = 200;
+    w.source = source;
+
+    Rng rng(0xbadc0de3);
+    for (int i = 0; i < 50; ++i)
+        w.benignInputs.push_back(benignStream(rng));
+
+    auto assertBug = [&w](int id, bool detect, const std::string &cat,
+                          const std::string &desc) {
+        BugSpec b;
+        b.id = "sched-a" + std::to_string(id);
+        b.kind = BugSpec::Kind::Assertion;
+        b.assertId = id;
+        b.expectPeDetect = detect;
+        b.missCategory = cat;
+        b.description = desc;
+        w.bugs.push_back(b);
+    };
+    assertBug(301, true, "", "block-queue overflow handling dropped");
+    assertBug(302, true, "", "starvation never promotes a job");
+    assertBug(303, false, "value-coverage", "fires on the 50th job");
+    assertBug(304, false, "value-coverage", "fires on tick 200");
+    assertBug(305, false, "hot-entry-edge",
+              "idle consolidation with a long blocked queue; entry "
+              "edge saturates early");
+
+    // Triggers.
+    {
+        // 301: block 15 jobs; the 15th block sees nblocked == 14.
+        std::vector<int32_t> in;
+        for (int i = 0; i < 15; ++i) {
+            in.push_back(1);
+            in.push_back(2);
+            in.push_back(2);    // tick dispatches it
+            in.push_back(3);    // block it
+        }
+        in.push_back(0);
+        w.triggerInputs["sched-a301"] = in;
+    }
+    {
+        // 302: ten prio-1 jobs starve while a prio-3 job runs.
+        std::vector<int32_t> in;
+        for (int i = 0; i < 10; ++i) {
+            in.push_back(1);
+            in.push_back(1);
+        }
+        in.push_back(1);
+        in.push_back(3);
+        for (int i = 0; i < 6; ++i)
+            in.push_back(2);    // starve grows ~10 per busy tick
+        in.push_back(0);
+        w.triggerInputs["sched-a302"] = in;
+    }
+    {
+        // 303: 50 jobs.
+        std::vector<int32_t> in;
+        for (int i = 0; i < 50; ++i) {
+            in.push_back(1);
+            in.push_back(1);
+        }
+        in.push_back(0);
+        w.triggerInputs["sched-a303"] = in;
+    }
+    {
+        // 304: 200 idle ticks.
+        std::vector<int32_t> in;
+        for (int i = 0; i < 200; ++i)
+            in.push_back(2);
+        in.push_back(0);
+        w.triggerInputs["sched-a304"] = in;
+    }
+    {
+        // 305: block 8 jobs, then idle three-plus ticks.
+        std::vector<int32_t> in;
+        for (int i = 0; i < 8; ++i) {
+            in.push_back(1);
+            in.push_back(3);
+            in.push_back(2);
+            in.push_back(3);
+        }
+        for (int i = 0; i < 4; ++i)
+            in.push_back(2);    // idle reaches 3 with nblocked == 8
+        in.push_back(0);
+        w.triggerInputs["sched-a305"] = in;
+    }
+
+    return w;
+}
+
+} // namespace pe::workloads

@@ -1,0 +1,531 @@
+/**
+ * @file
+ * schedule2: MiniC re-creation of the Siemens schedule2 benchmark
+ * (paper Table 3: 374 LOC, 8 seeded bug versions; we seed 5).
+ *
+ * A round-robin scheduler with a job table and a circular ready
+ * ring, driven by a command stream:
+ *   1 p   add a job with priority p (1..3)
+ *   2     tick: run the ring head for one quantum
+ *   3     suspend the running job
+ *   4     resume the oldest suspended job
+ *   6     aging pass (promote long-waiting jobs)
+ *   0     end
+ *
+ * Seeded bugs: 401/402 PE-detectable, 403 value-coverage-limited,
+ * 404 special-input-only, 405 hot-entry-edge.
+ */
+
+#include "src/support/rng.hh"
+#include "src/workloads/workloads.hh"
+
+namespace pe::workloads
+{
+
+namespace
+{
+
+const char *source = R"MC(
+// ---- schedule2 (Siemens-suite re-creation) ----
+
+// Job table: state 0 = free, 1 = ready, 2 = running, 3 = suspended,
+// 4 = done.
+int state[24];
+int prio[24];
+int wait_time[24];
+
+int ring[64];           // circular ready ring (job indices)
+int head = 0;
+int tail = 0;
+int ring_count = 0;
+
+int running = -1;       // job table index, -1 = none
+int quantum = 0;
+int total_ticks = 0;
+int live_jobs = 0;
+int suspended_count = 0;
+int wraps = 0;
+int alarm = 0;
+int upgrades = 0;
+int scan_misses = 0;
+int done_count = 0;
+
+int ring_push(int job) {
+    if (ring_count >= 64) { return 0; }
+    ring[tail] = job;
+    tail = tail + 1;
+    if (tail == 64) { tail = 0; }
+    if (tail < head) {
+        // Seeded bug 401: the recovery code for a wrapped ring relies
+        // on the wrap counter, but the fault moved the counter update
+        // after this check, so the first wrap sees wraps == 0.
+        assert(wraps > 0, 401);
+        wraps = wraps + 1;
+    }
+    ring_count = ring_count + 1;
+    return 1;
+}
+
+int ring_pop() {
+    int job = 0;
+    if (ring_count == 0) { return -1; }
+    job = ring[head];
+    head = head + 1;
+    if (head == 64) { head = 0; }
+    ring_count = ring_count - 1;
+    return job;
+}
+
+int alloc_job(int p) {
+    int i = 0;
+    while (i < 24) {
+        if (state[i] == 0) {
+            state[i] = 1;
+            prio[i] = p;
+            wait_time[i] = 0;
+            live_jobs = live_jobs + 1;
+            ring_push(i);
+            return i;
+        }
+        scan_misses = scan_misses + 1;
+        i = i + 1;
+    }
+    return -1;
+}
+
+int tick() {
+    total_ticks = total_ticks + 1;
+    // Seeded bug 403 (value coverage): tick 150 overflows the faulty
+    // accounting table.
+    assert(total_ticks != 150, 403);
+
+    if (running == -1) {
+        int job = ring_pop();
+        if (job != -1) {
+            state[job] = 2;
+            running = job;
+            quantum = 3;
+        }
+        return 0;
+    }
+
+    quantum = quantum - 1;
+    int i = 0;
+    while (i < 24) {
+        if (state[i] == 1) {
+            wait_time[i] = wait_time[i] + 1;
+        }
+        i = i + 1;
+    }
+    if (quantum == 0) {
+        state[running] = 1;
+        ring_push(running);
+        running = -1;
+    }
+    return 1;
+}
+
+int suspend_running() {
+    if (running != -1) {
+        state[running] = 3;
+        suspended_count = suspended_count + 1;
+        running = -1;
+        if (suspended_count > 9) {
+            // Seeded bug 402: too many suspensions must raise the
+            // alarm; the fault never sets it.
+            assert(alarm == 1, 402);
+            suspended_count = 9;
+        }
+    }
+    return suspended_count;
+}
+
+int resume_one() {
+    int i = 0;
+    while (i < 24) {
+        if (state[i] == 3) {
+            state[i] = 1;
+            suspended_count = suspended_count - 1;
+            ring_push(i);
+            return i;
+        }
+        i = i + 1;
+    }
+    return -1;
+}
+
+int aging_pass() {
+    int i = 0;
+    int promoted_any = 0;
+    while (i < 24) {
+        if (state[i] == 1) {
+            if (wait_time[i] > 6) {
+                if (prio[i] < 3) {
+                    prio[i] = prio[i] + 1;
+                    upgrades = upgrades + 1;
+                    promoted_any = 1;
+                }
+                wait_time[i] = 0;
+            }
+        }
+        i = i + 1;
+    }
+    if (upgrades > 4) {
+        if (promoted_any == 1) {
+            // Seeded bug 404 (special input): many upgrades in one
+            // run, with a promotion in the final pass, hit the
+            // faulty priority rebalance.  An NT-Path flips the outer
+            // condition but promoted_any keeps its actual value.
+            assert(upgrades < 6, 404);
+        }
+    }
+    return upgrades;
+}
+
+// ---- audit mode (command 9; never issued benignly) ----
+
+int audit_mode = 0;
+
+int audit_table() {
+    int anomalies = 0;
+    int i = 0;
+    while (i < 24) {
+        if (state[i] == 1) {
+            if (wait_time[i] > 10) {
+                anomalies = anomalies + 1;
+            }
+        } else if (state[i] == 2) {
+            if (i != running) {
+                anomalies = anomalies + 2;
+            }
+        } else if (state[i] == 3) {
+            if (prio[i] == 3) {
+                anomalies = anomalies + 1;
+            }
+        }
+        i = i + 2;      // sampled audit
+    }
+    if (anomalies > 6) {
+        anomalies = 6;
+    }
+    return anomalies;
+}
+
+int audit_ring() {
+    int live = 0;
+    int idx = head;
+    int seen = 0;
+    while (seen < ring_count && seen < 8) {
+        if (state[ring[idx]] == 1) {
+            live = live + 1;
+        }
+        idx = idx + 1;
+        if (idx == 64) { idx = 0; }
+        seen = seen + 1;
+    }
+    return live;
+}
+
+// Recovery: compact the job table, dropping stale slots.  Reachable
+// only with the audit armed twice and 16+ reaped jobs.
+int compact_table() {
+    int cleaned = 0;
+    int i = 0;
+    while (i < 24) {
+        if (state[i] == 0) {
+            if (prio[i] != 0) {
+                prio[i] = 0;
+                cleaned = cleaned + 1;
+            }
+            if (wait_time[i] != 0) {
+                wait_time[i] = 0;
+                cleaned = cleaned + 1;
+            }
+        } else if (state[i] == 1) {
+            if (wait_time[i] > 20) {
+                wait_time[i] = 20;      // clamp runaway waits
+                cleaned = cleaned + 1;
+            }
+        } else if (state[i] == 4) {
+            if (running == i) {
+                running = -1;           // done job can't be running
+                cleaned = cleaned + 1;
+            }
+        }
+        i = i + 1;
+    }
+    if (suspended_count < 0) {
+        suspended_count = 0;
+    }
+    if (cleaned > 8) {
+        cleaned = 8;
+    }
+    return cleaned;
+}
+
+int deep_audit2() {
+    int v = 0;
+    // Nested rare conditions: beyond a single NT-Path flip.
+    if (audit_mode > 1) {
+        if (done_count > 15) {
+            int i = 0;
+            while (i < 24) {
+                if (state[i] == 0 && prio[i] != 0) {
+                    v = v + 1;
+                }
+                i = i + 1;
+            }
+            v = v + compact_table();
+        }
+    }
+    return v;
+}
+
+int reap_done() {
+    int reaped = 0;
+    int i = 0;
+    while (i < 24) {
+        if (state[i] == 4) {
+            state[i] = 0;
+            live_jobs = live_jobs - 1;
+            done_count = done_count + 1;
+            reaped = reaped + 1;
+        }
+        i = i + 1;
+    }
+    if (reaped > 2) {
+        // Seeded bug 405 (hot entry edge): bulk reaping mishandles a
+        // nearly-full job table.  The edge is exercised early with a
+        // small table, saturating the exercise counter before the
+        // table ever fills up.
+        assert(live_jobs < 12, 405);
+    }
+    return reaped;
+}
+
+int finish_running() {
+    if (running != -1) {
+        state[running] = 4;
+        running = -1;
+    }
+    return 0;
+}
+
+int main() {
+    int cmd = read_int();
+    while (cmd != 0 && cmd != -1) {
+        if (cmd == 1) {
+            int p = read_int();
+            if (p < 1) { p = 1; }
+            if (p > 3) { p = 3; }
+            alloc_job(p);
+        } else if (cmd == 2) {
+            tick();
+        } else if (cmd == 3) {
+            suspend_running();
+        } else if (cmd == 4) {
+            resume_one();
+        } else if (cmd == 5) {
+            finish_running();
+        } else if (cmd == 6) {
+            aging_pass();
+        } else if (cmd == 7) {
+            reap_done();
+        } else if (cmd == 9) {
+            audit_mode = audit_mode + 1;
+        }
+        if (audit_mode > 0) {
+            audit_table();
+            audit_ring();
+        }
+        if (audit_mode > 1) {
+            deep_audit2();
+        }
+        cmd = read_int();
+    }
+    print_str("ticks=");
+    print_int(total_ticks);
+    print_char(10);
+    print_str("live=");
+    print_int(live_jobs);
+    print_char(10);
+    print_str("done=");
+    print_int(done_count);
+    print_char(10);
+    print_str("upgrades=");
+    print_int(upgrades);
+    print_char(10);
+    return 0;
+}
+)MC";
+
+/**
+ * Benign streams: the ring never wraps with a smaller tail (jobs
+ * drain fast), at most 9 suspensions, fewer than 150 ticks, at most
+ * 4 upgrades, and bulk reaps (>2 at once) only while the table is
+ * small — then the table grows while reaps stay small.
+ */
+std::vector<int32_t>
+benignStream(Rng &rng)
+{
+    std::vector<int32_t> in;
+    auto add = [&in](int p) {
+        in.push_back(1);
+        in.push_back(p);
+    };
+    auto cmds = [&in](int c, int n) {
+        for (int i = 0; i < n; ++i)
+            in.push_back(c);
+    };
+
+    // Phase 1: small batches finish together and get bulk-reaped
+    // (reaped 3..4 with a small table); extra empty reaps exercise
+    // the false edge of the 405 branch so its counter saturates.
+    int batches = static_cast<int>(rng.nextRange(2, 3));
+    for (int b = 0; b < batches; ++b) {
+        int k = static_cast<int>(rng.nextRange(3, 4));
+        for (int i = 0; i < k; ++i)
+            add(static_cast<int>(rng.nextRange(1, 3)));
+        for (int i = 0; i < k; ++i) {
+            in.push_back(2);    // dispatch
+            in.push_back(5);    // finish
+        }
+        in.push_back(7);        // bulk reap (reaped == k > 2)
+        cmds(7, 2);             // empty reaps (false outcomes)
+        cmds(2, 2);
+    }
+
+    // Phase 2: the table fills up (live_jobs >= 12) but jobs finish
+    // one at a time, so every reap is small.  Busy runs stay short so
+    // no job waits past the aging threshold.
+    int grow = static_cast<int>(rng.nextRange(13, 15));
+    for (int i = 0; i < grow; ++i)
+        add(static_cast<int>(rng.nextRange(1, 3)));
+    cmds(2, static_cast<int>(rng.nextRange(3, 6)));
+    for (int i = 0; i < 3; ++i) {
+        in.push_back(2);
+        in.push_back(5);        // finish one
+        in.push_back(7);        // reap one (reaped == 1)
+    }
+    // A couple of suspension cycles (suspended_count stays <= 2, but
+    // the overflow branch is exercised so PathExpander can explore
+    // its cold edge).
+    int cycles = static_cast<int>(rng.nextRange(1, 2));
+    for (int i = 0; i < cycles; ++i) {
+        in.push_back(2);        // ensure something is running
+        in.push_back(3);        // suspend it
+        in.push_back(2);
+        in.push_back(4);        // resume
+    }
+    cmds(6, static_cast<int>(rng.nextRange(1, 2)));
+    in.push_back(0);
+    return in;
+}
+
+} // namespace
+
+Workload
+makeSchedule2()
+{
+    Workload w;
+    w.name = "schedule2";
+    w.description =
+        "Siemens schedule2 re-creation (round-robin scheduler)";
+    w.tools = "assert";
+    w.paperLoc = 374;
+    w.maxNtPathLength = 200;
+    w.source = source;
+
+    Rng rng(0xbadc0de4);
+    for (int i = 0; i < 50; ++i)
+        w.benignInputs.push_back(benignStream(rng));
+
+    auto assertBug = [&w](int id, bool detect, const std::string &cat,
+                          const std::string &desc) {
+        BugSpec b;
+        b.id = "sched2-a" + std::to_string(id);
+        b.kind = BugSpec::Kind::Assertion;
+        b.assertId = id;
+        b.expectPeDetect = detect;
+        b.missCategory = cat;
+        b.description = desc;
+        w.bugs.push_back(b);
+    };
+    assertBug(401, true, "", "ring wrap accounting dropped");
+    assertBug(402, true, "", "suspension alarm never raised");
+    assertBug(403, false, "value-coverage", "fires on tick 150");
+    assertBug(404, false, "special-input",
+              "nested cold condition in the aging pass");
+    assertBug(405, false, "hot-entry-edge",
+              "bulk reap with a nearly-full table; entry edge "
+              "saturates early");
+
+    // Triggers.
+    {
+        // 401: requeue traffic pushes the tail around the 64-entry
+        // ring; the first wrap sees wraps == 0 and fires.
+        std::vector<int32_t> in;
+        for (int i = 0; i < 10; ++i) {
+            in.push_back(1);
+            in.push_back(2);
+        }
+        for (int i = 0; i < 230; ++i)
+            in.push_back(2);    // ~1 requeue push per 4 ticks
+        in.push_back(0);
+        w.triggerInputs["sched2-a401"] = in;
+    }
+    {
+        // 402: suspend 10 jobs.
+        std::vector<int32_t> in;
+        for (int i = 0; i < 10; ++i) {
+            in.push_back(1);
+            in.push_back(2);
+            in.push_back(2);
+            in.push_back(3);
+        }
+        in.push_back(0);
+        w.triggerInputs["sched2-a402"] = in;
+    }
+    {
+        // 403: 150 ticks.
+        std::vector<int32_t> in;
+        for (int i = 0; i < 150; ++i)
+            in.push_back(2);
+        in.push_back(0);
+        w.triggerInputs["sched2-a403"] = in;
+    }
+    {
+        // 404: eight waiting prio-1 jobs age past the threshold and
+        // get promoted in one pass (upgrades >= 6).
+        std::vector<int32_t> in;
+        for (int j = 0; j < 8; ++j) {
+            in.push_back(1);
+            in.push_back(1);
+        }
+        for (int t = 0; t < 14; ++t)
+            in.push_back(2);        // wait_time grows past 6
+        in.push_back(6);            // aging pass
+        in.push_back(0);
+        w.triggerInputs["sched2-a404"] = in;
+    }
+    {
+        // 405: fill the table to 16 live jobs, finish 3, bulk reap
+        // (live_jobs is 13 >= 12 when the faulty path fires).
+        std::vector<int32_t> in;
+        for (int i = 0; i < 16; ++i) {
+            in.push_back(1);
+            in.push_back(2);
+        }
+        for (int i = 0; i < 3; ++i) {
+            in.push_back(2);
+            in.push_back(5);
+        }
+        in.push_back(7);
+        in.push_back(0);
+        w.triggerInputs["sched2-a405"] = in;
+    }
+
+    return w;
+}
+
+} // namespace pe::workloads

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * pe_vpr: MiniC stand-in for SPEC2000 175.vpr (Figure 3(c), coverage
+ * and overhead experiments; no seeded bugs).
+ *
+ * A simulated-annealing placer: cells connected by nets are placed
+ * on a grid; random swaps are accepted when they lower the bounding-
+ * box wirelength (or probabilistically while the temperature is
+ * high).  Progress lines are printed once per temperature step, so
+ * NT-Paths see a mix of max-length and unsafe-event terminations —
+ * between go (almost never stops early) and gzip (mostly unsafe).
+ */
+
+#include "src/support/rng.hh"
+#include "src/workloads/workloads.hh"
+
+namespace pe::workloads
+{
+
+namespace
+{
+
+const char *source = R"MC(
+// ---- pe_vpr (175.vpr stand-in) ----
+
+int cell_x[40];
+int cell_y[40];
+int net_a[60];
+int net_b[60];
+int grid[144];          // 12x12 occupancy (cell id + 1, 0 = empty)
+
+int num_cells = 0;
+int num_nets = 0;
+int seed = 12345;
+int temperature = 1000;
+int accepted = 0;
+int rejected = 0;
+int uphill_taken = 0;
+int steps = 0;
+
+int next_rand() {
+    seed = seed * 1103515245 + 12345;
+    int r = seed;
+    if (r < 0) { r = 0 - r; }
+    if (r < 0) { r = 0; }   // two's-complement minimum
+    return r;
+}
+
+int net_cost(int n) {
+    int a = net_a[n];
+    int b = net_b[n];
+    int dx = cell_x[a] - cell_x[b];
+    int dy = cell_y[a] - cell_y[b];
+    if (dx < 0) { dx = 0 - dx; }
+    if (dy < 0) { dy = 0 - dy; }
+    return dx + dy;
+}
+
+int total_cost() {
+    int c = 0;
+    int n = 0;
+    while (n < num_nets) {
+        c = c + net_cost(n);
+        n = n + 1;
+    }
+    return c;
+}
+
+int cell_cost(int id) {
+    int c = 0;
+    int n = 0;
+    while (n < num_nets) {
+        if (net_a[n] == id || net_b[n] == id) {
+            c = c + net_cost(n);
+        }
+        n = n + 1;
+    }
+    return c;
+}
+
+int try_swap() {
+    int id = next_rand() % num_cells;
+    int nx = next_rand() % 12;
+    int ny = next_rand() % 12;
+    int old_x = cell_x[id];
+    int old_y = cell_y[id];
+    int other = grid[ny * 12 + nx] - 1;
+
+    int before = cell_cost(id);
+    if (other >= 0 && other != id) {
+        before = before + cell_cost(other);
+    }
+
+    // Tentatively move (swap when the target is occupied).
+    cell_x[id] = nx;
+    cell_y[id] = ny;
+    if (other >= 0 && other != id) {
+        cell_x[other] = old_x;
+        cell_y[other] = old_y;
+    }
+
+    int after = cell_cost(id);
+    if (other >= 0 && other != id) {
+        after = after + cell_cost(other);
+    }
+
+    int delta = after - before;
+    int take = 0;
+    if (delta < 0) {
+        take = 1;
+    } else if (delta == 0) {
+        take = 1;
+    } else if (temperature > 400) {
+        // Uphill moves while hot, with probability ~ temperature.
+        if (next_rand() % 1000 < temperature / 4) {
+            take = 1;
+            uphill_taken = uphill_taken + 1;
+        }
+    }
+
+    if (take == 1) {
+        grid[old_y * 12 + old_x] = 0;
+        if (other >= 0 && other != id) {
+            grid[old_y * 12 + old_x] = other + 1;
+        }
+        grid[ny * 12 + nx] = id + 1;
+        accepted = accepted + 1;
+        return 1;
+    }
+
+    // Undo.
+    cell_x[id] = old_x;
+    cell_y[id] = old_y;
+    if (other >= 0 && other != id) {
+        cell_x[other] = nx;
+        cell_y[other] = ny;
+    }
+    rejected = rejected + 1;
+    return 0;
+}
+
+// ---- verify mode (negative seed input; never enabled benignly) ----
+
+int verify_mode = 0;
+
+int verify_grid() {
+    int bad = 0;
+    int i = 0;
+    while (i < num_cells) {
+        int c = grid[cell_y[i] * 12 + cell_x[i]];
+        if (c != i + 1) {
+            bad = bad + 1;
+            if (c == 0) {
+                bad = bad + 1;      // cell missing entirely
+            }
+        }
+        i = i + 1;
+    }
+    return bad;
+}
+
+int congestion_probe() {
+    int worst = 0;
+    int y = 0;
+    while (y < 12) {
+        int occupied = 0;
+        int x = 0;
+        while (x < 12) {
+            if (grid[y * 12 + x] != 0) {
+                occupied = occupied + 1;
+            }
+            x = x + 1;
+        }
+        if (occupied > worst) {
+            worst = occupied;
+        }
+        y = y + 4;      // sampled rows
+    }
+    // Congestion per accepted move: a real probe runs once moves have
+    // been accepted; an NT-Path arriving before the first acceptance
+    // divides by zero (a Figure-3 crash site).
+    return num_nets * worst / accepted;
+}
+
+// Refinement: greedily re-place the cell on the worst net.
+// Reachable only with deep verification and 31+ uphill moves.
+int refine_worst() {
+    int worst_net = 0;
+    int worst_cost = -1;
+    int n = 0;
+    while (n < num_nets) {
+        int c = net_cost(n);
+        if (c > worst_cost) {
+            worst_cost = c;
+            worst_net = n;
+        }
+        n = n + 1;
+    }
+    int victim = net_a[worst_net];
+    int mate = net_b[worst_net];
+    int best_x = cell_x[victim];
+    int best_y = cell_y[victim];
+    int dx = -1;
+    while (dx <= 1) {
+        int dy = -1;
+        while (dy <= 1) {
+            int tx = cell_x[mate] + dx;
+            int ty = cell_y[mate] + dy;
+            if (tx >= 0 && tx < 12 && ty >= 0 && ty < 12) {
+                if (grid[ty * 12 + tx] == 0) {
+                    best_x = tx;
+                    best_y = ty;
+                }
+            }
+            dy = dy + 1;
+        }
+        dx = dx + 1;
+    }
+    if (best_x != cell_x[victim] || best_y != cell_y[victim]) {
+        grid[cell_y[victim] * 12 + cell_x[victim]] = 0;
+        cell_x[victim] = best_x;
+        cell_y[victim] = best_y;
+        grid[best_y * 12 + best_x] = victim + 1;
+        return 1;
+    }
+    return 0;
+}
+
+int deep_verify() {
+    int v = 0;
+    // Nested rare conditions: beyond a single NT-Path flip.
+    if (verify_mode > 1) {
+        if (uphill_taken > 30) {
+            int n = 0;
+            while (n < num_nets) {
+                if (net_cost(n) > 12) {
+                    v = v + 1;
+                }
+                n = n + 1;
+            }
+            v = v + refine_worst();
+        }
+    }
+    return v;
+}
+
+int place_initial() {
+    int i = 0;
+    while (i < num_cells) {
+        int x = (i * 7) % 12;
+        int y = (i * 5 + i / 12) % 12;
+        while (grid[y * 12 + x] != 0) {
+            x = (x + 1) % 12;
+            if (x == 0) { y = (y + 1) % 12; }
+        }
+        cell_x[i] = x;
+        cell_y[i] = y;
+        grid[y * 12 + x] = i + 1;
+        i = i + 1;
+    }
+    return num_cells;
+}
+
+int main() {
+    int i = 0;
+    num_cells = read_int();
+    if (num_cells < 4) { num_cells = 4; }
+    if (num_cells > 40) { num_cells = 40; }
+    num_nets = read_int();
+    if (num_nets < 2) { num_nets = 2; }
+    if (num_nets > 60) { num_nets = 60; }
+    seed = read_int();
+    if (seed < 0) {
+        verify_mode = 0 - seed;
+        seed = 12345;
+    }
+    if (seed == 0) { seed = 12345; }
+
+    while (i < num_nets) {
+        net_a[i] = next_rand() % num_cells;
+        net_b[i] = next_rand() % num_cells;
+        i = i + 1;
+    }
+    place_initial();
+
+    print_str("initial=");
+    print_int(total_cost());
+    print_char(10);
+
+    while (temperature > 200) {
+        int moves = 0;
+        while (moves < num_cells * 2) {
+            try_swap();
+            moves = moves + 1;
+            steps = steps + 1;
+        }
+        if (verify_mode > 0) {
+            verify_grid();
+            congestion_probe();
+        }
+        if (verify_mode > 1) {
+            deep_verify();
+        }
+        temperature = temperature * 9 / 10;
+        print_str("t=");
+        print_int(temperature);
+        print_str(" cost=");
+        print_int(total_cost());
+        print_char(10);
+    }
+
+    print_str("final=");
+    print_int(total_cost());
+    print_char(10);
+    print_str("accepted=");
+    print_int(accepted);
+    print_char(10);
+    print_str("uphill=");
+    print_int(uphill_taken);
+    print_char(10);
+    return 0;
+}
+)MC";
+
+std::vector<int32_t>
+benignNetlist(Rng &rng)
+{
+    return {static_cast<int32_t>(rng.nextRange(8, 20)),
+            static_cast<int32_t>(rng.nextRange(10, 30)),
+            static_cast<int32_t>(rng.nextRange(1, 1 << 20))};
+}
+
+} // namespace
+
+Workload
+makeVpr()
+{
+    Workload w;
+    w.name = "pe_vpr";
+    w.description = "SPEC2000 175.vpr stand-in (annealing placer)";
+    w.tools = "none";
+    w.paperLoc = 17729;
+    w.maxNtPathLength = 1000;
+    w.source = source;
+
+    Rng rng(0xbadc0de9);
+    for (int i = 0; i < 50; ++i)
+        w.benignInputs.push_back(benignNetlist(rng));
+
+    return w;
+}
+
+} // namespace pe::workloads

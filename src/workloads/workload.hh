@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The evaluation workloads (paper Section 6.3, Table 3).
+ *
+ * Each workload is a MiniC program with seeded bugs, a set of benign
+ * (non-bug-triggering) inputs used for the monitored runs, and for
+ * each bug an optional triggering input (used by tests to prove the
+ * bug is real).  See DESIGN.md for the full seeded-bug inventory and
+ * the substitution rationale for the SPEC / open-source originals.
+ */
+
+#ifndef PE_WORKLOADS_WORKLOAD_HH
+#define PE_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pe::workloads
+{
+
+/** One seeded bug. */
+struct BugSpec
+{
+    enum class Kind : uint8_t { Memory, Assertion };
+
+    std::string id;             //!< e.g. "pt2-v10"
+    Kind kind = Kind::Assertion;
+    int32_t assertId = 0;       //!< assertion bugs: the assert id
+    std::string funcName;       //!< memory bugs: function that faults
+    int lineLo = 0;             //!< memory bugs: faulting line range
+    int lineHi = 0;             //!< (0/0 = anywhere in funcName)
+    bool expectPeDetect = true; //!< expected outcome with default PE
+    std::string missCategory;   //!< paper Section 7.1 category if missed
+    std::string description;
+};
+
+/** One evaluation application. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    std::string source;         //!< MiniC text
+    std::string tools;          //!< "memory" or "assert"
+    int paperLoc = 0;           //!< LOC of the original (Table 3)
+
+    /** Non-bug-triggering inputs; [0] is the default monitored run. */
+    std::vector<std::vector<int32_t>> benignInputs;
+
+    /** bug id -> input that exposes it on the taken path. */
+    std::map<std::string, std::vector<int32_t>> triggerInputs;
+
+    std::vector<BugSpec> bugs;
+
+    /** Paper Section 6.3: 100 for Siemens apps, 1000 otherwise. */
+    uint32_t maxNtPathLength = 1000;
+};
+
+/** Look up a workload by name; fatal on unknown names. */
+const Workload &getWorkload(const std::string &name);
+
+/** All workload names. */
+std::vector<std::string> workloadNames();
+
+/** The seven buggy applications of Table 3. */
+std::vector<std::string> buggyWorkloadNames();
+
+/** The additional SPEC-like applications (overhead/coverage). */
+std::vector<std::string> specWorkloadNames();
+
+} // namespace pe::workloads
+
+#endif // PE_WORKLOADS_WORKLOAD_HH

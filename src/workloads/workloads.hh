@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Factories for the individual evaluation workloads.  One translation
+ * unit per application keeps the MiniC sources reviewable.
+ */
+
+#ifndef PE_WORKLOADS_WORKLOADS_HH
+#define PE_WORKLOADS_WORKLOADS_HH
+
+#include "src/workloads/workload.hh"
+
+namespace pe::workloads
+{
+
+Workload makeGo();              //!< 099.go-like board evaluator
+Workload makeBc();              //!< bc-1.06-like calculator
+Workload makeMan();             //!< man-1.5h1-like page formatter
+Workload makePrintTokens();     //!< Siemens print_tokens
+Workload makePrintTokens2();    //!< Siemens print_tokens2 (incl. v10)
+Workload makeSchedule();        //!< Siemens schedule
+Workload makeSchedule2();       //!< Siemens schedule2
+Workload makeGzip();            //!< 164.gzip-like compressor
+Workload makeVpr();             //!< 175.vpr-like annealing placer
+Workload makeParser();          //!< 197.parser-like grammar checker
+
+} // namespace pe::workloads
+
+#endif // PE_WORKLOADS_WORKLOADS_HH

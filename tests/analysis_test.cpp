@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the report-to-bug matching (src/workloads/analysis)
+ * and the workload registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/support/status.hh"
+#include "src/workloads/analysis.hh"
+#include "src/workloads/workload.hh"
+
+namespace
+{
+
+using namespace pe;
+using namespace pe::workloads;
+
+struct AnalysisRig
+{
+    AnalysisRig()
+    {
+        program.funcs.push_back(isa::FuncInfo{"buggy", 0, 10});
+        program.funcs.push_back(isa::FuncInfo{"clean", 10, 20});
+        for (int i = 0; i < 20; ++i)
+            program.locs.push_back(isa::SourceLoc{i + 1, 0});
+        program.code.resize(20);
+
+        BugSpec mem;
+        mem.id = "m1";
+        mem.kind = BugSpec::Kind::Memory;
+        mem.funcName = "buggy";
+        workload.bugs.push_back(mem);
+
+        BugSpec assertion;
+        assertion.id = "a1";
+        assertion.kind = BugSpec::Kind::Assertion;
+        assertion.assertId = 42;
+        workload.bugs.push_back(assertion);
+    }
+
+    detect::Report
+    memReport(uint32_t pc)
+    {
+        detect::Report r;
+        r.kind = detect::ReportKind::GuardHit;
+        r.pc = pc;
+        return r;
+    }
+
+    detect::Report
+    assertReport(int32_t id)
+    {
+        detect::Report r;
+        r.kind = detect::ReportKind::AssertFail;
+        r.assertId = id;
+        return r;
+    }
+
+    isa::Program program;
+    Workload workload;
+    detect::MonitorArea monitor;
+};
+
+TEST(Analysis, MemoryBugMatchesByFunction)
+{
+    AnalysisRig rig;
+    rig.monitor.add(rig.memReport(5));      // inside "buggy"
+    auto a = analyzeReports(rig.workload, rig.program, rig.monitor,
+                            /*memoryTools=*/true);
+    ASSERT_EQ(a.outcomes.size(), 1u);       // only the memory bug
+    EXPECT_TRUE(a.outcomes[0].detected);
+    EXPECT_EQ(a.numDetected, 1);
+    EXPECT_EQ(a.falsePositiveSites, 0);
+}
+
+TEST(Analysis, ReportsOutsideBugFunctionAreFalsePositives)
+{
+    AnalysisRig rig;
+    rig.monitor.add(rig.memReport(15));     // inside "clean"
+    auto a = analyzeReports(rig.workload, rig.program, rig.monitor,
+                            true);
+    EXPECT_EQ(a.numDetected, 0);
+    EXPECT_EQ(a.falsePositiveSites, 1);
+}
+
+TEST(Analysis, FalsePositivesCountDistinctSites)
+{
+    AnalysisRig rig;
+    rig.monitor.add(rig.memReport(15));
+    rig.monitor.add(rig.memReport(15));     // duplicate site
+    rig.monitor.add(rig.memReport(16));
+    auto a = analyzeReports(rig.workload, rig.program, rig.monitor,
+                            true);
+    EXPECT_EQ(a.falsePositiveSites, 2);
+}
+
+TEST(Analysis, AssertBugMatchesById)
+{
+    AnalysisRig rig;
+    rig.monitor.add(rig.assertReport(42));
+    rig.monitor.add(rig.assertReport(99));  // not a seeded bug
+    auto a = analyzeReports(rig.workload, rig.program, rig.monitor,
+                            /*memoryTools=*/false);
+    ASSERT_EQ(a.outcomes.size(), 1u);       // only the assertion bug
+    EXPECT_TRUE(a.outcomes[0].detected);
+    EXPECT_EQ(a.falsePositiveSites, 1);
+}
+
+TEST(Analysis, AssertReportsNeverMatchMemoryBugs)
+{
+    AnalysisRig rig;
+    rig.monitor.add(rig.assertReport(42));
+    auto a = analyzeReports(rig.workload, rig.program, rig.monitor,
+                            /*memoryTools=*/true);
+    EXPECT_EQ(a.numDetected, 0);
+}
+
+TEST(Analysis, LineRangeNarrowsMemoryMatch)
+{
+    AnalysisRig rig;
+    rig.workload.bugs[0].lineLo = 7;
+    rig.workload.bugs[0].lineHi = 8;
+    rig.monitor.add(rig.memReport(2));      // line 3: outside range
+    auto miss = analyzeReports(rig.workload, rig.program, rig.monitor,
+                               true);
+    EXPECT_EQ(miss.numDetected, 0);
+    EXPECT_EQ(miss.falsePositiveSites, 1);
+
+    rig.monitor.add(rig.memReport(6));      // line 7: inside range
+    auto hit = analyzeReports(rig.workload, rig.program, rig.monitor,
+                              true);
+    EXPECT_EQ(hit.numDetected, 1);
+}
+
+TEST(Registry, NamesArePartitioned)
+{
+    auto all = workloadNames();
+    auto buggy = buggyWorkloadNames();
+    auto spec = specWorkloadNames();
+    EXPECT_EQ(all.size(), 10u);
+    EXPECT_EQ(buggy.size(), 7u);
+    EXPECT_EQ(spec.size(), 3u);
+    EXPECT_EQ(buggy.size() + spec.size(), all.size());
+}
+
+TEST(Registry, LookupIsCachedAndStable)
+{
+    const auto &a = getWorkload("pe_go");
+    const auto &b = getWorkload("pe_go");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.name, "pe_go");
+    EXPECT_FALSE(a.benignInputs.empty());
+}
+
+TEST(Registry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(getWorkload("no_such_app"), FatalError);
+}
+
+TEST(Registry, EveryWorkloadHas50BenignInputs)
+{
+    for (const auto &name : workloadNames()) {
+        const auto &w = getWorkload(name);
+        EXPECT_EQ(w.benignInputs.size(), 50u) << name;
+        EXPECT_FALSE(w.source.empty()) << name;
+    }
+}
+
+TEST(Registry, EveryBugHasATriggerInput)
+{
+    for (const auto &name : buggyWorkloadNames()) {
+        const auto &w = getWorkload(name);
+        for (const auto &bug : w.bugs) {
+            EXPECT_TRUE(w.triggerInputs.count(bug.id))
+                << name << " " << bug.id;
+            EXPECT_TRUE(bug.expectPeDetect || !bug.missCategory.empty())
+                << name << " " << bug.id
+                << ": misses must state their category";
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Assembler tests: syntax coverage, label resolution, data
+ * directives, diagnostics, and executed behaviour of assembled
+ * programs (including PathExpander exploration of assembly code).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hh"
+#include "src/isa/assembler.hh"
+#include "src/support/status.hh"
+
+namespace
+{
+
+using namespace pe;
+using isa::Opcode;
+
+core::RunResult
+runAsm(const std::string &src, std::vector<int32_t> input = {},
+       core::PeMode mode = core::PeMode::Off,
+       detect::Detector *det = nullptr)
+{
+    auto program = isa::assemble(src, "t");
+    auto cfg = core::PeConfig::forMode(mode);
+    core::PathExpanderEngine engine(program, cfg, det);
+    return engine.run(std::move(input));
+}
+
+TEST(Assembler, CountdownLoop)
+{
+    const char *src = R"(
+main:
+    li      r8, 5
+    li      r9, 0
+loop:
+    add     r9, r9, r8
+    addi    r8, r8, -1
+    bgt     r8, r0, loop
+    sys     print_int r9
+    sys     exit
+)";
+    auto r = runAsm(src);
+    EXPECT_FALSE(r.programCrashed);
+    EXPECT_EQ(r.io.charOutput, "15");
+}
+
+TEST(Assembler, DataAndArrayDirectives)
+{
+    const char *src = R"(
+.data   counter 7
+.array  buf 4 10 20 30 40
+
+    ld      r8, counter(r0)
+    ld      r9, buf(r0)         # buf's address is the payload base
+    li      r10, buf
+    ld      r11, 3(r10)
+    add     r8, r8, r9
+    add     r8, r8, r11
+    sys     print_int r8        # 7 + 10 + 40
+    sys     exit
+)";
+    auto r = runAsm(src);
+    EXPECT_EQ(r.io.charOutput, "57");
+}
+
+TEST(Assembler, ArraysAreRegisteredWithGuards)
+{
+    // Walking off the array end hits the guard zone and the
+    // iWatcher-like checker reports it.
+    const char *src = R"(
+.array  buf 4
+
+    li      r10, buf
+    li      r8, 1
+    st      r8, 4(r10)          # one past the payload
+    sys     exit
+)";
+    detect::WatchChecker checker;
+    auto r = runAsm(src, {}, core::PeMode::Off, &checker);
+    ASSERT_EQ(r.monitor.reports().size(), 1u);
+    EXPECT_EQ(r.monitor.reports()[0].kind,
+              detect::ReportKind::GuardHit);
+}
+
+TEST(Assembler, CallAndReturn)
+{
+    const char *src = R"(
+    li      r8, 20
+    jal     ra, double
+    sys     print_int rv
+    sys     exit
+double:
+    add     rv, r8, r8
+    jr      ra
+)";
+    EXPECT_EQ(runAsm(src).io.charOutput, "40");
+}
+
+TEST(Assembler, IoAndAssert)
+{
+    const char *src = R"(
+    sys     read_int r8
+    assert  r8, 42              # fires when the input word is 0
+    sys     print_int r8
+    sys     exit
+)";
+    detect::AssertChecker checker;
+    auto ok = runAsm(src, {7}, core::PeMode::Off, &checker);
+    EXPECT_EQ(ok.monitor.reports().size(), 0u);
+    detect::AssertChecker checker2;
+    auto bad = runAsm(src, {0}, core::PeMode::Off, &checker2);
+    ASSERT_EQ(bad.monitor.reports().size(), 1u);
+    EXPECT_EQ(bad.monitor.reports()[0].assertId, 42);
+}
+
+TEST(Assembler, AllocAndHeap)
+{
+    const char *src = R"(
+    li      r8, 4
+    alloc   r9, r8
+    li      r10, 99
+    st      r10, 2(r9)
+    ld      r11, 2(r9)
+    sys     print_int r11
+    sys     exit
+)";
+    EXPECT_EQ(runAsm(src).io.charOutput, "99");
+}
+
+TEST(Assembler, PredicatedFixSequence)
+{
+    // Hand-crafted Table-1 pattern: a cold branch with a fix at the
+    // entry of the non-taken edge.  PathExpander's NT-Path executes
+    // the fix; the taken path treats it as a NOP.
+    const char *src = R"(
+.data   mode 0
+
+    li      r20, 3
+outer:
+    ld      r8, mode(r0)
+    li      r9, 7
+    bne     r8, r9, skip        # always taken (mode != 7)
+    pfix    r31, 7
+    pfixst  r31, mode(r0)
+    ld      r10, mode(r0)
+    assert  r10, 55             # r10 == 7 after the fix: no report
+skip:
+    addi    r20, r20, -1
+    bgt     r20, r0, outer
+    sys     exit
+)";
+    detect::AssertChecker checker;
+    auto r = runAsm(src, {}, core::PeMode::Standard, &checker);
+    EXPECT_GT(r.ntPathsSpawned, 0u);
+    EXPECT_EQ(r.monitor.reports().size(), 0u);
+    EXPECT_FALSE(r.programCrashed);
+}
+
+TEST(Assembler, RegobjAndUnregobj)
+{
+    const char *src = R"(
+    li      r8, 4
+    alloc   r9, r8
+    regobj  r9, r8, heap
+    unregobj r9
+    li      r10, 1
+    st      r10, 1(r9)          # use after free
+    sys     exit
+)";
+    detect::WatchChecker checker;
+    auto r = runAsm(src, {}, core::PeMode::Off, &checker);
+    ASSERT_EQ(r.monitor.reports().size(), 1u);
+    EXPECT_EQ(r.monitor.reports()[0].kind,
+              detect::ReportKind::UseAfterFree);
+}
+
+TEST(Assembler, NamedRegistersAndRadixes)
+{
+    const char *src = R"(
+    li      r8, 0x10
+    li      r9, 8
+    add     rv, r8, r9
+    sys     print_int rv
+    sys     exit
+)";
+    EXPECT_EQ(runAsm(src).io.charOutput, "24");
+}
+
+TEST(Assembler, Diagnostics)
+{
+    EXPECT_THROW(isa::assemble("bogus r1, r2\n"), FatalError);
+    EXPECT_THROW(isa::assemble("li r99, 1\n"), FatalError);
+    EXPECT_THROW(isa::assemble("jmp nowhere\n"), FatalError);
+    EXPECT_THROW(isa::assemble("li r1\n"), FatalError);
+    EXPECT_THROW(isa::assemble("x: nop\nx: nop\n"), FatalError);
+    EXPECT_THROW(isa::assemble("nop\n.data late 1\n"), FatalError);
+    EXPECT_THROW(isa::assemble(".array a 0\nnop\n"), FatalError);
+    EXPECT_THROW(isa::assemble("sys fly\n"), FatalError);
+    EXPECT_THROW(isa::assemble("ld r8, oops\n"), FatalError);
+}
+
+TEST(Assembler, ForwardAndBackwardLabels)
+{
+    const char *src = R"(
+    jmp     fwd
+back:
+    sys     print_int r8
+    sys     exit
+fwd:
+    li      r8, 3
+    jmp     back
+)";
+    EXPECT_EQ(runAsm(src).io.charOutput, "3");
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Branch-coverage tracker tests: edge accounting, taken/NT
+ * attribution and cumulative merging (the Section-7.4 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/coverage/coverage.hh"
+#include "src/isa/instruction.hh"
+
+namespace
+{
+
+using namespace pe;
+using isa::Opcode;
+
+isa::Program
+twoBranchProgram()
+{
+    isa::Program p;
+    p.code.push_back(isa::makeLi(8, 1));
+    p.code.push_back(isa::makeBranch(Opcode::Beq, 8, 0, 0));   // pc 1
+    p.code.push_back(isa::makeBranch(Opcode::Bne, 8, 0, 0));   // pc 2
+    return p;
+}
+
+TEST(Coverage, TotalEdgesIsTwiceBranches)
+{
+    auto p = twoBranchProgram();
+    coverage::BranchCoverage cov(p);
+    EXPECT_EQ(cov.totalEdges(), 4u);
+    EXPECT_EQ(cov.takenCovered(), 0u);
+    EXPECT_DOUBLE_EQ(cov.takenFraction(), 0.0);
+}
+
+TEST(Coverage, TakenEdgesAccumulateOnce)
+{
+    auto p = twoBranchProgram();
+    coverage::BranchCoverage cov(p);
+    cov.onTakenEdge(1, true);
+    cov.onTakenEdge(1, true);
+    EXPECT_EQ(cov.takenCovered(), 1u);
+    cov.onTakenEdge(1, false);
+    EXPECT_EQ(cov.takenCovered(), 2u);
+    EXPECT_DOUBLE_EQ(cov.takenFraction(), 0.5);
+}
+
+TEST(Coverage, NtOnlyCountsNewEdges)
+{
+    auto p = twoBranchProgram();
+    coverage::BranchCoverage cov(p);
+    cov.onTakenEdge(1, true);
+    cov.onNtEdge(1, true);      // already taken: adds nothing
+    cov.onNtEdge(1, false);     // new
+    cov.onNtEdge(2, true);      // new
+    EXPECT_EQ(cov.ntOnlyCovered(), 2u);
+    EXPECT_EQ(cov.combinedCovered(), 3u);
+    EXPECT_DOUBLE_EQ(cov.combinedFraction(), 0.75);
+    EXPECT_GT(cov.combinedFraction(), cov.takenFraction());
+}
+
+TEST(Coverage, MergeUnionsRuns)
+{
+    auto p = twoBranchProgram();
+    coverage::BranchCoverage a(p);
+    a.onTakenEdge(1, true);
+    coverage::BranchCoverage b(p);
+    b.onTakenEdge(1, false);
+    b.onNtEdge(2, false);
+
+    coverage::BranchCoverage cum(p);
+    cum.mergeFrom(a);
+    cum.mergeFrom(b);
+    EXPECT_EQ(cum.takenCovered(), 2u);
+    EXPECT_EQ(cum.combinedCovered(), 3u);
+    // Merging the same run twice changes nothing.
+    cum.mergeFrom(a);
+    EXPECT_EQ(cum.combinedCovered(), 3u);
+}
+
+TEST(Coverage, EmptyProgramIsSafe)
+{
+    isa::Program p;
+    coverage::BranchCoverage cov(p);
+    EXPECT_EQ(cov.totalEdges(), 0u);
+    EXPECT_DOUBLE_EQ(cov.takenFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(cov.combinedFraction(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Detection-subsystem tests: object registry classification and
+ * overlay chaining, guard zones, use-after-free, the three detectors
+ * and the monitor area's site deduplication.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/detect/detector.hh"
+#include "src/detect/registry.hh"
+#include "src/detect/report.hh"
+
+namespace
+{
+
+using namespace pe;
+using namespace pe::detect;
+using isa::ObjectKind;
+
+constexpr uint32_t G = isa::Program::guardWords;
+
+TEST(Registry, ClassifyPayloadGuardUnknown)
+{
+    ObjectRegistry reg;
+    reg.registerObject(100, 10, ObjectKind::GlobalArray);
+    EXPECT_EQ(reg.classify(100), AddrClass::Payload);
+    EXPECT_EQ(reg.classify(109), AddrClass::Payload);
+    EXPECT_EQ(reg.classify(110), AddrClass::Guard);
+    EXPECT_EQ(reg.classify(111), AddrClass::Guard);
+    EXPECT_EQ(reg.classify(99), AddrClass::Guard);
+    EXPECT_EQ(reg.classify(100 - G - 1), AddrClass::Unknown);
+    EXPECT_EQ(reg.classify(110 + G), AddrClass::Unknown);
+}
+
+TEST(Registry, HeapFreeLeavesTombstone)
+{
+    ObjectRegistry reg;
+    reg.registerObject(100, 10, ObjectKind::HeapBlock);
+    reg.unregisterObject(100);
+    EXPECT_EQ(reg.classify(105), AddrClass::FreedPayload);
+    EXPECT_EQ(reg.classify(110), AddrClass::FreedGuard);
+}
+
+TEST(Registry, StackArrayUnregisterErases)
+{
+    ObjectRegistry reg;
+    reg.registerObject(100, 10, ObjectKind::StackArray);
+    reg.unregisterObject(100);
+    EXPECT_EQ(reg.classify(105), AddrClass::Unknown);
+    EXPECT_EQ(reg.numOwn(), 0u);
+}
+
+TEST(Registry, ReuseOverwritesOverlappingObjects)
+{
+    ObjectRegistry reg;
+    reg.registerObject(100, 10, ObjectKind::StackArray);
+    // New frame reuses overlapping addresses.
+    reg.registerObject(104, 20, ObjectKind::StackArray);
+    EXPECT_EQ(reg.classify(104), AddrClass::Payload);
+    EXPECT_EQ(reg.classify(123), AddrClass::Payload);
+    EXPECT_EQ(reg.classify(124), AddrClass::Guard);
+    EXPECT_EQ(reg.numOwn(), 1u);
+}
+
+TEST(Registry, OverlayReadsThroughParent)
+{
+    ObjectRegistry base;
+    base.registerObject(100, 10, ObjectKind::GlobalArray);
+    ObjectRegistry overlay(&base);
+    EXPECT_EQ(overlay.classify(105), AddrClass::Payload);
+    EXPECT_EQ(overlay.classify(110), AddrClass::Guard);
+}
+
+TEST(Registry, OverlayRegistrationInvisibleToParent)
+{
+    ObjectRegistry base;
+    ObjectRegistry overlay(&base);
+    overlay.registerObject(200, 8, ObjectKind::HeapBlock);
+    EXPECT_EQ(overlay.classify(204), AddrClass::Payload);
+    EXPECT_EQ(base.classify(204), AddrClass::Unknown);
+}
+
+TEST(Registry, OverlayFreeTombstonesParentObject)
+{
+    ObjectRegistry base;
+    base.registerObject(100, 10, ObjectKind::HeapBlock);
+    ObjectRegistry overlay(&base);
+    overlay.unregisterObject(100);
+    // The NT-Path's view sees the free; the primary view does not.
+    EXPECT_EQ(overlay.classify(105), AddrClass::FreedPayload);
+    EXPECT_EQ(base.classify(105), AddrClass::Payload);
+}
+
+TEST(Registry, DeadStackArrayInOverlayReadsUnknown)
+{
+    ObjectRegistry base;
+    base.registerObject(100, 10, ObjectKind::StackArray);
+    ObjectRegistry overlay(&base);
+    overlay.unregisterObject(100);
+    EXPECT_EQ(overlay.classify(105), AddrClass::Unknown);
+    EXPECT_EQ(base.classify(105), AddrClass::Payload);
+}
+
+TEST(Registry, FindContaining)
+{
+    ObjectRegistry reg;
+    reg.registerObject(100, 10, ObjectKind::HeapBlock);
+    auto obj = reg.findContaining(105);
+    ASSERT_TRUE(obj.has_value());
+    EXPECT_EQ(obj->base, 100u);
+    EXPECT_EQ(obj->size, 10u);
+    EXPECT_FALSE(reg.findContaining(500).has_value());
+}
+
+// ---- detectors ----
+
+struct DetectorRig
+{
+    DetectorRig()
+    {
+        program.name = "rig";
+        program.dataBase = 16;
+        program.heapBase = 200;
+        program.funcs.push_back(isa::FuncInfo{"f", 0, 100});
+        registry.registerObject(100, 10, ObjectKind::GlobalArray);
+
+        ctx.program = &program;
+        ctx.registry = &registry;
+        ctx.monitor = &monitor;
+        ctx.pc = 5;
+        ctx.dataBase = 16;
+        ctx.heapBase = 200;
+        ctx.heapTop = 250;
+        ctx.stackBase = 1000;
+        ctx.memWords = 2000;
+    }
+
+    isa::Program program;
+    ObjectRegistry registry;
+    MonitorArea monitor;
+    DetectCtx ctx;
+};
+
+TEST(BoundsChecker, FlagsGuardHit)
+{
+    DetectorRig rig;
+    BoundsChecker det;
+    det.onBoundsCheck(rig.ctx, 105);
+    EXPECT_EQ(rig.monitor.reports().size(), 0u);
+    det.onBoundsCheck(rig.ctx, 110);
+    ASSERT_EQ(rig.monitor.reports().size(), 1u);
+    EXPECT_EQ(rig.monitor.reports()[0].kind, ReportKind::GuardHit);
+    EXPECT_EQ(rig.monitor.reports()[0].site, "f:0");
+}
+
+TEST(BoundsChecker, FlagsNullZoneAndWildHeap)
+{
+    DetectorRig rig;
+    BoundsChecker det;
+    det.onBoundsCheck(rig.ctx, 3);      // null zone
+    det.onBoundsCheck(rig.ctx, 500);    // beyond heapTop, below stack
+    ASSERT_EQ(rig.monitor.reports().size(), 2u);
+    EXPECT_EQ(rig.monitor.reports()[0].kind, ReportKind::WildAccess);
+    EXPECT_EQ(rig.monitor.reports()[1].kind, ReportKind::WildAccess);
+}
+
+TEST(BoundsChecker, AcceptsValidRegions)
+{
+    DetectorRig rig;
+    BoundsChecker det;
+    det.onBoundsCheck(rig.ctx, 20);     // globals
+    det.onBoundsCheck(rig.ctx, 220);    // allocated heap
+    det.onBoundsCheck(rig.ctx, 1500);   // stack
+    EXPECT_EQ(rig.monitor.reports().size(), 0u);
+}
+
+TEST(BoundsChecker, FlagsUseAfterFree)
+{
+    DetectorRig rig;
+    rig.registry.registerObject(220, 8, ObjectKind::HeapBlock);
+    rig.registry.unregisterObject(220);
+    BoundsChecker det;
+    det.onBoundsCheck(rig.ctx, 223);
+    ASSERT_EQ(rig.monitor.reports().size(), 1u);
+    EXPECT_EQ(rig.monitor.reports()[0].kind,
+              ReportKind::UseAfterFree);
+}
+
+TEST(WatchChecker, TriggersOnGuardAndNullOnly)
+{
+    DetectorRig rig;
+    WatchChecker det;
+    det.onMemAccess(rig.ctx, 110, true);    // guard -> triggers
+    det.onMemAccess(rig.ctx, 3, false);     // null zone -> triggers
+    det.onMemAccess(rig.ctx, 500, true);    // unwatched wild -> silent
+    ASSERT_EQ(rig.monitor.reports().size(), 2u);
+    EXPECT_EQ(rig.monitor.reports()[0].kind, ReportKind::GuardHit);
+    EXPECT_EQ(rig.monitor.reports()[1].kind, ReportKind::WildAccess);
+}
+
+TEST(WatchChecker, IgnoresBoundsHooks)
+{
+    DetectorRig rig;
+    WatchChecker det;
+    det.onBoundsCheck(rig.ctx, 110);
+    EXPECT_EQ(rig.monitor.reports().size(), 0u);
+}
+
+TEST(AssertChecker, ReportsWithId)
+{
+    DetectorRig rig;
+    AssertChecker det;
+    rig.ctx.fromNtPath = true;
+    rig.ctx.ntSpawnPc = 42;
+    det.onAssert(rig.ctx, 207);
+    ASSERT_EQ(rig.monitor.reports().size(), 1u);
+    const auto &r = rig.monitor.reports()[0];
+    EXPECT_EQ(r.kind, ReportKind::AssertFail);
+    EXPECT_EQ(r.assertId, 207);
+    EXPECT_TRUE(r.fromNtPath);
+    EXPECT_EQ(r.ntSpawnPc, 42u);
+}
+
+TEST(CheckerCosts, SoftwareVsHardware)
+{
+    BoundsChecker sw;
+    WatchChecker hw;
+    EXPECT_GT(sw.boundsCheckCost(), 0u);
+    EXPECT_EQ(hw.memAccessCost(), 0u);
+}
+
+TEST(MonitorArea, DeduplicatesSites)
+{
+    MonitorArea m;
+    Report r;
+    r.kind = ReportKind::GuardHit;
+    r.pc = 10;
+    m.add(r);
+    m.add(r);                           // same site
+    r.pc = 11;
+    m.add(r);                           // new site
+    r.kind = ReportKind::AssertFail;
+    r.assertId = 5;
+    m.add(r);
+    r.pc = 99;                          // pc ignored for asserts
+    m.add(r);
+    EXPECT_EQ(m.reports().size(), 5u);
+    EXPECT_EQ(m.numDistinctSites(), 3u);
+    EXPECT_EQ(m.distinctReports().size(), 3u);
+}
+
+TEST(MonitorArea, Clear)
+{
+    MonitorArea m;
+    Report r;
+    r.kind = ReportKind::WildAccess;
+    m.add(r);
+    m.clear();
+    EXPECT_EQ(m.reports().size(), 0u);
+    EXPECT_EQ(m.numDistinctSites(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Differential fuzzing: randomly generated (but guaranteed-
+ * terminating) PE-RISC programs must behave identically under
+ * baseline, PathExpander standard and PathExpander CMP — same
+ * output, same final memory digest, same crash outcome — across a
+ * seed sweep.  This is the sandboxing correctness property tested in
+ * breadth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/engine.hh"
+#include "src/isa/assembler.hh"
+#include "src/support/rng.hh"
+
+namespace
+{
+
+using namespace pe;
+
+/**
+ * Generate a structured random program:
+ *  - a guarded data array and a few scalars;
+ *  - an outer counted loop (guaranteed to terminate);
+ *  - a body of blocks, each mixing ALU ops, masked loads/stores into
+ *    the array, and a conditional branch that either falls through or
+ *    skips the next block (forward only, so no extra loops);
+ *  - a final output of the accumulated state.
+ */
+std::string
+generateProgram(uint64_t seed)
+{
+    Rng rng(seed);
+    std::ostringstream out;
+    out << ".data acc 0\n.array buf 16\n";
+
+    // Initialize working registers r8..r15.
+    for (int r = 8; r <= 15; ++r)
+        out << "li r" << r << ", " << rng.nextRange(-50, 50) << "\n";
+    out << "li r20, " << rng.nextRange(2, 5) << "\n";  // outer trips
+    out << "outer:\n";
+
+    int blocks = static_cast<int>(rng.nextRange(4, 8));
+    for (int b = 0; b < blocks; ++b) {
+        int ops = static_cast<int>(rng.nextRange(2, 6));
+        for (int i = 0; i < ops; ++i) {
+            int rd = static_cast<int>(rng.nextRange(8, 15));
+            int rs1 = static_cast<int>(rng.nextRange(8, 15));
+            int rs2 = static_cast<int>(rng.nextRange(8, 15));
+            switch (rng.nextBelow(7)) {
+              case 0:
+                out << "add r" << rd << ", r" << rs1 << ", r" << rs2
+                    << "\n";
+                break;
+              case 1:
+                out << "sub r" << rd << ", r" << rs1 << ", r" << rs2
+                    << "\n";
+                break;
+              case 2:
+                out << "mul r" << rd << ", r" << rs1 << ", r" << rs2
+                    << "\n";
+                break;
+              case 3:
+                out << "xor r" << rd << ", r" << rs1 << ", r" << rs2
+                    << "\n";
+                break;
+              case 4:
+                out << "slt r" << rd << ", r" << rs1 << ", r" << rs2
+                    << "\n";
+                break;
+              case 5: {
+                // Masked store into the array: always in bounds.
+                out << "andi r28, r" << rs1 << ", 15\n"
+                    << "li r29, buf\n"
+                    << "add r28, r28, r29\n"
+                    << "st r" << rs2 << ", 0(r28)\n";
+                break;
+              }
+              default: {
+                out << "andi r28, r" << rs1 << ", 15\n"
+                    << "li r29, buf\n"
+                    << "add r28, r28, r29\n"
+                    << "ld r" << rd << ", 0(r28)\n";
+                break;
+              }
+            }
+        }
+        // Conditional skip of the next block (forward branch only).
+        int rs1 = static_cast<int>(rng.nextRange(8, 15));
+        int rs2 = static_cast<int>(rng.nextRange(8, 15));
+        const char *cond =
+            (const char *[]){"beq", "bne", "blt", "bge"}[rng.nextBelow(
+                4)];
+        out << cond << " r" << rs1 << ", r" << rs2 << ", blk" << seed
+            << "_" << b + 1 << "\n";
+        // A little extra work on the not-skipped path.
+        out << "addi r" << rs1 << ", r" << rs1 << ", 1\n";
+        out << "blk" << seed << "_" << b + 1 << ":\n";
+    }
+
+    out << "addi r20, r20, -1\n"
+        << "bgt r20, r0, outer\n";
+    // Fold the registers into one value and print it.
+    out << "li r21, 0\n";
+    for (int r = 8; r <= 15; ++r)
+        out << "xor r21, r21, r" << r << "\n";
+    out << "sys print_int r21\n"
+        << "sys exit\n";
+    return out.str();
+}
+
+struct Outcome
+{
+    bool crashed;
+    sim::CrashKind kind;
+    std::string output;
+    uint64_t digest;
+    uint64_t takenInstructions;
+};
+
+Outcome
+runMode(const isa::Program &program, core::PeMode mode)
+{
+    auto cfg = core::PeConfig::forMode(mode);
+    cfg.maxTakenInstructions = 2'000'000;
+    core::PathExpanderEngine engine(program, cfg);
+    auto r = engine.run({});
+    return Outcome{r.programCrashed, r.programCrashKind,
+                   r.io.charOutput, r.memoryDigest,
+                   r.takenInstructions};
+}
+
+class Differential : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(Differential, ModesAgreeOnArchitectedBehavior)
+{
+    auto program = isa::assemble(generateProgram(GetParam()),
+                                 "fuzz");
+    Outcome off = runMode(program, core::PeMode::Off);
+    Outcome std_ = runMode(program, core::PeMode::Standard);
+    Outcome cmp = runMode(program, core::PeMode::Cmp);
+
+    EXPECT_EQ(off.crashed, std_.crashed);
+    EXPECT_EQ(off.crashed, cmp.crashed);
+    if (off.crashed) {
+        EXPECT_EQ(off.kind, std_.kind);
+        EXPECT_EQ(off.kind, cmp.kind);
+    }
+    EXPECT_EQ(off.output, std_.output);
+    EXPECT_EQ(off.output, cmp.output);
+    EXPECT_EQ(off.digest, std_.digest);
+    EXPECT_EQ(off.digest, cmp.digest);
+    EXPECT_EQ(off.takenInstructions, std_.takenInstructions);
+    EXPECT_EQ(off.takenInstructions, cmp.takenInstructions);
+}
+
+TEST_P(Differential, ExplorationIsDeterministic)
+{
+    auto program = isa::assemble(generateProgram(GetParam()),
+                                 "fuzz");
+    auto cfg = core::PeConfig::forMode(core::PeMode::Standard);
+    cfg.maxTakenInstructions = 2'000'000;
+    core::PathExpanderEngine a(program, cfg);
+    core::PathExpanderEngine b(program, cfg);
+    auto ra = a.run({});
+    auto rb = b.run({});
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.ntPathsSpawned, rb.ntPathsSpawned);
+    EXPECT_EQ(ra.ntInstructions, rb.ntInstructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, Differential,
+                         ::testing::Range<uint64_t>(1, 33));
+
+} // namespace

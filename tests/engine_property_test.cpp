@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Property grid: across the full configuration grid (mode x fixing x
+ * sandboxIo x random factor) and multiple workloads, PathExpander
+ * must never perturb architected behaviour — same output, same input
+ * consumption, same memory digest, same taken-instruction count as
+ * the baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/engine.hh"
+#include "src/minic/compiler.hh"
+#include "src/workloads/workload.hh"
+
+namespace
+{
+
+using namespace pe;
+
+// (workload, mode, fixing, sandboxIo, randomFraction)
+using GridParam =
+    std::tuple<std::string, core::PeMode, bool, bool, double>;
+
+class EngineGrid : public ::testing::TestWithParam<GridParam>
+{};
+
+TEST_P(EngineGrid, ArchitectedBehaviorIsInvariant)
+{
+    const auto &[name, mode, fixing, sandboxIo, fraction] = GetParam();
+    const auto &w = workloads::getWorkload(name);
+    auto program = minic::compile(w.source, w.name);
+
+    auto offCfg = core::PeConfig::forMode(core::PeMode::Off);
+    core::PathExpanderEngine base(program, offCfg, nullptr);
+    auto rb = base.run(w.benignInputs[0]);
+
+    auto cfg = core::PeConfig::forMode(mode);
+    cfg.maxNtPathLength = w.maxNtPathLength;
+    cfg.variableFixing = fixing;
+    cfg.sandboxIo = sandboxIo;
+    cfg.randomSpawnFraction = fraction;
+    core::PathExpanderEngine engine(program, cfg, nullptr);
+    auto r = engine.run(w.benignInputs[0]);
+
+    EXPECT_GT(r.ntPathsSpawned, 0u);
+    EXPECT_EQ(r.io.charOutput, rb.io.charOutput);
+    EXPECT_EQ(r.io.inputPos, rb.io.inputPos);
+    EXPECT_EQ(r.takenInstructions, rb.takenInstructions);
+    EXPECT_EQ(r.memoryDigest, rb.memoryDigest);
+    EXPECT_FALSE(r.programCrashed);
+}
+
+std::string
+gridName(const ::testing::TestParamInfo<GridParam> &info)
+{
+    const auto &[name, mode, fixing, sandboxIo, fraction] = info.param;
+    std::string s = name;
+    s += mode == core::PeMode::Standard ? "_std" : "_cmp";
+    s += fixing ? "_fix" : "_nofix";
+    if (sandboxIo)
+        s += "_specio";
+    if (fraction > 0)
+        s += "_rand";
+    return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineGrid,
+    ::testing::Combine(
+        ::testing::Values("print_tokens2", "pe_bc", "pe_gzip"),
+        ::testing::Values(core::PeMode::Standard, core::PeMode::Cmp),
+        ::testing::Bool(),              // fixing
+        ::testing::Bool(),              // sandboxIo
+        ::testing::Values(0.0, 0.25)),  // random spawn fraction
+    gridName);
+
+} // namespace

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * ISA tests: opcode properties, 64-bit encode/decode round-trips
+ * (property-style sweep over all opcodes and field extremes),
+ * disassembly, and Program helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/isa/instruction.hh"
+#include "src/isa/program.hh"
+#include "src/isa/regs.hh"
+#include "src/support/rng.hh"
+
+namespace
+{
+
+using namespace pe;
+using namespace pe::isa;
+
+TEST(Opcode, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i)
+        names.insert(opcodeName(static_cast<Opcode>(i)));
+    EXPECT_EQ(names.size(),
+              static_cast<size_t>(Opcode::NumOpcodes));
+}
+
+TEST(Opcode, BranchClassification)
+{
+    EXPECT_TRUE(isConditionalBranch(Opcode::Beq));
+    EXPECT_TRUE(isConditionalBranch(Opcode::Bgt));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Jmp));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Jal));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Add));
+}
+
+TEST(Opcode, MemoryClassification)
+{
+    EXPECT_TRUE(isMemoryOp(Opcode::Ld));
+    EXPECT_TRUE(isMemoryOp(Opcode::St));
+    EXPECT_TRUE(isMemoryOp(Opcode::Pfixst));
+    EXPECT_FALSE(isMemoryOp(Opcode::Add));
+    EXPECT_FALSE(isMemoryOp(Opcode::Chkb));
+}
+
+TEST(Opcode, PredicatedFixClassification)
+{
+    EXPECT_TRUE(isPredicatedFix(Opcode::Pfix));
+    EXPECT_TRUE(isPredicatedFix(Opcode::Pfixst));
+    EXPECT_FALSE(isPredicatedFix(Opcode::Li));
+}
+
+/** Property sweep: encode/decode round-trips for every opcode. */
+class EncodeRoundTrip
+    : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(EncodeRoundTrip, AllFieldCombinations)
+{
+    Opcode op = static_cast<Opcode>(GetParam());
+    Rng rng(GetParam() * 7919 + 1);
+    const int32_t imms[] = {0, 1, -1, 42, -42, 0x7fffffff,
+                            static_cast<int32_t>(0x80000000), 123456};
+    for (int32_t imm : imms) {
+        Instruction inst;
+        inst.op = op;
+        inst.rd = static_cast<uint8_t>(rng.nextBelow(numRegs));
+        inst.rs1 = static_cast<uint8_t>(rng.nextBelow(numRegs));
+        inst.rs2 = static_cast<uint8_t>(rng.nextBelow(numRegs));
+        inst.imm = imm;
+        EXPECT_EQ(decode(encode(inst)), inst)
+            << opcodeName(op) << " imm=" << imm;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, EncodeRoundTrip,
+    ::testing::Range(0, static_cast<int>(Opcode::NumOpcodes)));
+
+TEST(Encode, RegisterBoundaries)
+{
+    Instruction inst = makeR(Opcode::Add, 31, 31, 31);
+    EXPECT_EQ(decode(encode(inst)), inst);
+    inst = makeR(Opcode::Add, 0, 0, 0);
+    EXPECT_EQ(decode(encode(inst)), inst);
+}
+
+TEST(Disassemble, RepresentativeForms)
+{
+    EXPECT_EQ(disassemble(makeR(Opcode::Add, 8, 9, 10)),
+              "add r8, r9, r10");
+    EXPECT_EQ(disassemble(makeLi(5, -7)), "li r5, -7");
+    EXPECT_EQ(disassemble(makeI(Opcode::Ld, 8, 2, -3)),
+              "ld r8, -3(r2)");
+    EXPECT_EQ(disassemble(Instruction{Opcode::St, 0, 2, 9, 4}),
+              "st r9, 4(r2)");
+    EXPECT_EQ(disassemble(makeBranch(Opcode::Beq, 8, 0, 42)),
+              "beq r8, r0, 42");
+    EXPECT_EQ(disassemble(makeJmp(7)), "jmp 7");
+    EXPECT_EQ(disassemble(makeJr(3)), "jr r3");
+    EXPECT_EQ(disassemble(Instruction{Opcode::Assert, 0, 8, 0, 99}),
+              "assert r8, #99");
+    EXPECT_EQ(disassemble(makeI(Opcode::Pfix, 31, 0, 5)),
+              "pfix r31, 5");
+}
+
+TEST(Program, BranchEnumeration)
+{
+    Program p;
+    p.code.push_back(makeLi(8, 1));
+    p.code.push_back(makeBranch(Opcode::Beq, 8, 0, 0));
+    p.code.push_back(makeJmp(0));
+    p.code.push_back(makeBranch(Opcode::Blt, 8, 9, 1));
+    auto pcs = p.branchPcs();
+    ASSERT_EQ(pcs.size(), 2u);
+    EXPECT_EQ(pcs[0], 1u);
+    EXPECT_EQ(pcs[1], 3u);
+    EXPECT_EQ(p.numBranches(), 2u);
+}
+
+TEST(Program, FuncAndLocLookup)
+{
+    Program p;
+    for (int i = 0; i < 10; ++i) {
+        p.code.push_back(makeLi(8, i));
+        p.locs.push_back(SourceLoc{i + 1, 0});
+    }
+    p.funcs.push_back(FuncInfo{"alpha", 0, 5});
+    p.funcs.push_back(FuncInfo{"beta", 5, 10});
+    EXPECT_EQ(p.funcOf(0), "alpha");
+    EXPECT_EQ(p.funcOf(4), "alpha");
+    EXPECT_EQ(p.funcOf(5), "beta");
+    EXPECT_EQ(p.funcOf(99), "?");
+    EXPECT_EQ(p.locOf(3).line, 4);
+    EXPECT_EQ(p.locOf(99).line, 0);
+    EXPECT_EQ(p.describePc(6), "beta:7");
+}
+
+} // namespace

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Memory-system tests: main memory, versioned buffers (the Vtag
+ * model), tree-ordered read resolution, cache hit/miss/LRU behaviour
+ * and shared-port contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mem/cache.hh"
+#include "src/mem/hierarchy.hh"
+#include "src/mem/main_memory.hh"
+#include "src/mem/versioned_buffer.hh"
+
+namespace
+{
+
+using namespace pe::mem;
+
+TEST(MainMemory, ReadWriteAndBounds)
+{
+    MainMemory m(128);
+    EXPECT_TRUE(m.valid(0));
+    EXPECT_TRUE(m.valid(127));
+    EXPECT_FALSE(m.valid(128));
+    m.write(5, -9);
+    EXPECT_EQ(m.read(5), -9);
+    EXPECT_EQ(m.read(6), 0);
+}
+
+TEST(VersionedBuffer, BuffersWrites)
+{
+    VersionedBuffer b(1);
+    EXPECT_FALSE(b.lookup(10).has_value());
+    b.write(10, 42);
+    b.write(10, 43);
+    EXPECT_EQ(b.lookup(10).value(), 43);
+    EXPECT_EQ(b.numWords(), 1u);
+}
+
+TEST(VersionedBuffer, LineAccounting)
+{
+    VersionedBuffer b(1);
+    // Words 0..7 share one 8-word line; 8 starts the next.
+    b.write(0, 1);
+    b.write(7, 1);
+    EXPECT_EQ(b.numLines(), 1u);
+    b.write(8, 1);
+    EXPECT_EQ(b.numLines(), 2u);
+}
+
+TEST(VersionedBuffer, CommitAndClear)
+{
+    MainMemory m(64);
+    VersionedBuffer b(1);
+    b.write(3, 30);
+    b.write(9, 90);
+    b.commitTo(m);
+    EXPECT_EQ(m.read(3), 30);
+    EXPECT_EQ(m.read(9), 90);
+    b.clear();
+    EXPECT_EQ(b.numWords(), 0u);
+    EXPECT_EQ(b.numLines(), 0u);
+}
+
+TEST(MemCtx, ReadsThroughParentChain)
+{
+    MainMemory m(64);
+    m.write(1, 100);
+    m.write(2, 200);
+    m.write(3, 300);
+
+    VersionedBuffer parent(1);
+    parent.write(2, 222);
+    VersionedBuffer child(2);
+    child.setParent(&parent);
+    child.write(3, 333);
+
+    MemCtx ctx(m, &child);
+    EXPECT_EQ(ctx.read(1), 100);    // from main
+    EXPECT_EQ(ctx.read(2), 222);    // from parent
+    EXPECT_EQ(ctx.read(3), 333);    // own write wins
+
+    // Child writes are invisible to a parent-level view: the
+    // Figure-6(c) tree order.
+    MemCtx parentCtx(m, &parent);
+    EXPECT_EQ(parentCtx.read(3), 300);
+}
+
+TEST(MemCtx, SiblingIsolation)
+{
+    MainMemory m(64);
+    VersionedBuffer parent(1);
+    parent.write(5, 50);
+    VersionedBuffer left(2);
+    left.setParent(&parent);
+    VersionedBuffer right(3);
+    right.setParent(&parent);
+
+    MemCtx lctx(m, &left);
+    MemCtx rctx(m, &right);
+    lctx.write(5, 55);
+    EXPECT_EQ(rctx.read(5), 50);    // sibling write invisible
+    EXPECT_EQ(lctx.read(5), 55);
+}
+
+TEST(MemCtx, WritesDirectWhenNoBuffer)
+{
+    MainMemory m(64);
+    MemCtx ctx(m, nullptr);
+    ctx.write(7, 77);
+    EXPECT_EQ(m.read(7), 77);
+    EXPECT_EQ(ctx.read(7), 77);
+}
+
+TEST(Cache, GeometryDerivation)
+{
+    CacheGeometry g{16 * 1024, 4, 32};
+    EXPECT_EQ(g.numLines(), 512u);
+    EXPECT_EQ(g.numSets(), 128u);
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c(CacheGeometry{256, 2, 32});     // 8 lines, 4 sets
+    EXPECT_FALSE(c.access(0));
+    EXPECT_TRUE(c.access(0));
+    EXPECT_TRUE(c.access(7));               // same 8-word line
+    EXPECT_FALSE(c.access(8));              // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 4 sets: lines mapping to set 0 are line numbers 0,4,8...
+    Cache c(CacheGeometry{256, 2, 32});
+    uint32_t wordsPerLine = 8;
+    auto line = [&](uint32_t n) { return n * 4 * wordsPerLine; };
+    EXPECT_FALSE(c.access(line(0)));
+    EXPECT_FALSE(c.access(line(1)));
+    EXPECT_TRUE(c.access(line(0)));         // 0 now MRU
+    EXPECT_FALSE(c.access(line(2)));        // evicts 1 (LRU)
+    EXPECT_TRUE(c.access(line(0)));
+    EXPECT_FALSE(c.access(line(1)));        // 1 was evicted
+}
+
+TEST(Cache, InvalidateAll)
+{
+    Cache c(CacheGeometry{256, 2, 32});
+    c.access(0);
+    EXPECT_TRUE(c.contains(0));
+    c.invalidateAll();
+    EXPECT_FALSE(c.contains(0));
+}
+
+TEST(SharedPort, SerializesAccesses)
+{
+    SharedPort port;
+    EXPECT_EQ(port.acquire(100, 10), 100u);
+    // Second access at t=105 must wait until 110.
+    EXPECT_EQ(port.acquire(105, 10), 110u);
+    EXPECT_EQ(port.contentionCycles(), 5u);
+    // A late access after the port is free starts immediately.
+    EXPECT_EQ(port.acquire(200, 10), 200u);
+}
+
+TEST(Hierarchy, LatencyLevels)
+{
+    MemTimingParams p;
+    p.l1HitLatency = 2;
+    p.l2HitLatency = 10;
+    p.memLatency = 200;
+    MemHierarchy h(2, p);
+
+    // Cold access: all the way to memory.
+    uint64_t first = h.accessLatency(0, 0, 0);
+    EXPECT_GE(first, p.memLatency);
+    // Now L1-resident.
+    EXPECT_EQ(h.accessLatency(0, 0, 1000), p.l1HitLatency);
+    // Other core: misses its L1, hits shared L2.
+    uint64_t other = h.accessLatency(1, 0, 2000);
+    EXPECT_GE(other, p.l2HitLatency);
+    EXPECT_LT(other, p.memLatency);
+}
+
+TEST(Hierarchy, L1InvalidationForcesL2Hit)
+{
+    MemTimingParams p;
+    MemHierarchy h(1, p);
+    h.accessLatency(0, 0, 0);
+    EXPECT_EQ(h.accessLatency(0, 0, 500), p.l1HitLatency);
+    h.invalidateL1(0);
+    uint64_t after = h.accessLatency(0, 0, 1000);
+    EXPECT_GE(after, p.l2HitLatency);
+    EXPECT_LT(after, p.memLatency);
+}
+
+TEST(Hierarchy, L1LineCapacityMatchesGeometry)
+{
+    MemTimingParams p;
+    MemHierarchy h(1, p);
+    EXPECT_EQ(h.l1LineCapacity(), defaultL1Geometry().numLines());
+}
+
+} // namespace

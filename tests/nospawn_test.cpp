@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the tagged-checking-function mechanism (paper Section
+ * 6.2) and the per-core clock reporting of the CMP option.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hh"
+#include "src/minic/compiler.hh"
+
+namespace
+{
+
+using namespace pe;
+
+const char *source = R"(
+int state = 0;
+int checked = 0;
+
+// Stands in for an instrumented checking routine of a software
+// detector: its internal branches must not spawn NT-Paths.
+int check_invariants(int v) {
+    if (v < 0) {
+        checked = checked + 1;
+    }
+    if (v > 100) {
+        checked = checked + 2;
+    }
+    return checked;
+}
+
+int main() {
+    int i = 0;
+    while (i < 20) {
+        if (state == 9) {
+            state = 0;
+        }
+        check_invariants(i);
+        i = i + 1;
+    }
+    print_int(checked);
+    return 0;
+}
+)";
+
+uint32_t
+countSpawnsIn(const isa::Program &program, const core::RunResult &r,
+              const std::string &func)
+{
+    uint32_t n = 0;
+    for (const auto &rec : r.ntRecords) {
+        if (program.funcOf(rec.spawnBranchPc) == func)
+            ++n;
+    }
+    return n;
+}
+
+TEST(NoSpawn, TaggedFunctionsAreSkipped)
+{
+    auto program = minic::compile(source, "nospawn");
+
+    auto cfg = core::PeConfig::forMode(core::PeMode::Standard);
+    core::PathExpanderEngine plain(program, cfg, nullptr);
+    auto before = plain.run({});
+    EXPECT_GT(countSpawnsIn(program, before, "check_invariants"), 0u);
+
+    cfg.noSpawnFuncs = {"check_invariants"};
+    core::PathExpanderEngine tagged(program, cfg, nullptr);
+    auto after = tagged.run({});
+    EXPECT_EQ(countSpawnsIn(program, after, "check_invariants"), 0u);
+    // Spawning elsewhere (main's cold branch) is unaffected.
+    EXPECT_GT(countSpawnsIn(program, after, "main"), 0u);
+    EXPECT_EQ(before.io.charOutput, after.io.charOutput);
+}
+
+TEST(NoSpawn, UnknownNamesAreHarmless)
+{
+    auto program = minic::compile(source, "nospawn");
+    auto cfg = core::PeConfig::forMode(core::PeMode::Standard);
+    cfg.noSpawnFuncs = {"does_not_exist"};
+    core::PathExpanderEngine engine(program, cfg, nullptr);
+    auto r = engine.run({});
+    EXPECT_GT(r.ntPathsSpawned, 0u);
+}
+
+TEST(NoSpawn, WorksInCmpMode)
+{
+    auto program = minic::compile(source, "nospawn");
+    auto cfg = core::PeConfig::forMode(core::PeMode::Cmp);
+    cfg.noSpawnFuncs = {"check_invariants"};
+    core::PathExpanderEngine engine(program, cfg, nullptr);
+    auto r = engine.run({});
+    EXPECT_EQ(countSpawnsIn(program, r, "check_invariants"), 0u);
+}
+
+TEST(CoreCycles, ReportedPerCore)
+{
+    auto program = minic::compile(source, "nospawn");
+
+    auto off = core::PeConfig::forMode(core::PeMode::Off);
+    core::PathExpanderEngine base(program, off, nullptr);
+    auto rb = base.run({});
+    ASSERT_EQ(rb.coreCycles.size(), 1u);
+    EXPECT_EQ(rb.coreCycles[0], rb.cycles);
+
+    auto cmp = core::PeConfig::forMode(core::PeMode::Cmp);
+    core::PathExpanderEngine engine(program, cmp, nullptr);
+    auto rc = engine.run({});
+    ASSERT_EQ(rc.coreCycles.size(), 4u);
+    EXPECT_EQ(rc.coreCycles[0], rc.cycles);
+    // Idle cores did some NT work but lag the primary.
+    for (size_t c = 1; c < rc.coreCycles.size(); ++c)
+        EXPECT_LE(rc.coreCycles[c], rc.cycles + 2000);
+}
+
+} // namespace

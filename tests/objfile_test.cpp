@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Object-format tests: round-tripping every workload program through
+ * the binary encoding preserves behaviour bit-for-bit, and malformed
+ * inputs produce clean diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/engine.hh"
+#include "src/isa/objfile.hh"
+#include "src/minic/compiler.hh"
+#include "src/support/status.hh"
+#include "src/workloads/workload.hh"
+
+namespace
+{
+
+using namespace pe;
+
+isa::Program
+roundTrip(const isa::Program &program)
+{
+    std::stringstream buf;
+    isa::saveObject(program, buf);
+    return isa::loadObject(buf);
+}
+
+TEST(ObjFile, PreservesEveryField)
+{
+    auto program = minic::compile(R"(
+int g = 5;
+int t[3] = {1, 2};
+int helper(int a) { return a * 2; }
+int main() {
+    assert(helper(g) == 10, 71);
+    print_int(t[1]);
+    return 0;
+}
+)",
+                                  "roundtrip");
+    auto loaded = roundTrip(program);
+
+    EXPECT_EQ(loaded.name, program.name);
+    EXPECT_EQ(loaded.dataBase, program.dataBase);
+    EXPECT_EQ(loaded.heapBase, program.heapBase);
+    EXPECT_EQ(loaded.entry, program.entry);
+    EXPECT_EQ(loaded.blankAddr, program.blankAddr);
+    ASSERT_EQ(loaded.code.size(), program.code.size());
+    for (size_t i = 0; i < program.code.size(); ++i)
+        EXPECT_EQ(loaded.code[i], program.code[i]) << "pc " << i;
+    EXPECT_EQ(loaded.dataInit, program.dataInit);
+    ASSERT_EQ(loaded.funcs.size(), program.funcs.size());
+    for (size_t i = 0; i < program.funcs.size(); ++i) {
+        EXPECT_EQ(loaded.funcs[i].name, program.funcs[i].name);
+        EXPECT_EQ(loaded.funcs[i].startPc, program.funcs[i].startPc);
+        EXPECT_EQ(loaded.funcs[i].endPc, program.funcs[i].endPc);
+    }
+    ASSERT_TRUE(loaded.assertLocs.count(71));
+    EXPECT_EQ(loaded.assertLocs.at(71).line,
+              program.assertLocs.at(71).line);
+    EXPECT_EQ(loaded.locOf(5).line, program.locOf(5).line);
+}
+
+class ObjFileWorkloads
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ObjFileWorkloads, LoadedProgramBehavesIdentically)
+{
+    const auto &w = workloads::getWorkload(GetParam());
+    auto original = minic::compile(w.source, w.name);
+    auto loaded = roundTrip(original);
+
+    auto cfg = core::PeConfig::forMode(core::PeMode::Standard);
+    cfg.maxNtPathLength = w.maxNtPathLength;
+    detect::WatchChecker ca;
+    detect::WatchChecker cb;
+    core::PathExpanderEngine a(original, cfg, &ca);
+    core::PathExpanderEngine b(loaded, cfg, &cb);
+    auto ra = a.run(w.benignInputs[0]);
+    auto rb = b.run(w.benignInputs[0]);
+
+    EXPECT_EQ(ra.io.charOutput, rb.io.charOutput);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.ntPathsSpawned, rb.ntPathsSpawned);
+    EXPECT_EQ(ra.memoryDigest, rb.memoryDigest);
+    EXPECT_EQ(ra.monitor.numDistinctSites(),
+              rb.monitor.numDistinctSites());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ObjFileWorkloads,
+    ::testing::ValuesIn(workloads::workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(ObjFile, RejectsGarbage)
+{
+    std::stringstream notMagic("hello world, not an object");
+    EXPECT_THROW(isa::loadObject(notMagic), FatalError);
+}
+
+TEST(ObjFile, RejectsTruncation)
+{
+    auto program = minic::compile(
+        "int main() { print_int(1); return 0; }", "tiny");
+    std::stringstream buf;
+    isa::saveObject(program, buf);
+    std::string bytes = buf.str();
+    for (size_t cut : {bytes.size() / 4, bytes.size() / 2,
+                       bytes.size() - 3}) {
+        std::stringstream truncated(bytes.substr(0, cut));
+        EXPECT_THROW(isa::loadObject(truncated), FatalError)
+            << "cut at " << cut;
+    }
+}
+
+TEST(ObjFile, FileRoundTrip)
+{
+    auto program = minic::compile(
+        "int main() { print_int(7); return 0; }", "file");
+    std::string path = ::testing::TempDir() + "/pe_objfile_test.po";
+    isa::saveObjectFile(program, path);
+    auto loaded = isa::loadObjectFile(path);
+    EXPECT_EQ(loaded.code.size(), program.code.size());
+    EXPECT_THROW(isa::loadObjectFile("/nonexistent/x.po"),
+                 FatalError);
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * End-to-end smoke test: compile a tiny MiniC program and run it
+ * under each PathExpander mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hh"
+#include "src/minic/compiler.hh"
+
+namespace
+{
+
+const char *tinySource = R"(
+int counter = 0;
+
+int bump(int x) {
+    if (x > 3) {
+        counter = counter + x;
+    } else {
+        counter = counter + 1;
+    }
+    return counter;
+}
+
+int main() {
+    int i = 0;
+    while (i < 10) {
+        bump(i);
+        i = i + 1;
+    }
+    print_int(counter);
+    return 0;
+}
+)";
+
+TEST(Smoke, CompileAndRunBaseline)
+{
+    auto program = pe::minic::compile(tinySource, "tiny");
+    auto cfg = pe::core::PeConfig::forMode(pe::core::PeMode::Off);
+    pe::core::PathExpanderEngine engine(program, cfg);
+    auto result = engine.run({});
+    EXPECT_FALSE(result.programCrashed);
+    ASSERT_EQ(result.io.intOutput.size(), 1u);
+    // i=0..3 -> +1 each (4); i=4..9 -> +i (4+5+...+9 = 39); total 43.
+    EXPECT_EQ(result.io.intOutput[0], 43);
+}
+
+TEST(Smoke, RunStandardAndCmp)
+{
+    auto program = pe::minic::compile(tinySource, "tiny");
+    for (auto mode :
+         {pe::core::PeMode::Standard, pe::core::PeMode::Cmp}) {
+        auto cfg = pe::core::PeConfig::forMode(mode);
+        pe::core::PathExpanderEngine engine(program, cfg);
+        auto result = engine.run({});
+        EXPECT_FALSE(result.programCrashed);
+        ASSERT_EQ(result.io.intOutput.size(), 1u);
+        EXPECT_EQ(result.io.intOutput[0], 43);
+        EXPECT_GT(result.ntPathsSpawned, 0u);
+    }
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Software-PathExpander tests (paper Section 5): identical path
+ * semantics to the hardware standard configuration, vastly higher
+ * cost under the PIN-style instrumentation model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hh"
+#include "src/minic/compiler.hh"
+#include "src/swpe/software_pe.hh"
+#include "src/workloads/analysis.hh"
+#include "src/workloads/workload.hh"
+
+namespace
+{
+
+using namespace pe;
+
+TEST(Swpe, ConfigIsSoftwareStandard)
+{
+    auto cfg = swpe::softwareConfig();
+    EXPECT_EQ(cfg.mode, core::PeMode::Standard);
+    EXPECT_EQ(cfg.costModel, core::CostModelKind::Software);
+}
+
+TEST(Swpe, IdenticalDetectionToHardware)
+{
+    const auto &w = workloads::getWorkload("print_tokens2");
+    auto program = minic::compile(w.source, w.name);
+
+    detect::AssertChecker hwChecker;
+    auto hwCfg = core::PeConfig::forMode(core::PeMode::Standard);
+    hwCfg.maxNtPathLength = w.maxNtPathLength;
+    core::PathExpanderEngine hw(program, hwCfg, &hwChecker);
+    auto hwRun = hw.run(w.benignInputs[0]);
+
+    detect::AssertChecker swChecker;
+    auto swCfg = swpe::softwareConfig();
+    swCfg.maxNtPathLength = w.maxNtPathLength;
+    auto swRun = swpe::runSoftwarePe(program, w.benignInputs[0],
+                                     &swChecker, &swCfg);
+
+    // Same algorithm: identical spawns, instruction counts, coverage
+    // and detection results (paper Section 7: "All these results of
+    // different PathExpander implementation are similar").
+    EXPECT_EQ(hwRun.ntPathsSpawned, swRun.ntPathsSpawned);
+    EXPECT_EQ(hwRun.ntInstructions, swRun.ntInstructions);
+    EXPECT_EQ(hwRun.coverage.combinedCovered(),
+              swRun.coverage.combinedCovered());
+    EXPECT_EQ(hwRun.monitor.numDistinctSites(),
+              swRun.monitor.numDistinctSites());
+}
+
+TEST(Swpe, OrdersOfMagnitudeSlower)
+{
+    const auto &w = workloads::getWorkload("print_tokens2");
+    auto program = minic::compile(w.source, w.name);
+
+    auto baseCfg = core::PeConfig::forMode(core::PeMode::Off);
+    core::PathExpanderEngine base(program, baseCfg, nullptr);
+    auto baseRun = base.run(w.benignInputs[0]);
+
+    auto hwCfg = core::PeConfig::forMode(core::PeMode::Standard);
+    hwCfg.maxNtPathLength = w.maxNtPathLength;
+    core::PathExpanderEngine hw(program, hwCfg, nullptr);
+    auto hwRun = hw.run(w.benignInputs[0]);
+
+    auto swCfg = swpe::softwareConfig();
+    swCfg.maxNtPathLength = w.maxNtPathLength;
+    auto swRun = swpe::runSoftwarePe(program, w.benignInputs[0],
+                                     nullptr, &swCfg);
+
+    double hwOverhead =
+        static_cast<double>(hwRun.cycles - baseRun.cycles) /
+        static_cast<double>(baseRun.cycles);
+    double swOverhead =
+        static_cast<double>(swRun.cycles - baseRun.cycles) /
+        static_cast<double>(baseRun.cycles);
+
+    EXPECT_GT(swOverhead, 10.0);            // > 1000% slowdown
+    EXPECT_GT(swOverhead / hwOverhead, 20.0);
+}
+
+TEST(Swpe, InstrumentationCostsApplyToTakenPath)
+{
+    // Even with zero NT-Paths explored (threshold 0 is impossible, so
+    // use a program with no branches beyond the harness), the dynamic
+    // instrumentation dilates execution.
+    auto program = minic::compile(R"(
+int main() {
+    int s = 0;
+    int i = 0;
+    while (i < 500) {
+        s = s + i;
+        i = i + 1;
+    }
+    print_int(s);
+    return 0;
+}
+)",
+                                  "dilate");
+    auto baseCfg = core::PeConfig::forMode(core::PeMode::Off);
+    core::PathExpanderEngine base(program, baseCfg, nullptr);
+    auto baseRun = base.run({});
+
+    auto swCfg = swpe::softwareConfig();
+    swCfg.ntPathCounterThreshold = 1;   // minimal NT work
+    auto swRun = swpe::runSoftwarePe(program, {}, nullptr, &swCfg);
+
+    EXPECT_GT(swRun.cycles, 3 * baseRun.cycles);
+}
+
+TEST(Swpe, SoftwareCostsScaleWithParameters)
+{
+    auto program = minic::compile(R"(
+int flag = 0;
+int main() {
+    int i = 0;
+    while (i < 100) {
+        if (flag == 1) { flag = 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+)",
+                                  "scale");
+    auto cheap = swpe::softwareConfig();
+    cheap.swCosts.perInstructionDilation = 1;
+    cheap.swCosts.branchAnalysisCost = 10;
+    auto expensive = swpe::softwareConfig();
+    expensive.swCosts.perInstructionDilation = 20;
+    expensive.swCosts.branchAnalysisCost = 500;
+
+    auto a = swpe::runSoftwarePe(program, {}, nullptr, &cheap);
+    auto b = swpe::runSoftwarePe(program, {}, nullptr, &expensive);
+    EXPECT_GT(b.cycles, a.cycles);
+    EXPECT_EQ(a.ntPathsSpawned, b.ntPathsSpawned);
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Functional tests of the workload programs themselves: each
+ * re-creation must behave like the application it stands in for
+ * (bc computes, the go evaluator captures, gzip compresses
+ * deterministically, the parser accepts/rejects, the schedulers
+ * account correctly).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hh"
+#include "src/minic/compiler.hh"
+#include "src/workloads/workload.hh"
+
+namespace
+{
+
+using namespace pe;
+
+std::vector<int32_t>
+chars(const std::string &text)
+{
+    std::vector<int32_t> out;
+    for (char c : text)
+        out.push_back(static_cast<unsigned char>(c));
+    return out;
+}
+
+std::string
+runOn(const std::string &workloadName, std::vector<int32_t> input)
+{
+    const auto &w = workloads::getWorkload(workloadName);
+    auto program = minic::compile(w.source, w.name);
+    auto cfg = core::PeConfig::forMode(core::PeMode::Off);
+    core::PathExpanderEngine engine(program, cfg, nullptr);
+    auto r = engine.run(std::move(input));
+    EXPECT_FALSE(r.programCrashed) << workloadName;
+    return r.io.charOutput;
+}
+
+TEST(BcBehavior, EvaluatesExpressions)
+{
+    EXPECT_EQ(runOn("pe_bc", chars("3+4*2\n")),
+              "11\nlines=1\nerrors=0\n");
+    EXPECT_EQ(runOn("pe_bc", chars("(3+4)*2\n")),
+              "14\nlines=1\nerrors=0\n");
+    EXPECT_EQ(runOn("pe_bc", chars("100/7\n100%7\n")),
+              "14\n2\nlines=2\nerrors=0\n");
+}
+
+TEST(BcBehavior, VariablesPersistAcrossLines)
+{
+    EXPECT_EQ(runOn("pe_bc", chars("a=6\nb=7\na*b\n")),
+              "42\nlines=3\nerrors=0\n");
+}
+
+TEST(BcBehavior, DivisionByZeroCountsAnError)
+{
+    EXPECT_EQ(runOn("pe_bc", chars("5/0\n")),
+              "0\nlines=1\nerrors=1\n");
+}
+
+TEST(GoBehavior, CountsCaptures)
+{
+    // Surround (4,4) with white, then black plays into the trap.
+    std::vector<int32_t> in = {
+        0, 0,  3, 4,  0, 1,  5, 4,  0, 2,  4, 3,  0, 3,  4, 5,
+        4, 4,                       // black: captured immediately
+        -1,
+    };
+    std::string out = runOn("pe_go", in);
+    EXPECT_NE(out.find("captures=1"), std::string::npos);
+}
+
+TEST(GoBehavior, OccupiedCellsAreRejected)
+{
+    // The same cell twice: the second move is ignored (no crash) and
+    // the third move is still played by the second color.
+    std::vector<int32_t> in = {4, 4, 4, 4, 2, 2, -1};
+    std::string out = runOn("pe_go", in);
+    EXPECT_NE(out.find("captures=0"), std::string::npos);
+}
+
+TEST(GzipBehavior, FindsMatchesInRepetitiveInput)
+{
+    std::string text = "5";
+    for (int i = 0; i < 12; ++i)
+        text += "abcabcabc ";
+    std::string out = runOn("pe_gzip", chars(text));
+    // A compressor must emit matches on this input.
+    size_t pos = out.find("match=");
+    ASSERT_NE(pos, std::string::npos);
+    int matches = std::stoi(out.substr(pos + 6));
+    EXPECT_GE(matches, 3);
+}
+
+TEST(GzipBehavior, DeterministicAcrossRuns)
+{
+    const auto &w = workloads::getWorkload("pe_gzip");
+    EXPECT_EQ(runOn("pe_gzip", w.benignInputs[1]),
+              runOn("pe_gzip", w.benignInputs[1]));
+}
+
+TEST(ParserBehavior, AcceptsGrammaticalSentences)
+{
+    std::string out =
+        runOn("pe_parser", chars("the dog sees a cat .\n"));
+    EXPECT_NE(out.find("+"), std::string::npos);
+    EXPECT_NE(out.find("accepted=1"), std::string::npos);
+}
+
+TEST(ParserBehavior, RejectsWordSalad)
+{
+    std::string out =
+        runOn("pe_parser", chars("sees the the walks .\n"));
+    EXPECT_NE(out.find("-"), std::string::npos);
+    EXPECT_NE(out.find("accepted=0"), std::string::npos);
+}
+
+TEST(ParserBehavior, CountsUnknownWords)
+{
+    std::string out =
+        runOn("pe_parser", chars("the zorp walks .\n"));
+    EXPECT_NE(out.find("unknown=1"), std::string::npos);
+}
+
+TEST(ScheduleBehavior, RunsAndFinishesJobs)
+{
+    // add prio2, tick (dispatch), finish; repeat once.
+    std::vector<int32_t> in = {1, 2, 2, 5, 1, 1, 2, 5, 0};
+    std::string out = runOn("schedule", in);
+    EXPECT_NE(out.find("jobs=2"), std::string::npos);
+    EXPECT_NE(out.find("finished=2"), std::string::npos);
+}
+
+TEST(ScheduleBehavior, PriorityOrdering)
+{
+    // A prio-1 and a prio-3 job: the prio-3 one runs first, so after
+    // one tick + finish, a second tick dispatches the prio-1 job.
+    std::vector<int32_t> in = {1, 1, 1, 3, 2, 5, 2, 5, 0};
+    std::string out = runOn("schedule", in);
+    EXPECT_NE(out.find("finished=2"), std::string::npos);
+}
+
+TEST(Schedule2Behavior, RoundRobinAndReap)
+{
+    std::vector<int32_t> in = {1, 2, 1, 2, 2, 5, 2, 5, 7, 0};
+    std::string out = runOn("schedule2", in);
+    EXPECT_NE(out.find("done=2"), std::string::npos);
+    EXPECT_NE(out.find("live=0"), std::string::npos);
+}
+
+TEST(ManBehavior, WrapsLongLines)
+{
+    // Three input lines of four 7-char words each (within the 39-char
+    // line buffer); the output column crosses the 60-char page width
+    // and wraps.
+    std::string text;
+    for (int line = 0; line < 3; ++line) {
+        for (int i = 0; i < 4; ++i)
+            text += "abcdefg ";
+        text += "\n";
+    }
+    std::string out = runOn("pe_man", chars(text));
+    EXPECT_NE(out.find("words=12"), std::string::npos);
+    EXPECT_GT(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(ManBehavior, DirectivesControlFormatting)
+{
+    // Bold doubles each printed character.
+    std::string plain = runOn("pe_man", chars("ab\n"));
+    std::string bold = runOn("pe_man", chars(".B\nab\n"));
+    EXPECT_GT(bold.size(), plain.size());
+}
+
+TEST(VprBehavior, AnnealingImprovesPlacement)
+{
+    const auto &w = workloads::getWorkload("pe_vpr");
+    std::string out = runOn("pe_vpr", w.benignInputs[0]);
+    size_t ipos = out.find("initial=");
+    size_t fpos = out.find("final=");
+    ASSERT_NE(ipos, std::string::npos);
+    ASSERT_NE(fpos, std::string::npos);
+    int initial = std::stoi(out.substr(ipos + 8));
+    int final_ = std::stoi(out.substr(fpos + 6));
+    EXPECT_LE(final_, initial);
+    EXPECT_NE(out.find("accepted="), std::string::npos);
+}
+
+TEST(PrintTokensBehavior, ClassifiesKinds)
+{
+    // number, ident, op, open, close.
+    std::string out =
+        runOn("print_tokens", chars("42 foo + ( )\n"));
+    EXPECT_NE(out.find("tok:1"), std::string::npos);
+    EXPECT_NE(out.find("tok:2"), std::string::npos);
+    EXPECT_NE(out.find("tok:3"), std::string::npos);
+    EXPECT_NE(out.find("tok:4"), std::string::npos);
+    EXPECT_NE(out.find("tok:5"), std::string::npos);
+    EXPECT_NE(out.find("total=5"), std::string::npos);
+}
+
+TEST(PrintTokens2Behavior, SummaryCounts)
+{
+    std::string out = runOn("print_tokens2",
+                            chars("if alpha 42 + \"str\" x"));
+    EXPECT_NE(out.find("tokens=6"), std::string::npos);
+    EXPECT_NE(out.find("keywords=1"), std::string::npos);
+    EXPECT_NE(out.find("numbers=1"), std::string::npos);
+    EXPECT_NE(out.find("strings=1"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * print_tokens2 workload validation: clean baseline on benign inputs,
+ * every seeded bug fires on its trigger input (taken path), and
+ * PathExpander detects exactly the expected subset on benign inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hh"
+#include "src/minic/compiler.hh"
+#include "src/workloads/analysis.hh"
+#include "src/workloads/workloads.hh"
+
+namespace
+{
+
+using namespace pe;
+
+class Pt2Test : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        workload = new workloads::Workload(workloads::makePrintTokens2());
+        program = new isa::Program(
+            minic::compile(workload->source, workload->name));
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete program;
+        delete workload;
+        program = nullptr;
+        workload = nullptr;
+    }
+
+    static workloads::Workload *workload;
+    static isa::Program *program;
+};
+
+workloads::Workload *Pt2Test::workload = nullptr;
+isa::Program *Pt2Test::program = nullptr;
+
+core::RunResult
+runMode(const isa::Program &program, core::PeMode mode,
+        const std::vector<int32_t> &input, detect::Detector *det,
+        uint32_t maxNt)
+{
+    auto cfg = core::PeConfig::forMode(mode);
+    cfg.maxNtPathLength = maxNt;
+    core::PathExpanderEngine engine(program, cfg, det);
+    return engine.run(input);
+}
+
+TEST_F(Pt2Test, BaselineBenignIsClean)
+{
+    detect::AssertChecker assertChecker;
+    detect::WatchChecker watchChecker;
+    for (const auto &input : workload->benignInputs) {
+        auto r1 = runMode(*program, core::PeMode::Off, input,
+                          &assertChecker, workload->maxNtPathLength);
+        EXPECT_FALSE(r1.programCrashed);
+        EXPECT_EQ(r1.monitor.reports().size(), 0u);
+        auto r2 = runMode(*program, core::PeMode::Off, input,
+                          &watchChecker, workload->maxNtPathLength);
+        EXPECT_EQ(r2.monitor.reports().size(), 0u);
+    }
+}
+
+TEST_F(Pt2Test, TriggersExposeEachBugOnTakenPath)
+{
+    for (const auto &bug : workload->bugs) {
+        auto it = workload->triggerInputs.find(bug.id);
+        ASSERT_NE(it, workload->triggerInputs.end())
+            << "no trigger input for " << bug.id;
+        bool memory = bug.kind == workloads::BugSpec::Kind::Memory;
+        detect::AssertChecker assertChecker;
+        detect::WatchChecker watchChecker;
+        detect::Detector *det =
+            memory ? static_cast<detect::Detector *>(&watchChecker)
+                   : &assertChecker;
+        auto r = runMode(*program, core::PeMode::Off, it->second, det,
+                         workload->maxNtPathLength);
+        auto analysis = workloads::analyzeReports(*workload, *program,
+                                                  r.monitor, memory);
+        bool found = false;
+        for (const auto &o : analysis.outcomes) {
+            if (o.bug->id == bug.id && o.detected)
+                found = true;
+        }
+        EXPECT_TRUE(found) << bug.id << " did not fire on its trigger";
+    }
+}
+
+TEST_F(Pt2Test, PeDetectsExpectedAssertionBugs)
+{
+    detect::AssertChecker checker;
+    auto r = runMode(*program, core::PeMode::Standard,
+                     workload->benignInputs[0], &checker,
+                     workload->maxNtPathLength);
+    auto analysis = workloads::analyzeReports(*workload, *program,
+                                              r.monitor, false);
+    for (const auto &o : analysis.outcomes) {
+        EXPECT_EQ(o.detected, o.bug->expectPeDetect)
+            << o.bug->id << " (" << o.bug->description << ")";
+    }
+}
+
+TEST_F(Pt2Test, PeDetectsFigure1MemoryBug)
+{
+    detect::WatchChecker watchChecker;
+    auto r = runMode(*program, core::PeMode::Standard,
+                     workload->benignInputs[0], &watchChecker,
+                     workload->maxNtPathLength);
+    auto analysis = workloads::analyzeReports(*workload, *program,
+                                              r.monitor, true);
+    ASSERT_EQ(analysis.outcomes.size(), 1u);
+    EXPECT_TRUE(analysis.outcomes[0].detected);
+
+    // Baseline on the same benign input misses it.
+    detect::WatchChecker baselineChecker;
+    auto rb = runMode(*program, core::PeMode::Off,
+                      workload->benignInputs[0], &baselineChecker,
+                      workload->maxNtPathLength);
+    auto ab = workloads::analyzeReports(*workload, *program, rb.monitor,
+                                        true);
+    EXPECT_FALSE(ab.outcomes[0].detected);
+}
+
+TEST_F(Pt2Test, CoverageImprovesWithPe)
+{
+    auto base = runMode(*program, core::PeMode::Off,
+                        workload->benignInputs[0], nullptr,
+                        workload->maxNtPathLength);
+    auto pe = runMode(*program, core::PeMode::Standard,
+                      workload->benignInputs[0], nullptr,
+                      workload->maxNtPathLength);
+    EXPECT_GT(pe.coverage.combinedFraction(),
+              base.coverage.takenFraction());
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Workload suite validation, parameterized over every application:
+ *
+ *  - every workload compiles and runs clean on all benign inputs
+ *    (no crash, no detector report on the taken path);
+ *  - every seeded bug is real: its trigger input makes it fire on
+ *    the taken path in baseline mode;
+ *  - PathExpander on the default benign input detects exactly the
+ *    expected subset of bugs (and the misses fall into the paper's
+ *    categories by construction).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.hh"
+#include "src/minic/compiler.hh"
+#include "src/workloads/analysis.hh"
+#include "src/workloads/workload.hh"
+
+namespace
+{
+
+using namespace pe;
+
+core::PeConfig
+configFor(const workloads::Workload &w, core::PeMode mode)
+{
+    auto cfg = core::PeConfig::forMode(mode);
+    cfg.maxNtPathLength = w.maxNtPathLength;
+    return cfg;
+}
+
+class WorkloadSuite : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void SetUp() override
+    {
+        workload = &workloads::getWorkload(GetParam());
+        program = minic::compile(workload->source, workload->name);
+    }
+
+    const workloads::Workload *workload = nullptr;
+    isa::Program program;
+};
+
+TEST_P(WorkloadSuite, CompilesToReasonableSize)
+{
+    EXPECT_GT(program.code.size(), 100u);
+    EXPECT_GT(program.numBranches(), 10u);
+    EXPECT_FALSE(program.funcs.empty());
+}
+
+TEST_P(WorkloadSuite, BenignInputsRunCleanInBaseline)
+{
+    detect::AssertChecker assertChecker;
+    detect::WatchChecker watchChecker;
+    detect::BoundsChecker boundsChecker;
+    for (size_t i = 0; i < workload->benignInputs.size(); ++i) {
+        const auto &input = workload->benignInputs[i];
+        for (detect::Detector *det :
+             {static_cast<detect::Detector *>(&assertChecker),
+              static_cast<detect::Detector *>(&watchChecker),
+              static_cast<detect::Detector *>(&boundsChecker)}) {
+            core::PathExpanderEngine engine(
+                program, configFor(*workload, core::PeMode::Off), det);
+            auto r = engine.run(input);
+            EXPECT_FALSE(r.programCrashed)
+                << workload->name << " input " << i << " crashed: "
+                << sim::crashKindName(r.programCrashKind);
+            EXPECT_FALSE(r.hitInstructionLimit)
+                << workload->name << " input " << i;
+            EXPECT_EQ(r.monitor.reports().size(), 0u)
+                << workload->name << " input " << i << " with "
+                << det->name() << ": "
+                << (r.monitor.reports().empty()
+                        ? ""
+                        : r.monitor.reports()[0].site);
+        }
+    }
+}
+
+TEST_P(WorkloadSuite, TriggerInputsExposeBugsOnTakenPath)
+{
+    for (const auto &bug : workload->bugs) {
+        auto it = workload->triggerInputs.find(bug.id);
+        ASSERT_NE(it, workload->triggerInputs.end())
+            << "no trigger input for " << bug.id;
+        bool memory = bug.kind == workloads::BugSpec::Kind::Memory;
+        detect::AssertChecker assertChecker;
+        detect::WatchChecker watchChecker;
+        detect::Detector *det =
+            memory ? static_cast<detect::Detector *>(&watchChecker)
+                   : &assertChecker;
+        core::PathExpanderEngine engine(
+            program, configFor(*workload, core::PeMode::Off), det);
+        auto r = engine.run(it->second);
+        auto analysis = workloads::analyzeReports(*workload, program,
+                                                  r.monitor, memory);
+        bool fired = false;
+        for (const auto &o : analysis.outcomes) {
+            if (o.bug->id == bug.id && o.detected)
+                fired = true;
+        }
+        EXPECT_TRUE(fired)
+            << bug.id << " (" << bug.description
+            << ") did not fire on its trigger input";
+    }
+}
+
+TEST_P(WorkloadSuite, PeDetectionMatchesExpectations)
+{
+    if (workload->bugs.empty())
+        GTEST_SKIP() << "no seeded bugs";
+
+    bool memory = workload->tools == "memory";
+    detect::AssertChecker assertChecker;
+    detect::WatchChecker watchChecker;
+    detect::Detector *det =
+        memory ? static_cast<detect::Detector *>(&watchChecker)
+               : &assertChecker;
+
+    core::PathExpanderEngine engine(
+        program, configFor(*workload, core::PeMode::Standard), det);
+    auto r = engine.run(workload->benignInputs[0]);
+    EXPECT_FALSE(r.programCrashed);
+    EXPECT_GT(r.ntPathsSpawned, 0u);
+    auto analysis =
+        workloads::analyzeReports(*workload, program, r.monitor, memory);
+    for (const auto &o : analysis.outcomes) {
+        EXPECT_EQ(o.detected, o.bug->expectPeDetect)
+            << workload->name << " " << o.bug->id << " ("
+            << o.bug->description << ")";
+    }
+}
+
+TEST_P(WorkloadSuite, PeImprovesBranchCoverage)
+{
+    core::PathExpanderEngine base(
+        program, configFor(*workload, core::PeMode::Off), nullptr);
+    auto rb = base.run(workload->benignInputs[0]);
+
+    core::PathExpanderEngine pe(
+        program, configFor(*workload, core::PeMode::Standard), nullptr);
+    auto rp = pe.run(workload->benignInputs[0]);
+
+    EXPECT_EQ(rb.io.charOutput, rp.io.charOutput)
+        << "PathExpander must not change program output";
+    EXPECT_GT(rp.coverage.combinedFraction(),
+              rb.coverage.takenFraction())
+        << workload->name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSuite,
+    ::testing::ValuesIn(workloads::workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace
