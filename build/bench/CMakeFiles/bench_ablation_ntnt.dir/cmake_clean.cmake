@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ntnt.dir/bench_ablation_ntnt.cpp.o"
+  "CMakeFiles/bench_ablation_ntnt.dir/bench_ablation_ntnt.cpp.o.d"
+  "bench_ablation_ntnt"
+  "bench_ablation_ntnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ntnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_apps.cpp" "bench/CMakeFiles/bench_table3_apps.dir/bench_table3_apps.cpp.o" "gcc" "bench/CMakeFiles/bench_table3_apps.dir/bench_table3_apps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/pe_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/pe_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/swpe/CMakeFiles/pe_swpe.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/pe_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/pe_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pe_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/pe_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pe_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/pe_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pe_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pe_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

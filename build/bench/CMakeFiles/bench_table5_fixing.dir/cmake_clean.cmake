@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_fixing.dir/bench_table5_fixing.cpp.o"
+  "CMakeFiles/bench_table5_fixing.dir/bench_table5_fixing.cpp.o.d"
+  "bench_table5_fixing"
+  "bench_table5_fixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_benchutil.dir/bench_util.cc.o"
+  "CMakeFiles/pe_benchutil.dir/bench_util.cc.o.d"
+  "libpe_benchutil.a"
+  "libpe_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_run.dir/pe_run.cpp.o"
+  "CMakeFiles/pe_run.dir/pe_run.cpp.o.d"
+  "pe_run"
+  "pe_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_branch.dir/btb.cc.o"
+  "CMakeFiles/pe_branch.dir/btb.cc.o.d"
+  "libpe_branch.a"
+  "libpe_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

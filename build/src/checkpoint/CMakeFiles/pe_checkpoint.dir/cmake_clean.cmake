@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_checkpoint.dir/checkpoint.cc.o"
+  "CMakeFiles/pe_checkpoint.dir/checkpoint.cc.o.d"
+  "libpe_checkpoint.a"
+  "libpe_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cmp.cc" "src/core/CMakeFiles/pe_core.dir/cmp.cc.o" "gcc" "src/core/CMakeFiles/pe_core.dir/cmp.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/pe_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/pe_core.dir/config.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/pe_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/pe_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/result.cc" "src/core/CMakeFiles/pe_core.dir/result.cc.o" "gcc" "src/core/CMakeFiles/pe_core.dir/result.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pe_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pe_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/pe_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/pe_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/pe_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/pe_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/pe_coverage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_core.dir/cmp.cc.o"
+  "CMakeFiles/pe_core.dir/cmp.cc.o.d"
+  "CMakeFiles/pe_core.dir/config.cc.o"
+  "CMakeFiles/pe_core.dir/config.cc.o.d"
+  "CMakeFiles/pe_core.dir/engine.cc.o"
+  "CMakeFiles/pe_core.dir/engine.cc.o.d"
+  "CMakeFiles/pe_core.dir/result.cc.o"
+  "CMakeFiles/pe_core.dir/result.cc.o.d"
+  "libpe_core.a"
+  "libpe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

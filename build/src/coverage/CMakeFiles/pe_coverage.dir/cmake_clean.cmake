@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_coverage.dir/coverage.cc.o"
+  "CMakeFiles/pe_coverage.dir/coverage.cc.o.d"
+  "libpe_coverage.a"
+  "libpe_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_detect.dir/detector.cc.o"
+  "CMakeFiles/pe_detect.dir/detector.cc.o.d"
+  "CMakeFiles/pe_detect.dir/registry.cc.o"
+  "CMakeFiles/pe_detect.dir/registry.cc.o.d"
+  "CMakeFiles/pe_detect.dir/report.cc.o"
+  "CMakeFiles/pe_detect.dir/report.cc.o.d"
+  "libpe_detect.a"
+  "libpe_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

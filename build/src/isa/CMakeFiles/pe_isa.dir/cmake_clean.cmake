@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_isa.dir/assembler.cc.o"
+  "CMakeFiles/pe_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/pe_isa.dir/instruction.cc.o"
+  "CMakeFiles/pe_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/pe_isa.dir/objfile.cc.o"
+  "CMakeFiles/pe_isa.dir/objfile.cc.o.d"
+  "CMakeFiles/pe_isa.dir/opcode.cc.o"
+  "CMakeFiles/pe_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/pe_isa.dir/program.cc.o"
+  "CMakeFiles/pe_isa.dir/program.cc.o.d"
+  "libpe_isa.a"
+  "libpe_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

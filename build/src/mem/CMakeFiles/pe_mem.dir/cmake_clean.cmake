@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_mem.dir/cache.cc.o"
+  "CMakeFiles/pe_mem.dir/cache.cc.o.d"
+  "CMakeFiles/pe_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/pe_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/pe_mem.dir/main_memory.cc.o"
+  "CMakeFiles/pe_mem.dir/main_memory.cc.o.d"
+  "CMakeFiles/pe_mem.dir/versioned_buffer.cc.o"
+  "CMakeFiles/pe_mem.dir/versioned_buffer.cc.o.d"
+  "libpe_mem.a"
+  "libpe_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

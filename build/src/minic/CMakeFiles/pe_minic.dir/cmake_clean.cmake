@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_minic.dir/codegen.cc.o"
+  "CMakeFiles/pe_minic.dir/codegen.cc.o.d"
+  "CMakeFiles/pe_minic.dir/compiler.cc.o"
+  "CMakeFiles/pe_minic.dir/compiler.cc.o.d"
+  "CMakeFiles/pe_minic.dir/lexer.cc.o"
+  "CMakeFiles/pe_minic.dir/lexer.cc.o.d"
+  "CMakeFiles/pe_minic.dir/parser.cc.o"
+  "CMakeFiles/pe_minic.dir/parser.cc.o.d"
+  "libpe_minic.a"
+  "libpe_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

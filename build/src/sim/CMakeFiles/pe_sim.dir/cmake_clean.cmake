@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_sim.dir/interpreter.cc.o"
+  "CMakeFiles/pe_sim.dir/interpreter.cc.o.d"
+  "CMakeFiles/pe_sim.dir/timing.cc.o"
+  "CMakeFiles/pe_sim.dir/timing.cc.o.d"
+  "libpe_sim.a"
+  "libpe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

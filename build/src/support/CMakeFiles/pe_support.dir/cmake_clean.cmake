@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_support.dir/rng.cc.o"
+  "CMakeFiles/pe_support.dir/rng.cc.o.d"
+  "CMakeFiles/pe_support.dir/stats.cc.o"
+  "CMakeFiles/pe_support.dir/stats.cc.o.d"
+  "CMakeFiles/pe_support.dir/status.cc.o"
+  "CMakeFiles/pe_support.dir/status.cc.o.d"
+  "CMakeFiles/pe_support.dir/strutil.cc.o"
+  "CMakeFiles/pe_support.dir/strutil.cc.o.d"
+  "CMakeFiles/pe_support.dir/table.cc.o"
+  "CMakeFiles/pe_support.dir/table.cc.o.d"
+  "libpe_support.a"
+  "libpe_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

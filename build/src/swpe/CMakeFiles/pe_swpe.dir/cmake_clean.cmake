@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_swpe.dir/software_pe.cc.o"
+  "CMakeFiles/pe_swpe.dir/software_pe.cc.o.d"
+  "libpe_swpe.a"
+  "libpe_swpe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_swpe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/analysis.cc" "src/workloads/CMakeFiles/pe_workloads.dir/analysis.cc.o" "gcc" "src/workloads/CMakeFiles/pe_workloads.dir/analysis.cc.o.d"
+  "/root/repo/src/workloads/bc.cc" "src/workloads/CMakeFiles/pe_workloads.dir/bc.cc.o" "gcc" "src/workloads/CMakeFiles/pe_workloads.dir/bc.cc.o.d"
+  "/root/repo/src/workloads/go.cc" "src/workloads/CMakeFiles/pe_workloads.dir/go.cc.o" "gcc" "src/workloads/CMakeFiles/pe_workloads.dir/go.cc.o.d"
+  "/root/repo/src/workloads/gzip.cc" "src/workloads/CMakeFiles/pe_workloads.dir/gzip.cc.o" "gcc" "src/workloads/CMakeFiles/pe_workloads.dir/gzip.cc.o.d"
+  "/root/repo/src/workloads/man.cc" "src/workloads/CMakeFiles/pe_workloads.dir/man.cc.o" "gcc" "src/workloads/CMakeFiles/pe_workloads.dir/man.cc.o.d"
+  "/root/repo/src/workloads/parser.cc" "src/workloads/CMakeFiles/pe_workloads.dir/parser.cc.o" "gcc" "src/workloads/CMakeFiles/pe_workloads.dir/parser.cc.o.d"
+  "/root/repo/src/workloads/print_tokens.cc" "src/workloads/CMakeFiles/pe_workloads.dir/print_tokens.cc.o" "gcc" "src/workloads/CMakeFiles/pe_workloads.dir/print_tokens.cc.o.d"
+  "/root/repo/src/workloads/print_tokens2.cc" "src/workloads/CMakeFiles/pe_workloads.dir/print_tokens2.cc.o" "gcc" "src/workloads/CMakeFiles/pe_workloads.dir/print_tokens2.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/pe_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/pe_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/schedule.cc" "src/workloads/CMakeFiles/pe_workloads.dir/schedule.cc.o" "gcc" "src/workloads/CMakeFiles/pe_workloads.dir/schedule.cc.o.d"
+  "/root/repo/src/workloads/schedule2.cc" "src/workloads/CMakeFiles/pe_workloads.dir/schedule2.cc.o" "gcc" "src/workloads/CMakeFiles/pe_workloads.dir/schedule2.cc.o.d"
+  "/root/repo/src/workloads/vpr.cc" "src/workloads/CMakeFiles/pe_workloads.dir/vpr.cc.o" "gcc" "src/workloads/CMakeFiles/pe_workloads.dir/vpr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pe_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pe_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/pe_detect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_workloads.dir/analysis.cc.o"
+  "CMakeFiles/pe_workloads.dir/analysis.cc.o.d"
+  "CMakeFiles/pe_workloads.dir/bc.cc.o"
+  "CMakeFiles/pe_workloads.dir/bc.cc.o.d"
+  "CMakeFiles/pe_workloads.dir/go.cc.o"
+  "CMakeFiles/pe_workloads.dir/go.cc.o.d"
+  "CMakeFiles/pe_workloads.dir/gzip.cc.o"
+  "CMakeFiles/pe_workloads.dir/gzip.cc.o.d"
+  "CMakeFiles/pe_workloads.dir/man.cc.o"
+  "CMakeFiles/pe_workloads.dir/man.cc.o.d"
+  "CMakeFiles/pe_workloads.dir/parser.cc.o"
+  "CMakeFiles/pe_workloads.dir/parser.cc.o.d"
+  "CMakeFiles/pe_workloads.dir/print_tokens.cc.o"
+  "CMakeFiles/pe_workloads.dir/print_tokens.cc.o.d"
+  "CMakeFiles/pe_workloads.dir/print_tokens2.cc.o"
+  "CMakeFiles/pe_workloads.dir/print_tokens2.cc.o.d"
+  "CMakeFiles/pe_workloads.dir/registry.cc.o"
+  "CMakeFiles/pe_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/pe_workloads.dir/schedule.cc.o"
+  "CMakeFiles/pe_workloads.dir/schedule.cc.o.d"
+  "CMakeFiles/pe_workloads.dir/schedule2.cc.o"
+  "CMakeFiles/pe_workloads.dir/schedule2.cc.o.d"
+  "CMakeFiles/pe_workloads.dir/vpr.cc.o"
+  "CMakeFiles/pe_workloads.dir/vpr.cc.o.d"
+  "libpe_workloads.a"
+  "libpe_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

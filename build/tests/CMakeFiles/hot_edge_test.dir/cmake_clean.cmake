@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_edge_test.dir/hot_edge_test.cpp.o"
+  "CMakeFiles/hot_edge_test.dir/hot_edge_test.cpp.o.d"
+  "hot_edge_test"
+  "hot_edge_test.pdb"
+  "hot_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_fixing_test.dir/minic_fixing_test.cpp.o"
+  "CMakeFiles/minic_fixing_test.dir/minic_fixing_test.cpp.o.d"
+  "minic_fixing_test"
+  "minic_fixing_test.pdb"
+  "minic_fixing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_fixing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

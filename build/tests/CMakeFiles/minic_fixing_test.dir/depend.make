@@ -1,0 +1,2 @@
+# Empty dependencies file for minic_fixing_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nospawn_test.dir/nospawn_test.cpp.o"
+  "CMakeFiles/nospawn_test.dir/nospawn_test.cpp.o.d"
+  "nospawn_test"
+  "nospawn_test.pdb"
+  "nospawn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nospawn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

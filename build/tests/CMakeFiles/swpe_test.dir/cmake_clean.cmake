@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swpe_test.dir/swpe_test.cpp.o"
+  "CMakeFiles/swpe_test.dir/swpe_test.cpp.o.d"
+  "swpe_test"
+  "swpe_test.pdb"
+  "swpe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swpe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_behavior_test.dir/workload_behavior_test.cpp.o"
+  "CMakeFiles/workload_behavior_test.dir/workload_behavior_test.cpp.o.d"
+  "workload_behavior_test"
+  "workload_behavior_test.pdb"
+  "workload_behavior_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

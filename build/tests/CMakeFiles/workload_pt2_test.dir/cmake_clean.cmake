@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_pt2_test.dir/workload_pt2_test.cpp.o"
+  "CMakeFiles/workload_pt2_test.dir/workload_pt2_test.cpp.o.d"
+  "workload_pt2_test"
+  "workload_pt2_test.pdb"
+  "workload_pt2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_pt2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_pt2_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_suite_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/interpreter_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/btb_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_test[1]_include.cmake")
+include("/root/repo/build/tests/minic_test[1]_include.cmake")
+include("/root/repo/build/tests/minic_fixing_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/cmp_test[1]_include.cmake")
+include("/root/repo/build/tests/swpe_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/hot_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/reproduction_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/nospawn_test[1]_include.cmake")
+include("/root/repo/build/tests/objfile_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_property_test[1]_include.cmake")
