@@ -6,11 +6,16 @@
  *
  * Representative applications: pe_go (compute-bound, long NT-Paths
  * useful), print_tokens2 (Siemens), pe_gzip (unsafe-event-bound).
+ *
+ * All sweep points of one application are independent monitored runs,
+ * so each app's whole grid executes as one parallel campaign; the
+ * tables are then printed from the results in job order.
  */
 
 #include <iostream>
 
 #include "bench_util.hh"
+#include "src/core/campaign.hh"
 #include "src/support/status.hh"
 #include "src/support/strutil.hh"
 #include "src/support/table.hh"
@@ -22,6 +27,19 @@ namespace
 {
 
 const char *appNames[] = {"pe_go", "print_tokens2", "pe_gzip"};
+
+const uint32_t lenSweep[] = {50, 100, 200, 500, 1000, 2000};
+const uint8_t thrSweep[] = {1, 2, 5, 10, 15};
+
+struct Geo
+{
+    uint32_t entries;
+    uint8_t bits;
+};
+const Geo btbSweep[] = {{256, 4}, {1024, 4}, {2048, 2}, {2048, 4},
+                        {4096, 8}};
+
+const uint32_t capSweep[] = {1, 2, 4, 8, 16, 32};
 
 double
 overheadOf(const core::RunResult &r, uint64_t baseCycles)
@@ -39,86 +57,108 @@ main()
     setQuiet(true);
     std::cout << "Section 7.6: parameter sensitivity\n\n";
 
+    double totalWall = 0;
+    uint64_t totalJobs = 0;
+    unsigned threadsUsed = 1;
+
     for (const char *name : appNames) {
         App app = loadApp(name);
-        auto base = runApp(app, core::PeMode::Off, Tool::None);
+
+        // One campaign per app: the two baselines, then each sweep's
+        // points in order.
+        std::vector<core::CampaignJob> jobs;
+        jobs.push_back(makeJob(app, core::PeMode::Off, Tool::None));
+
+        auto cmpBaseCfg = appConfig(app, core::PeMode::Off);
+        cmpBaseCfg.timing = sim::TimingConfig::cmpConfig();
+        jobs.push_back(makeJobCfg(app, cmpBaseCfg, Tool::None));
+
+        for (uint32_t len : lenSweep) {
+            auto cfg = appConfig(app, core::PeMode::Standard);
+            cfg.maxNtPathLength = len;
+            jobs.push_back(makeJobCfg(app, cfg, Tool::None));
+        }
+        for (uint8_t thr : thrSweep) {
+            auto cfg = appConfig(app, core::PeMode::Standard);
+            cfg.ntPathCounterThreshold = thr;
+            jobs.push_back(makeJobCfg(app, cfg, Tool::None));
+        }
+        for (Geo g : btbSweep) {
+            auto cfg = appConfig(app, core::PeMode::Standard);
+            cfg.btbParams.entries = g.entries;
+            cfg.btbParams.counterBits = g.bits;
+            jobs.push_back(makeJobCfg(app, cfg, Tool::None));
+        }
+        for (uint32_t cap : capSweep) {
+            auto cfg = appConfig(app, core::PeMode::Cmp);
+            cfg.maxNumNtPaths = cap;
+            jobs.push_back(makeJobCfg(app, cfg, Tool::None));
+        }
+
+        auto campaign = core::runCampaign(jobs);
+        totalWall += campaign.wallSeconds;
+        totalJobs += jobs.size();
+        threadsUsed = campaign.threadsUsed;
+
+        const auto &res = campaign.results;
+        uint64_t baseCycles = res[0].cycles;
+        uint64_t cmpBaseCycles = res[1].cycles;
+        size_t at = 2;
 
         std::cout << "== " << name << " ==\n";
 
-        // -- MaxNTPathLength sweep (standard configuration) --
         {
             Table table({"MaxNTPathLength", "Coverage", "NT instrs",
                          "Std overhead"});
-            for (uint32_t len : {50u, 100u, 200u, 500u, 1000u, 2000u}) {
-                auto cfg = appConfig(app, core::PeMode::Standard);
-                cfg.maxNtPathLength = len;
-                auto r = runAppCfg(app, cfg, Tool::None);
+            for (uint32_t len : lenSweep) {
+                const auto &r = res[at++];
                 table.addRow({std::to_string(len),
                               fmtPercent(r.coverage.combinedFraction()),
                               std::to_string(r.ntInstructions),
-                              fmtPercent(overheadOf(r, base.cycles))});
+                              fmtPercent(overheadOf(r, baseCycles))});
             }
             table.print(std::cout);
         }
 
-        // -- NTPathCounterThreshold sweep --
         {
             Table table({"NTPathCounterThreshold", "Coverage",
                          "NT-Paths", "Std overhead"});
-            for (uint8_t thr : {1, 2, 5, 10, 15}) {
-                auto cfg = appConfig(app, core::PeMode::Standard);
-                cfg.ntPathCounterThreshold = thr;
-                auto r = runAppCfg(app, cfg, Tool::None);
+            for (uint8_t thr : thrSweep) {
+                const auto &r = res[at++];
                 table.addRow({std::to_string(thr),
                               fmtPercent(r.coverage.combinedFraction()),
                               std::to_string(r.ntPathsSpawned),
-                              fmtPercent(overheadOf(r, base.cycles))});
+                              fmtPercent(overheadOf(r, baseCycles))});
             }
             table.print(std::cout);
         }
 
-        // -- BTB geometry sweep (hardware-cost knob; the paper fixes
-        //    a 2K-entry 2-way BTB with 4-bit counters) --
+        // BTB geometry sweep (hardware-cost knob; the paper fixes a
+        // 2K-entry 2-way BTB with 4-bit counters).
         {
             Table table({"BTB entries x bits", "Coverage", "NT-Paths",
                          "Std overhead"});
-            struct Geo
-            {
-                uint32_t entries;
-                uint8_t bits;
-            };
-            for (Geo g : {Geo{256, 4}, Geo{1024, 4}, Geo{2048, 2},
-                          Geo{2048, 4}, Geo{4096, 8}}) {
-                auto cfg = appConfig(app, core::PeMode::Standard);
-                cfg.btbParams.entries = g.entries;
-                cfg.btbParams.counterBits = g.bits;
-                auto r = runAppCfg(app, cfg, Tool::None);
+            for (Geo g : btbSweep) {
+                const auto &r = res[at++];
                 table.addRow({std::to_string(g.entries) + " x " +
                                   std::to_string(g.bits) + "b",
                               fmtPercent(r.coverage.combinedFraction()),
                               std::to_string(r.ntPathsSpawned),
-                              fmtPercent(overheadOf(r, base.cycles))});
+                              fmtPercent(overheadOf(r, baseCycles))});
             }
             table.print(std::cout);
         }
 
-        // -- MaxNumNTPaths sweep (CMP option) --
         {
-            auto cmpBaseCfg = appConfig(app, core::PeMode::Off);
-            cmpBaseCfg.timing = sim::TimingConfig::cmpConfig();
-            auto cmpBase = runAppCfg(app, cmpBaseCfg, Tool::None);
-
             Table table({"MaxNumNTPaths", "Coverage", "Skipped busy",
                          "CMP overhead"});
-            for (uint32_t cap : {1u, 2u, 4u, 8u, 16u, 32u}) {
-                auto cfg = appConfig(app, core::PeMode::Cmp);
-                cfg.maxNumNtPaths = cap;
-                auto r = runAppCfg(app, cfg, Tool::None);
+            for (uint32_t cap : capSweep) {
+                const auto &r = res[at++];
                 table.addRow({std::to_string(cap),
                               fmtPercent(r.coverage.combinedFraction()),
                               std::to_string(r.ntPathsSkippedBusy),
                               fmtPercent(overheadOf(r,
-                                                    cmpBase.cycles))});
+                                                    cmpBaseCycles))});
             }
             table.print(std::cout);
         }
@@ -127,6 +167,15 @@ main()
 
     std::cout << "Paper: longer NT-Paths and lower thresholds raise "
                  "coverage at higher cost; the defaults (1000/5/32) "
-                 "balance the two.\n";
+                 "balance the two.\n"
+              << "Sweep campaigns: " << totalJobs << " runs in "
+              << fmtDouble(totalWall, 2) << "s on " << threadsUsed
+              << " threads.\n";
+
+    BenchJson json("bench_fig_params");
+    json.setInt("jobs", totalJobs);
+    json.setInt("threads", threadsUsed);
+    json.set("wall_seconds", totalWall);
+    json.write();
     return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "src/branch/btb.hh"
 #include "src/core/engine.hh"
+#include "src/coverage/coverage.hh"
 #include "src/mem/cache.hh"
 #include "src/mem/versioned_buffer.hh"
 #include "src/minic/compiler.hh"
@@ -135,6 +136,94 @@ BM_VersionedBufferChain(benchmark::State &state)
     }
 }
 BENCHMARK(BM_VersionedBufferChain);
+
+void
+BM_VersionedBufferWrite(benchmark::State &state)
+{
+    // The NT-Path store hot path: buffered writes over a working set
+    // whose size is the sweep parameter (line reuse at the small end,
+    // table growth pressure at the large end).
+    const uint32_t span = static_cast<uint32_t>(state.range(0));
+    Rng rng(11);
+    std::vector<uint32_t> addrs(4096);
+    for (auto &a : addrs)
+        a = static_cast<uint32_t>(rng.nextBelow(span));
+    mem::VersionedBuffer buf(1);
+    size_t i = 0;
+    for (auto _ : state) {
+        buf.write(addrs[i & 4095], static_cast<int32_t>(i));
+        ++i;
+        if ((i & 0xffff) == 0)
+            buf.clear();    // bound the table like a real squash does
+    }
+    benchmark::DoNotOptimize(buf.numWords());
+}
+BENCHMARK(BM_VersionedBufferWrite)->Arg(64)->Arg(1 << 10)->Arg(1 << 14);
+
+void
+BM_VersionedBufferSquash(benchmark::State &state)
+{
+    // Fill-then-squash cycle: the gang-invalidate cost the paper's
+    // Vtag flash-clear models, proportional to table capacity.
+    const int64_t writes = state.range(0);
+    Rng rng(12);
+    mem::VersionedBuffer buf(1);
+    for (auto _ : state) {
+        for (int64_t i = 0; i < writes; ++i) {
+            buf.write(static_cast<uint32_t>(rng.nextBelow(1 << 14)),
+                      static_cast<int32_t>(i));
+        }
+        buf.clear();
+    }
+    state.SetItemsProcessed(state.iterations() * writes);
+}
+BENCHMARK(BM_VersionedBufferSquash)->Arg(64)->Arg(1024);
+
+void
+BM_VersionedBufferCommit(benchmark::State &state)
+{
+    // Drain a pre-filled write set into main memory (CMP segment
+    // commit).  The buffer is rebuilt once outside the timed region
+    // and commitTo is const, so each iteration commits the same set.
+    const int64_t writes = state.range(0);
+    mem::MainMemory memory(1 << 16);
+    mem::VersionedBuffer buf(1);
+    Rng rng(13);
+    for (int64_t i = 0; i < writes; ++i) {
+        buf.write(static_cast<uint32_t>(rng.nextBelow(1 << 14)),
+                  static_cast<int32_t>(i));
+    }
+    for (auto _ : state) {
+        buf.commitTo(memory);
+        benchmark::DoNotOptimize(memory.words().data());
+    }
+    state.SetItemsProcessed(state.iterations() * writes);
+}
+BENCHMARK(BM_VersionedBufferCommit)->Arg(64)->Arg(1024);
+
+void
+BM_BranchCoverageMerge(benchmark::State &state)
+{
+    // Campaign merge-reduce: OR one run's bitmap into the cumulative
+    // one for a synthetic program of range(0) branches.
+    const int64_t branches = state.range(0);
+    isa::Program p;
+    p.code.push_back(isa::makeLi(8, 1));
+    for (int64_t b = 0; b < branches; ++b)
+        p.code.push_back(isa::makeBranch(isa::Opcode::Beq, 8, 0, 0));
+    coverage::BranchCoverage run(p);
+    Rng rng(14);
+    for (int64_t b = 1; b <= branches; ++b) {
+        if (rng.nextBool(0.5))
+            run.onTakenEdge(static_cast<uint32_t>(b), rng.nextBool());
+    }
+    coverage::BranchCoverage cum(p);
+    for (auto _ : state) {
+        cum.mergeFrom(run);
+        benchmark::DoNotOptimize(cum.combinedCovered());
+    }
+}
+BENCHMARK(BM_BranchCoverageMerge)->Arg(1 << 10)->Arg(1 << 14);
 
 void
 BM_MiniCCompile(benchmark::State &state)

@@ -2,13 +2,17 @@
  * @file
  * Reproduces Table 3: "Applications and bugs evaluated" — the seven
  * buggy applications, their original sizes, seeded bug counts and
- * detection tools, plus the compiled size of our re-creations.
+ * detection tools, plus the compiled size of our re-creations and the
+ * dynamic instruction count of each app's default monitored run.  The
+ * per-app baseline runs execute as one parallel campaign.
  */
 
 #include <iostream>
 
 #include "bench_util.hh"
+#include "src/core/campaign.hh"
 #include "src/support/status.hh"
+#include "src/support/strutil.hh"
 #include "src/support/table.hh"
 
 using namespace pe;
@@ -20,27 +24,50 @@ main()
     setQuiet(true);
     std::cout << "Table 3: Applications and bugs evaluated\n\n";
 
+    auto names = workloads::buggyWorkloadNames();
+    std::vector<App> apps;
+    apps.reserve(names.size());
+    std::vector<core::CampaignJob> jobs;
+    for (const auto &name : names) {
+        apps.push_back(loadApp(name));
+        jobs.push_back(makeJob(apps.back(), core::PeMode::Off,
+                               Tool::None));
+    }
+    auto campaign = core::runCampaign(jobs);
+
     Table table({"Application", "Orig. LOC", "#Bugs", "Detection Tool",
-                 "PE-RISC instrs", "Branches"});
+                 "PE-RISC instrs", "Branches", "Dyn. instrs"});
 
     int totalBugs = 0;
-    for (const auto &name : workloads::buggyWorkloadNames()) {
-        App app = loadApp(name);
+    for (size_t i = 0; i < apps.size(); ++i) {
+        const App &app = apps[i];
         const auto &w = *app.workload;
         std::string tool = w.tools == "memory"
                                ? "CCured and iWatcher"
                                : "Assertions";
         totalBugs += static_cast<int>(w.bugs.size());
-        table.addRow({name, std::to_string(w.paperLoc),
+        table.addRow({names[i], std::to_string(w.paperLoc),
                       std::to_string(w.bugs.size()), tool,
                       std::to_string(app.program.code.size()),
-                      std::to_string(app.program.numBranches())});
+                      std::to_string(app.program.numBranches()),
+                      std::to_string(
+                          campaign.results[i].takenInstructions)});
     }
     table.print(std::cout);
 
     std::cout << "\nDistinct seeded bugs: " << totalBugs
               << "; memory bugs are each tested under both memory "
                  "checkers, giving the 38 tool-bug combinations of "
-                 "Table 4.\n";
+                 "Table 4.\n"
+              << "Baseline campaign: " << jobs.size() << " runs in "
+              << fmtDouble(campaign.wallSeconds, 2) << "s on "
+              << campaign.threadsUsed << " threads.\n";
+
+    BenchJson json("bench_table3_apps");
+    json.setInt("jobs", jobs.size());
+    json.setInt("threads", campaign.threadsUsed);
+    json.set("wall_seconds", campaign.wallSeconds);
+    json.setInt("total_bugs", static_cast<uint64_t>(totalBugs));
+    json.write();
     return 0;
 }

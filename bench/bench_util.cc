@@ -5,6 +5,10 @@
 
 #include "bench_util.hh"
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "src/support/status.hh"
 
 namespace pe::bench
@@ -79,12 +83,90 @@ runAppCfg(const App &app, const core::PeConfig &cfg, Tool tool,
     return engine.run(app.workload->benignInputs[inputIdx]);
 }
 
+core::CampaignJob
+makeJob(const App &app, core::PeMode mode, Tool tool, size_t inputIdx,
+        bool fixing, bool software)
+{
+    auto cfg = appConfig(app, mode);
+    cfg.variableFixing = fixing;
+    if (software)
+        cfg.costModel = core::CostModelKind::Software;
+    return makeJobCfg(app, cfg, tool, inputIdx);
+}
+
+core::CampaignJob
+makeJobCfg(const App &app, const core::PeConfig &cfg, Tool tool,
+           size_t inputIdx)
+{
+    pe_assert(inputIdx < app.workload->benignInputs.size(),
+              "input index out of range");
+    core::CampaignJob job;
+    job.program = &app.program;
+    job.input = app.workload->benignInputs[inputIdx];
+    job.config = cfg;
+    if (tool != Tool::None)
+        job.detectorFactory = [tool] { return makeDetector(tool); };
+    return job;
+}
+
 workloads::DetectionAnalysis
 analyze(const App &app, const core::RunResult &result, Tool tool)
 {
     bool memory = tool == Tool::Ccured || tool == Tool::Iwatcher;
     return workloads::analyzeReports(*app.workload, app.program,
                                      result.monitor, memory);
+}
+
+BenchJson::BenchJson(const std::string &benchName)
+{
+    const char *dir = std::getenv("PE_BENCH_JSON_DIR");
+    path = std::string(dir && *dir ? dir : ".") + "/" + benchName +
+           ".json";
+}
+
+BenchJson::~BenchJson()
+{
+    if (!written)
+        write();
+}
+
+void
+BenchJson::set(const std::string &key, double value)
+{
+    std::ostringstream oss;
+    oss.precision(9);
+    oss << value;
+    entries.emplace_back(key, oss.str());
+}
+
+void
+BenchJson::set(const std::string &key, const std::string &value)
+{
+    entries.emplace_back(key, "\"" + value + "\"");
+}
+
+void
+BenchJson::setInt(const std::string &key, uint64_t value)
+{
+    entries.emplace_back(key, std::to_string(value));
+}
+
+void
+BenchJson::write()
+{
+    written = true;
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write bench JSON to ", path);
+        return;
+    }
+    out << "{\n";
+    for (size_t i = 0; i < entries.size(); ++i) {
+        out << "  \"" << entries[i].first << "\": "
+            << entries[i].second
+            << (i + 1 < entries.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
 }
 
 } // namespace pe::bench

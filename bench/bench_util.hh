@@ -2,7 +2,9 @@
  * @file
  * Shared helpers for the benchmark harnesses: compile-and-run
  * plumbing for the evaluation workloads under each PathExpander
- * configuration and detection tool.
+ * configuration and detection tool, campaign-job builders for the
+ * parallel runner, and the JSON metrics emitter that records each
+ * bench's wall-time / speedup trajectory.
  */
 
 #ifndef PE_BENCH_BENCH_UTIL_HH
@@ -10,7 +12,10 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "src/core/campaign.hh"
 #include "src/core/engine.hh"
 #include "src/minic/compiler.hh"
 #include "src/swpe/software_pe.hh"
@@ -60,10 +65,47 @@ core::RunResult runApp(const App &app, core::PeMode mode, Tool tool,
 core::RunResult runAppCfg(const App &app, const core::PeConfig &cfg,
                           Tool tool, size_t inputIdx = 0);
 
+/**
+ * Campaign job equivalent of runApp, for the parallel runner.  The
+ * job references @p app's program: the App must outlive the campaign.
+ */
+core::CampaignJob makeJob(const App &app, core::PeMode mode, Tool tool,
+                          size_t inputIdx = 0, bool fixing = true,
+                          bool software = false);
+
+/** Campaign job equivalent of runAppCfg. */
+core::CampaignJob makeJobCfg(const App &app, const core::PeConfig &cfg,
+                             Tool tool, size_t inputIdx = 0);
+
 /** Convenience: detection analysis of @p result for @p tool. */
 workloads::DetectionAnalysis analyze(const App &app,
                                      const core::RunResult &result,
                                      Tool tool);
+
+/**
+ * Per-bench JSON metrics file: <PE_BENCH_JSON_DIR or .>/<name>.json,
+ * a flat object of numbers and strings.  The growth trajectory
+ * (wall times, parallel speedups, microbench summaries) is compared
+ * across revisions from these artifacts.
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(const std::string &benchName);
+    ~BenchJson();   //!< writes the file if write() was not called
+
+    void set(const std::string &key, double value);
+    void set(const std::string &key, const std::string &value);
+    void setInt(const std::string &key, uint64_t value);
+
+    /** Emit the file now. */
+    void write();
+
+  private:
+    std::string path;
+    std::vector<std::pair<std::string, std::string>> entries;
+    bool written = false;
+};
 
 } // namespace pe::bench
 

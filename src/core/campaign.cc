@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Campaign runner implementation.
+ */
+
+#include "src/core/campaign.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <optional>
+
+#include "src/support/status.hh"
+#include "src/support/thread_pool.hh"
+
+namespace pe::core
+{
+
+namespace
+{
+
+RunResult
+runJob(const CampaignJob &job)
+{
+    pe_assert(job.program, "campaign job without a program");
+    std::unique_ptr<detect::Detector> detector;
+    if (job.detectorFactory)
+        detector = job.detectorFactory();
+    PathExpanderEngine engine(*job.program, job.config, detector.get());
+    return engine.run(job.input);
+}
+
+} // namespace
+
+CampaignOutcome
+runCampaign(const std::vector<CampaignJob> &jobs,
+            const CampaignOptions &opts)
+{
+    auto start = std::chrono::steady_clock::now();
+
+    CampaignOutcome out;
+    size_t threads = opts.threads ? opts.threads : defaultWorkerCount();
+    threads = std::min(threads, std::max<size_t>(jobs.size(), 1));
+    out.threadsUsed = static_cast<unsigned>(threads);
+
+    if (threads <= 1) {
+        out.results.reserve(jobs.size());
+        for (const CampaignJob &job : jobs)
+            out.results.push_back(runJob(job));
+    } else {
+        // Per-job slots keep the output in job order no matter how
+        // the pool schedules; a FatalError (bad config/workload) is
+        // captured and rethrown once the pool has drained.
+        std::vector<std::optional<RunResult>> slots(jobs.size());
+        std::mutex errMtx;
+        std::exception_ptr firstError;
+        {
+            ThreadPool pool(static_cast<unsigned>(threads));
+            for (size_t i = 0; i < jobs.size(); ++i) {
+                pool.submit([&jobs, &slots, &errMtx, &firstError, i] {
+                    try {
+                        slots[i].emplace(runJob(jobs[i]));
+                    } catch (...) {
+                        std::lock_guard lock(errMtx);
+                        if (!firstError)
+                            firstError = std::current_exception();
+                    }
+                });
+            }
+            pool.waitIdle();
+        }
+        if (firstError)
+            std::rethrow_exception(firstError);
+        out.results.reserve(slots.size());
+        for (auto &slot : slots) {
+            pe_assert(slot.has_value(), "campaign job lost its result");
+            out.results.push_back(std::move(*slot));
+        }
+    }
+
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return out;
+}
+
+coverage::BranchCoverage
+mergeCoverage(const isa::Program &program,
+              const std::vector<RunResult> &results)
+{
+    coverage::BranchCoverage merged(program);
+    for (const RunResult &result : results)
+        merged.mergeFrom(result.coverage);
+    return merged;
+}
+
+} // namespace pe::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The campaign runner: many independent monitored runs in parallel.
+ *
+ * The paper's evaluation is a campaign — per workload, per input, per
+ * config sweep point (Tables 3-5, Section 7) — of runs that share
+ * nothing but read-only program images.  Each PathExpanderEngine run
+ * owns an isolated RunState (memory, BTB, hierarchy, RNG), so engine
+ * runs are embarrassingly parallel; runCampaign shards a job vector
+ * across a worker pool and returns results in deterministic job
+ * order, bit-identical to a serial execution of the same jobs.
+ *
+ * Detectors are stateful (object registries, watch sets, report
+ * dedup), so a job carries a detector *factory* rather than a
+ * detector: each run constructs its own instance on the worker that
+ * executes it.
+ */
+
+#ifndef PE_CORE_CAMPAIGN_HH
+#define PE_CORE_CAMPAIGN_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/engine.hh"
+
+namespace pe::core
+{
+
+/** Builds a fresh detector for one run; null means no detector. */
+using DetectorFactory =
+    std::function<std::unique_ptr<detect::Detector>()>;
+
+/** One independent monitored run of a campaign. */
+struct CampaignJob
+{
+    /** Program image; shared read-only across concurrent runs. */
+    const isa::Program *program = nullptr;
+    std::vector<int32_t> input;
+    PeConfig config;
+    DetectorFactory detectorFactory;
+};
+
+struct CampaignOptions
+{
+    /** Worker threads; 0 means defaultWorkerCount() (PE_JOBS env). */
+    unsigned threads = 0;
+};
+
+/** Everything a campaign produced. */
+struct CampaignOutcome
+{
+    /** One result per job, in job order regardless of scheduling. */
+    std::vector<RunResult> results;
+
+    /** Host wall-clock time of the whole campaign, in seconds. */
+    double wallSeconds = 0.0;
+
+    /** Workers actually used (1 = ran serially). */
+    unsigned threadsUsed = 1;
+};
+
+/**
+ * Run every job of @p jobs and return their results in job order.
+ * With more than one worker the jobs are sharded across a thread
+ * pool; results are bit-identical to a serial run because each job's
+ * state is fully isolated and the engine is deterministic.
+ * A job's failure (FatalError) is rethrown after the pool drains.
+ */
+CampaignOutcome runCampaign(const std::vector<CampaignJob> &jobs,
+                            const CampaignOptions &opts = {});
+
+/**
+ * Order-independent merge-reduce for the cumulative-coverage
+ * experiment (Section 7.4): the union of every result's edge sets.
+ * All results must come from runs of @p program.
+ */
+coverage::BranchCoverage
+mergeCoverage(const isa::Program &program,
+              const std::vector<RunResult> &results);
+
+} // namespace pe::core
+
+#endif // PE_CORE_CAMPAIGN_HH

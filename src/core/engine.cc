@@ -122,8 +122,8 @@ PathExpanderEngine::run(const std::vector<int32_t> &input)
     // FNV-1a digest of the architected memory image, for the
     // sandboxing invariant (PathExpander must not perturb it).
     uint64_t digest = 0xcbf29ce484222325ull;
-    for (uint32_t a = 0; a < state.memory.size(); ++a) {
-        digest ^= static_cast<uint32_t>(state.memory.read(a));
+    for (int32_t word : state.memory.words()) {
+        digest ^= static_cast<uint32_t>(word);
         digest *= 0x100000001b3ull;
     }
     state.result.memoryDigest = digest;

@@ -5,40 +5,38 @@
 
 #include "src/coverage/coverage.hh"
 
+#include "src/support/status.hh"
+
 namespace pe::coverage
 {
 
 BranchCoverage::BranchCoverage(const isa::Program &program)
     : total(2 * program.numBranches())
-{}
-
-void
-BranchCoverage::onTakenEdge(uint32_t pc, bool taken)
 {
-    takenEdges.insert(key(pc, taken));
-}
-
-void
-BranchCoverage::onNtEdge(uint32_t pc, bool taken)
-{
-    ntEdges.insert(key(pc, taken));
+    // Two edge bits per code index; only branch pcs are ever set, but
+    // sizing by the code extent makes the key a pure shift with no
+    // per-edge lookup table.
+    size_t bitsNeeded = 2 * program.code.size();
+    takenBits.assign((bitsNeeded + 63) / 64, 0);
+    ntBits.assign((bitsNeeded + 63) / 64, 0);
 }
 
 size_t
 BranchCoverage::ntOnlyCovered() const
 {
     size_t n = 0;
-    for (uint64_t k : ntEdges) {
-        if (!takenEdges.count(k))
-            ++n;
-    }
+    for (size_t i = 0; i < ntBits.size(); ++i)
+        n += static_cast<size_t>(std::popcount(ntBits[i] & ~takenBits[i]));
     return n;
 }
 
 size_t
 BranchCoverage::combinedCovered() const
 {
-    return takenEdges.size() + ntOnlyCovered();
+    size_t n = 0;
+    for (size_t i = 0; i < ntBits.size(); ++i)
+        n += static_cast<size_t>(std::popcount(ntBits[i] | takenBits[i]));
+    return n;
 }
 
 double
@@ -60,8 +58,12 @@ BranchCoverage::combinedFraction() const
 void
 BranchCoverage::mergeFrom(const BranchCoverage &other)
 {
-    takenEdges.insert(other.takenEdges.begin(), other.takenEdges.end());
-    ntEdges.insert(other.ntEdges.begin(), other.ntEdges.end());
+    pe_assert(takenBits.size() == other.takenBits.size(),
+              "merging coverage of different programs");
+    for (size_t i = 0; i < takenBits.size(); ++i) {
+        takenBits[i] |= other.takenBits[i];
+        ntBits[i] |= other.ntBits[i];
+    }
 }
 
 } // namespace pe::coverage

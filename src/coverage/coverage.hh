@@ -10,13 +10,21 @@
  * PE-augmented coverage of a run fall out of one tracker, and support
  * merging across runs for the cumulative-coverage experiment
  * (Section 7.4).
+ *
+ * The edge universe is static and known at construction (two edges
+ * per conditional branch, keyed by 2*pc+taken), so the tracker is a
+ * dense bitmap rather than a hash set: recording an edge is one
+ * shift/OR on the NT-Path hot path, counting is popcount, and the
+ * cumulative merge is a word-wise OR that is independent of the order
+ * runs are merged in.
  */
 
 #ifndef PE_COVERAGE_COVERAGE_HH
 #define PE_COVERAGE_COVERAGE_HH
 
+#include <bit>
 #include <cstdint>
-#include <unordered_set>
+#include <vector>
 
 #include "src/isa/program.hh"
 
@@ -30,13 +38,19 @@ class BranchCoverage
     explicit BranchCoverage(const isa::Program &program);
 
     /** Edge (branch at @p pc, direction @p taken) ran on the taken path. */
-    void onTakenEdge(uint32_t pc, bool taken);
+    void onTakenEdge(uint32_t pc, bool taken)
+    {
+        setBit(takenBits, key(pc, taken));
+    }
 
     /** Edge ran inside an NT-Path (monitored by the detector). */
-    void onNtEdge(uint32_t pc, bool taken);
+    void onNtEdge(uint32_t pc, bool taken)
+    {
+        setBit(ntBits, key(pc, taken));
+    }
 
     size_t totalEdges() const { return total; }
-    size_t takenCovered() const { return takenEdges.size(); }
+    size_t takenCovered() const { return popcount(takenBits); }
     size_t ntOnlyCovered() const;
     size_t combinedCovered() const;
 
@@ -46,14 +60,15 @@ class BranchCoverage
     /** Coverage of the PE-monitored run (taken plus NT edges). */
     double combinedFraction() const;
 
-    /** Union this run's edges into @p this (cumulative coverage). */
+    /**
+     * Union @p other's edges into @p this (cumulative coverage).
+     * Word-wise OR: associative and commutative, so a campaign may
+     * merge per-run trackers in any order and reach the same state.
+     */
     void mergeFrom(const BranchCoverage &other);
 
-    const std::unordered_set<uint64_t> &takenSet() const
-    {
-        return takenEdges;
-    }
-    const std::unordered_set<uint64_t> &ntSet() const { return ntEdges; }
+    const std::vector<uint64_t> &takenWords() const { return takenBits; }
+    const std::vector<uint64_t> &ntWords() const { return ntBits; }
 
   private:
     static uint64_t key(uint32_t pc, bool taken)
@@ -61,9 +76,23 @@ class BranchCoverage
         return (static_cast<uint64_t>(pc) << 1) | (taken ? 1 : 0);
     }
 
+    void setBit(std::vector<uint64_t> &bits, uint64_t bit)
+    {
+        // Non-branch pcs never reach here; the bitmap spans every pc.
+        bits[bit >> 6] |= uint64_t{1} << (bit & 63);
+    }
+
+    static size_t popcount(const std::vector<uint64_t> &bits)
+    {
+        size_t n = 0;
+        for (uint64_t w : bits)
+            n += static_cast<size_t>(std::popcount(w));
+        return n;
+    }
+
     size_t total;
-    std::unordered_set<uint64_t> takenEdges;
-    std::unordered_set<uint64_t> ntEdges;
+    std::vector<uint64_t> takenBits;
+    std::vector<uint64_t> ntBits;
 };
 
 } // namespace pe::coverage

@@ -7,6 +7,7 @@
 #define PE_MEM_MAIN_MEMORY_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace pe::mem
@@ -27,6 +28,14 @@ class MainMemory
 
     int32_t read(uint32_t addr) const;
     void write(uint32_t addr, int32_t value);
+
+    /**
+     * The whole image as a span, for callers that have already
+     * established bounds (bulk program load, digests, line commits)
+     * and must not pay a per-word validity check.
+     */
+    std::span<const int32_t> words() const { return image; }
+    std::span<int32_t> words() { return image; }
 
   private:
     std::vector<int32_t> image;

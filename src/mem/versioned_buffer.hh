@@ -13,6 +13,12 @@
  * words on top of a parent version.  VersionedBuffer implements that
  * overlay; the path-ID plumbing and the commit/squash-token protocol
  * live in the PathExpander engine.
+ *
+ * The overlay is stored the way the modeled hardware stores it: as
+ * whole L1 lines.  An open-addressing table maps a line number to an
+ * 8-word data block plus a dirty-word mask, so the per-store hot path
+ * is one probe (no per-word hashing), squash is a gang reset of the
+ * table, and commit is a linear scan over the occupied lines.
  */
 
 #ifndef PE_MEM_VERSIONED_BUFFER_HH
@@ -20,8 +26,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "src/mem/main_memory.hh"
 
@@ -45,16 +50,24 @@ class VersionedBuffer
     void setParent(VersionedBuffer *p) { _parent = p; }
 
     /** The buffered value of @p addr, if this path wrote it. */
-    std::optional<int32_t> lookup(uint32_t addr) const;
+    std::optional<int32_t> lookup(uint32_t addr) const
+    {
+        if (const Line *line = find(addr / wordsPerLine)) {
+            uint32_t w = addr % wordsPerLine;
+            if (line->mask & (1u << w))
+                return line->data[w];
+        }
+        return std::nullopt;
+    }
 
     /** Buffer a store of @p value to @p addr. */
     void write(uint32_t addr, int32_t value);
 
     /** Number of distinct words written. */
-    size_t numWords() const { return words.size(); }
+    size_t numWords() const { return wordCount; }
 
     /** Number of distinct L1 lines holding this path's dirty data. */
-    size_t numLines() const { return lines.size(); }
+    size_t numLines() const { return lineCount; }
 
     /** Commit: drain the write set into main memory (lazy ID recycle). */
     void commitTo(MainMemory &main) const;
@@ -62,16 +75,47 @@ class VersionedBuffer
     /** Squash: gang-invalidate all tagged lines. */
     void clear();
 
-    const std::unordered_map<uint32_t, int32_t> &writes() const
+    /** Visit every buffered (addr, value) pair, line by line. */
+    template <typename Fn>
+    void forEachWrite(Fn &&fn) const
     {
-        return words;
+        for (const Line &line : table) {
+            if (line.tag == emptyTag)
+                continue;
+            for (uint32_t w = 0; w < wordsPerLine; ++w) {
+                if (line.mask & (1u << w))
+                    fn(line.tag * wordsPerLine + w, line.data[w]);
+            }
+        }
     }
 
   private:
+    /** One dirty L1 line: tag, valid-word mask and data block. */
+    struct Line
+    {
+        uint32_t tag = emptyTag;    //!< line number (addr / wordsPerLine)
+        uint8_t mask = 0;           //!< which words the path wrote
+        int32_t data[wordsPerLine];
+    };
+
+    static constexpr uint32_t emptyTag = 0xffffffffu;
+    static constexpr size_t initialSlots = 16;
+
+    static size_t slotOf(uint32_t tag, size_t tableSize)
+    {
+        // Fibonacci hashing; tableSize is a power of two.
+        return (tag * 0x9e3779b1u) & (tableSize - 1);
+    }
+
+    const Line *find(uint32_t tag) const;
+    Line &findOrInsert(uint32_t tag);
+    void grow();
+
     int _pathId;
     VersionedBuffer *_parent = nullptr;
-    std::unordered_map<uint32_t, int32_t> words;
-    std::unordered_set<uint32_t> lines;
+    std::vector<Line> table;        //!< open-addressed, power-of-two size
+    size_t lineCount = 0;
+    size_t wordCount = 0;
 };
 
 /**
@@ -90,16 +134,56 @@ class MemCtx
 
     bool valid(uint32_t addr) const { return mainMem->valid(addr); }
 
-    /** Read through the version chain. */
+    /** Read through the version chain; @p addr must be valid. */
     int32_t read(uint32_t addr) const;
 
     /** Write to the path's buffer, or directly to main if none. */
     void write(uint32_t addr, int32_t value);
 
+    /**
+     * Bounds-checked read: false (and @p out untouched) when @p addr
+     * is outside memory.  Folds the valid() test into the access so
+     * the interpreter's load path checks the address exactly once.
+     */
+    bool tryRead(uint32_t addr, int32_t &out) const
+    {
+        if (!mainMem->valid(addr))
+            return false;
+        out = readResolved(addr);
+        return true;
+    }
+
+    /** Bounds-checked write; false when @p addr is outside memory. */
+    bool tryWrite(uint32_t addr, int32_t value)
+    {
+        if (!mainMem->valid(addr))
+            return false;
+        writeResolved(addr, value);
+        return true;
+    }
+
     VersionedBuffer *buffer() { return buf; }
     const VersionedBuffer *buffer() const { return buf; }
 
   private:
+    /** Read @p addr already known to be in bounds. */
+    int32_t readResolved(uint32_t addr) const
+    {
+        for (const VersionedBuffer *b = buf; b; b = b->parent()) {
+            if (auto v = b->lookup(addr))
+                return *v;
+        }
+        return mainMem->words()[addr];
+    }
+
+    void writeResolved(uint32_t addr, int32_t value)
+    {
+        if (buf)
+            buf->write(addr, value);
+        else
+            mainMem->words()[addr] = value;
+    }
+
     MainMemory *mainMem;
     VersionedBuffer *buf;
 };

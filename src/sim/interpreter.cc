@@ -5,7 +5,9 @@
 
 #include "src/sim/interpreter.hh"
 
+#include <algorithm>
 #include <limits>
+#include <span>
 
 #include "src/isa/regs.hh"
 #include "src/support/status.hh"
@@ -81,10 +83,11 @@ loadProgram(const isa::Program &program, mem::MainMemory &memory,
                   program.dataInit.size(),
               "heap overlaps the data segment");
 
-    for (size_t i = 0; i < program.dataInit.size(); ++i) {
-        memory.write(program.dataBase + static_cast<uint32_t>(i),
-                     program.dataInit[i]);
-    }
+    std::span<int32_t> image = memory.words();
+    pe_assert(program.dataBase + program.dataInit.size() <= image.size(),
+              "data segment does not fit in memory");
+    std::copy(program.dataInit.begin(), program.dataInit.end(),
+              image.begin() + program.dataBase);
     memory.write(isa::Program::heapPtrCell,
                  static_cast<int32_t>(program.heapBase));
 
@@ -222,26 +225,24 @@ step(const isa::Program &program, Core &core, mem::MemCtx &ctx,
 
       case Opcode::Ld: {
         uint32_t addr = static_cast<uint32_t>(wrapAdd(rs1(), inst.imm));
-        if (!ctx.valid(addr)) {
+        int32_t value;
+        res.memAddr = addr;
+        if (!ctx.tryRead(addr, value)) {
             res.crash = CrashKind::BadAddress;
-            res.memAddr = addr;
             return res;
         }
-        core.writeReg(inst.rd, ctx.read(addr));
+        core.writeReg(inst.rd, value);
         res.memRead = true;
-        res.memAddr = addr;
         break;
       }
       case Opcode::St: {
         uint32_t addr = static_cast<uint32_t>(wrapAdd(rs1(), inst.imm));
-        if (!ctx.valid(addr)) {
+        res.memAddr = addr;
+        if (!ctx.tryWrite(addr, rs2())) {
             res.crash = CrashKind::BadAddress;
-            res.memAddr = addr;
             return res;
         }
-        ctx.write(addr, rs2());
         res.memWrite = true;
-        res.memAddr = addr;
         break;
       }
 
@@ -348,14 +349,12 @@ step(const isa::Program &program, Core &core, mem::MemCtx &ctx,
         if (pred) {
             uint32_t addr =
                 static_cast<uint32_t>(wrapAdd(rs1(), inst.imm));
-            if (!ctx.valid(addr)) {
+            res.memAddr = addr;
+            if (!ctx.tryWrite(addr, rs2())) {
                 res.crash = CrashKind::BadAddress;
-                res.memAddr = addr;
                 return res;
             }
-            ctx.write(addr, rs2());
             res.memWrite = true;
-            res.memAddr = addr;
         }
         break;
 

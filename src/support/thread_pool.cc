@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Thread-pool implementation.
+ */
+
+#include "src/support/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "src/support/status.hh"
+
+namespace pe
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    pe_assert(threads >= 1, "thread pool needs at least one worker");
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(mtx);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard lock(mtx);
+        pe_assert(!stopping, "submit on a stopping thread pool");
+        queue.push_back(std::move(task));
+        ++inFlight;
+    }
+    wake.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock lock(mtx);
+    idle.wait(lock, [this] { return inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mtx);
+            wake.wait(lock,
+                      [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return;     // stopping, queue drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        task();
+        {
+            std::lock_guard lock(mtx);
+            --inFlight;
+            if (inFlight == 0)
+                idle.notify_all();
+        }
+    }
+}
+
+unsigned
+defaultWorkerCount()
+{
+    if (const char *env = std::getenv("PE_JOBS")) {
+        long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace pe

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A small fixed-size worker-thread pool.
+ *
+ * Built for the campaign runner (src/core/campaign.hh): many
+ * independent, CPU-bound simulation jobs sharded over the host's
+ * cores.  Tasks are opaque callables; the pool makes no fairness or
+ * ordering promises beyond FIFO dispatch, so callers that need
+ * deterministic results must write into caller-owned, per-task slots
+ * (as runCampaign does) rather than rely on completion order.
+ */
+
+#ifndef PE_SUPPORT_THREAD_POOL_HH
+#define PE_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pe
+{
+
+/** Fixed set of worker threads consuming a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (must be >= 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains nothing: joins after the queue empties. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /** Enqueue @p task; it runs on some worker, exactly once. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished running. */
+    void waitIdle();
+
+  private:
+    void workerLoop();
+
+    std::mutex mtx;
+    std::condition_variable wake;   //!< workers: queue non-empty / stop
+    std::condition_variable idle;   //!< waitIdle: inFlight reached zero
+    std::deque<std::function<void()>> queue;
+    std::vector<std::thread> workers;
+    size_t inFlight = 0;            //!< queued plus currently running
+    bool stopping = false;
+};
+
+/**
+ * Worker count for parallel campaigns: the PE_JOBS environment
+ * variable when set to a positive integer, otherwise the hardware
+ * concurrency (at least 1).
+ */
+unsigned defaultWorkerCount();
+
+} // namespace pe
+
+#endif // PE_SUPPORT_THREAD_POOL_HH

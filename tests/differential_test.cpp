@@ -6,12 +6,18 @@
  * output, same final memory digest, same crash outcome — across a
  * seed sweep.  This is the sandboxing correctness property tested in
  * breadth.
+ *
+ * The three modes of each seed run as one campaign through
+ * runCampaign, so the sweep also exercises the parallel runner's
+ * isolation: every comparison below would fail if concurrent engine
+ * runs shared any mutable state.
  */
 
 #include <gtest/gtest.h>
 
 #include <sstream>
 
+#include "src/core/campaign.hh"
 #include "src/core/engine.hh"
 #include "src/isa/assembler.hh"
 #include "src/support/rng.hh"
@@ -121,13 +127,19 @@ struct Outcome
     uint64_t takenInstructions;
 };
 
-Outcome
-runMode(const isa::Program &program, core::PeMode mode)
+core::CampaignJob
+modeJob(const isa::Program &program, core::PeMode mode)
 {
-    auto cfg = core::PeConfig::forMode(mode);
-    cfg.maxTakenInstructions = 2'000'000;
-    core::PathExpanderEngine engine(program, cfg);
-    auto r = engine.run({});
+    core::CampaignJob job;
+    job.program = &program;
+    job.config = core::PeConfig::forMode(mode);
+    job.config.maxTakenInstructions = 2'000'000;
+    return job;
+}
+
+Outcome
+toOutcome(const core::RunResult &r)
+{
     return Outcome{r.programCrashed, r.programCrashKind,
                    r.io.charOutput, r.memoryDigest,
                    r.takenInstructions};
@@ -140,9 +152,13 @@ TEST_P(Differential, ModesAgreeOnArchitectedBehavior)
 {
     auto program = isa::assemble(generateProgram(GetParam()),
                                  "fuzz");
-    Outcome off = runMode(program, core::PeMode::Off);
-    Outcome std_ = runMode(program, core::PeMode::Standard);
-    Outcome cmp = runMode(program, core::PeMode::Cmp);
+    auto outcome = core::runCampaign(
+        {modeJob(program, core::PeMode::Off),
+         modeJob(program, core::PeMode::Standard),
+         modeJob(program, core::PeMode::Cmp)});
+    Outcome off = toOutcome(outcome.results[0]);
+    Outcome std_ = toOutcome(outcome.results[1]);
+    Outcome cmp = toOutcome(outcome.results[2]);
 
     EXPECT_EQ(off.crashed, std_.crashed);
     EXPECT_EQ(off.crashed, cmp.crashed);
@@ -162,12 +178,12 @@ TEST_P(Differential, ExplorationIsDeterministic)
 {
     auto program = isa::assemble(generateProgram(GetParam()),
                                  "fuzz");
-    auto cfg = core::PeConfig::forMode(core::PeMode::Standard);
-    cfg.maxTakenInstructions = 2'000'000;
-    core::PathExpanderEngine a(program, cfg);
-    core::PathExpanderEngine b(program, cfg);
-    auto ra = a.run({});
-    auto rb = b.run({});
+    // Two identical jobs, run concurrently, must replay identically.
+    auto outcome = core::runCampaign(
+        {modeJob(program, core::PeMode::Standard),
+         modeJob(program, core::PeMode::Standard)});
+    const auto &ra = outcome.results[0];
+    const auto &rb = outcome.results[1];
     EXPECT_EQ(ra.cycles, rb.cycles);
     EXPECT_EQ(ra.ntPathsSpawned, rb.ntPathsSpawned);
     EXPECT_EQ(ra.ntInstructions, rb.ntInstructions);

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Property test for the flat line-granular VersionedBuffer: random
+ * write/lookup/clear/commitTo traces checked against a trivially
+ * correct std::map reference model, across many seeds and address
+ * ranges (dense lines, sparse lines, table-growth pressure).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/mem/main_memory.hh"
+#include "src/mem/versioned_buffer.hh"
+#include "src/support/rng.hh"
+
+namespace
+{
+
+using namespace pe;
+using namespace pe::mem;
+
+constexpr uint32_t memWords = 1 << 14;
+
+/** Reference model: overlay map plus committed image. */
+struct Model
+{
+    std::map<uint32_t, int32_t> overlay;
+
+    size_t
+    numLines() const
+    {
+        std::set<uint32_t> lines;
+        for (const auto &[addr, value] : overlay)
+            lines.insert(addr / wordsPerLine);
+        return lines.size();
+    }
+};
+
+void
+expectSameState(const VersionedBuffer &buf, const Model &model)
+{
+    EXPECT_EQ(buf.numWords(), model.overlay.size());
+    EXPECT_EQ(buf.numLines(), model.numLines());
+
+    // Every buffered write is visible and nothing extra exists.
+    std::map<uint32_t, int32_t> seen;
+    buf.forEachWrite([&](uint32_t addr, int32_t value) {
+        EXPECT_TRUE(seen.emplace(addr, value).second)
+            << "duplicate visit of addr " << addr;
+    });
+    EXPECT_EQ(seen, model.overlay);
+}
+
+class VersionedBufferProperty
+    : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(VersionedBufferProperty, MatchesMapModelOnRandomTrace)
+{
+    Rng rng(GetParam());
+    // Alternate between a narrow region (line collisions, same-word
+    // overwrites) and the full space (growth, sparse lines).
+    uint32_t span = (GetParam() % 2 == 0) ? 256 : memWords;
+
+    VersionedBuffer buf(1);
+    Model model;
+    MainMemory mem(memWords);
+    std::map<uint32_t, int32_t> memModel;
+
+    for (int op = 0; op < 4000; ++op) {
+        uint32_t addr = static_cast<uint32_t>(rng.nextBelow(span));
+        switch (rng.nextBelow(100)) {
+          case 0: {  // rare: squash
+            buf.clear();
+            model.overlay.clear();
+            break;
+          }
+          case 1: case 2: {  // occasional: commit
+            buf.commitTo(mem);
+            for (const auto &[a, v] : model.overlay)
+                memModel[a] = v;
+            break;
+          }
+          default: {
+            if (rng.nextBool(0.7)) {
+                int32_t value = static_cast<int32_t>(rng.next64());
+                buf.write(addr, value);
+                model.overlay[addr] = value;
+            } else {
+                auto got = buf.lookup(addr);
+                auto it = model.overlay.find(addr);
+                if (it == model.overlay.end()) {
+                    EXPECT_FALSE(got.has_value());
+                } else {
+                    ASSERT_TRUE(got.has_value());
+                    EXPECT_EQ(*got, it->second);
+                }
+            }
+            break;
+          }
+        }
+    }
+
+    expectSameState(buf, model);
+
+    // Final commit: the image must equal the reference image.
+    buf.commitTo(mem);
+    for (const auto &[a, v] : model.overlay)
+        memModel[a] = v;
+    for (uint32_t a = 0; a < memWords; ++a) {
+        auto it = memModel.find(a);
+        EXPECT_EQ(mem.read(a), it == memModel.end() ? 0 : it->second)
+            << "at addr " << a;
+    }
+
+    // Squash leaves an empty write set behind.
+    buf.clear();
+    model.overlay.clear();
+    expectSameState(buf, model);
+    EXPECT_FALSE(buf.lookup(0).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedSweep, VersionedBufferProperty,
+                         ::testing::Range<uint64_t>(1, 17));
+
+TEST(VersionedBufferProperty, ParentChainResolutionUnchanged)
+{
+    // The flat storage must not change version-tree semantics: a
+    // child sees its own words, then the parent's, then main memory.
+    MainMemory mem(memWords);
+    mem.write(100, 1);
+    VersionedBuffer parent(1);
+    VersionedBuffer child(2);
+    child.setParent(&parent);
+
+    parent.write(100, 2);
+    parent.write(101, 3);
+    child.write(101, 4);
+
+    MemCtx ctx(mem, &child);
+    EXPECT_EQ(ctx.read(100), 2);    // parent overlay
+    EXPECT_EQ(ctx.read(101), 4);    // own overlay wins
+    EXPECT_EQ(ctx.read(102), 0);    // committed memory
+
+    int32_t out = -1;
+    EXPECT_TRUE(ctx.tryRead(100, out));
+    EXPECT_EQ(out, 2);
+    EXPECT_FALSE(ctx.tryRead(memWords, out));
+    EXPECT_FALSE(ctx.tryWrite(memWords, 9));
+    EXPECT_TRUE(ctx.tryWrite(102, 9));
+    EXPECT_EQ(ctx.read(102), 9);
+    EXPECT_EQ(mem.read(102), 0);    // buffered, not committed
+}
+
+} // namespace
