@@ -69,7 +69,7 @@ main()
                                    Tool::None, i));
     }
 
-    auto serial = core::runCampaign(jobs, {.threads = 1});
+    auto serial = core::runCampaign(jobs, core::campaignThreads(1));
     auto parallel = core::runCampaign(jobs, {});
 
     bool identical = true;

@@ -10,6 +10,8 @@
 #include <sstream>
 
 #include "src/support/status.hh"
+#include "src/support/strutil.hh"
+#include "src/support/thread_pool.hh"
 
 namespace pe::bench
 {
@@ -152,9 +154,20 @@ BenchJson::setInt(const std::string &key, uint64_t value)
 }
 
 void
+BenchJson::setConfig(const core::PeConfig &cfg, const std::string &key)
+{
+    set(key, fmtHex(core::configHash(cfg)));
+}
+
+void
 BenchJson::write()
 {
     written = true;
+    // Provenance: what machine parallelism and engine configuration
+    // produced these numbers (see the class comment).
+    setInt("workers", defaultWorkerCount());
+    setConfig(core::PeConfig::forMode(core::PeMode::Standard),
+              "default_config_hash");
     std::ofstream out(path);
     if (!out) {
         warn("cannot write bench JSON to ", path);

@@ -87,6 +87,13 @@ workloads::DetectionAnalysis analyze(const App &app,
  * a flat object of numbers and strings.  The growth trajectory
  * (wall times, parallel speedups, microbench summaries) is compared
  * across revisions from these artifacts.
+ *
+ * Every file carries provenance so trajectories from different
+ * machines and revisions are comparable: the worker count the
+ * campaign runner would use (`workers`, the PE_JOBS/hardware
+ * default) and the hash of the paper-default engine configuration
+ * (`default_config_hash`, core::configHash).  A bench that sweeps a
+ * non-default config should additionally stamp it via setConfig().
  */
 class BenchJson
 {
@@ -98,7 +105,11 @@ class BenchJson
     void set(const std::string &key, const std::string &value);
     void setInt(const std::string &key, uint64_t value);
 
-    /** Emit the file now. */
+    /** Stamp @p key (default "config_hash") with @p cfg's hash. */
+    void setConfig(const core::PeConfig &cfg,
+                   const std::string &key = "config_hash");
+
+    /** Emit the file now (provenance keys included). */
     void write();
 
   private:

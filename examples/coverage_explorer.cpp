@@ -4,13 +4,17 @@
  * cases accumulate, with and without PathExpander, on the schedule
  * workload — the Section-7.4 experiment as an interactive-style tool.
  *
- *   $ ./examples/coverage_explorer [workload]
+ * All runs execute as one parallel campaign (core::runCampaign); the
+ * accumulation table below merges the job-ordered results, so the
+ * output is identical at any worker count.
+ *
+ *   $ ./examples/coverage_explorer [workload] [--jobs N]
  */
 
 #include <iostream>
 #include <string>
 
-#include "src/core/engine.hh"
+#include "src/core/campaign.hh"
 #include "src/coverage/coverage.hh"
 #include "src/minic/compiler.hh"
 #include "src/support/strutil.hh"
@@ -34,7 +38,22 @@ bar(double fraction, int width = 40)
 int
 main(int argc, char **argv)
 {
-    std::string name = argc > 1 ? argv[1] : "schedule";
+    std::string name = "schedule";
+    unsigned jobsFlag = 0;      // 0 = PE_JOBS / hardware default
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs") {
+            if (i + 1 >= argc) {
+                std::cerr << "coverage_explorer: --jobs needs a "
+                             "value\n";
+                return 2;
+            }
+            jobsFlag = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else {
+            name = arg;
+        }
+    }
+
     const auto &workload = workloads::getWorkload(name);
     auto program = minic::compile(workload.source, workload.name);
 
@@ -42,24 +61,28 @@ main(int argc, char **argv)
               << program.numBranches() << " branches, "
               << 2 * program.numBranches() << " edges)\n\n";
 
+    // One campaign: per input a baseline job, then its PE twin.
+    size_t inputs = std::min<size_t>(workload.benignInputs.size(), 20);
+    std::vector<core::CampaignJob> jobs;
+    for (size_t i = 0; i < inputs; ++i) {
+        core::CampaignJob base;
+        base.program = &program;
+        base.input = workload.benignInputs[i];
+        base.config = core::PeConfig::forMode(core::PeMode::Off);
+        jobs.push_back(base);
+
+        core::CampaignJob pe = base;
+        pe.config = core::PeConfig::forMode(core::PeMode::Standard);
+        pe.config.maxNtPathLength = workload.maxNtPathLength;
+        jobs.push_back(pe);
+    }
+    auto outcome = core::runCampaign(jobs, core::campaignThreads(jobsFlag));
+
     coverage::BranchCoverage cumBase(program);
     coverage::BranchCoverage cumPe(program);
-
-    size_t inputs = std::min<size_t>(workload.benignInputs.size(), 20);
     for (size_t i = 0; i < inputs; ++i) {
-        {
-            core::PathExpanderEngine engine(
-                program, core::PeConfig::forMode(core::PeMode::Off));
-            cumBase.mergeFrom(
-                engine.run(workload.benignInputs[i]).coverage);
-        }
-        {
-            auto cfg = core::PeConfig::forMode(core::PeMode::Standard);
-            cfg.maxNtPathLength = workload.maxNtPathLength;
-            core::PathExpanderEngine engine(program, cfg);
-            cumPe.mergeFrom(
-                engine.run(workload.benignInputs[i]).coverage);
-        }
+        cumBase.mergeFrom(outcome.results[2 * i].coverage);
+        cumPe.mergeFrom(outcome.results[2 * i + 1].coverage);
         if (i == 0 || (i + 1) % 5 == 0) {
             std::cout << "after " << (i + 1 < 10 ? " " : "") << i + 1
                       << " input(s):\n"
@@ -78,6 +101,9 @@ main(int argc, char **argv)
               << fmtDouble(gap * 100, 1)
               << "pp cumulative-coverage lead: the edges it reaches "
                  "need inputs the\ngenerator never produces "
-                 "(error handling, rare modes, deep states).\n";
+                 "(error handling, rare modes, deep states).\n"
+              << "(campaign: " << jobs.size() << " runs on "
+              << outcome.threadsUsed << " worker(s), "
+              << fmtDouble(outcome.wallSeconds, 2) << "s)\n";
     return 0;
 }

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Coverage-guided exploration CLI: grow a test corpus for a workload
+ * instead of replaying its static suite.
+ *
+ *   $ ./examples/explore [workload] [options]
+ *       --policy rare|uniform   scheduling policy (default rare)
+ *       --mode off|standard|cmp engine mode (default standard)
+ *       --runs N                total run budget (default 200)
+ *       --batch N               mutants per batch (default 8)
+ *       --plateau K             stop after K dry batches (default 8)
+ *       --jobs N                campaign workers (default PE_JOBS)
+ *       --seed S                exploration seed
+ *       --jsonl PATH            write the JSONL progress stream
+ *       --verbose               print a dot per finished run
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/explore/explorer.hh"
+#include "src/minic/compiler.hh"
+#include "src/support/status.hh"
+#include "src/support/strutil.hh"
+#include "src/workloads/workload.hh"
+
+using namespace pe;
+
+namespace
+{
+
+int
+usage(const char *msg)
+{
+    std::cerr << "explore: " << msg << "\n"
+              << "usage: explore [workload] [--policy rare|uniform] "
+                 "[--mode off|standard|cmp]\n"
+              << "               [--runs N] [--batch N] [--plateau K] "
+                 "[--jobs N] [--seed S]\n"
+              << "               [--jsonl PATH] [--verbose]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string name = "schedule";
+    std::string jsonlPath;
+    explore::ExploreOptions opts;
+    opts.budget.maxRuns = 200;
+    opts.budget.plateauBatches = 8;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                return nullptr;
+            return argv[++i];
+        };
+        if (arg == "--policy") {
+            const char *v = next();
+            if (!v)
+                return usage("--policy needs a value");
+            if (std::string(v) == "uniform")
+                opts.policy = explore::SchedulePolicy::UniformRandom;
+            else if (std::string(v) == "rare")
+                opts.policy = explore::SchedulePolicy::RareEdgeWeighted;
+            else
+                return usage("unknown policy");
+        } else if (arg == "--mode") {
+            const char *v = next();
+            if (!v)
+                return usage("--mode needs a value");
+            std::string m = v;
+            if (m == "off")
+                opts.config = core::PeConfig::forMode(core::PeMode::Off);
+            else if (m == "standard")
+                opts.config =
+                    core::PeConfig::forMode(core::PeMode::Standard);
+            else if (m == "cmp")
+                opts.config = core::PeConfig::forMode(core::PeMode::Cmp);
+            else
+                return usage("unknown mode");
+        } else if (arg == "--runs") {
+            const char *v = next();
+            if (!v)
+                return usage("--runs needs a value");
+            opts.budget.maxRuns = std::stoull(v);
+        } else if (arg == "--batch") {
+            const char *v = next();
+            if (!v)
+                return usage("--batch needs a value");
+            opts.batchSize = std::stoull(v);
+        } else if (arg == "--plateau") {
+            const char *v = next();
+            if (!v)
+                return usage("--plateau needs a value");
+            opts.budget.plateauBatches =
+                static_cast<uint32_t>(std::stoul(v));
+        } else if (arg == "--jobs") {
+            const char *v = next();
+            if (!v)
+                return usage("--jobs needs a value");
+            opts.threads = static_cast<unsigned>(std::stoul(v));
+        } else if (arg == "--seed") {
+            const char *v = next();
+            if (!v)
+                return usage("--seed needs a value");
+            opts.seed = std::stoull(v);
+        } else if (arg == "--jsonl") {
+            const char *v = next();
+            if (!v)
+                return usage("--jsonl needs a value");
+            jsonlPath = v;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(("unknown option " + arg).c_str());
+        } else {
+            name = arg;
+        }
+    }
+
+    auto names = workloads::workloadNames();
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+        std::cerr << "explore: unknown workload '" << name
+                  << "'; available:";
+        for (const auto &n : names)
+            std::cerr << " " << n;
+        std::cerr << "\n";
+        return 2;
+    }
+    const auto &workload = workloads::getWorkload(name);
+    auto program = minic::compile(workload.source, name);
+    opts.label = name;
+    opts.config.maxNtPathLength = workload.maxNtPathLength;
+
+    std::ofstream jsonlFile;
+    if (!jsonlPath.empty()) {
+        jsonlFile.open(jsonlPath);
+        if (!jsonlFile) {
+            std::cerr << "explore: cannot write " << jsonlPath << "\n";
+            return 1;
+        }
+        opts.jsonl = &jsonlFile;
+    }
+    if (verbose) {
+        opts.onRun = [](const core::RunResult &) {
+            std::cout << "." << std::flush;
+        };
+    }
+
+    std::cout << "exploring '" << name << "' ("
+              << program.numBranches() << " branches, policy "
+              << explore::schedulePolicyName(opts.policy) << ", mode "
+              << core::peModeName(opts.config.mode) << ", budget "
+              << opts.budget.maxRuns << " runs)\n";
+
+    explore::Explorer explorer(program, workload.benignInputs, opts);
+    auto result = explorer.run();
+    if (verbose)
+        std::cout << "\n";
+
+    for (const auto &b : result.history) {
+        std::cout << "batch " << padLeft(std::to_string(b.batch), 3)
+                  << ": runs " << padLeft(std::to_string(b.totalRuns), 5)
+                  << "  corpus " << padLeft(std::to_string(b.corpusSize), 4)
+                  << "  edges "
+                  << padLeft(std::to_string(b.combinedEdges), 5) << "/"
+                  << explorer.corpus().frontier().totalEdges()
+                  << (b.newEdges ? "  (+" + std::to_string(b.newEdges) + ")"
+                                 : "")
+                  << "\n";
+    }
+
+    const auto &frontier = explorer.corpus().frontier();
+    std::cout << "\nstopped: " << explore::exploreStopName(result.stop)
+              << " after " << result.runs << " runs / "
+              << result.batches << " batches\n"
+              << "corpus:  " << explorer.corpus().size()
+              << " inputs (admitted by coverage delta)\n"
+              << "coverage: " << fmtPercent(frontier.takenFraction())
+              << " taken, " << fmtPercent(frontier.combinedFraction())
+              << " with NT-Paths (" << frontier.combinedCovered()
+              << "/" << frontier.totalEdges() << " edges)\n"
+              << "NT-Paths: " << result.ntSpawned << " spawned over "
+              << result.instructions << " simulated instructions\n";
+    return 0;
+}

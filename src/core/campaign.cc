@@ -46,23 +46,32 @@ runCampaign(const std::vector<CampaignJob> &jobs,
 
     if (threads <= 1) {
         out.results.reserve(jobs.size());
-        for (const CampaignJob &job : jobs)
+        for (const CampaignJob &job : jobs) {
             out.results.push_back(runJob(job));
+            if (opts.onResult)
+                opts.onResult(out.results.size() - 1,
+                              out.results.back());
+        }
     } else {
         // Per-job slots keep the output in job order no matter how
         // the pool schedules; a FatalError (bad config/workload) is
         // captured and rethrown once the pool has drained.
         std::vector<std::optional<RunResult>> slots(jobs.size());
-        std::mutex errMtx;
+        std::mutex mtx;     //!< guards firstError and onResult calls
         std::exception_ptr firstError;
         {
             ThreadPool pool(static_cast<unsigned>(threads));
             for (size_t i = 0; i < jobs.size(); ++i) {
-                pool.submit([&jobs, &slots, &errMtx, &firstError, i] {
+                pool.submit([&jobs, &slots, &mtx, &firstError, &opts,
+                             i] {
                     try {
                         slots[i].emplace(runJob(jobs[i]));
+                        if (opts.onResult) {
+                            std::lock_guard lock(mtx);
+                            opts.onResult(i, *slots[i]);
+                        }
                     } catch (...) {
-                        std::lock_guard lock(errMtx);
+                        std::lock_guard lock(mtx);
                         if (!firstError)
                             firstError = std::current_exception();
                     }

@@ -46,7 +46,28 @@ struct CampaignOptions
 {
     /** Worker threads; 0 means defaultWorkerCount() (PE_JOBS env). */
     unsigned threads = 0;
+
+    /**
+     * Progress hook: called once per finished job with its index and
+     * result, before the campaign returns.  Calls arrive in
+     * *completion* order (serialized — never concurrently), which
+     * under a parallel campaign is not job order; consumers needing
+     * determinism should use `CampaignOutcome::results`, which is
+     * always job-ordered.  Keep the callback cheap: workers holding
+     * a finished result wait on it.
+     */
+    std::function<void(size_t jobIndex, const RunResult &result)>
+        onResult;
 };
+
+/** Options with just a worker count — the common call-site shape. */
+inline CampaignOptions
+campaignThreads(unsigned threads)
+{
+    CampaignOptions opts;
+    opts.threads = threads;
+    return opts;
+}
 
 /** Everything a campaign produced. */
 struct CampaignOutcome

@@ -140,6 +140,15 @@ struct PeConfig
     static PeConfig forMode(PeMode m);
 };
 
+/**
+ * FNV-1a digest over every field of @p cfg (including the nested
+ * timing, layout, BTB and software-cost parameters).  Two configs
+ * hash equal iff they run the engine identically, so benches and the
+ * exploration JSONL stamp this into their output to make result
+ * trajectories comparable across machines and revisions.
+ */
+uint64_t configHash(const PeConfig &cfg);
+
 } // namespace pe::core
 
 #endif // PE_CORE_CONFIG_HH

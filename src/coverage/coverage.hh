@@ -64,8 +64,19 @@ class BranchCoverage
      * Union @p other's edges into @p this (cumulative coverage).
      * Word-wise OR: associative and commutative, so a campaign may
      * merge per-run trackers in any order and reach the same state.
+     * The two trackers may come from programs of different sizes
+     * (e.g. variant builds of one workload): the bitmap grows to the
+     * larger edge universe, and merging a smaller map ORs its prefix.
      */
     void mergeFrom(const BranchCoverage &other);
+
+    /**
+     * Number of combined (taken or NT) edges of @p this that are not
+     * yet combined-covered in @p frontier — the coverage delta a run
+     * would contribute if merged.  @p frontier may be smaller or
+     * larger than @p this; out-of-range edges count as new.
+     */
+    size_t newEdgesOver(const BranchCoverage &frontier) const;
 
     const std::vector<uint64_t> &takenWords() const { return takenBits; }
     const std::vector<uint64_t> &ntWords() const { return ntBits; }
@@ -93,6 +104,41 @@ class BranchCoverage
     size_t total;
     std::vector<uint64_t> takenBits;
     std::vector<uint64_t> ntBits;
+};
+
+/**
+ * Per-edge exercise counts accumulated over many runs — the
+ * exploration engine's rarity signal.  Where the BTB's 4-bit counters
+ * measure *within-run* edge heat (the spawn predicate), this measures
+ * *across-run* heat over a whole campaign: an edge most runs reach is
+ * common, an edge only a few corpus inputs reach is rare, and inputs
+ * holding rare edges are where scheduling energy is best spent
+ * (Empc / coverage-guided-tracing style prioritization).
+ */
+class EdgeExerciseCounts
+{
+  public:
+    explicit EdgeExerciseCounts(const isa::Program &program);
+
+    /** Count one run: ++count for every combined-covered edge. */
+    void accumulate(const BranchCoverage &run);
+
+    /**
+     * Largest count c such that at most @p percentile of the
+     * ever-exercised edges have counts <= c (nearest-rank over the
+     * nonzero counts).  0 if nothing has been accumulated.
+     */
+    uint32_t rarityThreshold(double percentile) const;
+
+    /** Edges of @p run with exercise count <= @p threshold. */
+    size_t countRareIn(const BranchCoverage &run,
+                       uint32_t threshold) const;
+
+    uint64_t runsAccumulated() const { return runs; }
+
+  private:
+    std::vector<uint32_t> counts;   //!< indexed by edge bit 2*pc+taken
+    uint64_t runs = 0;
 };
 
 } // namespace pe::coverage

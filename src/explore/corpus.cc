@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Corpus implementation.
+ */
+
+#include "src/explore/corpus.hh"
+
+namespace pe::explore
+{
+
+Corpus::Corpus(const isa::Program &program)
+    : front(program), hits(program)
+{}
+
+size_t
+Corpus::consider(const std::vector<int32_t> &input,
+                 const core::RunResult &result, uint64_t batch)
+{
+    hits.accumulate(result.coverage);
+
+    size_t fresh = result.coverage.newEdgesOver(front);
+    if (fresh == 0)
+        return 0;
+    front.mergeFrom(result.coverage);
+
+    CorpusEntry entry(input, result.coverage);
+    entry.newEdges = fresh;
+    entry.batchAdmitted = batch;
+    entry.ntSpawned = result.ntPathsSpawned;
+    for (const auto &rec : result.ntRecords) {
+        if (rec.cause == core::NtStopCause::CapacityOverflow ||
+            rec.cause == core::NtStopCause::MaxLength) {
+            ++entry.ntEarlyStops;
+        }
+    }
+    pool.push_back(std::move(entry));
+    return fresh;
+}
+
+void
+Corpus::rescore(double percentile)
+{
+    uint32_t threshold = hits.rarityThreshold(percentile);
+    for (CorpusEntry &entry : pool)
+        entry.rareEdges = hits.countRareIn(entry.coverage, threshold);
+}
+
+} // namespace pe::explore

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Exploration loop implementation.
+ */
+
+#include "src/explore/explorer.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "src/support/status.hh"
+#include "src/support/strutil.hh"
+
+namespace pe::explore
+{
+
+const char *
+exploreStopName(ExploreStop stop)
+{
+    switch (stop) {
+      case ExploreStop::RunBudget: return "run-budget";
+      case ExploreStop::InstructionBudget: return "instruction-budget";
+      case ExploreStop::Plateau: return "plateau";
+      case ExploreStop::NoSeeds: return "no-seeds";
+    }
+    return "?";
+}
+
+Explorer::Explorer(const isa::Program &program,
+                   std::vector<std::vector<int32_t>> seeds,
+                   ExploreOptions opts)
+    : program(program), seeds(std::move(seeds)),
+      opts(std::move(opts)), corp(program),
+      mut(Rng(this->opts.seed).fork(1), this->opts.mutator),
+      sched(this->opts.policy, Rng(this->opts.seed).fork(2)),
+      donorRng(Rng(this->opts.seed).fork(3))
+{
+    for (const auto &seed : this->seeds)
+        mut.observe(seed);
+}
+
+void
+Explorer::runBatch(const std::vector<std::vector<int32_t>> &inputs,
+                   ExploreResult &res)
+{
+    std::vector<core::CampaignJob> jobs;
+    jobs.reserve(inputs.size());
+    for (const auto &input : inputs) {
+        core::CampaignJob job;
+        job.program = &program;
+        job.input = input;
+        job.config = opts.config;
+        job.detectorFactory = opts.detectorFactory;
+        jobs.push_back(std::move(job));
+    }
+
+    size_t before = corp.frontier().combinedCovered();
+    core::CampaignOptions copts;
+    copts.threads = opts.threads;
+    if (opts.onRun) {
+        copts.onResult = [this](size_t, const core::RunResult &r) {
+            opts.onRun(r);
+        };
+    }
+    auto outcome = core::runCampaign(jobs, copts);
+
+    ExploreBatchStats stats;
+    stats.batch = res.batches;
+    stats.batchRuns = outcome.results.size();
+    for (size_t i = 0; i < outcome.results.size(); ++i) {
+        const core::RunResult &result = outcome.results[i];
+        if (corp.consider(inputs[i], result, res.batches) > 0)
+            ++stats.admitted;
+        res.instructions +=
+            result.takenInstructions + result.ntInstructions;
+        res.ntSpawned += result.ntPathsSpawned;
+        stats.ntSpawned += result.ntPathsSpawned;
+        for (const auto &rec : result.ntRecords) {
+            if (rec.cause == core::NtStopCause::CapacityOverflow ||
+                rec.cause == core::NtStopCause::MaxLength) {
+                ++stats.ntEarlyStops;
+            }
+        }
+    }
+    corp.rescore(opts.rarePercentile);
+
+    res.runs += outcome.results.size();
+    res.batches += 1;
+
+    stats.totalRuns = res.runs;
+    stats.corpusSize = corp.size();
+    stats.takenEdges = corp.frontier().takenCovered();
+    stats.combinedEdges = corp.frontier().combinedCovered();
+    stats.newEdges = stats.combinedEdges - before;
+    dryBatches = stats.newEdges == 0 ? dryBatches + 1 : 0;
+
+    emitBatch(stats);
+    res.history.push_back(stats);
+}
+
+ExploreResult
+Explorer::run()
+{
+    ExploreResult res;
+    emitHeader();
+
+    if (seeds.empty() || opts.budget.maxRuns == 0) {
+        res.stop = ExploreStop::NoSeeds;
+        emitDone(res);
+        return res;
+    }
+
+    // Batch 0: the seeds themselves, trimmed to the run budget.
+    std::vector<std::vector<int32_t>> inputs = seeds;
+    if (inputs.size() > opts.budget.maxRuns)
+        inputs.resize(opts.budget.maxRuns);
+
+    for (;;) {
+        runBatch(inputs, res);
+
+        if (res.runs >= opts.budget.maxRuns) {
+            res.stop = ExploreStop::RunBudget;
+            break;
+        }
+        if (opts.budget.maxInstructions &&
+            res.instructions >= opts.budget.maxInstructions) {
+            res.stop = ExploreStop::InstructionBudget;
+            break;
+        }
+        if (opts.budget.plateauBatches &&
+            dryBatches >= opts.budget.plateauBatches) {
+            res.stop = ExploreStop::Plateau;
+            break;
+        }
+        if (corp.size() == 0) {
+            // Only possible for branch-free programs: nothing can
+            // ever be admitted, so mutation has nothing to work on.
+            res.stop = ExploreStop::Plateau;
+            break;
+        }
+
+        size_t batch = std::min<uint64_t>(
+            opts.batchSize, opts.budget.maxRuns - res.runs);
+        auto parents = sched.pick(corp, batch);
+        inputs.clear();
+        inputs.reserve(parents.size());
+        for (size_t idx : parents) {
+            const auto &donor =
+                corp.entries()[donorRng.nextBelow(corp.size())]
+                    .input;
+            inputs.push_back(
+                mut.mutate(corp.entries()[idx].input, donor));
+        }
+    }
+
+    emitDone(res);
+    return res;
+}
+
+void
+Explorer::emitHeader() const
+{
+    if (!opts.jsonl)
+        return;
+    *opts.jsonl << "{\"event\":\"start\",\"workload\":\""
+                << opts.label << "\",\"policy\":\""
+                << schedulePolicyName(opts.policy) << "\",\"mode\":\""
+                << core::peModeName(opts.config.mode)
+                << "\",\"seed\":" << opts.seed
+                << ",\"batch_size\":" << opts.batchSize
+                << ",\"max_runs\":" << opts.budget.maxRuns
+                << ",\"max_instructions\":"
+                << opts.budget.maxInstructions
+                << ",\"plateau_batches\":"
+                << opts.budget.plateauBatches
+                << ",\"total_edges\":"
+                << corp.frontier().totalEdges()
+                << ",\"config_hash\":\""
+                << fmtHex(core::configHash(opts.config)) << "\"}\n";
+}
+
+void
+Explorer::emitBatch(const ExploreBatchStats &stats) const
+{
+    if (!opts.jsonl)
+        return;
+    *opts.jsonl << "{\"event\":\"batch\",\"batch\":" << stats.batch
+                << ",\"runs\":" << stats.batchRuns
+                << ",\"total_runs\":" << stats.totalRuns
+                << ",\"admitted\":" << stats.admitted
+                << ",\"corpus\":" << stats.corpusSize
+                << ",\"edges_taken\":" << stats.takenEdges
+                << ",\"edges_combined\":" << stats.combinedEdges
+                << ",\"new_edges\":" << stats.newEdges
+                << ",\"nt_spawned\":" << stats.ntSpawned
+                << ",\"nt_early_stops\":" << stats.ntEarlyStops
+                << "}\n";
+}
+
+void
+Explorer::emitDone(const ExploreResult &res) const
+{
+    if (!opts.jsonl)
+        return;
+    *opts.jsonl << "{\"event\":\"done\",\"stop\":\""
+                << exploreStopName(res.stop)
+                << "\",\"batches\":" << res.batches
+                << ",\"runs\":" << res.runs
+                << ",\"instructions\":" << res.instructions
+                << ",\"nt_spawned\":" << res.ntSpawned
+                << ",\"corpus\":" << corp.size()
+                << ",\"edges_taken\":"
+                << corp.frontier().takenCovered()
+                << ",\"edges_combined\":"
+                << corp.frontier().combinedCovered() << "}\n";
+    opts.jsonl->flush();
+}
+
+} // namespace pe::explore

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The coverage-guided exploration engine.
+ *
+ * Closes the loop the paper leaves open: Section 7.4 replays a fixed
+ * test suite and reports the cumulative coverage PathExpander adds;
+ * the Explorer instead *chooses* the next inputs.  Each iteration
+ * schedules a batch of corpus parents (rare-edge-weighted energy),
+ * mutates each into a fresh input, runs the batch through the
+ * parallel campaign runner, merges every run's BranchCoverage into
+ * the global frontier, and admits the inputs that covered new edges.
+ * A budget (runs / instructions / coverage plateau) bounds the loop.
+ *
+ * Everything is deterministic for a fixed seed: mutation and
+ * scheduling draw from forked pe::Rng streams, campaign results are
+ * job-ordered, and coverage merges are order-independent ORs — two
+ * runs with the same options produce bit-identical corpora, so
+ * coverage-vs-budget curves are comparable across machines.
+ *
+ * Progress streams as JSONL (one object per batch) for benches and
+ * CI to plot.
+ */
+
+#ifndef PE_EXPLORE_EXPLORER_HH
+#define PE_EXPLORE_EXPLORER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/campaign.hh"
+#include "src/explore/corpus.hh"
+#include "src/explore/mutator.hh"
+#include "src/explore/scheduler.hh"
+
+namespace pe::explore
+{
+
+/** When to stop exploring; the first bound hit wins. */
+struct ExploreBudget
+{
+    /** Total monitored runs, seed batch included. */
+    uint64_t maxRuns = 200;
+
+    /** Total simulated instructions (taken + NT); 0 = unlimited. */
+    uint64_t maxInstructions = 0;
+
+    /**
+     * Stop after this many consecutive batches that grew the
+     * frontier by zero edges ("K dry batches"); 0 disables.
+     */
+    uint32_t plateauBatches = 0;
+};
+
+/** Why an exploration ended. */
+enum class ExploreStop : uint8_t
+{
+    RunBudget,          //!< maxRuns exhausted
+    InstructionBudget,  //!< maxInstructions exhausted
+    Plateau,            //!< plateauBatches dry batches in a row
+    NoSeeds,            //!< nothing to schedule (empty seed set)
+};
+
+const char *exploreStopName(ExploreStop stop);
+
+struct ExploreOptions
+{
+    /** Engine configuration for every run (PE on/off, mode, ...). */
+    core::PeConfig config =
+        core::PeConfig::forMode(core::PeMode::Standard);
+
+    SchedulePolicy policy = SchedulePolicy::RareEdgeWeighted;
+    ExploreBudget budget;
+
+    /** Mutants per batch after the seed batch. */
+    size_t batchSize = 8;
+
+    /** Master seed; forked into mutation/scheduling streams. */
+    uint64_t seed = 0x5eedbea7;
+
+    /** Rarity percentile for the energy function (nearest-rank). */
+    double rarePercentile = 0.3;
+
+    /** Campaign workers; 0 = defaultWorkerCount() (PE_JOBS). */
+    unsigned threads = 0;
+
+    /** Optional detector attached to every run. */
+    core::DetectorFactory detectorFactory;
+
+    MutatorOptions mutator;
+
+    /** JSONL progress stream (one object per line); may be null. */
+    std::ostream *jsonl = nullptr;
+
+    /**
+     * Called once per finished run (campaign completion order, see
+     * CampaignOptions::onResult) — live progress for interactive
+     * front-ends.  Exploration decisions never depend on it.
+     */
+    std::function<void(const core::RunResult &result)> onRun;
+
+    /** Workload name stamped into the JSONL header. */
+    std::string label;
+};
+
+/** Per-batch progress snapshot (one JSONL line each). */
+struct ExploreBatchStats
+{
+    uint64_t batch = 0;
+    uint64_t batchRuns = 0;         //!< runs in this batch
+    uint64_t totalRuns = 0;         //!< cumulative runs
+    uint64_t admitted = 0;          //!< inputs that joined the corpus
+    uint64_t corpusSize = 0;
+    uint64_t takenEdges = 0;        //!< frontier, taken-path only
+    uint64_t combinedEdges = 0;     //!< frontier with NT edges
+    uint64_t newEdges = 0;          //!< frontier growth this batch
+    uint64_t ntSpawned = 0;         //!< NT-Paths spawned this batch
+    uint64_t ntEarlyStops = 0;      //!< capacity/max-length stops
+};
+
+struct ExploreResult
+{
+    ExploreStop stop = ExploreStop::RunBudget;
+    uint64_t batches = 0;
+    uint64_t runs = 0;
+    uint64_t instructions = 0;      //!< taken + NT, all runs
+    uint64_t ntSpawned = 0;
+    std::vector<ExploreBatchStats> history;
+};
+
+/** The corpus → schedule → campaign → merge → mutate loop. */
+class Explorer
+{
+  public:
+    /**
+     * @param seeds initial inputs (e.g. a workload's benignInputs);
+     *        run as batch 0, before any mutation.
+     */
+    Explorer(const isa::Program &program,
+             std::vector<std::vector<int32_t>> seeds,
+             ExploreOptions opts);
+
+    /** Run the loop to a budget bound; reentrant-safe to call once. */
+    ExploreResult run();
+
+    const Corpus &corpus() const { return corp; }
+    const ExploreOptions &options() const { return opts; }
+
+  private:
+    void runBatch(const std::vector<std::vector<int32_t>> &inputs,
+                  ExploreResult &res);
+    void emitHeader() const;
+    void emitBatch(const ExploreBatchStats &stats) const;
+    void emitDone(const ExploreResult &res) const;
+
+    const isa::Program &program;
+    std::vector<std::vector<int32_t>> seeds;
+    ExploreOptions opts;
+    Corpus corp;
+    Mutator mut;
+    Scheduler sched;
+    Rng donorRng;
+    uint32_t dryBatches = 0;
+};
+
+} // namespace pe::explore
+
+#endif // PE_EXPLORE_EXPLORER_HH

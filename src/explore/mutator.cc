@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Havoc mutator implementation.
+ */
+
+#include "src/explore/mutator.hh"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace pe::explore
+{
+
+namespace
+{
+
+/**
+ * Values that tend to flip guards in word-stream workloads: loop and
+ * queue bounds, off-by-one probes, and small command opcodes the
+ * seeds may never issue.
+ */
+constexpr int32_t interesting[] = {-2, -1, 0,  1,  2,  3,  4,   5,
+                                   6,  7,  8,  9,  10, 13, 15,  16,
+                                   17, 31, 32, 48, 50, 64, 100, 200};
+
+} // namespace
+
+Mutator::Mutator(Rng rng, MutatorOptions opts)
+    : rng(rng), opts(opts)
+{}
+
+void
+Mutator::observe(const std::vector<int32_t> &seed)
+{
+    for (int32_t v : seed) {
+        auto it = std::lower_bound(values.begin(), values.end(), v);
+        if (it == values.end() || *it != v)
+            values.insert(it, v);
+    }
+}
+
+int32_t
+Mutator::pickValue()
+{
+    switch (rng.nextBelow(4)) {
+      case 0:
+        return interesting[rng.nextBelow(std::size(interesting))];
+      case 1:
+        return static_cast<int32_t>(rng.nextRange(-4, 12));
+      default:
+        if (values.empty())
+            return static_cast<int32_t>(rng.nextRange(0, 9));
+        return values[rng.nextBelow(values.size())];
+    }
+}
+
+std::vector<int32_t>
+Mutator::mutate(const std::vector<int32_t> &base,
+                const std::vector<int32_t> &donor)
+{
+    std::vector<int32_t> out = base;
+    if (out.empty())
+        out.push_back(pickValue());
+
+    unsigned steps = 1 + static_cast<unsigned>(
+                             rng.nextBelow(opts.maxStack));
+    for (unsigned s = 0; s < steps; ++s) {
+        switch (rng.nextBelow(6)) {
+          case 0: {   // replace one word
+            out[rng.nextBelow(out.size())] = pickValue();
+            break;
+          }
+          case 1: {   // insert one word
+            size_t at = rng.nextBelow(out.size() + 1);
+            out.insert(out.begin() + static_cast<ptrdiff_t>(at),
+                       pickValue());
+            break;
+          }
+          case 2: {   // delete one word
+            if (out.size() > 1)
+                out.erase(out.begin() + static_cast<ptrdiff_t>(
+                                            rng.nextBelow(out.size())));
+            break;
+          }
+          case 3: {   // duplicate a span in place
+            size_t at = rng.nextBelow(out.size());
+            size_t len = 1 + rng.nextBelow(
+                                 std::min<size_t>(out.size() - at, 8));
+            std::vector<int32_t> span(out.begin() +
+                                          static_cast<ptrdiff_t>(at),
+                                      out.begin() +
+                                          static_cast<ptrdiff_t>(at +
+                                                                 len));
+            out.insert(out.begin() + static_cast<ptrdiff_t>(at + len),
+                       span.begin(), span.end());
+            break;
+          }
+          case 4: {   // splice: replace our tail with donor's tail
+            if (!donor.empty()) {
+                size_t cut = rng.nextBelow(out.size());
+                size_t from = rng.nextBelow(donor.size());
+                out.resize(cut);
+                out.insert(out.end(),
+                           donor.begin() +
+                               static_cast<ptrdiff_t>(from),
+                           donor.end());
+                if (out.empty())
+                    out.push_back(pickValue());
+            }
+            break;
+          }
+          default: {  // truncate the tail
+            if (out.size() > 2)
+                out.resize(1 + rng.nextBelow(out.size() - 1));
+            break;
+          }
+        }
+    }
+
+    if (out.size() > opts.maxLength)
+        out.resize(opts.maxLength);
+    return out;
+}
+
+} // namespace pe::explore

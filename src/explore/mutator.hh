@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic input mutation for the exploration engine.
+ *
+ * Workload inputs are flat `std::vector<int32_t>` word streams (the
+ * sim::IoChannel format), so the mutator is format-agnostic: a small
+ * havoc set — value replacement, insertion, deletion, span
+ * duplication, splice with another corpus input, truncation — stacked
+ * one to four deep per mutation.  Replacement values are drawn from
+ * an alphabet harvested from the seed inputs plus a fixed table of
+ * interesting constants, so command-stream workloads keep producing
+ * mostly-wellformed streams while still reaching opcodes the seeds
+ * never issue.
+ *
+ * All randomness comes from a pe::Rng handed in at construction —
+ * no wall-clock, no global state — so a fixed exploration seed yields
+ * a bit-identical corpus on every machine.
+ */
+
+#ifndef PE_EXPLORE_MUTATOR_HH
+#define PE_EXPLORE_MUTATOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.hh"
+
+namespace pe::explore
+{
+
+struct MutatorOptions
+{
+    /** Hard cap on a mutated input's length, in words. */
+    size_t maxLength = 1024;
+
+    /** Max stacked havoc steps per mutate() call (>= 1). */
+    unsigned maxStack = 4;
+};
+
+/** Deterministic havoc mutator over int32 word streams. */
+class Mutator
+{
+  public:
+    explicit Mutator(Rng rng, MutatorOptions opts = {});
+
+    /** Harvest @p seed's distinct values into the alphabet. */
+    void observe(const std::vector<int32_t> &seed);
+
+    /**
+     * Produce a mutant of @p base.  @p donor (possibly empty) is
+     * another corpus input used by the splice step.  Never returns
+     * an empty vector and never exceeds maxLength.
+     */
+    std::vector<int32_t>
+    mutate(const std::vector<int32_t> &base,
+           const std::vector<int32_t> &donor);
+
+    const std::vector<int32_t> &alphabet() const { return values; }
+
+  private:
+    int32_t pickValue();
+
+    Rng rng;
+    MutatorOptions opts;
+    std::vector<int32_t> values;    //!< sorted distinct seed values
+};
+
+} // namespace pe::explore
+
+#endif // PE_EXPLORE_MUTATOR_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Batch scheduling: which corpus entries to mutate next.
+ *
+ * The energy function is where coverage-per-run is won (Empc's
+ * path-cover prioritization, Nagy et al.'s rare-edge weighting): an
+ * entry earns energy for reaching rare edges (cross-run exercise
+ * count below a percentile), for NT-Paths that hit a resource bound
+ * (CapacityOverflow / MaxLength — depth the sandbox could not finish,
+ * reachable on the taken path by a luckier input), and loses energy
+ * the more often it has already been picked, so the search keeps
+ * rotating through the frontier instead of hammering one seed.
+ */
+
+#ifndef PE_EXPLORE_SCHEDULER_HH
+#define PE_EXPLORE_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/explore/corpus.hh"
+#include "src/support/rng.hh"
+
+namespace pe::explore
+{
+
+/** Parent-selection policy for the next batch. */
+enum class SchedulePolicy : uint8_t
+{
+    UniformRandom,      //!< greedy-random: every entry equally likely
+    RareEdgeWeighted,   //!< energy-weighted by rarity and early stops
+};
+
+const char *schedulePolicyName(SchedulePolicy policy);
+
+/** Picks mutation parents for each batch. */
+class Scheduler
+{
+  public:
+    Scheduler(SchedulePolicy policy, Rng rng);
+
+    /**
+     * Choose @p batchSize parent indices into @p corpus (with
+     * replacement) and bump each pick's timesScheduled.  The corpus
+     * must be non-empty and rescore()d if the policy is rare-edge
+     * weighted.
+     */
+    std::vector<size_t> pick(Corpus &corpus, size_t batchSize);
+
+    /** The energy of one entry under the current policy. */
+    double energy(const CorpusEntry &entry) const;
+
+  private:
+    SchedulePolicy policy;
+    Rng rng;
+};
+
+} // namespace pe::explore
+
+#endif // PE_EXPLORE_SCHEDULER_HH

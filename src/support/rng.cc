@@ -55,4 +55,15 @@ Rng::nextBool(double p)
     return nextDouble() < p;
 }
 
+Rng
+Rng::fork(uint64_t salt) const
+{
+    // One SplitMix64 finalizer round over (state, salt) decorrelates
+    // the child from both the parent stream and sibling forks.
+    uint64_t z = state + (salt + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+}
+
 } // namespace pe

@@ -39,6 +39,15 @@ class Rng
     /** Bernoulli draw with probability p of true. */
     bool nextBool(double p = 0.5);
 
+    /**
+     * Derive an independent child generator without advancing this
+     * one: the same (state, salt) pair always yields the same child.
+     * Used to give each component of a composite process (mutator,
+     * scheduler, per-batch draws) its own stream so adding draws to
+     * one component cannot perturb the sequence seen by another.
+     */
+    Rng fork(uint64_t salt) const;
+
   private:
     uint64_t state;
 };

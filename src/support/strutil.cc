@@ -6,6 +6,7 @@
 #include "src/support/strutil.hh"
 
 #include <cctype>
+#include <cstdio>
 #include <sstream>
 
 namespace pe
@@ -73,6 +74,15 @@ std::string
 fmtPercent(double fraction, int digits)
 {
     return fmtDouble(fraction * 100.0, digits) + "%";
+}
+
+std::string
+fmtHex(uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
 }
 
 std::string

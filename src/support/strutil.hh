@@ -6,6 +6,7 @@
 #ifndef PE_SUPPORT_STRUTIL_HH
 #define PE_SUPPORT_STRUTIL_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,9 @@ std::string fmtDouble(double v, int digits = 2);
 
 /** Render a fraction as a percentage string, e.g. "42.3%". */
 std::string fmtPercent(double fraction, int digits = 1);
+
+/** Render @p v as a fixed-width hex literal, e.g. "0x00ff00ff00ff00ff". */
+std::string fmtHex(uint64_t v);
 
 /** Left-pad @p s with spaces to at least @p width characters. */
 std::string padLeft(const std::string &s, size_t width);

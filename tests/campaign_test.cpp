@@ -73,7 +73,7 @@ TEST(Campaign, ResultsArriveInJobOrder)
     for (size_t i = 0; i < inputs; ++i)
         jobs.push_back(fx.job(core::PeMode::Off, i));
 
-    auto outcome = core::runCampaign(jobs, {.threads = 4});
+    auto outcome = core::runCampaign(jobs, core::campaignThreads(4));
     ASSERT_EQ(outcome.results.size(), jobs.size());
     // RunResult carries its input back; slot i must hold job i.
     for (size_t i = 0; i < jobs.size(); ++i)
@@ -91,8 +91,8 @@ TEST(Campaign, ParallelRunsBitIdenticalToSerial)
         jobs.push_back(fx.job(core::PeMode::Cmp, i));
     }
 
-    auto serial = core::runCampaign(jobs, {.threads = 1});
-    auto parallel = core::runCampaign(jobs, {.threads = 4});
+    auto serial = core::runCampaign(jobs, core::campaignThreads(1));
+    auto parallel = core::runCampaign(jobs, core::campaignThreads(4));
     EXPECT_EQ(serial.threadsUsed, 1u);
     EXPECT_GT(parallel.threadsUsed, 1u);
     ASSERT_EQ(serial.results.size(), parallel.results.size());
@@ -111,8 +111,8 @@ TEST(Campaign, DetectorFactoriesGiveEachRunItsOwnDetector)
     for (int rep = 0; rep < 4; ++rep)
         jobs.push_back(fx.job(core::PeMode::Standard, 0, factory));
 
-    auto serial = core::runCampaign(jobs, {.threads = 1});
-    auto parallel = core::runCampaign(jobs, {.threads = 4});
+    auto serial = core::runCampaign(jobs, core::campaignThreads(1));
+    auto parallel = core::runCampaign(jobs, core::campaignThreads(4));
     for (size_t i = 0; i < jobs.size(); ++i) {
         expectIdentical(serial.results[i], parallel.results[i]);
         // Identical jobs: a shared or reused detector would dedup
@@ -146,6 +146,45 @@ TEST(Campaign, MergeCoverageIsOrderIndependent)
     // The union covers at least as much as any single run.
     EXPECT_GE(merged.combinedCovered(),
               reversed.front().coverage.combinedCovered());
+}
+
+TEST(Campaign, OnResultObserverSeesEveryJobOnce)
+{
+    CampaignFixture fx("schedule");
+    std::vector<core::CampaignJob> jobs;
+    for (size_t i = 0; i < 8; ++i)
+        jobs.push_back(fx.job(core::PeMode::Off, i));
+
+    // The hook is serialized, so plain state is safe to touch.
+    std::vector<int> seen(jobs.size(), 0);
+    core::CampaignOptions opts;
+    opts.threads = 4;
+    opts.onResult = [&seen](size_t i, const core::RunResult &r) {
+        ASSERT_LT(i, seen.size());
+        ++seen[i];
+        EXPECT_GT(r.takenInstructions, 0u);
+    };
+    auto outcome = core::runCampaign(jobs, opts);
+    ASSERT_EQ(outcome.results.size(), jobs.size());
+    for (int n : seen)
+        EXPECT_EQ(n, 1);
+}
+
+TEST(Config, HashDistinguishesConfigs)
+{
+    auto a = core::PeConfig::forMode(core::PeMode::Standard);
+    auto b = core::PeConfig::forMode(core::PeMode::Standard);
+    EXPECT_EQ(core::configHash(a), core::configHash(b));
+
+    b.maxNtPathLength += 1;
+    EXPECT_NE(core::configHash(a), core::configHash(b));
+
+    auto cmp = core::PeConfig::forMode(core::PeMode::Cmp);
+    EXPECT_NE(core::configHash(a), core::configHash(cmp));
+
+    auto c = a;
+    c.noSpawnFuncs.push_back("checker");
+    EXPECT_NE(core::configHash(a), core::configHash(c));
 }
 
 TEST(ThreadPool, RunsEverySubmittedTaskOnce)

@@ -79,6 +79,86 @@ TEST(Coverage, MergeUnionsRuns)
     EXPECT_EQ(cum.combinedCovered(), 3u);
 }
 
+TEST(Coverage, MergeFromGrowsAcrossDifferingBitmapSizes)
+{
+    // Variant builds of one workload have different code extents;
+    // merging across them must grow the map, not index out of range.
+    auto small = twoBranchProgram();
+    isa::Program big;
+    for (int i = 0; i < 200; ++i)
+        big.code.push_back(isa::makeLi(8, 1));
+    big.code.push_back(isa::makeBranch(Opcode::Beq, 8, 0, 0)); // pc 200
+    big.code.push_back(isa::makeBranch(Opcode::Bne, 8, 0, 0)); // pc 201
+    big.code.push_back(isa::makeBranch(Opcode::Beq, 8, 0, 0)); // pc 202
+
+    coverage::BranchCoverage covSmall(small);
+    covSmall.onTakenEdge(1, true);
+    coverage::BranchCoverage covBig(big);
+    covBig.onTakenEdge(200, false);
+    covBig.onNtEdge(200, true);
+
+    // Small into big: size unchanged, small's edges land in place.
+    coverage::BranchCoverage intoBig = covBig;
+    intoBig.mergeFrom(covSmall);
+    EXPECT_EQ(intoBig.totalEdges(), covBig.totalEdges());
+    EXPECT_EQ(intoBig.takenCovered(), 2u);
+    EXPECT_EQ(intoBig.combinedCovered(), 3u);
+
+    // Big into small: the bitmap and edge universe grow to big's.
+    coverage::BranchCoverage intoSmall = covSmall;
+    intoSmall.mergeFrom(covBig);
+    EXPECT_EQ(intoSmall.totalEdges(), covBig.totalEdges());
+    EXPECT_EQ(intoSmall.takenCovered(), 2u);
+    EXPECT_EQ(intoSmall.combinedCovered(), 3u);
+    EXPECT_EQ(intoSmall.takenWords().size(),
+              covBig.takenWords().size());
+
+    // Both merge orders reach the same state.
+    EXPECT_EQ(intoSmall.takenWords(), intoBig.takenWords());
+    EXPECT_EQ(intoSmall.ntWords(), intoBig.ntWords());
+}
+
+TEST(Coverage, ExerciseCountsFindRareEdges)
+{
+    auto p = twoBranchProgram();
+    coverage::EdgeExerciseCounts counts(p);
+
+    coverage::BranchCoverage common(p);
+    common.onTakenEdge(1, true);
+    coverage::BranchCoverage both(p);
+    both.onTakenEdge(1, true);
+    both.onNtEdge(2, false);
+
+    for (int i = 0; i < 9; ++i)
+        counts.accumulate(common);
+    counts.accumulate(both);
+    EXPECT_EQ(counts.runsAccumulated(), 10u);
+
+    // Edge (1,true) ran 10 times, edge (2,false) once: the low
+    // percentile threshold isolates the rare one.
+    uint32_t threshold = counts.rarityThreshold(0.3);
+    EXPECT_GE(threshold, 1u);
+    EXPECT_LT(threshold, 10u);
+    EXPECT_EQ(counts.countRareIn(both, threshold), 1u);
+    EXPECT_EQ(counts.countRareIn(common, threshold), 0u);
+}
+
+TEST(Coverage, NewEdgesOverCountsFrontierDelta)
+{
+    auto p = twoBranchProgram();
+    coverage::BranchCoverage frontier(p);
+    frontier.onTakenEdge(1, true);
+
+    coverage::BranchCoverage run(p);
+    run.onTakenEdge(1, true);       // already known
+    run.onNtEdge(1, false);         // new
+    run.onNtEdge(2, true);          // new
+    EXPECT_EQ(run.newEdgesOver(frontier), 2u);
+
+    frontier.mergeFrom(run);
+    EXPECT_EQ(run.newEdgesOver(frontier), 0u);
+}
+
 TEST(Coverage, EmptyProgramIsSafe)
 {
     isa::Program p;

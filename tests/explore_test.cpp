@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Exploration-engine tests: deterministic corpus growth for a fixed
+ * seed, coverage-delta admission, budget and plateau stops, and the
+ * headline scheduling property — rare-edge-weighted parent selection
+ * reaches strictly more edges than uniform-random under an equal run
+ * budget on the schedule workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <set>
+#include <sstream>
+
+#include "src/explore/explorer.hh"
+#include "src/minic/compiler.hh"
+#include "src/workloads/workload.hh"
+
+namespace
+{
+
+using namespace pe;
+
+std::vector<std::vector<int32_t>>
+seedInputs(const workloads::Workload &workload, size_t n)
+{
+    return {workload.benignInputs.begin(),
+            workload.benignInputs.begin() +
+                std::min(n, workload.benignInputs.size())};
+}
+
+explore::ExploreOptions
+scheduleOptions(explore::SchedulePolicy policy, uint64_t maxRuns)
+{
+    explore::ExploreOptions opts;
+    // PE off: coverage growth must come from the inputs themselves,
+    // which is where scheduling policy matters most (and runs fast).
+    opts.config = core::PeConfig::forMode(core::PeMode::Off);
+    opts.policy = policy;
+    opts.budget.maxRuns = maxRuns;
+    opts.batchSize = 8;
+    return opts;
+}
+
+TEST(Explore, NtStopCauseNamesDistinctAndNonNull)
+{
+    const core::NtStopCause causes[] = {
+        core::NtStopCause::MaxLength,
+        core::NtStopCause::Crash,
+        core::NtStopCause::UnsafeEvent,
+        core::NtStopCause::ProgramEnd,
+        core::NtStopCause::CapacityOverflow,
+        core::NtStopCause::ForcedSquash,
+    };
+    std::set<std::string> names;
+    for (auto cause : causes) {
+        const char *name = core::ntStopCauseName(cause);
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "");
+        EXPECT_STRNE(name, "?");
+        names.insert(name);
+    }
+    // The scheduler keys off stop causes; a duplicated name would
+    // make two causes indistinguishable in the JSONL stream.
+    EXPECT_EQ(names.size(), std::size(causes));
+}
+
+TEST(Explore, DeterministicForFixedSeed)
+{
+    const auto &workload = workloads::getWorkload("schedule");
+    auto program = minic::compile(workload.source, "schedule");
+
+    auto runOnce = [&] {
+        auto opts = scheduleOptions(
+            explore::SchedulePolicy::RareEdgeWeighted, 60);
+        opts.seed = 0x1234;
+        explore::Explorer explorer(program, seedInputs(workload, 3),
+                                   opts);
+        return std::make_pair(explorer.run(),
+                              explorer.corpus().entries());
+    };
+
+    auto [resA, corpusA] = runOnce();
+    auto [resB, corpusB] = runOnce();
+
+    EXPECT_EQ(resA.stop, resB.stop);
+    EXPECT_EQ(resA.runs, resB.runs);
+    EXPECT_EQ(resA.instructions, resB.instructions);
+    ASSERT_EQ(resA.history.size(), resB.history.size());
+    for (size_t i = 0; i < resA.history.size(); ++i) {
+        EXPECT_EQ(resA.history[i].combinedEdges,
+                  resB.history[i].combinedEdges);
+        EXPECT_EQ(resA.history[i].admitted, resB.history[i].admitted);
+    }
+    ASSERT_EQ(corpusA.size(), corpusB.size());
+    for (size_t i = 0; i < corpusA.size(); ++i) {
+        EXPECT_EQ(corpusA[i].input, corpusB[i].input);
+        EXPECT_EQ(corpusA[i].newEdges, corpusB[i].newEdges);
+        EXPECT_EQ(corpusA[i].coverage.takenWords(),
+                  corpusB[i].coverage.takenWords());
+    }
+}
+
+TEST(Explore, CorpusAdmitsOnlyCoverageDelta)
+{
+    const auto &workload = workloads::getWorkload("schedule");
+    auto program = minic::compile(workload.source, "schedule");
+
+    core::PathExpanderEngine engine(
+        program, core::PeConfig::forMode(core::PeMode::Off));
+    auto result = engine.run(workload.benignInputs[0]);
+
+    explore::Corpus corpus(program);
+    EXPECT_GT(corpus.consider(workload.benignInputs[0], result, 0),
+              0u);
+    // The identical run adds no new edges: rejected, corpus stable.
+    EXPECT_EQ(corpus.consider(workload.benignInputs[0], result, 1),
+              0u);
+    EXPECT_EQ(corpus.size(), 1u);
+    // Exercise counts accumulate for rejected runs too.
+    EXPECT_EQ(corpus.exercise().runsAccumulated(), 2u);
+}
+
+TEST(Explore, PlateauStopTriggers)
+{
+    // One input-dependent branch: the frontier saturates after a
+    // couple of batches, so the plateau bound must fire long before
+    // the run budget.
+    auto program = minic::compile(R"MC(
+int main() {
+    int v = read_int();
+    if (v > 3) { print_int(1); } else { print_int(0); }
+    return 0;
+}
+)MC",
+                                  "tiny");
+
+    explore::ExploreOptions opts;
+    opts.config = core::PeConfig::forMode(core::PeMode::Standard);
+    opts.budget.maxRuns = 10'000;
+    opts.budget.plateauBatches = 3;
+    opts.batchSize = 4;
+    explore::Explorer explorer(program, {{5}, {1}}, opts);
+    auto result = explorer.run();
+
+    EXPECT_EQ(result.stop, explore::ExploreStop::Plateau);
+    EXPECT_LT(result.runs, opts.budget.maxRuns);
+    // The last plateauBatches batches added nothing.
+    ASSERT_GE(result.history.size(), 3u);
+    for (size_t i = result.history.size() - 3;
+         i < result.history.size(); ++i) {
+        EXPECT_EQ(result.history[i].newEdges, 0u);
+    }
+}
+
+TEST(Explore, InstructionBudgetStops)
+{
+    const auto &workload = workloads::getWorkload("schedule");
+    auto program = minic::compile(workload.source, "schedule");
+
+    auto opts = scheduleOptions(
+        explore::SchedulePolicy::RareEdgeWeighted, 10'000);
+    opts.budget.maxInstructions = 1;    // exhausted by batch 0
+    explore::Explorer explorer(program, seedInputs(workload, 2),
+                               opts);
+    auto result = explorer.run();
+    EXPECT_EQ(result.stop, explore::ExploreStop::InstructionBudget);
+    EXPECT_EQ(result.batches, 1u);
+}
+
+TEST(Explore, EmptySeedsStopImmediately)
+{
+    const auto &workload = workloads::getWorkload("schedule");
+    auto program = minic::compile(workload.source, "schedule");
+    explore::Explorer explorer(
+        program, {}, scheduleOptions(
+                         explore::SchedulePolicy::UniformRandom, 10));
+    auto result = explorer.run();
+    EXPECT_EQ(result.stop, explore::ExploreStop::NoSeeds);
+    EXPECT_EQ(result.runs, 0u);
+}
+
+TEST(Explore, RareEdgeEnergyRanksRareEntriesHigher)
+{
+    const auto &workload = workloads::getWorkload("schedule");
+    auto program = minic::compile(workload.source, "schedule");
+    coverage::BranchCoverage cov(program);
+
+    explore::CorpusEntry common({1}, cov);
+    explore::CorpusEntry rare({2}, cov);
+    rare.rareEdges = 5;
+
+    explore::Scheduler weighted(
+        explore::SchedulePolicy::RareEdgeWeighted, Rng(1));
+    EXPECT_GT(weighted.energy(rare), weighted.energy(common));
+
+    // Fatigue decays energy so one entry cannot monopolize batches.
+    rare.timesScheduled = 20;
+    EXPECT_LT(weighted.energy(rare), 5.0 * weighted.energy(common));
+
+    explore::Scheduler uniform(
+        explore::SchedulePolicy::UniformRandom, Rng(1));
+    EXPECT_DOUBLE_EQ(uniform.energy(rare), uniform.energy(common));
+}
+
+TEST(Explore, RareEdgeSchedulingBeatsUniformOnSchedule)
+{
+    const auto &workload = workloads::getWorkload("schedule");
+    auto program = minic::compile(workload.source, "schedule");
+
+    auto runPolicy = [&](explore::SchedulePolicy policy) {
+        auto opts = scheduleOptions(policy, 160);
+        opts.seed = 0x5eedbea7;
+        explore::Explorer explorer(program, seedInputs(workload, 3),
+                                   opts);
+        auto result = explorer.run();
+        EXPECT_EQ(result.stop, explore::ExploreStop::RunBudget);
+        EXPECT_EQ(result.runs, 160u);   // equal budget, fully spent
+        return explorer.corpus().frontier().combinedCovered();
+    };
+
+    size_t uniformEdges =
+        runPolicy(explore::SchedulePolicy::UniformRandom);
+    size_t rareEdges =
+        runPolicy(explore::SchedulePolicy::RareEdgeWeighted);
+    EXPECT_GT(rareEdges, uniformEdges);
+}
+
+TEST(Explore, JsonlStreamIsWellFormed)
+{
+    const auto &workload = workloads::getWorkload("schedule");
+    auto program = minic::compile(workload.source, "schedule");
+
+    std::ostringstream jsonl;
+    auto opts =
+        scheduleOptions(explore::SchedulePolicy::RareEdgeWeighted, 20);
+    opts.jsonl = &jsonl;
+    opts.label = "schedule";
+    explore::Explorer explorer(program, seedInputs(workload, 2),
+                               opts);
+    explorer.run();
+
+    std::istringstream lines(jsonl.str());
+    std::string line;
+    size_t count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"event\":"), std::string::npos);
+    }
+    // start + one per batch + done.
+    EXPECT_GE(count, 3u);
+    EXPECT_NE(jsonl.str().find("\"event\":\"start\""),
+              std::string::npos);
+    EXPECT_NE(jsonl.str().find("\"config_hash\":"),
+              std::string::npos);
+    EXPECT_NE(jsonl.str().find("\"event\":\"done\""),
+              std::string::npos);
+}
+
+} // namespace
