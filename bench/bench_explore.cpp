@@ -24,6 +24,7 @@
  * tiny budget; the suite-parity gate only applies at the default).
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -123,6 +124,8 @@ main()
     Table table({"App", "Budget", "Static suite", "Uniform-random",
                  "Rare-edge", "Rare-edge (PE off)"});
     bool guidedMatches = true;
+    uint64_t totalRuns = 0;
+    auto wallStart = std::chrono::steady_clock::now();
     for (const char *name : kWorkloads) {
         App app = loadApp(name);
         uint64_t armBudget =
@@ -150,6 +153,9 @@ main()
         guidedMatches = guidedMatches && rare.edges >= stat.edges &&
                         rare.runs <= stat.runs;
 
+        totalRuns += stat.runs + uniform.runs + rare.runs +
+                     rareOff.runs;
+
         std::string prefix = std::string(name) + "_";
         json.setInt(prefix + "budget", armBudget);
         json.setInt(prefix + "static_edges", stat.edges);
@@ -168,8 +174,18 @@ main()
                  "number of runs.\n"
               << "JSONL stream: " << jsonlPath << "\n";
 
+    std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wallStart;
+    std::cout << "Throughput: " << totalRuns << " monitored runs in "
+              << fmtDouble(wall.count(), 2) << "s ("
+              << fmtDouble(totalRuns / wall.count(), 2)
+              << " runs/s).\n";
+
     json.setInt("guided_matches_static", guidedMatches ? 1 : 0);
     json.setInt("custom_budget", customBudget ? 1 : 0);
+    json.setInt("total_runs", totalRuns);
+    json.set("wall_seconds", wall.count());
+    json.set("runs_per_second", totalRuns / wall.count());
     json.write();
 
     // The suite-parity gate is part of the bench contract only at

@@ -8,9 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "bench_util.hh"
 #include "src/branch/btb.hh"
 #include "src/core/engine.hh"
 #include "src/coverage/coverage.hh"
+#include "src/isa/assembler.hh"
 #include "src/mem/cache.hh"
 #include "src/mem/versioned_buffer.hh"
 #include "src/minic/compiler.hh"
@@ -55,6 +61,25 @@ BM_InterpreterThroughput(benchmark::State &state)
         static_cast<double>(instructions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_InterpreterThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_InterpreterThroughputLegacy(benchmark::State &state)
+{
+    auto program = minic::compile(loopSource, "loop");
+    auto cfg = core::PeConfig::forMode(core::PeMode::Off);
+    cfg.legacyStepLoop = true;
+    uint64_t instructions = 0;
+    for (auto _ : state) {
+        core::PathExpanderEngine engine(program, cfg);
+        auto r = engine.run({});
+        instructions += r.takenInstructions;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughputLegacy)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_EngineStandardMode(benchmark::State &state)
@@ -236,6 +261,104 @@ BM_MiniCCompile(benchmark::State &state)
 }
 BENCHMARK(BM_MiniCCompile)->Unit(benchmark::kMillisecond);
 
+/**
+ * A long straight-line kernel: iterations of ~250 ALU/immediate
+ * instructions ended by one backward branch.  The best case for the
+ * block-stepped loop (one surfacing instruction per 250), and close
+ * to the interpreter's intrinsic dispatch ceiling.
+ */
+isa::Program
+straightLineProgram(int iterations)
+{
+    std::ostringstream out;
+    out << "li r8, 1\nli r9, 2\nli r10, 3\nli r11, 4\n"
+        << "li r20, " << iterations << "\n"
+        << "loop:\n";
+    for (int i = 0; i < 62; ++i) {
+        out << "add r8, r8, r9\n"
+            << "xor r9, r9, r10\n"
+            << "addi r10, r10, 3\n"
+            << "slt r11, r8, r10\n";
+    }
+    out << "addi r20, r20, -1\n"
+        << "bgt r20, r0, loop\n"
+        << "sys print_int r8\n"
+        << "sys exit\n";
+    return isa::assemble(out.str(), "straightline");
+}
+
+/**
+ * Simulated MIPS of @p program under @p cfg: total simulated (taken)
+ * instructions per host wall-clock second, over @p reps engine runs.
+ */
+double
+simulatedMips(const isa::Program &program, const core::PeConfig &cfg,
+              int reps)
+{
+    uint64_t instructions = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < reps; ++i) {
+        core::PathExpanderEngine engine(program, cfg);
+        auto r = engine.run({});
+        instructions += r.takenInstructions + r.ntInstructions;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return static_cast<double>(instructions) / 1e6 /
+           elapsed.count();
+}
+
+/**
+ * The interpreter-throughput record: simulated MIPS of the legacy
+ * per-step loop vs the block-stepped loop on the straight-line
+ * kernel and on the branchy mixed loop, landing in the bench's JSON
+ * artifact so the speedup trajectory is tracked across revisions.
+ */
+void
+recordInterpreterMips()
+{
+    bench::BenchJson json("bench_sim_micro");
+
+    auto offCfg = core::PeConfig::forMode(core::PeMode::Off);
+    auto legacyCfg = offCfg;
+    legacyCfg.legacyStepLoop = true;
+
+    auto straight = straightLineProgram(60000);
+    double straightLegacy = simulatedMips(straight, legacyCfg, 3);
+    double straightBlock = simulatedMips(straight, offCfg, 3);
+
+    auto mixed = minic::compile(loopSource, "loop");
+    double mixedLegacy = simulatedMips(mixed, legacyCfg, 20);
+    double mixedBlock = simulatedMips(mixed, offCfg, 20);
+
+    json.set("mips_legacy_straightline", straightLegacy);
+    json.set("mips_block_straightline", straightBlock);
+    json.set("mips_speedup_straightline",
+             straightBlock / straightLegacy);
+    json.set("mips_legacy_mixed", mixedLegacy);
+    json.set("mips_block_mixed", mixedBlock);
+    json.set("mips_speedup_mixed", mixedBlock / mixedLegacy);
+    json.write();
+
+    printf("\nSimulated-MIPS (legacy -> block-stepped):\n"
+           "  straight-line: %.1f -> %.1f MIPS (%.2fx)\n"
+           "  mixed loop:    %.1f -> %.1f MIPS (%.2fx)\n",
+           straightLegacy, straightBlock,
+           straightBlock / straightLegacy, mixedLegacy, mixedBlock,
+           mixedBlock / mixedLegacy);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    recordInterpreterMips();
+    return 0;
+}

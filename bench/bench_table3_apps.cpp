@@ -28,12 +28,41 @@ main()
     std::vector<App> apps;
     apps.reserve(names.size());
     std::vector<core::CampaignJob> jobs;
+    std::vector<core::CampaignJob> legacyJobs;
     for (const auto &name : names) {
         apps.push_back(loadApp(name));
         jobs.push_back(makeJob(apps.back(), core::PeMode::Off,
                                Tool::None));
+        auto legacyCfg = jobs.back().config;
+        legacyCfg.legacyStepLoop = true;
+        legacyJobs.push_back(
+            makeJobCfg(apps.back(), legacyCfg, Tool::None));
     }
+    // The same campaign through the legacy per-step loop and the
+    // block-stepped loop: the wall-clock ratio is this bench's
+    // tracked interpreter speedup, and the results must agree
+    // bit-for-bit.  The campaign is short, so each arm runs three
+    // times interleaved and the best wall time represents it —
+    // the standard noise floor for a sub-100ms measurement.
+    auto legacyCampaign = core::runCampaign(legacyJobs);
     auto campaign = core::runCampaign(jobs);
+    double legacyWall = legacyCampaign.wallSeconds;
+    double blockWall = campaign.wallSeconds;
+    for (int rep = 1; rep < 3; ++rep) {
+        auto lc = core::runCampaign(legacyJobs);
+        legacyWall = std::min(legacyWall, lc.wallSeconds);
+        auto bc = core::runCampaign(jobs);
+        blockWall = std::min(blockWall, bc.wallSeconds);
+    }
+    bool bitIdentical = true;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const auto &a = campaign.results[i];
+        const auto &b = legacyCampaign.results[i];
+        bitIdentical = bitIdentical &&
+                       a.takenInstructions == b.takenInstructions &&
+                       a.cycles == b.cycles &&
+                       a.memoryDigest == b.memoryDigest;
+    }
 
     Table table({"Application", "Orig. LOC", "#Bugs", "Detection Tool",
                  "PE-RISC instrs", "Branches", "Dyn. instrs"});
@@ -60,13 +89,25 @@ main()
                  "checkers, giving the 38 tool-bug combinations of "
                  "Table 4.\n"
               << "Baseline campaign: " << jobs.size() << " runs in "
-              << fmtDouble(campaign.wallSeconds, 2) << "s on "
-              << campaign.threadsUsed << " threads.\n";
+              << fmtDouble(blockWall, 2) << "s on "
+              << campaign.threadsUsed << " threads ("
+              << fmtDouble(jobs.size() / blockWall, 2)
+              << " runs/s; legacy step loop "
+              << fmtDouble(legacyWall, 2) << "s, "
+              << fmtDouble(legacyWall / blockWall, 2)
+              << "x slower, results "
+              << (bitIdentical ? "bit-identical" : "DIVERGENT")
+              << ").\n";
 
     BenchJson json("bench_table3_apps");
     json.setInt("jobs", jobs.size());
     json.setInt("threads", campaign.threadsUsed);
-    json.set("wall_seconds", campaign.wallSeconds);
+    json.set("wall_seconds", blockWall);
+    json.set("runs_per_second", jobs.size() / blockWall);
+    json.set("wall_seconds_legacy", legacyWall);
+    json.set("runs_per_second_legacy", legacyJobs.size() / legacyWall);
+    json.set("wall_speedup_block_vs_legacy", legacyWall / blockWall);
+    json.setInt("block_bit_identical", bitIdentical ? 1 : 0);
     json.setInt("total_bugs", static_cast<uint64_t>(totalBugs));
     json.write();
     return 0;

@@ -103,6 +103,8 @@ PathExpanderEngine::runCmp(RunState &state)
     cmp.onCore.assign(cfg.numCores, nullptr);
 
     const uint32_t l1Capacity = state.hierarchy.l1LineCapacity();
+    const bool useBlocks = !cfg.legacyStepLoop;
+    const uint64_t dilation = blockDilation(cfg);
 
     auto currentPrimaryBuf = [&]() -> mem::VersionedBuffer * {
         return cmp.segments.empty() ? nullptr
@@ -249,6 +251,40 @@ PathExpanderEngine::runCmp(RunState &state)
             finishNt(task, NtStopCause::MaxLength, sim::CrashKind::None);
             return;
         }
+        if (useBlocks &&
+            decoded.startsBlock(task.cpu.pc, /*execBranches=*/false,
+                                detector == nullptr)) {
+            // Straight-line stretch on the NT core: register-only
+            // work, so no shared state (BTB, hierarchy, buffers,
+            // coverage) moves until the next surfacing instruction.
+            // The cycle budget stops the block exactly where the
+            // least-advanced-core scheduler would stop picking this
+            // core (strict inequality against lower-indexed cores,
+            // which win clock ties), so every instruction retires at
+            // the same position in the global step order as under
+            // the per-step loop — in particular, the instruction
+            // count at a later force-squash is identical.
+            uint64_t bound = cmp.coreTime[0] - 1;
+            for (int j = 1; j < cfg.numCores; ++j) {
+                if (j == c || !cmp.onCore[j])
+                    continue;
+                uint64_t b = j < c ? cmp.coreTime[j] - 1
+                                   : cmp.coreTime[j];
+                if (b < bound)
+                    bound = b;
+            }
+            sim::BlockOut blk = sim::runBlock(
+                decoded, task.cpu, cfg.maxNtPathLength - task.length,
+                bound - cmp.coreTime[c], dilation, nullptr,
+                detector == nullptr);
+            if (blk.instructions) {
+                task.length += blk.instructions;
+                result.ntInstructions += blk.instructions;
+                cmp.coreTime[c] +=
+                    blk.cycles + dilation * blk.instructions;
+                return;
+            }
+        }
         mem::MemCtx ctx(state.memory, task.buf.get());
         sim::IoChannel &ntIo =
             task.specIo ? *task.specIo : result.io;
@@ -301,6 +337,44 @@ PathExpanderEngine::runCmp(RunState &state)
             primaryDone = true;
             return;
         }
+        if (useBlocks &&
+            decoded.startsBlock(primary.pc, /*execBranches=*/false,
+                                detector == nullptr)) {
+            // Straight-line stretch on the primary.  The cycle
+            // budget keeps the primary within the span where the
+            // scheduler would keep picking it (the primary wins
+            // clock ties), so no NT-core step is displaced.  The
+            // block itself makes no shared-state mutation, and
+            // within its span every active NT clock is >= the
+            // primary's, so no other actor can observe the BTB
+            // between a mid-block reset point and the block end —
+            // folding the resets into one modular reset afterwards
+            // is exact.
+            uint64_t budget = UINT64_MAX;
+            for (int c = 1; c < cfg.numCores; ++c) {
+                if (cmp.onCore[c] && cmp.coreTime[c] < budget)
+                    budget = cmp.coreTime[c];
+            }
+            if (budget != UINT64_MAX)
+                budget -= cmp.coreTime[0];
+            sim::BlockOut blk = sim::runBlock(
+                decoded, primary,
+                cfg.maxTakenInstructions - result.takenInstructions,
+                budget, dilation, nullptr, detector == nullptr);
+            if (blk.instructions) {
+                result.takenInstructions += blk.instructions;
+                state.sinceCounterReset += blk.instructions;
+                cmp.coreTime[0] +=
+                    blk.cycles + dilation * blk.instructions;
+                if (state.sinceCounterReset >=
+                    cfg.counterResetInterval) {
+                    state.btb.resetCounters();
+                    state.sinceCounterReset %=
+                        cfg.counterResetInterval;
+                }
+                return;
+            }
+        }
         mem::MemCtx ctx(state.memory, currentPrimaryBuf());
         sim::StepResult res = sim::step(program, primary, ctx, result.io,
                                         /*allowIo=*/true, cfg.layout);
@@ -327,7 +401,7 @@ PathExpanderEngine::runCmp(RunState &state)
         if (res.branch) {
             result.coverage.onTakenEdge(res.pc, res.branchTaken);
             state.btb.increment(res.pc, res.branchTaken);
-            if (shouldSpawn(cfg, state, res.pc, ntEdgeDir(res)))
+            if (shouldSpawn(cfg, state, decoded, res.pc, ntEdgeDir(res)))
                 spawn(res);
         }
         if (state.sinceCounterReset >= cfg.counterResetInterval) {

@@ -131,6 +131,17 @@ struct PeConfig
      */
     std::vector<std::string> noSpawnFuncs;
 
+    /**
+     * Test hook: force the legacy one-instruction-at-a-time
+     * execution loop instead of the pre-decoded block-stepped loop
+     * (`sim::runBlock`).  The two loops are bit-identical by
+     * contract — `tests/block_step_test.cpp` proves it across every
+     * workload and a random-program sweep — so this knob selects an
+     * execution *strategy*, not a behavior, and is deliberately
+     * excluded from configHash().
+     */
+    bool legacyStepLoop = false;
+
     sim::MachineLayout layout;
     branch::BtbParams btbParams;
     sim::TimingConfig timing = sim::TimingConfig::standardConfig();

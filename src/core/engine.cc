@@ -96,10 +96,20 @@ using namespace engine_detail;
 PathExpanderEngine::PathExpanderEngine(const isa::Program &prog,
                                        const PeConfig &config,
                                        detect::Detector *det)
-    : program(prog), cfg(config), detector(det)
+    : program(prog), cfg(config), detector(det),
+      decoded(prog, config.timing)
 {
     pe_assert(cfg.numCores >= 1, "need at least one core");
     pe_assert(cfg.maxNtPathLength > 0, "MaxNTPathLength must be positive");
+
+    // Resolve the tagged checking functions (Section 6.2) to code
+    // ranges once, folded into per-PC no-spawn flags.
+    for (const auto &name : cfg.noSpawnFuncs) {
+        for (const auto &f : program.funcs) {
+            if (f.name == name)
+                decoded.markNoSpawn(f.startPc, f.endPc);
+        }
+    }
 }
 
 RunResult
@@ -119,13 +129,36 @@ PathExpanderEngine::run(const std::vector<int32_t> &input)
     if (state.result.coreCycles.empty())
         state.result.coreCycles.push_back(state.result.cycles);
 
-    // FNV-1a digest of the architected memory image, for the
-    // sandboxing invariant (PathExpander must not perturb it).
-    uint64_t digest = 0xcbf29ce484222325ull;
-    for (int32_t word : state.memory.words()) {
-        digest ^= static_cast<uint32_t>(word);
-        digest *= 0x100000001b3ull;
+    // Digest of the architected memory image, for the sandboxing
+    // invariant (PathExpander must not perturb it).  Only ever
+    // compared run-vs-run, never against stored constants, so the
+    // construction is free to favor speed: FNV-1a over 64-bit chunks
+    // in four independent lanes.  A single per-word FNV chain is one
+    // serial multiply per word — several milliseconds over a 4 MB
+    // image, which dominated short monitored runs; the lanes run at
+    // load bandwidth instead.
+    const auto words = state.memory.words();
+    constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+    constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+    uint64_t lane[4] = {kFnvOffset, kFnvOffset ^ 1, kFnvOffset ^ 2,
+                        kFnvOffset ^ 3};
+    size_t n = words.size();
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        for (int l = 0; l < 4; ++l) {
+            uint64_t chunk =
+                static_cast<uint32_t>(words[i + 2 * l]) |
+                (static_cast<uint64_t>(
+                     static_cast<uint32_t>(words[i + 2 * l + 1]))
+                 << 32);
+            lane[l] = (lane[l] ^ chunk) * kFnvPrime;
+        }
     }
+    uint64_t digest = kFnvOffset;
+    for (int l = 0; l < 4; ++l)
+        digest = (digest ^ lane[l]) * kFnvPrime;
+    for (; i < n; ++i)
+        digest = (digest ^ static_cast<uint32_t>(words[i])) * kFnvPrime;
     state.result.memoryDigest = digest;
     return std::move(state.result);
 }
@@ -147,6 +180,7 @@ namespace
  */
 uint64_t
 exploreNtInline(const isa::Program &program, const PeConfig &cfg,
+                const sim::DecodedProgram &decoded,
                 PathExpanderEngine::RunState &state,
                 detect::Detector *detector,
                 const sim::StepResult &branchRes, uint64_t startCycle)
@@ -169,8 +203,11 @@ exploreNtInline(const isa::Program &program, const PeConfig &cfg,
     detect::ObjectRegistry overlay(&state.registry);
 
     // With the sandboxIo extension the NT-Path runs against a
-    // speculative copy of the I/O channel, discarded at squash.
-    sim::IoChannel specIo = result.io;
+    // speculative copy of the I/O channel, discarded at squash; the
+    // copy is only made when that extension is on.
+    sim::IoChannel specIo;
+    if (cfg.sandboxIo)
+        specIo = result.io;
     sim::IoChannel &ntIo = cfg.sandboxIo ? specIo : result.io;
     const bool allowIo = cfg.sandboxIo;
 
@@ -181,11 +218,31 @@ exploreNtInline(const isa::Program &program, const PeConfig &cfg,
     record.spawnEdgeTaken = ntDir;
 
     const uint32_t l1Capacity = state.hierarchy.l1LineCapacity();
+    const bool useBlocks = !cfg.legacyStepLoop;
+    const uint64_t dilation = blockDilation(cfg);
 
     for (;;) {
         if (record.length >= cfg.maxNtPathLength) {
             record.cause = NtStopCause::MaxLength;
             break;
+        }
+        if (useBlocks &&
+            decoded.startsBlock(core.pc, /*execBranches=*/false,
+                                detector == nullptr)) {
+            // Straight-line stretch: no StepResult, no engine
+            // round-trip.  Block-safe instructions cannot write the
+            // versioned buffer, so the capacity check cannot trip
+            // mid-block.
+            sim::BlockOut blk = sim::runBlock(
+                decoded, core, cfg.maxNtPathLength - record.length,
+                UINT64_MAX, /*perInstExtra=*/0, nullptr,
+                detector == nullptr);
+            if (blk.instructions) {
+                record.length += blk.instructions;
+                result.ntInstructions += blk.instructions;
+                cycles += blk.cycles + dilation * blk.instructions;
+                continue;   // re-check the length bound first
+            }
         }
         sim::StepResult res =
             sim::step(program, core, ctx, ntIo, allowIo, cfg.layout);
@@ -256,11 +313,43 @@ PathExpanderEngine::runInline(RunState &state)
 
     uint64_t &cycles = result.cycles;
     const bool peActive = cfg.mode != PeMode::Off;
+    const bool useBlocks = !cfg.legacyStepLoop;
+    const uint64_t dilation = blockDilation(cfg);
 
     for (;;) {
         if (result.takenInstructions >= cfg.maxTakenInstructions) {
             result.hitInstructionLimit = true;
             break;
+        }
+
+        // With PE off, a branch's whole effect is opcode cost plus a
+        // coverage bit, so blocks run straight through them: pass the
+        // run's coverage tracker as the in-block branch sink.
+        // Likewise Chkb/Assert are inert without a detector.
+        if (useBlocks &&
+            decoded.startsBlock(core.pc, !peActive,
+                                detector == nullptr)) {
+            sim::BlockOut blk = sim::runBlock(
+                decoded, core,
+                cfg.maxTakenInstructions - result.takenInstructions,
+                UINT64_MAX, /*perInstExtra=*/0,
+                peActive ? nullptr : &result.coverage,
+                detector == nullptr);
+            if (blk.instructions) {
+                result.takenInstructions += blk.instructions;
+                state.sinceCounterReset += blk.instructions;
+                cycles += blk.cycles + dilation * blk.instructions;
+                // The per-step loop resets the BTB counters at every
+                // interval crossing; with no branch (hence no counter
+                // bump) inside a block, folding the crossings into
+                // one reset plus a modulo is bit-identical.
+                if (peActive && state.sinceCounterReset >=
+                                    cfg.counterResetInterval) {
+                    state.btb.resetCounters();
+                    state.sinceCounterReset %= cfg.counterResetInterval;
+                }
+                continue;   // re-check the instruction limit first
+            }
         }
 
         sim::StepResult res = sim::step(program, core, ctx, result.io,
@@ -288,13 +377,14 @@ PathExpanderEngine::runInline(RunState &state)
             if (peActive) {
                 state.btb.increment(res.pc, res.branchTaken);
                 bool ntDir = ntEdgeDir(res);
-                if (shouldSpawn(cfg, state, res.pc, ntDir)) {
+                if (shouldSpawn(cfg, state, decoded, res.pc, ntDir)) {
                     // Exercise counters are also bumped at the entry
                     // of an NT-Path (Section 4.2).
                     state.btb.increment(res.pc, ntDir);
                     ++result.ntPathsSpawned;
-                    cycles += exploreNtInline(program, cfg, state,
-                                              detector, res, cycles);
+                    cycles += exploreNtInline(program, cfg, decoded,
+                                              state, detector, res,
+                                              cycles);
                 }
             }
         }

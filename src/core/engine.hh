@@ -28,6 +28,7 @@
 #include "src/core/result.hh"
 #include "src/detect/detector.hh"
 #include "src/isa/program.hh"
+#include "src/sim/decoded.hh"
 
 namespace pe::core
 {
@@ -48,6 +49,14 @@ class PathExpanderEngine
 
     const PeConfig &config() const { return cfg; }
 
+    /**
+     * The program pre-decoded against this engine's timing config:
+     * handler kinds, validated static targets, per-instruction costs
+     * and the folded no-spawn flags.  Built once at construction and
+     * shared read-only by every run.
+     */
+    const sim::DecodedProgram &decodedProgram() const { return decoded; }
+
     /** Per-run internals; defined in engine_impl.hh (not public API). */
     struct RunState;
 
@@ -58,6 +67,7 @@ class PathExpanderEngine
     const isa::Program &program;
     PeConfig cfg;
     detect::Detector *detector;
+    sim::DecodedProgram decoded;
 };
 
 /**

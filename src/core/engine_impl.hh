@@ -33,26 +33,7 @@ struct PathExpanderEngine::RunState
           result(program),
           sinceCounterReset(0),
           rng(config.randomSpawnSeed)
-    {
-        // Resolve the tagged checking functions to code ranges.
-        for (const auto &name : config.noSpawnFuncs) {
-            for (const auto &f : program.funcs) {
-                if (f.name == name)
-                    noSpawnRanges.emplace_back(f.startPc, f.endPc);
-            }
-        }
-    }
-
-    /** True when @p pc lies inside a tagged checking function. */
-    bool
-    inNoSpawnRegion(uint32_t pc) const
-    {
-        for (const auto &[lo, hi] : noSpawnRanges) {
-            if (pc >= lo && pc < hi)
-                return true;
-        }
-        return false;
-    }
+    {}
 
     mem::MainMemory memory;
     branch::Btb btb;
@@ -62,7 +43,6 @@ struct PathExpanderEngine::RunState
     sim::Core primary;
     uint64_t sinceCounterReset;
     Rng rng;                            //!< random spawn factor
-    std::vector<std::pair<uint32_t, uint32_t>> noSpawnRanges;
 };
 
 namespace engine_detail
@@ -74,6 +54,21 @@ softwareCosts(const PeConfig &cfg)
 {
     return cfg.costModel == CostModelKind::Software &&
            cfg.mode != PeMode::Off;
+}
+
+/**
+ * Per-instruction cycle charge the cost model adds on top of the
+ * base opcode cost for block-safe instructions (which touch neither
+ * the memory hierarchy nor the detector): the software model's JIT
+ * dilation, zero under the hardware model.  Bulk-charging
+ * `blockOut.cycles + n * blockDilation(cfg)` is exactly what the
+ * per-step loop accumulates through chargeStep for the same
+ * instructions.
+ */
+inline uint64_t
+blockDilation(const PeConfig &cfg)
+{
+    return softwareCosts(cfg) ? cfg.swCosts.perInstructionDilation : 0;
 }
 
 /**
@@ -101,13 +96,14 @@ void routeEvents(const isa::Program &program, const PeConfig &cfg,
  * NT-Path selection (Section 4.2 plus the random-factor extension):
  * spawn when the non-taken edge's exercise count is below the
  * threshold, or — with randomSpawnFraction > 0 — occasionally even
- * when it is not.
+ * when it is not.  The tagged-checking-function exclusion is a
+ * per-PC flag folded into the decoded program (no range scan).
  */
 inline bool
 shouldSpawn(const PeConfig &cfg, PathExpanderEngine::RunState &state,
-            uint32_t pc, bool ntDir)
+            const sim::DecodedProgram &decoded, uint32_t pc, bool ntDir)
 {
-    if (state.inNoSpawnRegion(pc))
+    if (decoded.noSpawn(pc))
         return false;
     if (state.btb.count(pc, ntDir) < cfg.ntPathCounterThreshold)
         return true;

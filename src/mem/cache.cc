@@ -6,6 +6,7 @@
 #include "src/mem/cache.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/support/status.hh"
 
@@ -18,21 +19,24 @@ Cache::Cache(const CacheGeometry &g) : geom(g)
               "line size must be a multiple of a word");
     pe_assert(g.numLines() % g.ways == 0, "lines not divisible by ways");
     wordsPerLineLocal = g.lineBytes / 4;
-    ways.resize(static_cast<size_t>(geom.numSets()) * geom.ways);
-}
+    numSetsLocal = geom.numSets();
+    ways.resize(static_cast<size_t>(numSetsLocal) * geom.ways);
 
-uint32_t
-Cache::lineOf(uint32_t wordAddr) const
-{
-    return wordAddr / wordsPerLineLocal;
+    pow2 = std::has_single_bit(wordsPerLineLocal) &&
+           std::has_single_bit(numSetsLocal);
+    if (pow2) {
+        lineShift = static_cast<uint32_t>(
+            std::countr_zero(wordsPerLineLocal));
+        setShift = static_cast<uint32_t>(std::countr_zero(numSetsLocal));
+        setMask = numSetsLocal - 1;
+    }
 }
 
 bool
 Cache::access(uint32_t wordAddr)
 {
-    uint32_t line = lineOf(wordAddr);
-    uint32_t set = line % geom.numSets();
-    uint32_t tag = line / geom.numSets();
+    uint32_t set, tag;
+    indexOf(wordAddr, set, tag);
     Way *base = &ways[static_cast<size_t>(set) * geom.ways];
     ++useClock;
 
@@ -64,9 +68,8 @@ Cache::access(uint32_t wordAddr)
 bool
 Cache::contains(uint32_t wordAddr) const
 {
-    uint32_t line = lineOf(wordAddr);
-    uint32_t set = line % geom.numSets();
-    uint32_t tag = line / geom.numSets();
+    uint32_t set, tag;
+    indexOf(wordAddr, set, tag);
     const Way *base = &ways[static_cast<size_t>(set) * geom.ways];
     for (uint32_t w = 0; w < geom.ways; ++w) {
         if (base[w].valid && base[w].tag == tag)

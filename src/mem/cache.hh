@@ -59,10 +59,30 @@ class Cache
         uint64_t lastUse = 0;
     };
 
-    uint32_t lineOf(uint32_t wordAddr) const;
+    /** Split @p wordAddr into its set index and tag. */
+    void indexOf(uint32_t wordAddr, uint32_t &set, uint32_t &tag) const
+    {
+        if (pow2) {
+            uint32_t line = wordAddr >> lineShift;
+            set = line & setMask;
+            tag = line >> setShift;
+        } else {
+            uint32_t line = wordAddr / wordsPerLineLocal;
+            set = line % numSetsLocal;
+            tag = line / numSetsLocal;
+        }
+    }
 
     CacheGeometry geom;
     uint32_t wordsPerLineLocal;
+    uint32_t numSetsLocal;
+    // Every Table-2 geometry is power-of-two shaped, so the per-access
+    // set/tag split is shift/mask; odd test geometries take the exact
+    // div/mod path instead.
+    bool pow2 = false;
+    uint32_t lineShift = 0;
+    uint32_t setShift = 0;
+    uint32_t setMask = 0;
     std::vector<Way> ways;      //!< numSets * geom.ways entries
     uint64_t useClock = 0;
     uint64_t hitCount = 0;

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Two's-complement arithmetic helpers shared by the per-step
+ * interpreter and the block-stepped execution loop.  Both loops must
+ * produce bit-identical architectural results, so the semantics live
+ * in exactly one place.
+ */
+
+#ifndef PE_SIM_ARITH_HH
+#define PE_SIM_ARITH_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace pe::sim
+{
+
+// Wrap-around helpers (avoid C++ signed-overflow UB).
+inline int32_t
+wrapAdd(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) +
+                                static_cast<uint32_t>(b));
+}
+
+inline int32_t
+wrapSub(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) -
+                                static_cast<uint32_t>(b));
+}
+
+inline int32_t
+wrapMul(int32_t a, int32_t b)
+{
+    return static_cast<int32_t>(static_cast<uint32_t>(a) *
+                                static_cast<uint32_t>(b));
+}
+
+inline int32_t
+safeDiv(int32_t a, int32_t b)
+{
+    // b != 0 checked by caller; INT_MIN / -1 defined to saturate.
+    if (a == std::numeric_limits<int32_t>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+inline int32_t
+safeRem(int32_t a, int32_t b)
+{
+    if (a == std::numeric_limits<int32_t>::min() && b == -1)
+        return 0;
+    return a % b;
+}
+
+} // namespace pe::sim
+
+#endif // PE_SIM_ARITH_HH

@@ -6,58 +6,14 @@
 #include "src/sim/interpreter.hh"
 
 #include <algorithm>
-#include <limits>
 #include <span>
 
 #include "src/isa/regs.hh"
+#include "src/sim/arith.hh"
 #include "src/support/status.hh"
 
 namespace pe::sim
 {
-
-namespace
-{
-
-// Two's-complement wrap-around helpers (avoid C++ signed-overflow UB).
-int32_t
-wrapAdd(int32_t a, int32_t b)
-{
-    return static_cast<int32_t>(static_cast<uint32_t>(a) +
-                                static_cast<uint32_t>(b));
-}
-
-int32_t
-wrapSub(int32_t a, int32_t b)
-{
-    return static_cast<int32_t>(static_cast<uint32_t>(a) -
-                                static_cast<uint32_t>(b));
-}
-
-int32_t
-wrapMul(int32_t a, int32_t b)
-{
-    return static_cast<int32_t>(static_cast<uint32_t>(a) *
-                                static_cast<uint32_t>(b));
-}
-
-int32_t
-safeDiv(int32_t a, int32_t b)
-{
-    // b != 0 checked by caller; INT_MIN / -1 defined to saturate.
-    if (a == std::numeric_limits<int32_t>::min() && b == -1)
-        return a;
-    return a / b;
-}
-
-int32_t
-safeRem(int32_t a, int32_t b)
-{
-    if (a == std::numeric_limits<int32_t>::min() && b == -1)
-        return 0;
-    return a % b;
-}
-
-} // namespace
 
 const char *
 crashKindName(CrashKind kind)
@@ -143,20 +99,24 @@ step(const isa::Program &program, Core &core, mem::MemCtx &ctx,
       case Opcode::Mul:
         core.writeReg(inst.rd, wrapMul(rs1(), rs2()));
         break;
-      case Opcode::Div:
-        if (rs2() == 0) {
+      case Opcode::Div: {
+        int32_t divisor = rs2();
+        if (divisor == 0) {
             res.crash = CrashKind::DivByZero;
             return res;
         }
-        core.writeReg(inst.rd, safeDiv(rs1(), rs2()));
+        core.writeReg(inst.rd, safeDiv(rs1(), divisor));
         break;
-      case Opcode::Rem:
-        if (rs2() == 0) {
+      }
+      case Opcode::Rem: {
+        int32_t divisor = rs2();
+        if (divisor == 0) {
             res.crash = CrashKind::DivByZero;
             return res;
         }
-        core.writeReg(inst.rd, safeRem(rs1(), rs2()));
+        core.writeReg(inst.rd, safeRem(rs1(), divisor));
         break;
+      }
       case Opcode::And:
         core.writeReg(inst.rd, rs1() & rs2());
         break;
@@ -248,14 +208,16 @@ step(const isa::Program &program, Core &core, mem::MemCtx &ctx,
 
       case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
       case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt: {
+        int32_t a = rs1();
+        int32_t b = rs2();
         bool taken = false;
         switch (inst.op) {
-          case Opcode::Beq: taken = rs1() == rs2(); break;
-          case Opcode::Bne: taken = rs1() != rs2(); break;
-          case Opcode::Blt: taken = rs1() < rs2(); break;
-          case Opcode::Bge: taken = rs1() >= rs2(); break;
-          case Opcode::Ble: taken = rs1() <= rs2(); break;
-          case Opcode::Bgt: taken = rs1() > rs2(); break;
+          case Opcode::Beq: taken = a == b; break;
+          case Opcode::Bne: taken = a != b; break;
+          case Opcode::Blt: taken = a < b; break;
+          case Opcode::Bge: taken = a >= b; break;
+          case Opcode::Ble: taken = a <= b; break;
+          case Opcode::Bgt: taken = a > b; break;
           default: break;
         }
         if (!validCode(inst.imm)) {
