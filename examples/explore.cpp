@@ -12,10 +12,20 @@
  *       --jobs N                campaign workers (default PE_JOBS)
  *       --seed S                exploration seed
  *       --jsonl PATH            write the JSONL progress stream
+ *       --checkpoint PATH       write a resumable checkpoint file
+ *       --checkpoint-every K    batches between checkpoints (default 1)
+ *       --resume PATH           resume from a checkpoint file
  *       --verbose               print a dot per finished run
+ *
+ * SIGINT/SIGTERM raise the explorer's cooperative stop flag: the
+ * session finishes its current batch, writes a final checkpoint (when
+ * --checkpoint is set) and exits cleanly with stop cause
+ * "interrupted".  A second signal kills the process the default way.
  */
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -39,8 +49,22 @@ usage(const char *msg)
                  "[--mode off|standard|cmp]\n"
               << "               [--runs N] [--batch N] [--plateau K] "
                  "[--jobs N] [--seed S]\n"
-              << "               [--jsonl PATH] [--verbose]\n";
+              << "               [--jsonl PATH] [--checkpoint PATH] "
+                 "[--checkpoint-every K]\n"
+              << "               [--resume PATH] [--verbose]\n";
     return 2;
+}
+
+std::atomic<bool> stopRequested{false};
+
+extern "C" void
+onStopSignal(int)
+{
+    // First signal: cooperative shutdown at the next batch boundary.
+    // Second signal: restore the default disposition so it kills.
+    stopRequested.store(true);
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
 }
 
 } // namespace
@@ -117,6 +141,21 @@ main(int argc, char **argv)
             if (!v)
                 return usage("--jsonl needs a value");
             jsonlPath = v;
+        } else if (arg == "--checkpoint") {
+            const char *v = next();
+            if (!v)
+                return usage("--checkpoint needs a value");
+            opts.checkpointPath = v;
+        } else if (arg == "--checkpoint-every") {
+            const char *v = next();
+            if (!v)
+                return usage("--checkpoint-every needs a value");
+            opts.checkpointEvery = std::stoull(v);
+        } else if (arg == "--resume") {
+            const char *v = next();
+            if (!v)
+                return usage("--resume needs a value");
+            opts.resumeFrom = v;
         } else if (arg == "--verbose") {
             verbose = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -154,6 +193,10 @@ main(int argc, char **argv)
             std::cout << "." << std::flush;
         };
     }
+
+    opts.stopFlag = &stopRequested;
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
 
     std::cout << "exploring '" << name << "' ("
               << program.numBranches() << " branches, policy "

@@ -1,16 +1,21 @@
 /**
  * @file
- * Campaign runner implementation.
+ * Campaign runner implementation: job scheduling, failure policies
+ * and the per-job wall-clock watchdog.
  */
 
 #include "src/core/campaign.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <thread>
 
+#include "src/support/faultinject.hh"
 #include "src/support/status.hh"
 #include "src/support/thread_pool.hh"
 
@@ -21,15 +26,111 @@ namespace
 {
 
 RunResult
-runJob(const CampaignJob &job)
+runJob(const CampaignJob &job, const std::atomic<bool> *cancel)
 {
     pe_assert(job.program, "campaign job without a program");
+    fault::site("campaign.run_job");
     std::unique_ptr<detect::Detector> detector;
     if (job.detectorFactory)
         detector = job.detectorFactory();
     PathExpanderEngine engine(*job.program, job.config, detector.get());
-    return engine.run(job.input);
+    return engine.run(job.input, cancel);
 }
+
+std::string
+describeException(std::exception_ptr ep)
+{
+    try {
+        std::rethrow_exception(ep);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown exception";
+    }
+}
+
+/**
+ * Per-job wall-clock deadlines, enforced through the engine's
+ * cooperative cancellation token.
+ *
+ * One fixed Watch slot per job (a worker runs one job at a time, so
+ * at most `threads` slots are armed at once, but per-job slots make
+ * begin/end trivially race-free across retries).  A ticker thread
+ * scans the armed slots every few milliseconds and trips the cancel
+ * flag of any job past its deadline.  The deadline bookkeeping is
+ * mutex-guarded — begin() for a retry attempt cannot race a stale
+ * ticker firing for the previous attempt — and only the cancel flag
+ * itself is atomic, because the engine reads it lock-free.
+ */
+class JobWatchdog
+{
+  public:
+    JobWatchdog(std::chrono::milliseconds limit, size_t jobs)
+        : watches(jobs), limit(limit),
+          poll(std::clamp(limit / 8, std::chrono::milliseconds(1),
+                          std::chrono::milliseconds(10))),
+          ticker([this] { tickerLoop(); })
+    {}
+
+    ~JobWatchdog()
+    {
+        {
+            std::lock_guard lock(mtx);
+            stopping = true;
+        }
+        cv.notify_all();
+        ticker.join();
+    }
+
+    /** Arm job @p i's deadline; returns its cancel token. */
+    const std::atomic<bool> *begin(size_t i)
+    {
+        Watch &w = watches[i];
+        std::lock_guard lock(mtx);
+        w.cancel.store(false, std::memory_order_relaxed);
+        w.deadline = std::chrono::steady_clock::now() + limit;
+        w.armed = true;
+        return &w.cancel;
+    }
+
+    /** Disarm job @p i's deadline (the run returned or threw). */
+    void end(size_t i)
+    {
+        std::lock_guard lock(mtx);
+        watches[i].armed = false;
+    }
+
+  private:
+    struct Watch
+    {
+        std::chrono::steady_clock::time_point deadline;
+        bool armed = false;
+        std::atomic<bool> cancel{false};
+    };
+
+    void tickerLoop()
+    {
+        std::unique_lock lock(mtx);
+        while (!stopping) {
+            cv.wait_for(lock, poll);
+            auto now = std::chrono::steady_clock::now();
+            for (Watch &w : watches) {
+                if (w.armed && now >= w.deadline) {
+                    w.cancel.store(true, std::memory_order_relaxed);
+                    w.armed = false;      // fire once per arming
+                }
+            }
+        }
+    }
+
+    std::vector<Watch> watches;
+    std::chrono::milliseconds limit;
+    std::chrono::milliseconds poll;
+    std::mutex mtx;
+    std::condition_variable cv;
+    bool stopping = false;
+    std::thread ticker;     //!< last member: starts touching the rest
+};
 
 } // namespace
 
@@ -39,52 +140,145 @@ runCampaign(const std::vector<CampaignJob> &jobs,
 {
     auto start = std::chrono::steady_clock::now();
 
+    const FailPolicy &policy = opts.failPolicy;
+    pe_assert(policy.maxAttempts >= 1,
+              "FailPolicy::maxAttempts must be at least 1");
+
     CampaignOutcome out;
     size_t threads = opts.threads ? opts.threads : defaultWorkerCount();
     threads = std::min(threads, std::max<size_t>(jobs.size(), 1));
     out.threadsUsed = static_cast<unsigned>(threads);
 
-    if (threads <= 1) {
-        out.results.reserve(jobs.size());
-        for (const CampaignJob &job : jobs) {
-            out.results.push_back(runJob(job));
-            if (opts.onResult)
-                opts.onResult(out.results.size() - 1,
-                              out.results.back());
-        }
-    } else {
-        // Per-job slots keep the output in job order no matter how
-        // the pool schedules; a FatalError (bad config/workload) is
-        // captured and rethrown once the pool has drained.
-        std::vector<std::optional<RunResult>> slots(jobs.size());
-        std::mutex mtx;     //!< guards firstError and onResult calls
-        std::exception_ptr firstError;
+    // Per-job slots keep the output in job order no matter how the
+    // pool schedules.  All shared failure bookkeeping (slots on
+    // write, failures, firstError, the onResult hook) is serialized
+    // through one mutex; the jobs themselves run lock-free.
+    std::vector<std::optional<RunResult>> slots(jobs.size());
+    std::mutex mtx;
+    std::exception_ptr firstError;
+    bool cancelRest = false;        //!< FailFast tripped
+    ThreadPool *poolPtr = nullptr;  //!< set only on the parallel path
+
+    std::unique_ptr<JobWatchdog> watchdog;
+    if (opts.jobDeadline.count() > 0) {
+        watchdog = std::make_unique<JobWatchdog>(opts.jobDeadline,
+                                                 jobs.size());
+    }
+
+    // Runs job i to its policy-determined conclusion: a result in
+    // slots[i], a JobFailure record, or (FailFast) firstError set.
+    // Shared by the serial and the parallel path so the two cannot
+    // drift in failure semantics.
+    auto runOne = [&](size_t i) {
         {
-            ThreadPool pool(static_cast<unsigned>(threads));
-            for (size_t i = 0; i < jobs.size(); ++i) {
-                pool.submit([&jobs, &slots, &mtx, &firstError, &opts,
-                             i] {
-                    try {
-                        slots[i].emplace(runJob(jobs[i]));
-                        if (opts.onResult) {
-                            std::lock_guard lock(mtx);
-                            opts.onResult(i, *slots[i]);
-                        }
-                    } catch (...) {
-                        std::lock_guard lock(mtx);
-                        if (!firstError)
-                            firstError = std::current_exception();
-                    }
-                });
-            }
-            pool.waitIdle();
+            std::lock_guard lock(mtx);
+            if (cancelRest)
+                return;
         }
-        if (firstError)
-            std::rethrow_exception(firstError);
-        out.results.reserve(slots.size());
-        for (auto &slot : slots) {
-            pe_assert(slot.has_value(), "campaign job lost its result");
-            out.results.push_back(std::move(*slot));
+        for (unsigned attempt = 1;; ++attempt) {
+            try {
+                const std::atomic<bool> *token =
+                    watchdog ? watchdog->begin(i) : nullptr;
+                RunResult res = runJob(jobs[i], token);
+                if (watchdog)
+                    watchdog->end(i);
+                std::lock_guard lock(mtx);
+                slots[i].emplace(std::move(res));
+                if (opts.onResult)
+                    opts.onResult(i, *slots[i]);
+                return;
+            } catch (...) {
+                if (watchdog)
+                    watchdog->end(i);
+                std::string what =
+                    describeException(std::current_exception());
+                bool retrying = false;
+                {
+                    std::lock_guard lock(mtx);
+                    if (policy.mode == FailMode::Retry &&
+                        attempt < policy.maxAttempts) {
+                        ++out.suppressedErrors;
+                        warn("campaign job ", i, " attempt ", attempt,
+                             "/", policy.maxAttempts, " failed: ", what,
+                             "; retrying");
+                        retrying = true;
+                    } else if (policy.mode == FailMode::FailFast) {
+                        if (!firstError) {
+                            firstError = std::current_exception();
+                            cancelRest = true;
+                            if (poolPtr) {
+                                size_t dropped = poolPtr->cancelPending();
+                                if (dropped) {
+                                    warn("campaign job ", i,
+                                         " failed; cancelled ", dropped,
+                                         " queued job(s)");
+                                }
+                            }
+                        } else {
+                            ++out.suppressedErrors;
+                            warn("campaign job ", i,
+                                 " failure suppressed after fail-fast: ",
+                                 what);
+                        }
+                    } else {
+                        warn("campaign job ", i, " failed after ",
+                             attempt, " attempt(s): ", what);
+                        out.failures.push_back(
+                            JobFailure{i, attempt, std::move(what)});
+                    }
+                }
+                if (!retrying)
+                    return;
+                if (policy.backoffMs.count() > 0) {
+                    std::this_thread::sleep_for(policy.backoffMs *
+                                                attempt);
+                }
+            }
+        }
+    };
+
+    if (threads <= 1) {
+        for (size_t i = 0; i < jobs.size(); ++i)
+            runOne(i);
+    } else {
+        ThreadPool pool(static_cast<unsigned>(threads));
+        poolPtr = &pool;
+        for (size_t i = 0; i < jobs.size(); ++i)
+            pool.submit([&runOne, i] { runOne(i); });
+        pool.waitIdle();
+        poolPtr = nullptr;
+    }
+
+    if (firstError) {
+        if (out.suppressedErrors) {
+            warn(out.suppressedErrors, " additional campaign job ",
+                 "failure(s) were suppressed after the first");
+        }
+        std::rethrow_exception(firstError);
+    }
+
+    // Failures were pushed in completion order; report in job order.
+    std::sort(out.failures.begin(), out.failures.end(),
+              [](const JobFailure &a, const JobFailure &b) {
+                  return a.jobIndex < b.jobIndex;
+              });
+
+    out.results.reserve(slots.size());
+    out.resultJobIndex.reserve(slots.size());
+    auto failure = out.failures.begin();
+    for (size_t i = 0; i < slots.size(); ++i) {
+        while (failure != out.failures.end() && failure->jobIndex < i)
+            ++failure;
+        if (slots[i].has_value()) {
+            pe_assert(failure == out.failures.end() ||
+                          failure->jobIndex != i,
+                      "campaign job has both a result and a failure");
+            out.results.push_back(std::move(*slots[i]));
+            out.resultJobIndex.push_back(i);
+        } else {
+            pe_assert(failure != out.failures.end() &&
+                          failure->jobIndex == i,
+                      "campaign job lost its result");
         }
     }
 

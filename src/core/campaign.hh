@@ -14,13 +14,24 @@
  * dedup), so a job carries a detector *factory* rather than a
  * detector: each run constructs its own instance on the worker that
  * executes it.
+ *
+ * Fault tolerance: a long campaign should not forfeit thousands of
+ * finished runs because one job threw or wedged.  CampaignOptions
+ * carries a FailPolicy (fail-fast / continue / retry) deciding what a
+ * job failure does to the rest of the campaign, and an optional
+ * per-job wall-clock deadline enforced by a watchdog through the
+ * engine's cooperative cancellation token.  Surviving results are
+ * bit-identical to the same jobs in a failure-free campaign: a
+ * failure never perturbs its neighbours.
  */
 
 #ifndef PE_CORE_CAMPAIGN_HH
 #define PE_CORE_CAMPAIGN_HH
 
+#include <chrono>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/engine.hh"
@@ -42,10 +53,87 @@ struct CampaignJob
     DetectorFactory detectorFactory;
 };
 
+/** What a job failure (an exception out of a run) does to the rest. */
+enum class FailMode : uint8_t
+{
+    /**
+     * Cancel the jobs still queued, drain the in-flight ones, rethrow
+     * the first exception.  Follow-on failures are warn()ed and
+     * counted, never silently dropped.
+     */
+    FailFast,
+
+    /**
+     * Record the failure in CampaignOutcome::failures and keep going.
+     * Surviving results are job-ordered and bit-identical to the same
+     * jobs run in a failure-free campaign.
+     */
+    Continue,
+
+    /**
+     * Re-run the failed job on the same worker — up to maxAttempts
+     * attempts total, sleeping backoffMs * attemptsSoFar between
+     * them.  Every attempt is a full deterministic reproduction (the
+     * engine is a pure function of the job).  A job still failing
+     * after maxAttempts is recorded as under Continue.
+     */
+    Retry,
+};
+
+struct FailPolicy
+{
+    FailMode mode = FailMode::FailFast;
+
+    /** Retry only: total attempts per job (>= 1). */
+    unsigned maxAttempts = 1;
+
+    /** Retry only: base backoff between attempts (scaled linearly). */
+    std::chrono::milliseconds backoffMs{0};
+
+    static FailPolicy failFast() { return {}; }
+
+    static FailPolicy continueOnError()
+    {
+        return {FailMode::Continue, 1, std::chrono::milliseconds{0}};
+    }
+
+    static FailPolicy
+    retry(unsigned maxAttempts,
+          std::chrono::milliseconds backoff = std::chrono::milliseconds{0})
+    {
+        return {FailMode::Retry, maxAttempts, backoff};
+    }
+};
+
+/** One job that produced no result (Continue/Retry policies). */
+struct JobFailure
+{
+    size_t jobIndex = 0;
+
+    /** Attempts consumed (1 under Continue, up to maxAttempts). */
+    unsigned attempts = 1;
+
+    /** what() of the last attempt's exception. */
+    std::string what;
+};
+
 struct CampaignOptions
 {
     /** Worker threads; 0 means defaultWorkerCount() (PE_JOBS env). */
     unsigned threads = 0;
+
+    /** What a job failure does to the rest of the campaign. */
+    FailPolicy failPolicy;
+
+    /**
+     * Per-job wall-clock deadline; zero disables the watchdog.  A job
+     * over its deadline is cancelled cooperatively: the engine polls
+     * the token once per dispatch and returns a partial RunResult
+     * flagged `aborted` with stopCause == RunStopCause::Deadline.
+     * Aborted runs are results, not failures — they are never
+     * retried.
+     */
+    std::chrono::milliseconds jobDeadline{0};
 
     /**
      * Progress hook: called once per finished job with its index and
@@ -72,8 +160,29 @@ campaignThreads(unsigned threads)
 /** Everything a campaign produced. */
 struct CampaignOutcome
 {
-    /** One result per job, in job order regardless of scheduling. */
+    /**
+     * One result per *surviving* job, in job order regardless of
+     * scheduling.  Without failures this is one result per job.
+     */
     std::vector<RunResult> results;
+
+    /**
+     * Job index of each results entry: results[k] is the result of
+     * jobs[resultJobIndex[k]].  The identity mapping when no job
+     * failed; under Continue/Retry the failed indices are missing.
+     */
+    std::vector<size_t> resultJobIndex;
+
+    /** Jobs that produced no result, in job order (Continue/Retry). */
+    std::vector<JobFailure> failures;
+
+    /**
+     * Exceptions that were caught and warn()ed but surfaced as
+     * neither the rethrown error nor the final `what` of a failure
+     * record: fail-fast follow-on failures, and retry attempts that
+     * were superseded by a later attempt.
+     */
+    size_t suppressedErrors = 0;
 
     /** Host wall-clock time of the whole campaign, in seconds. */
     double wallSeconds = 0.0;
@@ -87,7 +196,12 @@ struct CampaignOutcome
  * With more than one worker the jobs are sharded across a thread
  * pool; results are bit-identical to a serial run because each job's
  * state is fully isolated and the engine is deterministic.
- * A job's failure (FatalError) is rethrown after the pool drains.
+ *
+ * A job's failure (an exception out of the run) is handled per
+ * opts.failPolicy: rethrown after the pool drains (FailFast, the
+ * default), recorded in the outcome (Continue), or retried
+ * deterministically (Retry).  Fault-injection site: each attempt
+ * passes "campaign.run_job".
  */
 CampaignOutcome runCampaign(const std::vector<CampaignJob> &jobs,
                             const CampaignOptions &opts = {});

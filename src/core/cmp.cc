@@ -274,7 +274,8 @@ PathExpanderEngine::runCmp(RunState &state)
                     bound = b;
             }
             sim::BlockOut blk = sim::runBlock(
-                decoded, task.cpu, cfg.maxNtPathLength - task.length,
+                decoded, task.cpu,
+                blockCap(state, cfg.maxNtPathLength - task.length),
                 bound - cmp.coreTime[c], dilation, nullptr,
                 detector == nullptr);
             if (blk.instructions) {
@@ -334,6 +335,7 @@ PathExpanderEngine::runCmp(RunState &state)
     auto stepPrimary = [&]() {
         if (result.takenInstructions >= cfg.maxTakenInstructions) {
             result.hitInstructionLimit = true;
+            result.stopCause = RunStopCause::InstructionLimit;
             primaryDone = true;
             return;
         }
@@ -359,7 +361,8 @@ PathExpanderEngine::runCmp(RunState &state)
                 budget -= cmp.coreTime[0];
             sim::BlockOut blk = sim::runBlock(
                 decoded, primary,
-                cfg.maxTakenInstructions - result.takenInstructions,
+                blockCap(state, cfg.maxTakenInstructions -
+                                    result.takenInstructions),
                 budget, dilation, nullptr, detector == nullptr);
             if (blk.instructions) {
                 result.takenInstructions += blk.instructions;
@@ -381,6 +384,7 @@ PathExpanderEngine::runCmp(RunState &state)
         if (res.crashed()) {
             result.programCrashed = true;
             result.programCrashKind = res.crash;
+            result.stopCause = RunStopCause::Crashed;
             primaryDone = true;
             return;
         }
@@ -412,6 +416,11 @@ PathExpanderEngine::runCmp(RunState &state)
     };
 
     while (!primaryDone) {
+        if (cancelRequested(state)) {
+            result.aborted = true;
+            result.stopCause = RunStopCause::Deadline;
+            break;
+        }
         // Advance the least-advanced active core.
         int next = 0;
         for (int c = 1; c < cfg.numCores; ++c) {

@@ -113,9 +113,11 @@ PathExpanderEngine::PathExpanderEngine(const isa::Program &prog,
 }
 
 RunResult
-PathExpanderEngine::run(const std::vector<int32_t> &input)
+PathExpanderEngine::run(const std::vector<int32_t> &input,
+                        const std::atomic<bool> *cancel)
 {
     RunState state(program, cfg);
+    state.cancel = cancel;
     state.result.io.input = input;
     sim::loadProgram(program, state.memory, state.primary, cfg.layout);
 
@@ -222,6 +224,13 @@ exploreNtInline(const isa::Program &program, const PeConfig &cfg,
     const uint64_t dilation = blockDilation(cfg);
 
     for (;;) {
+        if (cancelRequested(state)) {
+            // The whole run is being cancelled; squash this NT-Path
+            // now so the caller sees a consistent (rolled-back)
+            // architected state.
+            record.cause = NtStopCause::HostAbort;
+            break;
+        }
         if (record.length >= cfg.maxNtPathLength) {
             record.cause = NtStopCause::MaxLength;
             break;
@@ -234,7 +243,8 @@ exploreNtInline(const isa::Program &program, const PeConfig &cfg,
             // versioned buffer, so the capacity check cannot trip
             // mid-block.
             sim::BlockOut blk = sim::runBlock(
-                decoded, core, cfg.maxNtPathLength - record.length,
+                decoded, core,
+                blockCap(state, cfg.maxNtPathLength - record.length),
                 UINT64_MAX, /*perInstExtra=*/0, nullptr,
                 detector == nullptr);
             if (blk.instructions) {
@@ -317,8 +327,14 @@ PathExpanderEngine::runInline(RunState &state)
     const uint64_t dilation = blockDilation(cfg);
 
     for (;;) {
+        if (cancelRequested(state)) {
+            result.aborted = true;
+            result.stopCause = RunStopCause::Deadline;
+            break;
+        }
         if (result.takenInstructions >= cfg.maxTakenInstructions) {
             result.hitInstructionLimit = true;
+            result.stopCause = RunStopCause::InstructionLimit;
             break;
         }
 
@@ -331,7 +347,8 @@ PathExpanderEngine::runInline(RunState &state)
                                 detector == nullptr)) {
             sim::BlockOut blk = sim::runBlock(
                 decoded, core,
-                cfg.maxTakenInstructions - result.takenInstructions,
+                blockCap(state, cfg.maxTakenInstructions -
+                                    result.takenInstructions),
                 UINT64_MAX, /*perInstExtra=*/0,
                 peActive ? nullptr : &result.coverage,
                 detector == nullptr);
@@ -357,6 +374,7 @@ PathExpanderEngine::runInline(RunState &state)
         if (res.crashed()) {
             result.programCrashed = true;
             result.programCrashKind = res.crash;
+            result.stopCause = RunStopCause::Crashed;
             break;
         }
         pe_assert(!res.unsafeEvent, "unsafe event on the taken path");

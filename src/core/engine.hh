@@ -21,6 +21,7 @@
 #ifndef PE_CORE_ENGINE_HH
 #define PE_CORE_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -44,8 +45,20 @@ class PathExpanderEngine
     PathExpanderEngine(const isa::Program &program, const PeConfig &config,
                        detect::Detector *detector = nullptr);
 
-    /** Execute the program on @p input; returns all run artifacts. */
-    RunResult run(const std::vector<int32_t> &input);
+    /**
+     * Execute the program on @p input; returns all run artifacts.
+     *
+     * @param cancel optional cooperative cancellation token (the
+     *        campaign watchdog's).  Polled with one relaxed atomic
+     *        load per dispatch of the execution loop; when it reads
+     *        true the run stops at the next dispatch boundary and
+     *        returns a partial RunResult flagged `aborted` with
+     *        `stopCause == RunStopCause::Deadline`.  Null (the
+     *        default) compiles the poll down to one never-taken
+     *        branch.
+     */
+    RunResult run(const std::vector<int32_t> &input,
+                  const std::atomic<bool> *cancel = nullptr);
 
     const PeConfig &config() const { return cfg; }
 

@@ -10,6 +10,7 @@
 #ifndef PE_CORE_ENGINE_IMPL_HH
 #define PE_CORE_ENGINE_IMPL_HH
 
+#include <algorithm>
 #include <utility>
 
 #include "src/branch/btb.hh"
@@ -43,10 +44,42 @@ struct PathExpanderEngine::RunState
     sim::Core primary;
     uint64_t sinceCounterReset;
     Rng rng;                            //!< random spawn factor
+
+    /** Watchdog cancel token; null for the vast majority of runs. */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 namespace engine_detail
 {
+
+/**
+ * Watchdog poll, placed once per execution-loop dispatch: a null
+ * check when no deadline is armed (the common case), one relaxed
+ * atomic load when one is.
+ */
+inline bool
+cancelRequested(const PathExpanderEngine::RunState &state)
+{
+    return state.cancel &&
+           state.cancel->load(std::memory_order_relaxed);
+}
+
+/**
+ * Instruction cap for one runBlock dispatch.  Without a watchdog a
+ * block may run to the caller's full remaining budget; with one, a
+ * single dispatch could otherwise retire hundreds of millions of
+ * straight-line instructions (PE off runs branches in-block) before
+ * the next poll.  Chunking is bit-identical — the engine loops
+ * re-enter the block path at the updated pc and all counts
+ * accumulate — it only bounds the poll interval, to well under a
+ * millisecond.
+ */
+inline uint64_t
+blockCap(const PathExpanderEngine::RunState &state, uint64_t remaining)
+{
+    constexpr uint64_t pollChunk = uint64_t{1} << 16;
+    return state.cancel ? std::min(remaining, pollChunk) : remaining;
+}
 
 /** True when the software (PIN) cost model applies to this run. */
 inline bool

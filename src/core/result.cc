@@ -22,6 +22,19 @@ ntStopCauseName(NtStopCause cause)
       case NtStopCause::ProgramEnd: return "program-end";
       case NtStopCause::CapacityOverflow: return "capacity-overflow";
       case NtStopCause::ForcedSquash: return "forced-squash";
+      case NtStopCause::HostAbort: return "host-abort";
+    }
+    return "?";
+}
+
+const char *
+runStopCauseName(RunStopCause cause)
+{
+    switch (cause) {
+      case RunStopCause::Completed: return "completed";
+      case RunStopCause::Crashed: return "crashed";
+      case RunStopCause::InstructionLimit: return "instruction-limit";
+      case RunStopCause::Deadline: return "deadline";
     }
     return "?";
 }
@@ -48,6 +61,10 @@ RunResult::printSummary(std::ostream &os) const
     }
     if (hitInstructionLimit)
         os << "instruction limit reached\n";
+    if (aborted) {
+        os << "run ABORTED by the host watchdog ("
+           << runStopCauseName(stopCause) << "); counts are partial\n";
+    }
 
     os << "instructions: " << takenInstructions << " taken, "
        << ntInstructions << " NT\n"

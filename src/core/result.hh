@@ -27,9 +27,26 @@ enum class NtStopCause : uint8_t
     ProgramEnd,         //!< reached the end of the program
     CapacityOverflow,   //!< write set exceeded the L1 line capacity
     ForcedSquash,       //!< CMP: squashed to unblock a segment commit
+    HostAbort,          //!< host watchdog cancelled the whole run
 };
 
 const char *ntStopCauseName(NtStopCause cause);
+
+/**
+ * Why the monitored run as a whole ended.  `Deadline` is the one
+ * host-side cause: the campaign watchdog's cooperative cancellation
+ * token fired and the engine returned a partial result instead of
+ * hanging its worker.
+ */
+enum class RunStopCause : uint8_t
+{
+    Completed,          //!< the program exited (or crashed — see flags)
+    Crashed,            //!< taken path crashed (programCrashed is set)
+    InstructionLimit,   //!< maxTakenInstructions safety net
+    Deadline,           //!< watchdog cancel token; result is partial
+};
+
+const char *runStopCauseName(RunStopCause cause);
 
 /** Record of one explored NT-Path. */
 struct NtPathRecord
@@ -50,6 +67,14 @@ struct RunResult
     bool programCrashed = false;
     sim::CrashKind programCrashKind = sim::CrashKind::None;
     bool hitInstructionLimit = false;
+
+    /**
+     * The run was cancelled by the host (campaign job watchdog):
+     * every count below covers only the prefix that executed, and
+     * stopCause says why the run ended.
+     */
+    bool aborted = false;
+    RunStopCause stopCause = RunStopCause::Completed;
 
     // Work counts.
     uint64_t takenInstructions = 0;

@@ -71,6 +71,17 @@ BranchCoverage::mergeFrom(const BranchCoverage &other)
     }
 }
 
+void
+BranchCoverage::restoreWords(const std::vector<uint64_t> &taken,
+                             const std::vector<uint64_t> &nt)
+{
+    pe_assert(taken.size() == takenBits.size() &&
+                  nt.size() == ntBits.size(),
+              "coverage restore with mismatched bitmap size");
+    takenBits = taken;
+    ntBits = nt;
+}
+
 size_t
 BranchCoverage::newEdgesOver(const BranchCoverage &frontier) const
 {
@@ -127,6 +138,16 @@ EdgeExerciseCounts::rarityThreshold(double percentile) const
         percentile * static_cast<double>(seen.size() - 1));
     std::nth_element(seen.begin(), seen.begin() + rank, seen.end());
     return seen[rank];
+}
+
+void
+EdgeExerciseCounts::restoreCounts(const std::vector<uint32_t> &newCounts,
+                                  uint64_t runsAccumulated)
+{
+    pe_assert(newCounts.size() == counts.size(),
+              "exercise-count restore with mismatched edge universe");
+    counts = newCounts;
+    runs = runsAccumulated;
 }
 
 size_t

@@ -81,6 +81,15 @@ class BranchCoverage
     const std::vector<uint64_t> &takenWords() const { return takenBits; }
     const std::vector<uint64_t> &ntWords() const { return ntBits; }
 
+    /**
+     * Overwrite both bitmaps from checkpointed words (explorer
+     * resume).  The word counts must match this tracker's — the
+     * caller has already validated the checkpoint against the
+     * program.
+     */
+    void restoreWords(const std::vector<uint64_t> &taken,
+                      const std::vector<uint64_t> &nt);
+
   private:
     static uint64_t key(uint32_t pc, bool taken)
     {
@@ -135,6 +144,12 @@ class EdgeExerciseCounts
                        uint32_t threshold) const;
 
     uint64_t runsAccumulated() const { return runs; }
+
+    const std::vector<uint32_t> &rawCounts() const { return counts; }
+
+    /** Overwrite the counts from a checkpoint (explorer resume). */
+    void restoreCounts(const std::vector<uint32_t> &newCounts,
+                       uint64_t runsAccumulated);
 
   private:
     std::vector<uint32_t> counts;   //!< indexed by edge bit 2*pc+taken

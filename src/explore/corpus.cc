@@ -38,6 +38,18 @@ Corpus::consider(const std::vector<int32_t> &input,
 }
 
 void
+Corpus::restore(std::vector<CorpusEntry> entries,
+                const std::vector<uint64_t> &frontierTaken,
+                const std::vector<uint64_t> &frontierNt,
+                const std::vector<uint32_t> &exerciseCounts,
+                uint64_t exerciseRuns)
+{
+    pool = std::move(entries);
+    front.restoreWords(frontierTaken, frontierNt);
+    hits.restoreCounts(exerciseCounts, exerciseRuns);
+}
+
+void
 Corpus::rescore(double percentile)
 {
     uint32_t threshold = hits.rarityThreshold(percentile);

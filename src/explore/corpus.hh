@@ -100,6 +100,18 @@ class Corpus
         return hits;
     }
 
+    /**
+     * Replace the whole corpus state from a checkpoint (explorer
+     * resume): the entry pool, the frontier bitmaps and the exercise
+     * counts, all of which the checkpoint stored together so they
+     * stay mutually consistent.
+     */
+    void restore(std::vector<CorpusEntry> entries,
+                 const std::vector<uint64_t> &frontierTaken,
+                 const std::vector<uint64_t> &frontierNt,
+                 const std::vector<uint32_t> &exerciseCounts,
+                 uint64_t exerciseRuns);
+
   private:
     std::vector<CorpusEntry> pool;
     coverage::BranchCoverage front;

@@ -6,8 +6,10 @@
 #include "src/explore/explorer.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <ostream>
 
+#include "src/support/faultinject.hh"
 #include "src/support/status.hh"
 #include "src/support/strutil.hh"
 
@@ -22,6 +24,7 @@ exploreStopName(ExploreStop stop)
       case ExploreStop::InstructionBudget: return "instruction-budget";
       case ExploreStop::Plateau: return "plateau";
       case ExploreStop::NoSeeds: return "no-seeds";
+      case ExploreStop::Interrupted: return "interrupted";
     }
     return "?";
 }
@@ -57,6 +60,8 @@ Explorer::runBatch(const std::vector<std::vector<int32_t>> &inputs,
     size_t before = corp.frontier().combinedCovered();
     core::CampaignOptions copts;
     copts.threads = opts.threads;
+    copts.failPolicy = opts.failPolicy;
+    copts.jobDeadline = opts.jobDeadline;
     if (opts.onRun) {
         copts.onResult = [this](size_t, const core::RunResult &r) {
             opts.onRun(r);
@@ -64,12 +69,18 @@ Explorer::runBatch(const std::vector<std::vector<int32_t>> &inputs,
     }
     auto outcome = core::runCampaign(jobs, copts);
 
+    fault::site("explore.batch_merge");
+
     ExploreBatchStats stats;
     stats.batch = res.batches;
     stats.batchRuns = outcome.results.size();
-    for (size_t i = 0; i < outcome.results.size(); ++i) {
-        const core::RunResult &result = outcome.results[i];
-        if (corp.consider(inputs[i], result, res.batches) > 0)
+    stats.failedJobs = outcome.failures.size();
+    for (size_t k = 0; k < outcome.results.size(); ++k) {
+        const core::RunResult &result = outcome.results[k];
+        // Under Continue/Retry the surviving results are a job-order
+        // subsequence; resultJobIndex maps each back to its input.
+        const auto &input = inputs[outcome.resultJobIndex[k]];
+        if (corp.consider(input, result, res.batches) > 0)
             ++stats.admitted;
         res.instructions +=
             result.takenInstructions + result.ntInstructions;
@@ -84,7 +95,11 @@ Explorer::runBatch(const std::vector<std::vector<int32_t>> &inputs,
     }
     corp.rescore(opts.rarePercentile);
 
-    res.runs += outcome.results.size();
+    // Failed jobs consumed their budget slot even without a result;
+    // counting them keeps a persistently-failing job from extending
+    // the exploration forever.
+    res.runs += outcome.results.size() + outcome.failures.size();
+    res.failedJobs += outcome.failures.size();
     res.batches += 1;
 
     stats.totalRuns = res.runs;
@@ -96,6 +111,20 @@ Explorer::runBatch(const std::vector<std::vector<int32_t>> &inputs,
 
     emitBatch(stats);
     res.history.push_back(stats);
+}
+
+void
+Explorer::maybeCheckpoint(const ExploreResult &res, bool force)
+{
+    if (opts.checkpointPath.empty())
+        return;
+    uint64_t every = std::max<uint64_t>(opts.checkpointEvery, 1);
+    if (!force && res.batches - lastCheckpointBatch < every)
+        return;
+    if (res.batches == lastCheckpointBatch && lastCheckpointBatch > 0)
+        return;     // nothing ran since the last snapshot
+    writeCheckpoint(res);
+    lastCheckpointBatch = res.batches;
 }
 
 ExploreResult
@@ -110,14 +139,34 @@ Explorer::run()
         return res;
     }
 
-    // Batch 0: the seeds themselves, trimmed to the run budget.
-    std::vector<std::vector<int32_t>> inputs = seeds;
-    if (inputs.size() > opts.budget.maxRuns)
-        inputs.resize(opts.budget.maxRuns);
+    std::vector<std::vector<int32_t>> inputs;
+    if (!opts.resumeFrom.empty()) {
+        // Restored state is exactly the uninterrupted run's state at
+        // a batch boundary; the loop below enters at the budget
+        // checks, skipping the seed batch.
+        resume(res);
+        lastCheckpointBatch = res.batches;
+    } else {
+        // Batch 0: the seeds themselves, trimmed to the run budget.
+        inputs = seeds;
+        if (inputs.size() > opts.budget.maxRuns)
+            inputs.resize(opts.budget.maxRuns);
+    }
 
     for (;;) {
-        runBatch(inputs, res);
+        if (!inputs.empty()) {
+            runBatch(inputs, res);
+            // Checkpoints land exactly at batch boundaries, before
+            // the budget checks: a kill here resumes into the same
+            // checks the uninterrupted run would perform next.
+            maybeCheckpoint(res, /*force=*/false);
+        }
 
+        if (opts.stopFlag &&
+            opts.stopFlag->load(std::memory_order_relaxed)) {
+            res.stop = ExploreStop::Interrupted;
+            break;
+        }
         if (res.runs >= opts.budget.maxRuns) {
             res.stop = ExploreStop::RunBudget;
             break;
@@ -153,6 +202,9 @@ Explorer::run()
         }
     }
 
+    // Final snapshot so a clean shutdown (Interrupted included) can
+    // be resumed too.
+    maybeCheckpoint(res, /*force=*/true);
     emitDone(res);
     return res;
 }
@@ -194,7 +246,12 @@ Explorer::emitBatch(const ExploreBatchStats &stats) const
                 << ",\"new_edges\":" << stats.newEdges
                 << ",\"nt_spawned\":" << stats.ntSpawned
                 << ",\"nt_early_stops\":" << stats.ntEarlyStops
+                << ",\"failed\":" << stats.failedJobs
                 << "}\n";
+    // Crash safety: a consumer tailing the stream (or reading it
+    // after a kill) always sees whole lines up to the last finished
+    // batch.
+    opts.jsonl->flush();
 }
 
 void
@@ -206,6 +263,7 @@ Explorer::emitDone(const ExploreResult &res) const
                 << exploreStopName(res.stop)
                 << "\",\"batches\":" << res.batches
                 << ",\"runs\":" << res.runs
+                << ",\"failed\":" << res.failedJobs
                 << ",\"instructions\":" << res.instructions
                 << ",\"nt_spawned\":" << res.ntSpawned
                 << ",\"corpus\":" << corp.size()
@@ -213,6 +271,11 @@ Explorer::emitDone(const ExploreResult &res) const
                 << corp.frontier().takenCovered()
                 << ",\"edges_combined\":"
                 << corp.frontier().combinedCovered() << "}\n";
+    // Terminal record: every clean shutdown (checkpoint-triggered
+    // included) ends the stream the same way, so "no stopped line"
+    // reliably means the session died hard.
+    *opts.jsonl << "{\"event\":\"stopped\",\"cause\":\""
+                << exploreStopName(res.stop) << "\"}\n";
     opts.jsonl->flush();
 }
 

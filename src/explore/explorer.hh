@@ -60,6 +60,7 @@ enum class ExploreStop : uint8_t
     InstructionBudget,  //!< maxInstructions exhausted
     Plateau,            //!< plateauBatches dry batches in a row
     NoSeeds,            //!< nothing to schedule (empty seed set)
+    Interrupted,        //!< options().stopFlag was raised
 };
 
 const char *exploreStopName(ExploreStop stop);
@@ -85,6 +86,16 @@ struct ExploreOptions
     /** Campaign workers; 0 = defaultWorkerCount() (PE_JOBS). */
     unsigned threads = 0;
 
+    /**
+     * Failure policy forwarded to every batch campaign.  Under
+     * Continue/Retry a failed job costs its run-budget slot but the
+     * exploration keeps going; stats count it in failedJobs.
+     */
+    core::FailPolicy failPolicy;
+
+    /** Per-run wall-clock deadline (see CampaignOptions); 0 = off. */
+    std::chrono::milliseconds jobDeadline{0};
+
     /** Optional detector attached to every run. */
     core::DetectorFactory detectorFactory;
 
@@ -102,6 +113,35 @@ struct ExploreOptions
 
     /** Workload name stamped into the JSONL header. */
     std::string label;
+
+    /**
+     * Checkpoint file; empty disables checkpointing.  Written at
+     * batch boundaries (every checkpointEvery batches, and once more
+     * at shutdown) via write-temp-then-atomic-rename, so a kill -9
+     * at any moment leaves either the previous or the new checkpoint
+     * intact, never a torn file.
+     */
+    std::string checkpointPath;
+
+    /** Batches between checkpoints (>= 1). */
+    uint64_t checkpointEvery = 1;
+
+    /**
+     * Resume from this checkpoint file instead of running the seed
+     * batch.  The checkpoint must match this session's config hash,
+     * seed, schedule policy and program; the continuation is then
+     * bit-identical to the uninterrupted run.  The *same seeds* must
+     * be passed again (the mutator alphabet is rebuilt from them).
+     */
+    std::string resumeFrom;
+
+    /**
+     * Cooperative stop: checked at every batch boundary; when it
+     * reads true the loop stops with ExploreStop::Interrupted after
+     * writing a final checkpoint (if checkpointPath is set).  Wire a
+     * signal handler's flag here for clean Ctrl-C shutdown.
+     */
+    const std::atomic<bool> *stopFlag = nullptr;
 };
 
 /** Per-batch progress snapshot (one JSONL line each). */
@@ -117,15 +157,17 @@ struct ExploreBatchStats
     uint64_t newEdges = 0;          //!< frontier growth this batch
     uint64_t ntSpawned = 0;         //!< NT-Paths spawned this batch
     uint64_t ntEarlyStops = 0;      //!< capacity/max-length stops
+    uint64_t failedJobs = 0;        //!< jobs with no result this batch
 };
 
 struct ExploreResult
 {
     ExploreStop stop = ExploreStop::RunBudget;
     uint64_t batches = 0;
-    uint64_t runs = 0;
+    uint64_t runs = 0;              //!< results and failures both count
     uint64_t instructions = 0;      //!< taken + NT, all runs
     uint64_t ntSpawned = 0;
+    uint64_t failedJobs = 0;        //!< jobs that produced no result
     std::vector<ExploreBatchStats> history;
 };
 
@@ -154,6 +196,11 @@ class Explorer
     void emitBatch(const ExploreBatchStats &stats) const;
     void emitDone(const ExploreResult &res) const;
 
+    // Checkpoint/resume (checkpoint.cc).
+    void writeCheckpoint(const ExploreResult &res) const;
+    void resume(ExploreResult &res);
+    void maybeCheckpoint(const ExploreResult &res, bool force);
+
     const isa::Program &program;
     std::vector<std::vector<int32_t>> seeds;
     ExploreOptions opts;
@@ -162,6 +209,7 @@ class Explorer
     Scheduler sched;
     Rng donorRng;
     uint32_t dryBatches = 0;
+    uint64_t lastCheckpointBatch = 0;
 };
 
 } // namespace pe::explore

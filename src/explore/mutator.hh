@@ -58,6 +58,14 @@ class Mutator
 
     const std::vector<int32_t> &alphabet() const { return values; }
 
+    /**
+     * RNG stream position, for explorer checkpoint/resume.  The
+     * alphabet itself is not checkpointed: it is a pure function of
+     * the observed seeds, which the resuming explorer re-observes.
+     */
+    uint64_t rngState() const { return rng.rawState(); }
+    void setRngState(uint64_t s) { rng.setRawState(s); }
+
   private:
     int32_t pickValue();
 

@@ -50,6 +50,10 @@ class Scheduler
     /** The energy of one entry under the current policy. */
     double energy(const CorpusEntry &entry) const;
 
+    /** RNG stream position, for explorer checkpoint/resume. */
+    uint64_t rngState() const { return rng.rawState(); }
+    void setRngState(uint64_t s) { rng.setRawState(s); }
+
   private:
     SchedulePolicy policy;
     Rng rng;

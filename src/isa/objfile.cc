@@ -10,6 +10,7 @@
 #include <istream>
 #include <ostream>
 
+#include "src/support/faultinject.hh"
 #include "src/support/status.hh"
 
 namespace pe::isa
@@ -200,6 +201,7 @@ loadObject(std::istream &is)
 void
 saveObjectFile(const Program &program, const std::string &path)
 {
+    fault::site("objfile.write");
     std::ofstream os(path, std::ios::binary);
     if (!os)
         pe_fatal("cannot write '", path, "'");

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Fault-injection registry implementation.
+ */
+
+#include "src/support/faultinject.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <thread>
+
+#include "src/support/status.hh"
+
+namespace pe::fault
+{
+
+namespace detail
+{
+
+std::atomic<uint32_t> armedCount{0};
+
+} // namespace detail
+
+namespace
+{
+
+std::mutex registryMtx;
+std::vector<FaultPlan> plans;               //!< guarded by registryMtx
+std::map<std::string, uint64_t> hitCounts;  //!< guarded by registryMtx
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Throw: return "throw";
+      case FaultKind::BadAlloc: return "bad_alloc";
+      case FaultKind::Stall: return "stall";
+    }
+    return "?";
+}
+
+std::string
+FaultPlan::str() const
+{
+    std::string s = "site=" + site;
+    s += ",hit=" + std::to_string(hit);
+    s += ",count=" + std::to_string(count);
+    s += std::string(",kind=") + faultKindName(kind);
+    s += ",stall_ms=" + std::to_string(stallMs);
+    s += ",msg=" + message;
+    return s;
+}
+
+namespace
+{
+
+uint64_t
+parseU64(const std::string &value, const char *key)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        pe_fatal("fault plan: bad ", key, " value '", value, "'");
+    return v;
+}
+
+} // namespace
+
+FaultPlan
+parsePlan(const std::string &spec)
+{
+    FaultPlan plan;
+    bool haveSite = false;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string pair = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (pair.empty())
+            continue;
+        size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            pe_fatal("fault plan: expected key=value, got '", pair, "'");
+        std::string key = pair.substr(0, eq);
+        std::string value = pair.substr(eq + 1);
+        if (key == "site") {
+            plan.site = value;
+            haveSite = true;
+        } else if (key == "hit") {
+            plan.hit = parseU64(value, "hit");
+            if (plan.hit == 0)
+                pe_fatal("fault plan: hit is 1-based, got 0");
+        } else if (key == "count") {
+            plan.count = parseU64(value, "count");
+        } else if (key == "kind") {
+            if (value == "throw")
+                plan.kind = FaultKind::Throw;
+            else if (value == "bad_alloc")
+                plan.kind = FaultKind::BadAlloc;
+            else if (value == "stall")
+                plan.kind = FaultKind::Stall;
+            else
+                pe_fatal("fault plan: unknown kind '", value, "'");
+        } else if (key == "stall_ms") {
+            plan.stallMs =
+                static_cast<uint32_t>(parseU64(value, "stall_ms"));
+        } else if (key == "msg") {
+            plan.message = value;
+        } else {
+            pe_fatal("fault plan: unknown key '", key, "'");
+        }
+    }
+    if (!haveSite || plan.site.empty())
+        pe_fatal("fault plan: missing site= in '", spec, "'");
+    return plan;
+}
+
+std::vector<FaultPlan>
+parsePlanList(const std::string &specs)
+{
+    std::vector<FaultPlan> out;
+    size_t pos = 0;
+    while (pos <= specs.size()) {
+        size_t semi = specs.find(';', pos);
+        if (semi == std::string::npos)
+            semi = specs.size();
+        std::string one = specs.substr(pos, semi - pos);
+        if (!one.empty())
+            out.push_back(parsePlan(one));
+        pos = semi + 1;
+    }
+    return out;
+}
+
+void
+armPlans(std::vector<FaultPlan> newPlans)
+{
+    std::lock_guard lock(registryMtx);
+    plans = std::move(newPlans);
+    hitCounts.clear();
+    detail::armedCount.store(static_cast<uint32_t>(plans.size()),
+                             std::memory_order_relaxed);
+}
+
+void
+disarmAll()
+{
+    armPlans({});
+}
+
+std::vector<FaultPlan>
+armedPlans()
+{
+    std::lock_guard lock(registryMtx);
+    return plans;
+}
+
+uint64_t
+siteHits(const std::string &name)
+{
+    std::lock_guard lock(registryMtx);
+    auto it = hitCounts.find(name);
+    return it == hitCounts.end() ? 0 : it->second;
+}
+
+namespace detail
+{
+
+void
+siteSlow(const char *name)
+{
+    FaultKind kind = FaultKind::Throw;
+    uint32_t stallMs = 0;
+    std::string message;
+    uint64_t firedHit = 0;
+    {
+        std::lock_guard lock(registryMtx);
+        if (plans.empty())
+            return;     // disarmed between the fast path and here
+        uint64_t h = ++hitCounts[name];
+        for (const FaultPlan &plan : plans) {
+            if (plan.site != name || h < plan.hit)
+                continue;
+            if (plan.count != 0 && h >= plan.hit + plan.count)
+                continue;
+            kind = plan.kind;
+            stallMs = plan.stallMs;
+            message = plan.message;
+            firedHit = h;
+            break;
+        }
+    }
+    if (!firedHit)
+        return;
+    switch (kind) {
+      case FaultKind::Throw:
+        throw FatalError(message + " (injected at site '" +
+                         std::string(name) + "' hit " +
+                         std::to_string(firedHit) + ")");
+      case FaultKind::BadAlloc:
+        throw std::bad_alloc();
+      case FaultKind::Stall:
+        std::this_thread::sleep_for(std::chrono::milliseconds(stallMs));
+        break;
+    }
+}
+
+} // namespace detail
+
+ScopedFaultPlan::ScopedFaultPlan(const FaultPlan &plan)
+    : ScopedFaultPlan(std::vector<FaultPlan>{plan})
+{}
+
+ScopedFaultPlan::ScopedFaultPlan(std::vector<FaultPlan> newPlans)
+    : saved(armedPlans())
+{
+    armPlans(std::move(newPlans));
+}
+
+ScopedFaultPlan::~ScopedFaultPlan()
+{
+    armPlans(std::move(saved));
+}
+
+namespace
+{
+
+/** Arm PE_FAULT_PLAN at process start; malformed specs warn, not die. */
+struct EnvArm
+{
+    EnvArm()
+    {
+        const char *env = std::getenv("PE_FAULT_PLAN");
+        if (!env || !*env)
+            return;
+        try {
+            armPlans(parsePlanList(env));
+        } catch (const FatalError &err) {
+            warn("PE_FAULT_PLAN ignored: ", err.what());
+        }
+    }
+} envArm;
+
+} // namespace
+
+} // namespace pe::fault

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Deterministic fault injection for host-side robustness testing.
+ *
+ * PathExpander's value proposition is surviving faults the taken path
+ * never sees; the harness around it must be just as hard to kill.
+ * Every recovery path added to the campaign runner and the explorer
+ * (failure policies, retries, checkpoint/resume) is exercised by
+ * *armed* faults rather than trusted: code declares named sites
+ * (`fault::site("campaign.run_job")`) and a test or CI run arms a
+ * `FaultPlan` — "throw FatalError on hit N of site S", "simulate
+ * bad_alloc", "stall M ms" — against them.
+ *
+ * Cost when nothing is armed: one relaxed atomic load and a
+ * predictable branch per site hit.  Sites never pay for string
+ * comparison, locking, or counting unless a plan is armed.
+ *
+ * Site naming convention: `<area>.<operation>`, lower-case, dots as
+ * separators — `campaign.run_job`, `explore.batch_merge`,
+ * `explore.checkpoint_write`, `objfile.write`.
+ *
+ * Plans can be armed from the environment for CLI/CI use:
+ * `PE_FAULT_PLAN` holds a ';'-separated list of plan specs (see
+ * `parsePlan`), armed once at process start.
+ */
+
+#ifndef PE_SUPPORT_FAULTINJECT_HH
+#define PE_SUPPORT_FAULTINJECT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pe::fault
+{
+
+/** What an armed plan does when it fires. */
+enum class FaultKind : uint8_t
+{
+    Throw,      //!< throw pe::FatalError (a failing job)
+    BadAlloc,   //!< throw std::bad_alloc (resource exhaustion)
+    Stall,      //!< sleep stallMs (a slow job, for watchdog paths)
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One armed fault: which site, which hits, what happens. */
+struct FaultPlan
+{
+    /** Site name the plan matches (exact). */
+    std::string site;
+
+    /** First firing hit of the site, 1-based. */
+    uint64_t hit = 1;
+
+    /** Consecutive hits that fire from `hit` on; 0 = every later hit. */
+    uint64_t count = 1;
+
+    FaultKind kind = FaultKind::Throw;
+
+    /** Stall duration for FaultKind::Stall, in milliseconds. */
+    uint32_t stallMs = 1;
+
+    /** Message carried by the injected FatalError. */
+    std::string message = "injected fault";
+
+    /**
+     * Canonical spec string: `site=S,hit=N,count=M,kind=K,
+     * stall_ms=T,msg=...`.  `parsePlan(p.str()) == p` for every plan.
+     */
+    std::string str() const;
+
+    bool operator==(const FaultPlan &other) const = default;
+};
+
+/**
+ * Parse one plan spec: comma-separated `key=value` pairs with keys
+ * `site` (required), `hit`, `count`, `kind` (`throw`, `bad_alloc`,
+ * `stall`), `stall_ms`, `msg`.  Messages may not contain ',' or ';'.
+ * Throws FatalError on malformed specs.
+ */
+FaultPlan parsePlan(const std::string &spec);
+
+/** Parse a ';'-separated plan list (the PE_FAULT_PLAN format). */
+std::vector<FaultPlan> parsePlanList(const std::string &specs);
+
+/**
+ * Arm @p plans, replacing whatever was armed, and reset every site's
+ * hit counter so `hit` is counted from the moment of arming.
+ */
+void armPlans(std::vector<FaultPlan> plans);
+
+/** Disarm everything (sites return to the one-load fast path). */
+void disarmAll();
+
+/** Currently armed plans (empty when disarmed). */
+std::vector<FaultPlan> armedPlans();
+
+/** Hits of @p name since the last armPlans(); 0 while disarmed. */
+uint64_t siteHits(const std::string &name);
+
+namespace detail
+{
+
+/** Number of armed plans; the site() fast-path gate. */
+extern std::atomic<uint32_t> armedCount;
+
+void siteSlow(const char *name);
+
+} // namespace detail
+
+/**
+ * Declare a fault-injection site.  With no plan armed this is one
+ * relaxed load; with plans armed the hit is counted and a matching
+ * plan fires (throws or stalls) on its configured hits.
+ */
+inline void
+site(const char *name)
+{
+    if (detail::armedCount.load(std::memory_order_relaxed) == 0)
+        return;
+    detail::siteSlow(name);
+}
+
+/**
+ * RAII plan arming for tests: arms on construction, restores the
+ * previously armed set (e.g. PE_FAULT_PLAN plans) on destruction.
+ */
+class ScopedFaultPlan
+{
+  public:
+    explicit ScopedFaultPlan(const FaultPlan &plan);
+    explicit ScopedFaultPlan(std::vector<FaultPlan> plans);
+    ~ScopedFaultPlan();
+
+    ScopedFaultPlan(const ScopedFaultPlan &) = delete;
+    ScopedFaultPlan &operator=(const ScopedFaultPlan &) = delete;
+
+  private:
+    std::vector<FaultPlan> saved;
+};
+
+} // namespace pe::fault
+
+#endif // PE_SUPPORT_FAULTINJECT_HH

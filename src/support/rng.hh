@@ -48,6 +48,14 @@ class Rng
      */
     Rng fork(uint64_t salt) const;
 
+    /**
+     * Checkpoint support: the raw SplitMix64 state word.  A stream
+     * restored with setRawState continues bit-identically to one
+     * that was never interrupted.
+     */
+    uint64_t rawState() const { return state; }
+    void setRawState(uint64_t s) { state = s; }
+
   private:
     uint64_t state;
 };

@@ -43,6 +43,21 @@ ThreadPool::submit(std::function<void()> task)
     wake.notify_one();
 }
 
+size_t
+ThreadPool::cancelPending()
+{
+    size_t dropped;
+    {
+        std::lock_guard lock(mtx);
+        dropped = queue.size();
+        queue.clear();
+        inFlight -= dropped;
+        if (inFlight == 0)
+            idle.notify_all();
+    }
+    return dropped;
+}
+
 void
 ThreadPool::waitIdle()
 {

@@ -47,6 +47,15 @@ class ThreadPool
     /** Block until every submitted task has finished running. */
     void waitIdle();
 
+    /**
+     * Drop every task that is still queued (not yet picked up by a
+     * worker) without running it; tasks already executing finish
+     * normally.  Returns the number of tasks dropped.  The campaign
+     * runner's FailFast policy uses this so one doomed campaign does
+     * not burn cores on results that will be discarded.
+     */
+    size_t cancelPending();
+
   private:
     void workerLoop();
 
