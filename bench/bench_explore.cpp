@@ -28,6 +28,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 
 #include "bench_util.hh"
 #include "src/explore/explorer.hh"
@@ -53,7 +54,8 @@ struct Arm
 
 Arm
 runExplorer(const App &app, explore::SchedulePolicy policy,
-            core::PeMode mode, uint64_t budget, std::ostream *jsonl)
+            core::PeMode mode, uint64_t budget, std::ostream *jsonl,
+            bool staticPriors = false)
 {
     explore::ExploreOptions opts;
     opts.config = appConfig(app, mode);
@@ -61,9 +63,11 @@ runExplorer(const App &app, explore::SchedulePolicy policy,
     opts.budget.maxRuns = budget;
     opts.batchSize = 8;
     opts.jsonl = jsonl;
+    opts.useStaticPriors = staticPriors;
     opts.label = app.workload->name + "/" +
                  explore::schedulePolicyName(policy) + "/" +
-                 core::peModeName(mode);
+                 core::peModeName(mode) +
+                 (staticPriors ? "/priors" : "");
 
     // Seed with a few suite inputs only: the explorer must *find*
     // the rest of the behavior the full static suite was given.
@@ -122,8 +126,9 @@ main()
         core::PeConfig::forMode(core::PeMode::Standard));
 
     Table table({"App", "Budget", "Static suite", "Uniform-random",
-                 "Rare-edge", "Rare-edge (PE off)"});
+                 "Rare-edge", "Rare+priors", "Rare-edge (PE off)"});
     bool guidedMatches = true;
+    int priorWins = 0;      //!< apps where prior-seeded >= uniform
     uint64_t totalRuns = 0;
     auto wallStart = std::chrono::steady_clock::now();
     for (const char *name : kWorkloads) {
@@ -139,6 +144,13 @@ main()
         Arm rare = runExplorer(
             app, explore::SchedulePolicy::RareEdgeWeighted,
             core::PeMode::Standard, armBudget, &jsonl);
+        // Cold-start comparison: identical configuration to `rare`
+        // except the scheduler's initial energy distribution comes
+        // from the static branch priors (analysis::BranchPriors).
+        Arm prior = runExplorer(
+            app, explore::SchedulePolicy::RareEdgeWeighted,
+            core::PeMode::Standard, armBudget, &jsonl,
+            /*staticPriors=*/true);
         Arm rareOff = runExplorer(
             app, explore::SchedulePolicy::RareEdgeWeighted,
             core::PeMode::Off, armBudget, &jsonl);
@@ -148,19 +160,23 @@ main()
                    std::to_string(a.runs) + " runs";
         };
         table.addRow({name, std::to_string(armBudget), cell(stat),
-                      cell(uniform), cell(rare), cell(rareOff)});
+                      cell(uniform), cell(rare), cell(prior),
+                      cell(rareOff)});
 
         guidedMatches = guidedMatches && rare.edges >= stat.edges &&
                         rare.runs <= stat.runs;
+        if (prior.edges >= uniform.edges)
+            ++priorWins;
 
         totalRuns += stat.runs + uniform.runs + rare.runs +
-                     rareOff.runs;
+                     prior.runs + rareOff.runs;
 
         std::string prefix = std::string(name) + "_";
         json.setInt(prefix + "budget", armBudget);
         json.setInt(prefix + "static_edges", stat.edges);
         json.setInt(prefix + "uniform_edges", uniform.edges);
         json.setInt(prefix + "rare_edges", rare.edges);
+        json.setInt(prefix + "prior_edges", prior.edges);
         json.setInt(prefix + "rare_edges_pe_off", rareOff.edges);
         json.setInt(prefix + "rare_runs", rare.runs);
         json.setInt(prefix + "rare_corpus", rare.corpus);
@@ -172,6 +188,10 @@ main()
                                 : "DOES NOT match")
               << " the static suite on every app at <= the same "
                  "number of runs.\n"
+              << "Prior-seeded cold start matches or beats uniform "
+                 "on "
+              << priorWins << "/" << std::size(kWorkloads)
+              << " apps.\n"
               << "JSONL stream: " << jsonlPath << "\n";
 
     std::chrono::duration<double> wall =
@@ -182,13 +202,16 @@ main()
               << " runs/s).\n";
 
     json.setInt("guided_matches_static", guidedMatches ? 1 : 0);
+    json.setInt("prior_beats_uniform_apps", priorWins);
     json.setInt("custom_budget", customBudget ? 1 : 0);
     json.setInt("total_runs", totalRuns);
     json.set("wall_seconds", wall.count());
     json.set("runs_per_second", totalRuns / wall.count());
     json.write();
 
-    // The suite-parity gate is part of the bench contract only at
-    // the default budget; tiny smoke budgets just record numbers.
-    return (!customBudget && !guidedMatches) ? 1 : 0;
+    // The suite-parity and prior-vs-uniform gates are part of the
+    // bench contract only at the default budget; tiny smoke budgets
+    // just record numbers.
+    return (!customBudget && (!guidedMatches || priorWins < 2)) ? 1
+                                                                : 0;
 }

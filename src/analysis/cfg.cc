@@ -1,0 +1,301 @@
+/**
+ * @file
+ * CFG construction, reverse postorder and dominators.
+ */
+
+#include "src/analysis/cfg.hh"
+
+#include <algorithm>
+
+#include "src/support/status.hh"
+
+namespace pe::analysis
+{
+
+namespace
+{
+
+using isa::Opcode;
+
+/** True when the instruction at @p pc never falls through to pc+1. */
+bool
+isTerminator(const isa::Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Jmp:
+      case Opcode::Jr:
+        return true;
+      case Opcode::Sys:
+        return static_cast<isa::Syscall>(inst.imm) ==
+               isa::Syscall::Exit;
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt:
+        // A conditional branch ends its block but still falls
+        // through on the not-taken direction.
+        return false;
+      default:
+        return false;
+    }
+}
+
+/** True when the instruction at @p pc ends a basic block. */
+bool
+endsBlock(const isa::Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt:
+      case Opcode::Jmp:
+      case Opcode::Jal:
+      case Opcode::Jr:
+        return true;
+      case Opcode::Sys:
+        return static_cast<isa::Syscall>(inst.imm) ==
+               isa::Syscall::Exit;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+const char *
+edgeKindName(EdgeKind kind)
+{
+    switch (kind) {
+      case EdgeKind::FallThrough: return "fall-through";
+      case EdgeKind::BranchTaken: return "branch-taken";
+      case EdgeKind::BranchNotTaken: return "branch-not-taken";
+      case EdgeKind::Jump: return "jump";
+      case EdgeKind::Call: return "call";
+      case EdgeKind::CallReturn: return "call-return";
+    }
+    return "?";
+}
+
+Cfg::Cfg(const isa::Program &program)
+    : prog(&program)
+{
+    const auto &code = program.code;
+    const size_t n = code.size();
+    if (n == 0)
+        return;
+
+    // Leaders: pc 0, the entry, function starts, every statically
+    // valid branch/jump/call target, and the instruction after any
+    // block-ending instruction.
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    if (program.entry < n)
+        leader[program.entry] = true;
+    for (const auto &f : program.funcs) {
+        if (f.startPc < n)
+            leader[f.startPc] = true;
+    }
+    for (size_t pc = 0; pc < n; ++pc) {
+        const isa::Instruction &inst = code[pc];
+        switch (inst.op) {
+          case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+          case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt:
+          case Opcode::Jmp:
+          case Opcode::Jal:
+            if (staticTargetValid(inst, n))
+                leader[static_cast<size_t>(inst.imm)] = true;
+            break;
+          default:
+            break;
+        }
+        if (endsBlock(inst) && pc + 1 < n)
+            leader[pc + 1] = true;
+    }
+
+    // Blocks tile [0, n).
+    pcBlock.assign(n, noBlock);
+    for (size_t pc = 0; pc < n; ++pc) {
+        if (leader[pc]) {
+            BasicBlock b;
+            b.firstPc = static_cast<uint32_t>(pc);
+            b.lastPc = static_cast<uint32_t>(pc);
+            blockList.push_back(b);
+        }
+        pcBlock[pc] = static_cast<uint32_t>(blockList.size() - 1);
+        blockList.back().lastPc = static_cast<uint32_t>(pc);
+    }
+
+    // Edges.
+    auto addEdge = [&](uint32_t fromBlock, uint32_t toPc,
+                       EdgeKind kind) {
+        CfgEdge e;
+        e.from = fromBlock;
+        e.to = pcBlock[toPc];
+        e.kind = kind;
+        uint32_t idx = static_cast<uint32_t>(edgeList.size());
+        edgeList.push_back(e);
+        blockList[e.from].succs.push_back(idx);
+        blockList[e.to].preds.push_back(idx);
+    };
+    for (uint32_t id = 0; id < blockList.size(); ++id) {
+        const uint32_t last = blockList[id].lastPc;
+        const isa::Instruction &inst = code[last];
+        const bool validTarget = staticTargetValid(inst, n);
+        switch (inst.op) {
+          case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+          case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt:
+            // An invalid target crashes before either edge; a
+            // fall-through off the program end is flagged by the
+            // verifier, not edged.
+            if (validTarget) {
+                addEdge(id, static_cast<uint32_t>(inst.imm),
+                        EdgeKind::BranchTaken);
+                if (last + 1 < n)
+                    addEdge(id, last + 1, EdgeKind::BranchNotTaken);
+            }
+            break;
+          case Opcode::Jmp:
+            if (validTarget) {
+                addEdge(id, static_cast<uint32_t>(inst.imm),
+                        EdgeKind::Jump);
+            }
+            break;
+          case Opcode::Jal:
+            if (validTarget) {
+                addEdge(id, static_cast<uint32_t>(inst.imm),
+                        EdgeKind::Call);
+                if (last + 1 < n)
+                    addEdge(id, last + 1, EdgeKind::CallReturn);
+            }
+            break;
+          case Opcode::Jr:
+            break;
+          default:
+            if (!isTerminator(inst) && last + 1 < n)
+                addEdge(id, last + 1, EdgeKind::FallThrough);
+            break;
+        }
+    }
+
+    // Reachability from the entry, across every edge kind.
+    reach.assign(blockList.size(), false);
+    if (program.entry < n) {
+        std::vector<uint32_t> stack{pcBlock[program.entry]};
+        reach[stack.back()] = true;
+        while (!stack.empty()) {
+            uint32_t b = stack.back();
+            stack.pop_back();
+            for (uint32_t e : blockList[b].succs) {
+                uint32_t to = edgeList[e].to;
+                if (!reach[to]) {
+                    reach[to] = true;
+                    stack.push_back(to);
+                }
+            }
+        }
+    }
+}
+
+std::vector<uint32_t>
+Cfg::reversePostOrder(uint32_t rootBlock, bool intraprocedural) const
+{
+    pe_assert(rootBlock < blockList.size(), "rpo root out of range");
+    std::vector<uint32_t> post;
+    post.reserve(blockList.size());
+    std::vector<uint8_t> state(blockList.size(), 0);   // 0/1/2
+
+    // Iterative DFS with an explicit (block, next-succ) stack.
+    std::vector<std::pair<uint32_t, size_t>> stack;
+    stack.emplace_back(rootBlock, 0);
+    state[rootBlock] = 1;
+    while (!stack.empty()) {
+        auto &[b, next] = stack.back();
+        const auto &succs = blockList[b].succs;
+        bool descended = false;
+        while (next < succs.size()) {
+            const CfgEdge &e = edgeList[succs[next++]];
+            if (intraprocedural && e.kind == EdgeKind::Call)
+                continue;
+            if (state[e.to] == 0) {
+                state[e.to] = 1;
+                stack.emplace_back(e.to, 0);
+                descended = true;
+                break;
+            }
+        }
+        if (!descended && !stack.empty() &&
+            stack.back().first == b && stack.back().second >=
+                succs.size()) {
+            state[b] = 2;
+            post.push_back(b);
+            stack.pop_back();
+        }
+    }
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+std::vector<uint32_t>
+Cfg::dominators(uint32_t rootBlock) const
+{
+    // Cooper, Harvey & Kennedy, "A Simple, Fast Dominance Algorithm":
+    // iterate intersect() over the reverse postorder to fixpoint.
+    std::vector<uint32_t> rpo =
+        reversePostOrder(rootBlock, /*intraprocedural=*/true);
+    std::vector<uint32_t> rpoIndex(blockList.size(), noBlock);
+    for (uint32_t i = 0; i < rpo.size(); ++i)
+        rpoIndex[rpo[i]] = i;
+
+    std::vector<uint32_t> idom(blockList.size(), noBlock);
+    idom[rootBlock] = rootBlock;
+
+    auto intersect = [&](uint32_t a, uint32_t b) {
+        while (a != b) {
+            while (rpoIndex[a] > rpoIndex[b])
+                a = idom[a];
+            while (rpoIndex[b] > rpoIndex[a])
+                b = idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b : rpo) {
+            if (b == rootBlock)
+                continue;
+            uint32_t newIdom = noBlock;
+            for (uint32_t e : blockList[b].preds) {
+                const CfgEdge &edge = edgeList[e];
+                if (edge.kind == EdgeKind::Call)
+                    continue;
+                uint32_t p = edge.from;
+                if (rpoIndex[p] == noBlock || idom[p] == noBlock)
+                    continue;   // pred not reachable from the root
+                newIdom = newIdom == noBlock ? p
+                                             : intersect(newIdom, p);
+            }
+            if (newIdom != noBlock && idom[b] != newIdom) {
+                idom[b] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    return idom;
+}
+
+bool
+Cfg::dominates(const std::vector<uint32_t> &idom, uint32_t a,
+               uint32_t b)
+{
+    if (b >= idom.size() || idom[b] == noBlock)
+        return false;
+    while (true) {
+        if (b == a)
+            return true;
+        uint32_t up = idom[b];
+        if (up == b)
+            return false;   // reached the root without meeting a
+        b = up;
+    }
+}
+
+} // namespace pe::analysis

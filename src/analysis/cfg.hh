@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Control-flow graph over an isa::Program.
+ *
+ * The CFG is the foundation of the static-analysis layer: basic
+ * blocks tile the whole code array (unreachable ones included, so the
+ * verifier can flag them), edges carry a kind (fall-through, the two
+ * conditional-branch directions, jump, call, call-return), and the
+ * usual orders and relations — reverse postorder, dominators — are
+ * derived per root on demand.
+ *
+ * Edge construction mirrors the interpreter exactly:
+ *
+ *  - a conditional branch with a statically valid target has a
+ *    BranchTaken edge to the target and a BranchNotTaken edge to the
+ *    fall-through;
+ *  - Jmp/Jal with valid targets get Jump / Call edges; a Jal also
+ *    gets a CallReturn edge to pc+1, modelling the callee's eventual
+ *    return under the MiniC calling convention;
+ *  - Jr has no static successors (the return is modelled by the
+ *    caller's CallReturn edge);
+ *  - `Sys exit` terminates; every other instruction falls through;
+ *  - statically invalid branch/jump targets produce *no* edge — the
+ *    interpreter raises BadJump there, so the edge can never be
+ *    walked.
+ *
+ * `staticTargetValid` is the single source of truth for "statically
+ * valid branch target"; `sim::DecodedProgram` classifies against the
+ * same predicate, so decode-time validation and the CFG can never
+ * disagree.
+ */
+
+#ifndef PE_ANALYSIS_CFG_HH
+#define PE_ANALYSIS_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/isa/program.hh"
+
+namespace pe::analysis
+{
+
+/**
+ * True when @p inst's immediate is a statically valid code index for
+ * a direct branch/jump in a program of @p codeSize instructions.
+ * Shared by the CFG builder and sim::DecodedProgram's classifier.
+ */
+inline bool
+staticTargetValid(const isa::Instruction &inst, size_t codeSize)
+{
+    return inst.imm >= 0 && static_cast<size_t>(inst.imm) < codeSize;
+}
+
+/** How control moves along a CFG edge. */
+enum class EdgeKind : uint8_t
+{
+    FallThrough,        //!< straight-line successor
+    BranchTaken,        //!< conditional branch, taken direction
+    BranchNotTaken,     //!< conditional branch, fall-through direction
+    Jump,               //!< unconditional Jmp
+    Call,               //!< Jal into the callee
+    CallReturn,         //!< Jal to pc+1: the callee's eventual return
+};
+
+const char *edgeKindName(EdgeKind kind);
+
+/** One directed edge between basic blocks. */
+struct CfgEdge
+{
+    uint32_t from = 0;          //!< source block id
+    uint32_t to = 0;            //!< destination block id
+    EdgeKind kind = EdgeKind::FallThrough;
+};
+
+/**
+ * A maximal single-entry straight-line run of instructions,
+ * [firstPc, lastPc] inclusive.  succs/preds index into Cfg::edges().
+ */
+struct BasicBlock
+{
+    uint32_t firstPc = 0;
+    uint32_t lastPc = 0;
+    std::vector<uint32_t> succs;    //!< outgoing edge indices
+    std::vector<uint32_t> preds;    //!< incoming edge indices
+};
+
+/** Sentinel block/rpo index for "none". */
+constexpr uint32_t noBlock = UINT32_MAX;
+
+class Cfg
+{
+  public:
+    explicit Cfg(const isa::Program &program);
+
+    const isa::Program &program() const { return *prog; }
+
+    size_t numBlocks() const { return blockList.size(); }
+    const BasicBlock &block(uint32_t id) const { return blockList[id]; }
+    const std::vector<BasicBlock> &blocks() const { return blockList; }
+    const std::vector<CfgEdge> &edges() const { return edgeList; }
+
+    /** Block containing @p pc (noBlock when pc is out of range). */
+    uint32_t blockOf(uint32_t pc) const
+    {
+        return pc < pcBlock.size() ? pcBlock[pc] : noBlock;
+    }
+
+    /**
+     * Per-block reachability from the program entry, following every
+     * edge kind (function bodies become reachable through Call
+     * edges).  Empty programs have no blocks and an empty vector.
+     */
+    const std::vector<bool> &reachable() const { return reach; }
+
+    /**
+     * Blocks in reverse postorder of the depth-first traversal from
+     * @p rootBlock.  @p intraprocedural drops Call edges so the walk
+     * stays inside one function (the CallReturn edge keeps the
+     * post-call code connected).
+     */
+    std::vector<uint32_t> reversePostOrder(uint32_t rootBlock,
+                                           bool intraprocedural) const;
+
+    /**
+     * Immediate dominators of every block reachable from
+     * @p rootBlock, over intraprocedural edges (Cooper-Harvey-Kennedy
+     * over the reverse postorder).  idom[rootBlock] == rootBlock;
+     * unreachable blocks get noBlock.
+     */
+    std::vector<uint32_t> dominators(uint32_t rootBlock) const;
+
+    /** True when @p a dominates @p b under @p idom from dominators(). */
+    static bool dominates(const std::vector<uint32_t> &idom,
+                          uint32_t a, uint32_t b);
+
+  private:
+    const isa::Program *prog;
+    std::vector<BasicBlock> blockList;
+    std::vector<CfgEdge> edgeList;
+    std::vector<uint32_t> pcBlock;      //!< pc -> block id
+    std::vector<bool> reach;
+};
+
+} // namespace pe::analysis
+
+#endif // PE_ANALYSIS_CFG_HH

@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Dataflow pass implementations: register effects, must-defined
+ * registers, liveness, reaching definitions over cells.
+ */
+
+#include "src/analysis/dataflow.hh"
+
+#include <algorithm>
+
+#include "src/isa/regs.hh"
+#include "src/support/status.hh"
+
+namespace pe::analysis
+{
+
+namespace
+{
+
+using isa::Opcode;
+using isa::Syscall;
+
+constexpr uint32_t allRegs = 0xFFFFFFFFu;
+
+uint32_t
+bit(uint8_t r)
+{
+    return 1u << r;
+}
+
+/** Sorted-vector union of @p add into @p into; true when it grew. */
+bool
+unionInto(std::vector<uint32_t> &into, const std::vector<uint32_t> &add)
+{
+    bool grew = false;
+    for (uint32_t v : add) {
+        auto it = std::lower_bound(into.begin(), into.end(), v);
+        if (it == into.end() || *it != v) {
+            into.insert(it, v);
+            grew = true;
+        }
+    }
+    return grew;
+}
+
+bool
+insertSite(std::vector<uint32_t> &into, uint32_t v)
+{
+    auto it = std::lower_bound(into.begin(), into.end(), v);
+    if (it != into.end() && *it == v)
+        return false;
+    into.insert(it, v);
+    return true;
+}
+
+} // namespace
+
+uint32_t
+regReadMask(const isa::Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+      case Opcode::Shr: case Opcode::Sra: case Opcode::Slt:
+      case Opcode::Sle: case Opcode::Seq: case Opcode::Sne:
+      case Opcode::Sgt: case Opcode::Sge:
+        return bit(inst.rs1) | bit(inst.rs2);
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Shli: case Opcode::Shri:
+      case Opcode::Slti:
+      case Opcode::Ld:
+      case Opcode::Jr:
+      case Opcode::Alloc:
+      case Opcode::Chkb:
+      case Opcode::Assert:
+      case Opcode::Unregobj:
+        return bit(inst.rs1);
+      case Opcode::St:
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt:
+      case Opcode::Regobj:
+      case Opcode::Pfixst:
+        return bit(inst.rs1) | bit(inst.rs2);
+      case Opcode::Sys:
+        switch (static_cast<Syscall>(inst.imm)) {
+          case Syscall::PrintInt:
+          case Syscall::PrintChar:
+            return bit(inst.rs1);
+          default:
+            return 0;
+        }
+      case Opcode::Nop:
+      case Opcode::Li:
+      case Opcode::Jmp:
+      case Opcode::Jal:
+      case Opcode::Pfix:
+      case Opcode::NumOpcodes:
+        return 0;
+    }
+    return 0;
+}
+
+uint32_t
+regWriteMask(const isa::Instruction &inst)
+{
+    uint32_t mask = 0;
+    switch (inst.op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+      case Opcode::Shr: case Opcode::Sra: case Opcode::Slt:
+      case Opcode::Sle: case Opcode::Seq: case Opcode::Sne:
+      case Opcode::Sgt: case Opcode::Sge:
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Shli: case Opcode::Shri:
+      case Opcode::Slti: case Opcode::Li:
+      case Opcode::Ld:
+      case Opcode::Jal:
+      case Opcode::Alloc:
+      case Opcode::Pfix:
+        mask = bit(inst.rd);
+        break;
+      case Opcode::Sys:
+        switch (static_cast<Syscall>(inst.imm)) {
+          case Syscall::ReadInt:
+          case Syscall::ReadChar:
+            mask = bit(inst.rd);
+            break;
+          default:
+            break;
+        }
+        break;
+      default:
+        break;
+    }
+    return mask & ~bit(isa::reg::zero);
+}
+
+std::vector<uint32_t>
+definedRegsIn(const Cfg &cfg, uint32_t entryDefined)
+{
+    const auto &code = cfg.program().code;
+    const size_t nb = cfg.numBlocks();
+    std::vector<uint32_t> in(nb, allRegs);
+    if (nb == 0)
+        return in;
+
+    const uint32_t entryBlock = cfg.blockOf(cfg.program().entry);
+
+    auto transfer = [&](uint32_t b) {
+        uint32_t defined = in[b];
+        const BasicBlock &blk = cfg.block(b);
+        for (uint32_t pc = blk.firstPc; pc <= blk.lastPc; ++pc) {
+            const isa::Instruction &inst = code[pc];
+            defined |= inst.op == Opcode::Jal ? allRegs
+                                              : regWriteMask(inst);
+        }
+        return defined;
+    };
+
+    if (entryBlock != noBlock)
+        in[entryBlock] = entryDefined;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b = 0; b < nb; ++b) {
+            uint32_t meet = allRegs;
+            for (uint32_t e : cfg.block(b).preds)
+                meet &= transfer(cfg.edges()[e].from);
+            if (b == entryBlock)
+                meet &= entryDefined;
+            else if (cfg.block(b).preds.empty())
+                meet = allRegs;     // unreachable: vacuous
+            if (meet != in[b]) {
+                in[b] = meet;
+                changed = true;
+            }
+        }
+    }
+    return in;
+}
+
+Liveness
+liveness(const Cfg &cfg)
+{
+    const auto &code = cfg.program().code;
+    const size_t nb = cfg.numBlocks();
+    Liveness live;
+    live.liveIn.assign(nb, 0);
+    live.liveOut.assign(nb, 0);
+
+    auto transferBack = [&](uint32_t b, uint32_t out) {
+        uint32_t v = out;
+        const BasicBlock &blk = cfg.block(b);
+        for (uint32_t pc = blk.lastPc + 1; pc-- > blk.firstPc;) {
+            const isa::Instruction &inst = code[pc];
+            // Predicated writes (Pfix) may not execute, so they do
+            // not kill liveness.
+            if (!isa::isPredicatedFix(inst.op))
+                v &= ~regWriteMask(inst);
+            v |= regReadMask(inst);
+        }
+        return v;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b = static_cast<uint32_t>(nb); b-- > 0;) {
+            uint32_t out = 0;
+            for (uint32_t e : cfg.block(b).succs)
+                out |= live.liveIn[cfg.edges()[e].to];
+            uint32_t inMask = transferBack(b, out);
+            if (out != live.liveOut[b] || inMask != live.liveIn[b]) {
+                live.liveOut[b] = out;
+                live.liveIn[b] = inMask;
+                changed = true;
+            }
+        }
+    }
+    return live;
+}
+
+uint32_t
+liveBefore(const Cfg &cfg, const Liveness &live, uint32_t pc)
+{
+    const uint32_t b = cfg.blockOf(pc);
+    pe_assert(b != noBlock, "liveBefore: pc out of range");
+    const auto &code = cfg.program().code;
+    uint32_t v = live.liveOut[b];
+    for (uint32_t q = cfg.block(b).lastPc + 1; q-- > pc;) {
+        const isa::Instruction &inst = code[q];
+        if (!isa::isPredicatedFix(inst.op))
+            v &= ~regWriteMask(inst);
+        v |= regReadMask(inst);
+    }
+    return v;
+}
+
+ReachingDefs::ReachingDefs(const Cfg &cfgRef)
+    : cfg(&cfgRef)
+{
+    const auto &code = cfg->program().code;
+
+    // Cell universe: the 32 registers plus every fp-relative and
+    // global word slot explicitly named by a Ld/St/Pfixst.
+    numCells = isa::numRegs;
+    isMemCell.assign(numCells, false);
+    auto slotCell = [&](const isa::Instruction &inst) -> void {
+        std::unordered_map<int32_t, uint32_t> *table = nullptr;
+        if (inst.rs1 == isa::reg::fp)
+            table = &fpSlotId;
+        else if (inst.rs1 == isa::reg::zero)
+            table = &globalSlotId;
+        else
+            return;
+        if (table->emplace(inst.imm, numCells).second) {
+            ++numCells;
+            isMemCell.push_back(true);
+        }
+    };
+    for (const isa::Instruction &inst : code) {
+        if (inst.op == Opcode::Ld || inst.op == Opcode::St ||
+            inst.op == Opcode::Pfixst) {
+            slotCell(inst);
+        }
+    }
+
+    const size_t nb = cfg->numBlocks();
+    in.assign(nb * numCells, CellSet{});
+    if (nb == 0)
+        return;
+
+    // Fixpoint: in[b][c] = union over preds of transfer(pred)[c].
+    auto transferCell = [&](uint32_t b, uint32_t c) {
+        CellSet set = in[b * numCells + c];
+        const BasicBlock &blk = cfg->block(b);
+        for (uint32_t pc = blk.firstPc; pc <= blk.lastPc; ++pc) {
+            switch (effectOn(code[pc], c)) {
+              case Effect::Strong:
+                set.sites.assign(1, pc);
+                set.unknown = false;
+                break;
+              case Effect::Weak:
+                insertSite(set.sites, pc);
+                break;
+              case Effect::Unknown:
+                set.unknown = true;
+                break;
+              case Effect::None:
+                break;
+            }
+        }
+        return set;
+    };
+
+    std::vector<bool> queued(nb, true);
+    std::vector<uint32_t> worklist;
+    worklist.reserve(nb);
+    for (uint32_t b = static_cast<uint32_t>(nb); b-- > 0;)
+        worklist.push_back(b);
+
+    while (!worklist.empty()) {
+        const uint32_t b = worklist.back();
+        worklist.pop_back();
+        queued[b] = false;
+        bool changed = false;
+        for (uint32_t c = 0; c < numCells; ++c) {
+            CellSet meet;
+            for (uint32_t e : cfg->block(b).preds) {
+                CellSet o = transferCell(cfg->edges()[e].from, c);
+                unionInto(meet.sites, o.sites);
+                meet.unknown = meet.unknown || o.unknown;
+            }
+            CellSet &cur = in[b * numCells + c];
+            if (meet.sites != cur.sites ||
+                meet.unknown != cur.unknown) {
+                cur = std::move(meet);
+                changed = true;
+            }
+        }
+        if (changed) {
+            for (uint32_t e : cfg->block(b).succs) {
+                uint32_t to = cfg->edges()[e].to;
+                if (!queued[to]) {
+                    queued[to] = true;
+                    worklist.push_back(to);
+                }
+            }
+        }
+    }
+}
+
+ReachingDefs::Effect
+ReachingDefs::effectOn(const isa::Instruction &inst, uint32_t cellId)
+    const
+{
+    const bool memCell = isMemCell[cellId];
+
+    // A call is opaque: the callee may define anything.  The link
+    // register itself is still a concrete, unconditional write.
+    if (inst.op == Opcode::Jal) {
+        if (!memCell && cellId == inst.rd &&
+            inst.rd != isa::reg::zero) {
+            return Effect::Strong;
+        }
+        return Effect::Unknown;
+    }
+
+    if (!memCell) {
+        const uint32_t mask = regWriteMask(inst);
+        if (!(mask & bit(static_cast<uint8_t>(cellId))))
+            return Effect::None;
+        return isa::isPredicatedFix(inst.op) ? Effect::Weak
+                                             : Effect::Strong;
+    }
+
+    // Memory cells: only stores matter.
+    if (inst.op != Opcode::St && inst.op != Opcode::Pfixst)
+        return Effect::None;
+    uint32_t target = noPc;
+    if (inst.rs1 == isa::reg::fp) {
+        auto it = fpSlotId.find(inst.imm);
+        target = it == fpSlotId.end() ? noPc : it->second;
+    } else if (inst.rs1 == isa::reg::zero) {
+        auto it = globalSlotId.find(inst.imm);
+        target = it == globalSlotId.end() ? noPc : it->second;
+    } else {
+        // Wild store: may hit any memory slot.
+        return Effect::Unknown;
+    }
+    if (target != cellId)
+        return Effect::None;
+    // Pfixst is predicated, so even a known slot is only may-defined.
+    return inst.op == Opcode::Pfixst ? Effect::Weak : Effect::Strong;
+}
+
+uint32_t
+ReachingDefs::cellIdOf(Cell cell) const
+{
+    switch (cell.kind) {
+      case Cell::Kind::Reg:
+        return static_cast<uint32_t>(cell.index);
+      case Cell::Kind::FpSlot: {
+        auto it = fpSlotId.find(cell.index);
+        return it == fpSlotId.end() ? noPc : it->second;
+      }
+      case Cell::Kind::GlobalSlot: {
+        auto it = globalSlotId.find(cell.index);
+        return it == globalSlotId.end() ? noPc : it->second;
+      }
+    }
+    return noPc;
+}
+
+ReachingDefs::Defs
+ReachingDefs::defsBefore(uint32_t pc, Cell cell) const
+{
+    Defs out;
+    const uint32_t c = cellIdOf(cell);
+    if (c == noPc) {
+        // Untracked slot: nothing names it, but a wild store or call
+        // could still write it.
+        out.unknown = true;
+        return out;
+    }
+    const uint32_t b = cfg->blockOf(pc);
+    pe_assert(b != noBlock, "defsBefore: pc out of range");
+    const CellSet &start = in[b * numCells + c];
+    out.pcs = start.sites;
+    out.unknown = start.unknown;
+    const auto &code = cfg->program().code;
+    for (uint32_t q = cfg->block(b).firstPc; q < pc; ++q) {
+        switch (effectOn(code[q], c)) {
+          case Effect::Strong:
+            out.pcs.assign(1, q);
+            out.unknown = false;
+            break;
+          case Effect::Weak:
+            insertSite(out.pcs, q);
+            break;
+          case Effect::Unknown:
+            out.unknown = true;
+            break;
+          case Effect::None:
+            break;
+        }
+    }
+    return out;
+}
+
+uint32_t
+ReachingDefs::uniqueRegDef(uint32_t pc, uint8_t r) const
+{
+    Defs d = defsBefore(pc, Cell::regCell(r));
+    if (d.unknown || d.pcs.size() != 1)
+        return noPc;
+    return d.pcs[0];
+}
+
+} // namespace pe::analysis

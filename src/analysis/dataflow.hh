@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Dataflow passes over the CFG: per-instruction register effects,
+ * must-defined registers, liveness, and reaching definitions over
+ * "cells" (the 32 registers plus the fp-relative and global memory
+ * slots a Pfixst can address).
+ *
+ * The reaching-definitions pass is deliberately conservative where
+ * the machine is dynamic:
+ *
+ *  - a call (Jal) may define *every* cell (the callee is opaque), so
+ *    it poisons each cell's def set with an "unknown" marker instead
+ *    of a concrete site;
+ *  - a store through a non-fp, non-zero base register may hit any
+ *    memory slot, so it poisons every tracked memory cell;
+ *  - Pfix/Pfixst execute only under the NT-entry predicate, so they
+ *    are weak (may) definitions that never kill earlier ones.
+ *
+ * Consumers that need a *unique* definition (the fix-set checker)
+ * therefore only trust a cell whose reaching set is exactly one
+ * concrete site with the unknown marker clear.
+ */
+
+#ifndef PE_ANALYSIS_DATAFLOW_HH
+#define PE_ANALYSIS_DATAFLOW_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/cfg.hh"
+
+namespace pe::analysis
+{
+
+/** Bitmask of registers @p inst reads (architecturally, r0 included). */
+uint32_t regReadMask(const isa::Instruction &inst);
+
+/**
+ * Bitmask of registers @p inst writes.  r0 is never reported (writes
+ * to it are dropped by the register file).  Pfix reports its rd even
+ * though the write is predicated; Jal reports only its link register —
+ * callers that must model the callee's clobbers (the must-defined
+ * pass, reaching defs) special-case Jal themselves.
+ */
+uint32_t regWriteMask(const isa::Instruction &inst);
+
+/**
+ * Forward must-analysis: the set of registers guaranteed to have been
+ * written on every path from the entry, per block (value at block
+ * entry).  @p entryDefined seeds the program-entry block; a Jal is
+ * assumed to define every register (the MiniC ABI initialises rv and
+ * scratch in the callee).  Unreachable blocks report all-ones
+ * (vacuously defined).
+ */
+std::vector<uint32_t> definedRegsIn(const Cfg &cfg,
+                                    uint32_t entryDefined);
+
+/** Backward may-analysis results: live registers per block. */
+struct Liveness
+{
+    std::vector<uint32_t> liveIn;   //!< live at block entry
+    std::vector<uint32_t> liveOut;  //!< live at block exit
+};
+
+/** Registers live at each block boundary, over every edge kind. */
+Liveness liveness(const Cfg &cfg);
+
+/** Registers live immediately before executing @p pc. */
+uint32_t liveBefore(const Cfg &cfg, const Liveness &live, uint32_t pc);
+
+/** A storage location trackable by reaching definitions. */
+struct Cell
+{
+    enum class Kind : uint8_t
+    {
+        Reg,            //!< index = register number
+        FpSlot,         //!< index = word offset from fp
+        GlobalSlot,     //!< index = absolute word address (zero base)
+    };
+    Kind kind = Kind::Reg;
+    int32_t index = 0;
+
+    static Cell regCell(uint8_t r)
+    {
+        return {Kind::Reg, static_cast<int32_t>(r)};
+    }
+    static Cell fpSlot(int32_t off) { return {Kind::FpSlot, off}; }
+    static Cell globalSlot(int32_t addr)
+    {
+        return {Kind::GlobalSlot, addr};
+    }
+};
+
+class ReachingDefs
+{
+  public:
+    explicit ReachingDefs(const Cfg &cfg);
+
+    static constexpr uint32_t noPc = UINT32_MAX;
+
+    /** Definitions of @p cell reaching the start of @p pc. */
+    struct Defs
+    {
+        std::vector<uint32_t> pcs;  //!< concrete def sites, sorted
+        bool unknown = false;       //!< poisoned by a call/wild store
+    };
+
+    Defs defsBefore(uint32_t pc, Cell cell) const;
+
+    /**
+     * The single concrete instruction that defines register @p r on
+     * every path into @p pc, or noPc when there is none, more than
+     * one, or an opaque (call) definition may intervene.
+     */
+    uint32_t uniqueRegDef(uint32_t pc, uint8_t r) const;
+
+  private:
+    /** How one instruction affects one cell. */
+    enum class Effect : uint8_t { None, Strong, Weak, Unknown };
+
+    Effect effectOn(const isa::Instruction &inst, uint32_t cellId) const;
+    uint32_t cellIdOf(Cell cell) const;     //!< noPc when untracked
+
+    struct CellSet
+    {
+        std::vector<uint32_t> sites;    //!< sorted def pcs
+        bool unknown = false;
+    };
+
+    const Cfg *cfg;
+    uint32_t numCells = 0;
+    std::unordered_map<int32_t, uint32_t> fpSlotId;
+    std::unordered_map<int32_t, uint32_t> globalSlotId;
+    std::vector<bool> isMemCell;            //!< cell id -> memory cell
+    /** in[block * numCells + cell] */
+    std::vector<CellSet> in;
+};
+
+} // namespace pe::analysis
+
+#endif // PE_ANALYSIS_DATAFLOW_HH

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Fix-set checker implementation.
+ */
+
+#include "src/analysis/fixcheck.hh"
+
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "src/analysis/dataflow.hh"
+#include "src/isa/instruction.hh"
+#include "src/isa/regs.hh"
+#include "src/support/status.hh"
+
+namespace pe::analysis
+{
+
+namespace
+{
+
+using isa::Opcode;
+namespace reg = isa::reg;
+
+constexpr int64_t intMin = std::numeric_limits<int32_t>::min();
+constexpr int64_t intMax = std::numeric_limits<int32_t>::max();
+
+/** A condition variable's home slot, as a Pfixst would address it. */
+struct Home
+{
+    bool global = false;
+    int32_t off = 0;        //!< fp offset or absolute word address
+
+    bool operator==(const Home &o) const = default;
+};
+
+/** The derived slice: `var REL literal` with var living in home. */
+struct Slice
+{
+    Home home;
+    Opcode rel = Opcode::Beq;   //!< relation as the branch evaluates it
+    int32_t lit = 0;
+};
+
+/** One operand resolved through reaching definitions. */
+struct Operand
+{
+    enum class Kind { Unknown, HomeLoad, Literal };
+    Kind kind = Kind::Unknown;
+    Home home;
+    int32_t lit = 0;
+};
+
+/** Swap the operand order of a relation: `a REL b` -> `b REL' a`. */
+Opcode
+mirrorBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq: return Opcode::Beq;
+      case Opcode::Bne: return Opcode::Bne;
+      case Opcode::Blt: return Opcode::Bgt;
+      case Opcode::Ble: return Opcode::Bge;
+      case Opcode::Bgt: return Opcode::Blt;
+      case Opcode::Bge: return Opcode::Ble;
+      default:
+        pe_panic("mirrorBranch: not a branch");
+    }
+}
+
+/** Negate a relation: the fall-through edge's condition. */
+Opcode
+negateBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq: return Opcode::Bne;
+      case Opcode::Bne: return Opcode::Beq;
+      case Opcode::Blt: return Opcode::Bge;
+      case Opcode::Bge: return Opcode::Blt;
+      case Opcode::Ble: return Opcode::Bgt;
+      case Opcode::Bgt: return Opcode::Ble;
+      default:
+        pe_panic("negateBranch: not a branch");
+    }
+}
+
+bool
+relationHolds(int32_t v, Opcode rel, int32_t c)
+{
+    switch (rel) {
+      case Opcode::Beq: return v == c;
+      case Opcode::Bne: return v != c;
+      case Opcode::Blt: return v < c;
+      case Opcode::Bge: return v >= c;
+      case Opcode::Ble: return v <= c;
+      case Opcode::Bgt: return v > c;
+      default:
+        pe_panic("relationHolds: not a branch");
+    }
+}
+
+/**
+ * Whether any int32 value satisfies `v REL c`.  Mirrors minic's
+ * boundary-value overflow suppression: `v < INT32_MIN` and
+ * `v > INT32_MAX` have no witness, so no fix is emitted there.
+ */
+bool
+relationSatisfiable(Opcode rel, int32_t c)
+{
+    switch (rel) {
+      case Opcode::Blt: return c > intMin;
+      case Opcode::Bgt: return c < intMax;
+      default: return true;
+    }
+}
+
+const char *
+relName(Opcode rel)
+{
+    switch (rel) {
+      case Opcode::Beq: return "==";
+      case Opcode::Bne: return "!=";
+      case Opcode::Blt: return "<";
+      case Opcode::Bge: return ">=";
+      case Opcode::Ble: return "<=";
+      case Opcode::Bgt: return ">";
+      default: return "?";
+    }
+}
+
+std::string
+homeName(const Home &h)
+{
+    std::ostringstream oss;
+    if (h.global)
+        oss << "mem[" << h.off << "]";
+    else
+        oss << "mem[fp" << (h.off >= 0 ? "+" : "") << h.off << "]";
+    return oss.str();
+}
+
+/** One observed Pfix/Pfixst pair at an edge start. */
+struct ObservedFix
+{
+    uint32_t pc = 0;        //!< pc of the Pfix
+    Home home;
+    int32_t value = 0;
+};
+
+class FixChecker
+{
+  public:
+    explicit FixChecker(const isa::Program &program)
+        : prog(program), cfg(program), defs(cfg)
+    {}
+
+    FixCheckResult run();
+
+  private:
+    void add(DiagCode code, uint32_t pc, std::string msg);
+    Operand resolve(uint32_t branchPc, uint8_t r) const;
+    std::optional<Slice> deriveSlice(uint32_t pc) const;
+    std::vector<ObservedFix> scanEdge(uint32_t start);
+    void checkEdge(uint32_t branchPc, const char *edgeName,
+                   const std::optional<Slice> &slice, Opcode edgeRel,
+                   const std::vector<ObservedFix> &fixes,
+                   bool companionHasFix);
+
+    const isa::Program &prog;
+    Cfg cfg;
+    ReachingDefs defs;
+    FixCheckResult result;
+};
+
+void
+FixChecker::add(DiagCode code, uint32_t pc, std::string msg)
+{
+    result.diagnostics.push_back(
+        Diagnostic{code, Severity::Error, pc, std::move(msg)});
+}
+
+Operand
+FixChecker::resolve(uint32_t branchPc, uint8_t r) const
+{
+    Operand op;
+    if (r == reg::zero) {
+        op.kind = Operand::Kind::Literal;
+        op.lit = 0;
+        return op;
+    }
+    const uint32_t def = defs.uniqueRegDef(branchPc, r);
+    if (def == ReachingDefs::noPc)
+        return op;
+    const isa::Instruction &inst = prog.code[def];
+    if (inst.op == Opcode::Li) {
+        op.kind = Operand::Kind::Literal;
+        op.lit = inst.imm;
+    } else if (inst.op == Opcode::Ld && inst.rs1 == reg::fp) {
+        op.kind = Operand::Kind::HomeLoad;
+        op.home = Home{false, inst.imm};
+    } else if (inst.op == Opcode::Ld && inst.rs1 == reg::zero) {
+        op.kind = Operand::Kind::HomeLoad;
+        op.home = Home{true, inst.imm};
+    }
+    return op;
+}
+
+std::optional<Slice>
+FixChecker::deriveSlice(uint32_t pc) const
+{
+    const isa::Instruction &br = prog.code[pc];
+    const Operand a = resolve(pc, br.rs1);
+    const Operand b = resolve(pc, br.rs2);
+    Slice s;
+    if (a.kind == Operand::Kind::HomeLoad &&
+        b.kind == Operand::Kind::Literal) {
+        s.home = a.home;
+        s.rel = br.op;
+        s.lit = b.lit;
+        return s;
+    }
+    if (a.kind == Operand::Kind::Literal &&
+        b.kind == Operand::Kind::HomeLoad) {
+        s.home = b.home;
+        s.rel = mirrorBranch(br.op);
+        s.lit = a.lit;
+        return s;
+    }
+    return std::nullopt;
+}
+
+std::vector<ObservedFix>
+FixChecker::scanEdge(uint32_t start)
+{
+    std::vector<ObservedFix> fixes;
+    const auto &code = prog.code;
+    uint32_t q = start;
+    while (q < code.size() && code[q].op == Opcode::Pfix) {
+        const isa::Instruction &pfix = code[q];
+        if (q + 1 >= code.size() ||
+            code[q + 1].op != Opcode::Pfixst ||
+            code[q + 1].rs2 != pfix.rd) {
+            add(DiagCode::MalformedFixPair, q,
+                "pfix is not followed by a pfixst storing its value");
+            break;
+        }
+        const isa::Instruction &pst = code[q + 1];
+        ObservedFix f;
+        f.pc = q;
+        f.value = pfix.imm;
+        if (pst.rs1 == reg::fp) {
+            f.home = Home{false, pst.imm};
+        } else if (pst.rs1 == reg::zero) {
+            f.home = Home{true, pst.imm};
+        } else {
+            add(DiagCode::MalformedFixPair, q + 1,
+                "pfixst base register is neither fp nor r0");
+            break;
+        }
+        fixes.push_back(f);
+        q += 2;
+    }
+    return fixes;
+}
+
+void
+FixChecker::checkEdge(uint32_t branchPc, const char *edgeName,
+                      const std::optional<Slice> &slice,
+                      Opcode edgeRel,
+                      const std::vector<ObservedFix> &fixes,
+                      bool companionHasFix)
+{
+    if (!fixes.empty()) {
+        if (!slice) {
+            std::ostringstream oss;
+            oss << "fix on the " << edgeName << " edge of branch pc "
+                << branchPc
+                << " has no derivable condition-variable slice";
+            add(DiagCode::ExtraFix, fixes[0].pc, oss.str());
+            return;
+        }
+        const ObservedFix &f = fixes[0];
+        if (f.home != slice->home) {
+            std::ostringstream oss;
+            oss << edgeName << " edge of branch pc " << branchPc
+                << " fixes " << homeName(f.home)
+                << " but the condition variable lives in "
+                << homeName(slice->home);
+            add(DiagCode::WrongFixHome, f.pc, oss.str());
+        } else if (!relationHolds(f.value, edgeRel, slice->lit)) {
+            std::ostringstream oss;
+            oss << edgeName << " edge of branch pc " << branchPc
+                << " fixes " << homeName(slice->home) << " to "
+                << f.value << ", which does not satisfy v "
+                << relName(edgeRel) << " " << slice->lit;
+            add(DiagCode::WrongFixValue, f.pc, oss.str());
+        } else {
+            ++result.matchedFixes;
+        }
+        for (size_t i = 1; i < fixes.size(); ++i) {
+            std::ostringstream oss;
+            oss << "surplus fix pair on the " << edgeName
+                << " edge of branch pc " << branchPc;
+            add(DiagCode::ExtraFix, fixes[i].pc, oss.str());
+        }
+        return;
+    }
+
+    // No fix on this edge.  Expected only when the slice is fixable,
+    // the edge's relation has an int32 witness, and the companion
+    // edge carries a fix (one-sided emission means minic chose not
+    // to fix this shape at all — e.g. short-circuit internals).
+    if (slice && companionHasFix &&
+        relationSatisfiable(edgeRel, slice->lit)) {
+        std::ostringstream oss;
+        oss << edgeName << " edge of branch pc " << branchPc
+            << " should fix " << homeName(slice->home)
+            << " to satisfy v " << relName(edgeRel) << " "
+            << slice->lit << " but has no fix pair";
+        add(DiagCode::MissingFix, branchPc, oss.str());
+    }
+}
+
+FixCheckResult
+FixChecker::run()
+{
+    const auto &code = prog.code;
+    for (uint32_t pc = 0; pc < code.size(); ++pc) {
+        const isa::Instruction &br = code[pc];
+        if (!isa::isConditionalBranch(br.op))
+            continue;
+        const uint32_t b = cfg.blockOf(pc);
+        if (b == noBlock || !cfg.reachable()[b])
+            continue;
+        if (!staticTargetValid(br, code.size()) ||
+            pc + 1 >= code.size()) {
+            continue;   // the verifier reports these
+        }
+        ++result.checkedBranches;
+
+        const std::optional<Slice> slice = deriveSlice(pc);
+        if (slice)
+            ++result.derivedSlices;
+
+        const std::vector<ObservedFix> takenFixes =
+            scanEdge(static_cast<uint32_t>(br.imm));
+        const std::vector<ObservedFix> fallFixes = scanEdge(pc + 1);
+
+        // Relations are expressed variable-first: when the literal
+        // sits in rs1 the slice already mirrored the opcode.
+        const Opcode takenRel = slice ? slice->rel : br.op;
+        const Opcode fallRel = negateBranch(takenRel);
+        checkEdge(pc, "taken", slice, takenRel, takenFixes,
+                  !fallFixes.empty());
+        checkEdge(pc, "fall-through", slice, fallRel, fallFixes,
+                  !takenFixes.empty());
+    }
+    return std::move(result);
+}
+
+} // namespace
+
+FixCheckResult
+checkFixSets(const isa::Program &program)
+{
+    return FixChecker(program).run();
+}
+
+} // namespace pe::analysis

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fix-set checker: derives, per conditional-branch edge, the
+ * condition-variable slice PathExpander's compiler support must fix
+ * (paper Section 4.4) and cross-checks it against the Pfix/Pfixst
+ * sequence actually present in the program.
+ *
+ * Derivation works from the machine code alone, through reaching
+ * definitions:
+ *
+ *  - a branch is *fixable* when one operand traces to a unique
+ *    `Ld rd, off(fp)` / `Ld rd, addr(zero)` (the condition variable's
+ *    home slot) and the other is r0 or traces to a unique `Li`
+ *    literal — exactly the `var RELOP literal` shapes minic fixes;
+ *  - a fix is *expected* on an edge iff the edge's relation
+ *    `var REL c` is satisfiable in int32 arithmetic (minic suppresses
+ *    boundary values that would overflow) — and, to stay silent on
+ *    shapes minic legitimately leaves unfixed (short-circuit
+ *    internal branches look identical to `if (var)`), only when the
+ *    *companion* edge carries a fix;
+ *  - an observed fix must store to the derived home slot a value
+ *    satisfying the edge relation.
+ *
+ * Clean on every registered workload by construction; any finding
+ * means minic's emitted fix set and the paper's derivation rule
+ * disagree.
+ */
+
+#ifndef PE_ANALYSIS_FIXCHECK_HH
+#define PE_ANALYSIS_FIXCHECK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/verify.hh"
+
+namespace pe::analysis
+{
+
+/** Outcome of checkFixSets(), with audit counters for reporting. */
+struct FixCheckResult
+{
+    std::vector<Diagnostic> diagnostics;
+    uint32_t checkedBranches = 0;   //!< reachable conditional branches
+    uint32_t derivedSlices = 0;     //!< branches with a fixable slice
+    uint32_t matchedFixes = 0;      //!< edge fixes that checked out
+
+    bool clean() const { return diagnostics.empty(); }
+};
+
+FixCheckResult checkFixSets(const isa::Program &program);
+
+} // namespace pe::analysis
+
+#endif // PE_ANALYSIS_FIXCHECK_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Bounded-DFS spawn-prior computation.
+ */
+
+#include "src/analysis/priors.hh"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "src/analysis/cfg.hh"
+#include "src/isa/regs.hh"
+
+namespace pe::analysis
+{
+
+namespace
+{
+
+using isa::Opcode;
+using isa::Syscall;
+
+bool
+isUnsafeSys(const isa::Instruction &inst)
+{
+    return inst.op == Opcode::Sys &&
+           static_cast<Syscall>(inst.imm) != Syscall::Exit;
+}
+
+/** True for instructions a doomed-edge scan may step over: pure
+ *  register/fix work that neither touches checked memory nor
+ *  branches on data. */
+bool
+inertForDoom(const isa::Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::Div: case Opcode::Rem: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+      case Opcode::Shr: case Opcode::Sra: case Opcode::Slt:
+      case Opcode::Sle: case Opcode::Seq: case Opcode::Sne:
+      case Opcode::Sgt: case Opcode::Sge:
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Shli: case Opcode::Shri:
+      case Opcode::Slti: case Opcode::Li:
+      case Opcode::Pfix: case Opcode::Pfixst:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Straight-line scan: the edge is doomed when, stepping only over
+ * inert instructions and unconditional valid jumps, the very first
+ * eventful instruction is an unsafe Sys.
+ */
+bool
+immediateDoom(const isa::Program &prog, uint32_t start)
+{
+    const auto &code = prog.code;
+    uint32_t pc = start;
+    for (int steps = 0; steps < 32 && pc < code.size(); ++steps) {
+        const isa::Instruction &inst = code[pc];
+        if (isUnsafeSys(inst))
+            return true;
+        if (inst.op == Opcode::Jmp) {
+            if (!staticTargetValid(inst, code.size()))
+                return false;
+            pc = static_cast<uint32_t>(inst.imm);
+            continue;
+        }
+        if (!inertForDoom(inst))
+            return false;
+        ++pc;
+    }
+    return false;
+}
+
+EdgePrior
+explore(const isa::Program &prog, uint32_t start, uint32_t maxLen)
+{
+    EdgePrior prior;
+    const auto &code = prog.code;
+    if (start >= code.size())
+        return prior;
+
+    // BFS over instruction pcs, distances in instructions.
+    std::vector<uint32_t> dist(code.size(), EdgePrior::noDistance);
+    std::deque<uint32_t> queue;
+    dist[start] = 0;
+    queue.push_back(start);
+    uint32_t visited = 0;
+
+    auto enqueue = [&](uint32_t to, uint32_t d) {
+        if (to < code.size() && d < maxLen &&
+            dist[to] == EdgePrior::noDistance) {
+            dist[to] = d;
+            queue.push_back(to);
+        }
+    };
+
+    while (!queue.empty()) {
+        const uint32_t pc = queue.front();
+        queue.pop_front();
+        const uint32_t d = dist[pc];
+        ++visited;
+        const isa::Instruction &inst = code[pc];
+
+        if (inst.op == Opcode::St || inst.op == Opcode::Pfixst)
+            ++prior.storeUpperBound;
+
+        if (isUnsafeSys(inst)) {
+            // The NT path is squashed here: terminal.
+            prior.unsafeDistance =
+                std::min(prior.unsafeDistance, d);
+            continue;
+        }
+
+        switch (inst.op) {
+          case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+          case Opcode::Bge: case Opcode::Ble: case Opcode::Bgt:
+            if (staticTargetValid(inst, code.size()))
+                enqueue(static_cast<uint32_t>(inst.imm), d + 1);
+            enqueue(pc + 1, d + 1);
+            break;
+          case Opcode::Jmp:
+            if (staticTargetValid(inst, code.size()))
+                enqueue(static_cast<uint32_t>(inst.imm), d + 1);
+            break;
+          case Opcode::Jal:
+            // Follow the call; the matching Jr stops the walk, so
+            // post-return code is (conservatively) not counted.
+            if (staticTargetValid(inst, code.size()))
+                enqueue(static_cast<uint32_t>(inst.imm), d + 1);
+            break;
+          case Opcode::Jr:
+            break;        // indirect: needs dynamic state
+          case Opcode::Sys:
+            break;        // Exit: terminal
+          default:
+            enqueue(pc + 1, d + 1);
+            break;
+        }
+    }
+
+    prior.pathLenBound = std::min(visited, maxLen);
+    prior.doomed = immediateDoom(prog, start);
+    return prior;
+}
+
+} // namespace
+
+BranchPriors
+computeBranchPriors(const isa::Program &program,
+                    uint32_t maxNtPathLength)
+{
+    BranchPriors priors;
+    priors.maxLen = std::max<uint32_t>(1, maxNtPathLength);
+    const auto &code = program.code;
+    for (uint32_t pc = 0; pc < code.size(); ++pc) {
+        const isa::Instruction &inst = code[pc];
+        if (!isa::isConditionalBranch(inst.op))
+            continue;
+        std::array<EdgePrior, 2> e;
+        if (pc + 1 < code.size())
+            e[0] = explore(program, pc + 1, priors.maxLen);
+        if (staticTargetValid(inst, code.size())) {
+            e[1] = explore(program,
+                           static_cast<uint32_t>(inst.imm),
+                           priors.maxLen);
+        }
+        priors.branches.emplace(pc, e);
+    }
+    return priors;
+}
+
+double
+edgePotential(const EdgePrior &prior, uint32_t maxNtPathLength)
+{
+    if (prior.doomed || maxNtPathLength == 0)
+        return 0.0;
+    const double cap = maxNtPathLength;
+    const double len =
+        std::min<double>(prior.pathLenBound, cap) / cap;
+    const double stores =
+        1.0 + std::min<double>(prior.storeUpperBound, 16.0) / 16.0;
+    double unsafe = 1.0;
+    if (prior.unsafeDistance != EdgePrior::noDistance) {
+        unsafe = 0.5 +
+                 0.5 * std::min<double>(prior.unsafeDistance, cap) /
+                     cap;
+    }
+    return len * stores * unsafe;
+}
+
+} // namespace pe::analysis

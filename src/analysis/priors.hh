@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Static NT-spawn priors: per-branch-edge bounded-DFS estimates of
+ * what a non-taken path would do if spawned, computed once per
+ * program and consumed by
+ *
+ *  - the explorer's scheduler, as the cold-start energy distribution
+ *    (edgePotential() replaces the uniform initial weights), and
+ *  - the engine, as an optional spawn pre-filter for provably-doomed
+ *    NT-Paths (edges whose straight-line continuation hits a syscall
+ *    before doing any observable work).
+ *
+ * Estimates follow the interpreter's control flow: fall-through and
+ * both branch directions, Jmp and Jal targets; Jr and statically
+ * invalid targets stop the walk (indirect returns need dynamic
+ * state), and a non-Exit Sys is the paper's unsafe event — it
+ * squashes the NT path, so it terminates the walk and records its
+ * distance.  All numbers are clamped to MaxNTPathLength, the same
+ * bound the engine applies dynamically.
+ */
+
+#ifndef PE_ANALYSIS_PRIORS_HH
+#define PE_ANALYSIS_PRIORS_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/isa/program.hh"
+
+namespace pe::analysis
+{
+
+/** Static estimate for one direction of one conditional branch. */
+struct EdgePrior
+{
+    static constexpr uint32_t noDistance = UINT32_MAX;
+
+    /** Instructions reachable within the bound (NT-length proxy). */
+    uint32_t pathLenBound = 0;
+    /** Min instruction distance to an unsafe event (noDistance: none). */
+    uint32_t unsafeDistance = noDistance;
+    /** St/Pfixst instructions reachable within the bound. */
+    uint32_t storeUpperBound = 0;
+    /** Straight-line continuation hits a Sys before any real work. */
+    bool doomed = false;
+};
+
+struct BranchPriors
+{
+    uint32_t maxLen = 0;    //!< the bound the estimates were cut at
+    /** branch pc -> {[0]: fall-through edge, [1]: taken edge}. */
+    std::unordered_map<uint32_t, std::array<EdgePrior, 2>> branches;
+
+    /** Prior for @p pc's @p takenDir edge (nullptr: not a branch). */
+    const EdgePrior *edge(uint32_t pc, bool takenDir) const
+    {
+        auto it = branches.find(pc);
+        if (it == branches.end())
+            return nullptr;
+        return &it->second[takenDir ? 1 : 0];
+    }
+};
+
+/** Compute priors for every conditional branch in @p program. */
+BranchPriors computeBranchPriors(const isa::Program &program,
+                                 uint32_t maxNtPathLength);
+
+/**
+ * Scheduler seed weight in [0, 2] for one edge: doomed edges score
+ * 0; otherwise longer reachable paths, more reachable stores and a
+ * later (or absent) unsafe event score higher.  See INTERNALS.md §12
+ * for the exact formula.
+ */
+double edgePotential(const EdgePrior &prior, uint32_t maxNtPathLength);
+
+} // namespace pe::analysis
+
+#endif // PE_ANALYSIS_PRIORS_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Static program verifier (linter) over the CFG/dataflow framework.
+ *
+ * The verifier runs at engine load and inside the `pelint` tool.  It
+ * never aborts: malformed programs are legal inputs to the simulator
+ * (the interpreter raises BadJump and friends at runtime), so every
+ * finding is reported as a structured Diagnostic and the caller
+ * decides what to do with error-severity ones.
+ *
+ * Diagnostic classes:
+ *
+ *   InvalidTarget    (error)  branch/jump/call immediate outside code
+ *   FallOffEnd       (error)  execution can run off the program end
+ *   UnreachableBlock (warn)   code the entry can never reach
+ *   DefBeforeUse     (warn)   register read before any definition
+ *   UnbalancedStack  (warn)   `jr ra` with a nonzero net sp offset
+ *   UnpairedObj      (warn)   stack-array Regobj never Unregobj'd
+ *   SplitFixPair     (warn)   control enters a Pfix/Pfixst pair at
+ *                             the Pfixst (targeting the Pfix is the
+ *                             normal false-edge fix label)
+ */
+
+#ifndef PE_ANALYSIS_VERIFY_HH
+#define PE_ANALYSIS_VERIFY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/isa/program.hh"
+
+namespace pe::analysis
+{
+
+enum class DiagCode : uint8_t
+{
+    // Verifier findings.
+    InvalidTarget,
+    FallOffEnd,
+    UnreachableBlock,
+    DefBeforeUse,
+    UnbalancedStack,
+    UnpairedObj,
+    SplitFixPair,
+    // Fix-set checker findings (src/analysis/fixcheck.hh).
+    MalformedFixPair,
+    MissingFix,
+    ExtraFix,
+    WrongFixValue,
+    WrongFixHome,
+
+    NumDiagCodes
+};
+
+enum class Severity : uint8_t { Warning, Error };
+
+const char *diagCodeName(DiagCode code);
+const char *severityName(Severity sev);
+
+/** One verifier (or fix-set checker) finding. */
+struct Diagnostic
+{
+    DiagCode code = DiagCode::InvalidTarget;
+    Severity severity = Severity::Warning;
+    uint32_t pc = 0;
+    std::string message;
+};
+
+struct VerifyReport
+{
+    std::vector<Diagnostic> diagnostics;
+
+    size_t errorCount() const;
+    size_t warningCount() const;
+    bool hasErrors() const { return errorCount() > 0; }
+};
+
+/** Render "error: <msg> at pc N (func:line)" for a finding. */
+std::string formatDiagnostic(const isa::Program &program,
+                             const Diagnostic &diag);
+
+/** Run every verifier pass over @p program. */
+VerifyReport verifyProgram(const isa::Program &program);
+
+/**
+ * Fingerprint of a program image (FNV-1a over the encoded
+ * instructions, entry and data layout).  Used to memoise verifier
+ * reports across the engine instances a campaign constructs.
+ */
+uint64_t programFingerprint(const isa::Program &program);
+
+/**
+ * verifyProgram() memoised process-wide by programFingerprint().
+ * Thread-safe; the cache is bounded, evicting oldest entries.  The
+ * returned reference stays valid for the process lifetime.
+ */
+const VerifyReport &verifyCached(const isa::Program &program);
+
+} // namespace pe::analysis
+
+#endif // PE_ANALYSIS_VERIFY_HH

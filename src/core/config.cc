@@ -82,6 +82,7 @@ configHash(const PeConfig &cfg)
     f.value(cfg.numCores);
     f.value(cfg.maxTakenInstructions);
     f.value(cfg.maxSegmentDepth);
+    f.value(cfg.spawnPreFilter);
     for (const auto &fn : cfg.noSpawnFuncs)
         f.str(fn);
     f.value(cfg.layout.memWords);

@@ -132,6 +132,17 @@ struct PeConfig
     std::vector<std::string> noSpawnFuncs;
 
     /**
+     * Static spawn pre-filter (src/analysis/priors.hh): at engine
+     * construction, mark branch edges whose straight-line NT
+     * continuation provably hits a syscall before doing any work, and
+     * refuse to spawn those NT-Paths.  Changes which NT-Paths run
+     * (the doomed edge's coverage bit is never recorded and its BTB
+     * counter never saturates), so it is opt-in and part of
+     * configHash().
+     */
+    bool spawnPreFilter = false;
+
+    /**
      * Test hook: force the legacy one-instruction-at-a-time
      * execution loop instead of the pre-decoded block-stepped loop
      * (`sim::runBlock`).  The two loops are bit-identical by

@@ -7,6 +7,10 @@
 
 #include "src/core/engine.hh"
 
+#include <mutex>
+#include <unordered_set>
+
+#include "src/analysis/priors.hh"
 #include "src/checkpoint/checkpoint.hh"
 #include "src/core/engine_impl.hh"
 #include "src/mem/versioned_buffer.hh"
@@ -108,6 +112,39 @@ PathExpanderEngine::PathExpanderEngine(const isa::Program &prog,
         for (const auto &f : program.funcs) {
             if (f.name == name)
                 decoded.markNoSpawn(f.startPc, f.endPc);
+        }
+    }
+
+    // Static verification at load.  Never aborts — malformed
+    // programs are legal inputs (the interpreter raises BadJump and
+    // friends) — but error findings are surfaced once per program.
+    verified = &analysis::verifyCached(program);
+    if (verified->hasErrors()) {
+        static std::mutex warnMtx;
+        static std::unordered_set<uint64_t> warned;
+        const uint64_t fp = analysis::programFingerprint(program);
+        std::lock_guard<std::mutex> lock(warnMtx);
+        if (warned.insert(fp).second) {
+            warn("program '", program.name, "' has ",
+                 verified->errorCount(),
+                 " static verifier error(s); first: ",
+                 analysis::formatDiagnostic(
+                     program, verified->diagnostics.front()));
+        }
+    }
+
+    // Static spawn pre-filter: mark provably-doomed NT edges so
+    // shouldSpawn() rejects them in O(1).  Only meaningful while a
+    // syscall actually squashes NT-Paths, i.e. without I/O
+    // sandboxing.
+    if (cfg.spawnPreFilter && !cfg.sandboxIo) {
+        const analysis::BranchPriors priors =
+            analysis::computeBranchPriors(program, cfg.maxNtPathLength);
+        for (const auto &[pc, edges] : priors.branches) {
+            if (edges[0].doomed)
+                decoded.markDoomedEdge(pc, false);
+            if (edges[1].doomed)
+                decoded.markDoomedEdge(pc, true);
         }
     }
 }

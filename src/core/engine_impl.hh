@@ -138,6 +138,11 @@ shouldSpawn(const PeConfig &cfg, PathExpanderEngine::RunState &state,
 {
     if (decoded.noSpawn(pc))
         return false;
+    // Static spawn pre-filter: edges marked doomed at construction
+    // (immediate-syscall NT continuations) are never worth a spawn.
+    // Flags are only ever set when cfg.spawnPreFilter is on.
+    if (decoded.doomedEdge(pc, ntDir))
+        return false;
     if (state.btb.count(pc, ntDir) < cfg.ntPathCounterThreshold)
         return true;
     return cfg.randomSpawnFraction > 0.0 &&

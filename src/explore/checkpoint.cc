@@ -134,6 +134,20 @@ programFingerprint(const isa::Program &program)
     return h;
 }
 
+/**
+ * The checkpoint's "policy" word is really the full scheduling
+ * contract: the SchedulePolicy enum in the low byte plus bit 8 for
+ * useStaticPriors.  Prior seeding changes every energy after resume,
+ * so a priors-on checkpoint must not silently continue a priors-off
+ * session (or vice versa) any more than a policy swap may.
+ */
+uint32_t
+policyWord(const ExploreOptions &opts)
+{
+    return static_cast<uint32_t>(opts.policy) |
+           (opts.useStaticPriors ? 0x100u : 0u);
+}
+
 } // namespace
 
 void
@@ -152,7 +166,7 @@ Explorer::writeCheckpoint(const ExploreResult &res) const
         putU64(os, core::configHash(opts.config));
         putU64(os, opts.seed);
         putU64(os, programFingerprint(program));
-        putU32(os, static_cast<uint32_t>(opts.policy));
+        putU32(os, policyWord(opts));
 
         putU64(os, res.batches);
         putU64(os, res.runs);
@@ -251,9 +265,10 @@ Explorer::resume(ExploreResult &res)
                  "' was taken against a different program image");
     }
     uint32_t policy = getU32(is);
-    if (policy != static_cast<uint32_t>(opts.policy)) {
+    if (policy != policyWord(opts)) {
         pe_fatal("checkpoint '", opts.resumeFrom,
-                 "' was taken under a different schedule policy");
+                 "' was taken under a different schedule policy or "
+                 "prior-seeding setting");
     }
 
     res.batches = getU64(is);
@@ -301,6 +316,15 @@ Explorer::resume(ExploreResult &res)
     }
     corp.restore(std::move(entries), frontierTaken, frontierNt, counts,
                  exerciseRuns);
+
+    // priorEnergy is a pure function of (program, config, entry
+    // coverage), so it is recomputed here rather than serialized —
+    // the checkpoint format stays prior-agnostic and the restored
+    // energies cannot drift from what a fresh session would compute.
+    if (opts.useStaticPriors) {
+        for (CorpusEntry &e : corp.entries())
+            e.priorEnergy = entryPriorEnergy(e);
+    }
 
     uint32_t nStats = getCount(is, "history");
     res.history.clear();

@@ -64,6 +64,16 @@ struct CorpusEntry
 
     /** How often the scheduler has picked this entry as a parent. */
     uint64_t timesScheduled = 0;
+
+    /**
+     * Static-prior seed weight (analysis::edgePotential summed over
+     * the entry's uncovered branch directions), set at admission when
+     * the explorer runs with useStaticPriors.  0 — the default —
+     * leaves the energy function bit-identical to the prior-free
+     * scheduler; it is recomputed after a checkpoint restore rather
+     * than serialized.
+     */
+    double priorEnergy = 0.0;
 };
 
 /** Corpus plus global frontier and cross-run edge exercise counts. */

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/priors.hh"
 #include "src/core/campaign.hh"
 #include "src/explore/corpus.hh"
 #include "src/explore/mutator.hh"
@@ -142,6 +143,19 @@ struct ExploreOptions
      * signal handler's flag here for clean Ctrl-C shutdown.
      */
     const std::atomic<bool> *stopFlag = nullptr;
+
+    /**
+     * Seed each admitted entry's scheduling energy from the static
+     * branch priors (analysis::computeBranchPriors at construction,
+     * cut at config.maxNtPathLength): an entry's priorEnergy is the
+     * summed edgePotential of the branch directions its own run did
+     * *not* cover, so the scheduler leans toward parents adjacent to
+     * promising unexplored edges before dynamic rarity data exists.
+     * Off by default — the prior-free energies stay bit-identical.
+     * Folded into the checkpoint policy word: a checkpoint taken with
+     * priors on cannot silently resume a priors-off session.
+     */
+    bool useStaticPriors = false;
 };
 
 /** Per-batch progress snapshot (one JSONL line each). */
@@ -201,9 +215,18 @@ class Explorer
     void resume(ExploreResult &res);
     void maybeCheckpoint(const ExploreResult &res, bool force);
 
+    /**
+     * Summed edgePotential over the branch directions @p entry's
+     * coverage misses; 0 when useStaticPriors is off.  Deterministic
+     * in (program, config), so resume recomputes it instead of the
+     * checkpoint storing it.
+     */
+    double entryPriorEnergy(const CorpusEntry &entry) const;
+
     const isa::Program &program;
     std::vector<std::vector<int32_t>> seeds;
     ExploreOptions opts;
+    analysis::BranchPriors priors;
     Corpus corp;
     Mutator mut;
     Scheduler sched;

@@ -40,7 +40,10 @@ Scheduler::energy(const CorpusEntry &entry) const
                          std::min<uint64_t>(entry.ntEarlyStops, 8));
     double fatigue =
         1.0 + 0.5 * static_cast<double>(entry.timesScheduled);
-    return rare * depth / fatigue;
+    // Static-prior seeding: priorEnergy is 0 unless the explorer
+    // computed spawn priors, so the default stays bit-identical.
+    double prior = 1.0 + entry.priorEnergy;
+    return rare * depth * prior / fatigue;
 }
 
 std::vector<size_t>

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/isa/instruction.hh"
 #include "src/isa/regs.hh"
 #include "src/support/status.hh"
 #include "src/support/strutil.hh"
@@ -411,8 +412,13 @@ Assembler::patch()
     for (const auto &f : fixups) {
         auto it = labels.find(f.label);
         if (it == labels.end()) {
+            // Name the referencing instruction too: with several uses
+            // of one misspelled label, the line alone does not say
+            // which branch the fix belongs to.
             pe_fatal("asm error at line ", f.line,
-                     ": undefined label '", f.label, "'");
+                     ": undefined label '", f.label, "' referenced by "
+                     "'", disassemble(program.code[f.pc]), "' at pc ",
+                     f.pc);
         }
         program.code[f.pc].imm = static_cast<int32_t>(it->second);
     }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/analysis/cfg.hh"
 #include "src/coverage/coverage.hh"
 #include "src/sim/arith.hh"
 
@@ -30,9 +31,10 @@ classify(const isa::Instruction &inst, size_t codeSize)
 {
     using isa::Opcode;
 
+    // Single source of truth shared with the analysis CFG: decode
+    // and static analysis can never disagree on target validity.
     auto staticTargetValid = [&] {
-        return inst.imm >= 0 &&
-               static_cast<size_t>(inst.imm) < codeSize;
+        return analysis::staticTargetValid(inst, codeSize);
     };
 
     switch (inst.op) {

@@ -201,6 +201,26 @@ TEST(Assembler, Diagnostics)
     EXPECT_THROW(isa::assemble("ld r8, oops\n"), FatalError);
 }
 
+TEST(Assembler, UndefinedLabelReportsReferencingLine)
+{
+    // Two branches share the bad label; the error must name the
+    // *first* referencing source line and its instruction, not just
+    // that the label is missing.
+    const char *src = "start:\n"
+                      "    nop\n"
+                      "    jmp missing\n"
+                      "    beq r8, r9, missing\n";
+    try {
+        isa::assemble(src, "t");
+        FAIL() << "expected FatalError for undefined label";
+    } catch (const FatalError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("missing"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("jmp"), std::string::npos) << msg;
+    }
+}
+
 TEST(Assembler, ForwardAndBackwardLabels)
 {
     const char *src = R"(
