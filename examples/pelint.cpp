@@ -24,8 +24,11 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/cfg.hh"
 #include "src/analysis/fixcheck.hh"
+#include "src/analysis/regions.hh"
 #include "src/analysis/verify.hh"
+#include "src/branch/btb.hh"
 #include "src/isa/assembler.hh"
 #include "src/isa/objfile.hh"
 #include "src/minic/compiler.hh"
@@ -95,6 +98,11 @@ struct LintResult
     uint32_t checkedBranches = 0;
     uint32_t derivedSlices = 0;
     uint32_t matchedFixes = 0;
+    // Self-pruning eligibility audit (src/analysis/regions.hh),
+    // against the paper-default BTB geometry.
+    uint32_t condBranches = 0;
+    uint32_t eligibleBranches = 0;
+    size_t saturableRegions = 0;
 };
 
 LintResult
@@ -120,6 +128,18 @@ lint(const isa::Program &program, bool fixcheck)
         else
             ++res.warnings;
     }
+
+    // How much of the program the self-pruning superblock cache could
+    // ever retire: statically eligible branches (conflict-free BTB
+    // sets under the default geometry) and the CFG regions they end.
+    const branch::BtbParams btb;
+    const analysis::SaturationEligibility elig =
+        analysis::computeSaturationEligibility(
+            program, btb.entries / btb.ways, btb.ways);
+    res.condBranches = elig.condBranches;
+    res.eligibleBranches = elig.eligibleBranches;
+    const analysis::Cfg cfg(program);
+    res.saturableRegions = analysis::countEligibleRegions(cfg, elig);
     return res;
 }
 
@@ -137,6 +157,12 @@ printText(const isa::Program &program, const LintResult &res,
                   << res.checkedBranches << " branch(es) checked, "
                   << res.matchedFixes << " fix(es) matched\n";
     }
+    if (verbose) {
+        std::cout << res.name << ": " << res.eligibleBranches << "/"
+                  << res.condBranches
+                  << " branch(es) saturation-eligible, "
+                  << res.saturableRegions << " saturable region(s)\n";
+    }
 }
 
 void
@@ -151,6 +177,9 @@ printJson(std::ostream &os, const isa::Program &program,
        << ",\"checked_branches\":" << res.checkedBranches
        << ",\"derived_slices\":" << res.derivedSlices
        << ",\"matched_fixes\":" << res.matchedFixes
+       << ",\"cond_branches\":" << res.condBranches
+       << ",\"eligible_branches\":" << res.eligibleBranches
+       << ",\"saturable_regions\":" << res.saturableRegions
        << ",\"diagnostics\":[";
     for (size_t i = 0; i < res.diagnostics.size(); ++i) {
         const auto &d = res.diagnostics[i];

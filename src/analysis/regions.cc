@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Static saturation eligibility (see regions.hh for the LRU-safety
+ * argument this computes).
+ */
+
+#include "src/analysis/regions.hh"
+
+#include "src/analysis/cfg.hh"
+#include "src/support/status.hh"
+
+namespace pe::analysis
+{
+
+SaturationEligibility
+computeSaturationEligibility(const isa::Program &program,
+                             uint32_t btbSets, uint32_t btbWays)
+{
+    pe_assert(btbSets > 0 && btbWays > 0, "degenerate BTB geometry");
+
+    SaturationEligibility out;
+    out.branchEligible.assign(program.code.size(), false);
+
+    // Pass 1: population of each BTB set.  Only statically valid
+    // conditional branches ever reach Btb::increment — an invalid
+    // target raises BadJump before any bookkeeping — so only those
+    // count toward a set.
+    std::vector<uint32_t> setPop(btbSets, 0);
+    for (uint32_t pc = 0; pc < program.code.size(); ++pc) {
+        const isa::Instruction &inst = program.code[pc];
+        if (!isa::isConditionalBranch(inst.op) ||
+            !staticTargetValid(inst, program.code.size())) {
+            continue;
+        }
+        ++out.condBranches;
+        ++setPop[pc % btbSets];
+    }
+
+    // Pass 2: a branch is eligible iff its set can never evict.
+    for (uint32_t pc = 0; pc < program.code.size(); ++pc) {
+        const isa::Instruction &inst = program.code[pc];
+        if (!isa::isConditionalBranch(inst.op) ||
+            !staticTargetValid(inst, program.code.size())) {
+            continue;
+        }
+        if (setPop[pc % btbSets] <= btbWays) {
+            out.branchEligible[pc] = true;
+            ++out.eligibleBranches;
+        }
+    }
+    return out;
+}
+
+size_t
+countEligibleRegions(const Cfg &cfg, const SaturationEligibility &elig)
+{
+    size_t n = 0;
+    for (const BasicBlock &block : cfg.blocks()) {
+        if (block.lastPc < elig.branchEligible.size() &&
+            elig.branchEligible[block.lastPc]) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+} // namespace pe::analysis

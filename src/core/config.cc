@@ -83,6 +83,7 @@ configHash(const PeConfig &cfg)
     f.value(cfg.maxTakenInstructions);
     f.value(cfg.maxSegmentDepth);
     f.value(cfg.spawnPreFilter);
+    f.value(cfg.selfPrune);
     for (const auto &fn : cfg.noSpawnFuncs)
         f.str(fn);
     f.value(cfg.layout.memWords);

@@ -143,6 +143,24 @@ struct PeConfig
     bool spawnPreFilter = false;
 
     /**
+     * Self-pruning instrumentation (src/sim/superblock.hh): branches
+     * whose instrumentation provably cannot change anything anymore —
+     * both coverage bits recorded, every NT spawn statically waived or
+     * the consulted counter at its saturation cap — are promoted into
+     * a pruned re-decode image and executed by the uninstrumented
+     * superblock loop until the next counter reset demotes them.
+     * Results are bit-identical by contract
+     * (tests/superblock_test.cpp), but the engine only engages the
+     * pruned path in regimes where the proof holds (Standard-mode
+     * primary path, no random spawn factor, no NT redirect ablation,
+     * threshold within the counter range); elsewhere the flag is
+     * inert.  Part of configHash() as an engine-behavior input even
+     * though accepting identical results, so perf trajectories remain
+     * attributable.
+     */
+    bool selfPrune = false;
+
+    /**
      * Test hook: force the legacy one-instruction-at-a-time
      * execution loop instead of the pre-decoded block-stepped loop
      * (`sim::runBlock`).  The two loops are bit-identical by

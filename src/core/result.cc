@@ -67,7 +67,10 @@ RunResult::printSummary(std::ostream &os) const
     }
 
     os << "instructions: " << takenInstructions << " taken, "
-       << ntInstructions << " NT\n"
+       << ntInstructions << " NT";
+    if (prunedInstructions)
+        os << " (" << prunedInstructions << " self-pruned)";
+    os << "\n"
        << "cycles:       " << cycles << "\n";
 
     os << "NT-Paths:     " << ntPathsSpawned << " spawned";

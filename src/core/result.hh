@@ -80,6 +80,15 @@ struct RunResult
     uint64_t takenInstructions = 0;
     uint64_t ntInstructions = 0;
 
+    /**
+     * Of takenInstructions, how many retired through the self-pruned
+     * superblock loop (cfg.selfPrune).  Purely diagnostic — the
+     * bit-identity contract covers every other field, and tests use
+     * this one to assert the pruned path actually engaged — so
+     * identity comparisons must exclude it.
+     */
+    uint64_t prunedInstructions = 0;
+
     /** Primary-core completion time in cycles. */
     uint64_t cycles = 0;
 

@@ -136,8 +136,6 @@ Explorer::runBatch(const std::vector<std::vector<int32_t>> &inputs,
             }
         }
     }
-    corp.rescore(opts.rarePercentile);
-
     // Failed jobs consumed their budget slot even without a result;
     // counting them keeps a persistently-failing job from extending
     // the exploration forever.
@@ -151,6 +149,18 @@ Explorer::runBatch(const std::vector<std::vector<int32_t>> &inputs,
     stats.combinedEdges = corp.frontier().combinedCovered();
     stats.newEdges = stats.combinedEdges - before;
     dryBatches = stats.newEdges == 0 ? dryBatches + 1 : 0;
+
+    // Percentile-rarity rescore is O(corpus * edges) — by far the
+    // most expensive part of a dry batch.  Admission requires
+    // newEdgesOver(frontier) > 0, so a dry batch adds no entries and
+    // every existing entry keeps the ranking the last rescore gave
+    // it; only the exercise-count histogram drifts (rejected runs
+    // still accumulate), and that drift is folded in wholesale at the
+    // next admitting batch.  Checkpoint resume is unaffected: the
+    // gate is stateless per batch and serialized entries carry their
+    // rareEdges.
+    if (stats.newEdges > 0)
+        corp.rescore(opts.rarePercentile);
 
     emitBatch(stats);
     res.history.push_back(stats);

@@ -106,6 +106,13 @@ struct DecodedInst
     static constexpr uint8_t FlagDoomedTaken = 1u << 2;
 };
 
+// The decoded array is the hottest data structure in the simulator:
+// both runBlock and runSuperblock stream it.  Pin the 16-byte layout
+// so a future field can't silently fatten every program image and
+// halve the instructions per cache line.
+static_assert(sizeof(DecodedInst) == 16,
+              "DecodedInst must stay 16 bytes (hot-loop array)");
+
 /**
  * A program decoded once per engine against a fixed TimingConfig.
  * Read-only after construction (plus markNoSpawn calls), so one

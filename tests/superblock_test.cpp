@@ -1,0 +1,677 @@
+/**
+ * @file
+ * Differential proof of the self-pruning superblock path.
+ *
+ * `cfg.selfPrune` selects an execution *strategy*, not a behavior:
+ * runs with the flag on and off must produce bit-identical RunResults
+ * in every field except the `prunedInstructions` diagnostic (which
+ * exists precisely so these tests can assert the pruned path actually
+ * engaged).  This file extends the block-step identity methodology
+ * (tests/block_step_test.cpp) to the pruned path: the full workload ×
+ * mode grid, engineered saturation kernels, the epoch-invalidation
+ * corners (counter reset landing inside a would-be superblock), the
+ * activation gates that must keep the flag inert, a random-program
+ * sweep, and unit tests of the new building blocks (BTB reset epoch,
+ * coverage generation counter, static saturation eligibility, the
+ * cache's promote/demote lifecycle).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/cfg.hh"
+#include "src/analysis/regions.hh"
+#include "src/branch/btb.hh"
+#include "src/core/engine.hh"
+#include "src/coverage/coverage.hh"
+#include "src/detect/detector.hh"
+#include "src/isa/assembler.hh"
+#include "src/minic/compiler.hh"
+#include "src/sim/superblock.hh"
+#include "src/support/rng.hh"
+#include "src/workloads/workload.hh"
+
+namespace
+{
+
+using namespace pe;
+
+/** Field-by-field identity, excluding the prunedInstructions diagnostic. */
+void
+expectIdentical(const core::RunResult &pruned, const core::RunResult &plain)
+{
+    EXPECT_EQ(pruned.programCrashed, plain.programCrashed);
+    EXPECT_EQ(pruned.programCrashKind, plain.programCrashKind);
+    EXPECT_EQ(pruned.hitInstructionLimit, plain.hitInstructionLimit);
+    EXPECT_EQ(pruned.takenInstructions, plain.takenInstructions);
+    EXPECT_EQ(pruned.ntInstructions, plain.ntInstructions);
+    EXPECT_EQ(pruned.cycles, plain.cycles);
+    EXPECT_EQ(pruned.ntPathsSpawned, plain.ntPathsSpawned);
+    EXPECT_EQ(pruned.ntPathsSkippedBusy, plain.ntPathsSkippedBusy);
+    EXPECT_EQ(pruned.l2ContentionCycles, plain.l2ContentionCycles);
+    EXPECT_EQ(pruned.coreCycles, plain.coreCycles);
+    EXPECT_EQ(pruned.memoryDigest, plain.memoryDigest);
+    EXPECT_EQ(pruned.io.intOutput, plain.io.intOutput);
+    EXPECT_EQ(pruned.io.charOutput, plain.io.charOutput);
+    EXPECT_EQ(pruned.io.inputPos, plain.io.inputPos);
+    EXPECT_EQ(pruned.coverage.takenWords(), plain.coverage.takenWords());
+    EXPECT_EQ(pruned.coverage.ntWords(), plain.coverage.ntWords());
+
+    ASSERT_EQ(pruned.ntRecords.size(), plain.ntRecords.size());
+    for (size_t i = 0; i < pruned.ntRecords.size(); ++i) {
+        SCOPED_TRACE("ntRecord " + std::to_string(i));
+        const auto &a = pruned.ntRecords[i];
+        const auto &b = plain.ntRecords[i];
+        EXPECT_EQ(a.spawnBranchPc, b.spawnBranchPc);
+        EXPECT_EQ(a.spawnEdgeTaken, b.spawnEdgeTaken);
+        EXPECT_EQ(a.length, b.length);
+        EXPECT_EQ(a.cause, b.cause);
+        EXPECT_EQ(a.crashKind, b.crashKind);
+    }
+
+    ASSERT_EQ(pruned.monitor.reports().size(),
+              plain.monitor.reports().size());
+    for (size_t i = 0; i < pruned.monitor.reports().size(); ++i) {
+        SCOPED_TRACE("report " + std::to_string(i));
+        const auto &a = pruned.monitor.reports()[i];
+        const auto &b = plain.monitor.reports()[i];
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(a.addr, b.addr);
+        EXPECT_EQ(a.assertId, b.assertId);
+        EXPECT_EQ(a.fromNtPath, b.fromNtPath);
+        EXPECT_EQ(a.ntSpawnPc, b.ntSpawnPc);
+        EXPECT_EQ(a.site, b.site);
+    }
+}
+
+/**
+ * Run @p program on @p input under @p cfg twice — selfPrune on and
+ * off — with a fresh detector instance each time, require identity,
+ * and return how many instructions the pruned run retired through the
+ * superblock loop (0 when the flag never engaged).
+ */
+uint64_t
+comparePrune(const isa::Program &program, core::PeConfig cfg,
+             const std::string &tools, const std::vector<int32_t> &input)
+{
+    auto runWith = [&](bool prune) {
+        core::PeConfig c = cfg;
+        c.selfPrune = prune;
+        detect::WatchChecker watch;
+        detect::AssertChecker assert_;
+        detect::Detector *det = nullptr;
+        if (tools == "memory")
+            det = &watch;
+        else if (tools == "assert")
+            det = &assert_;
+        core::PathExpanderEngine engine(program, c, det);
+        return engine.run(input);
+    };
+    core::RunResult pruned = runWith(true);
+    core::RunResult plain = runWith(false);
+    expectIdentical(pruned, plain);
+    EXPECT_EQ(plain.prunedInstructions, 0u);
+    return pruned.prunedInstructions;
+}
+
+/**
+ * A kernel engineered to saturate (same shape as the bench arm): an
+ * outer counted loop around a 4-iteration inner loop whose branches
+ * all alternate direction, so both coverage bits of each inner branch
+ * record within the first outer iteration and — with the spawn
+ * threshold at the counter cap — the exercise counters reach
+ * saturation after a few more.
+ */
+isa::Program
+saturatedKernel(int iterations)
+{
+    std::ostringstream out;
+    out << "li r8, 0\n"
+        << "li r20, " << iterations << "\n"
+        << "li r21, 4\nli r9, 1\nli r10, 3\n"
+        << "outer:\n"
+        << "li r12, 0\n"
+        << "inner:\n"
+        << "andi r13, r12, 1\n"
+        << "beq r13, r0, even\n"
+        << "add r9, r9, r10\n"
+        << "jmp join1\n"
+        << "even:\n"
+        << "sub r9, r9, r10\n"
+        << "join1:\n"
+        << "andi r13, r12, 2\n"
+        << "bne r13, r0, skip2\n"
+        << "xor r10, r10, r9\n"
+        << "skip2:\n"
+        << "add r9, r9, r10\n"
+        << "xori r10, r10, 21\n"
+        << "slt r14, r9, r10\n"
+        << "addi r12, r12, 1\n"
+        << "blt r12, r21, inner\n"
+        << "addi r8, r8, 1\n"
+        << "blt r8, r20, outer\n"
+        << "sys print_int r9\n"
+        << "sys exit\n";
+    return isa::assemble(out.str(), "saturated_kernel");
+}
+
+/** Standard-mode config under which the kernel saturates. */
+core::PeConfig
+saturatingConfig()
+{
+    auto cfg = core::PeConfig::forMode(core::PeMode::Standard);
+    cfg.maxNtPathLength = 100;
+    cfg.ntPathCounterThreshold = 15;    // == 4-bit counter cap
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Every workload, every mode: selfPrune on must be invisible in the
+// results.  Engagement is not asserted here — at the paper-default
+// threshold (5, well below the counter cap) spawn-capable branches
+// never saturate, which is itself the correct behavior — only
+// identity, plus the requirement that non-Standard modes never prune.
+// ---------------------------------------------------------------------
+
+using WorkloadParam = std::tuple<std::string, core::PeMode>;
+
+class SelfPruneWorkloads : public ::testing::TestWithParam<WorkloadParam>
+{};
+
+TEST_P(SelfPruneWorkloads, BitIdenticalToInstrumentedRun)
+{
+    const auto &[name, mode] = GetParam();
+    const auto &w = workloads::getWorkload(name);
+    auto program = minic::compile(w.source, w.name);
+
+    auto cfg = core::PeConfig::forMode(mode);
+    cfg.maxNtPathLength = w.maxNtPathLength;
+
+    {
+        SCOPED_TRACE("benign input");
+        uint64_t pruned =
+            comparePrune(program, cfg, w.tools, w.benignInputs[0]);
+        if (mode != core::PeMode::Standard)
+            EXPECT_EQ(pruned, 0u);
+    }
+    if (!w.triggerInputs.empty()) {
+        SCOPED_TRACE("trigger input " + w.triggerInputs.begin()->first);
+        uint64_t pruned = comparePrune(program, cfg, w.tools,
+                                       w.triggerInputs.begin()->second);
+        if (mode != core::PeMode::Standard)
+            EXPECT_EQ(pruned, 0u);
+    }
+}
+
+std::string
+workloadParamName(const ::testing::TestParamInfo<WorkloadParam> &info)
+{
+    const auto &[name, mode] = info.param;
+    std::string s = name + "_" + core::peModeName(mode);
+    for (char &c : s)
+        if (c == '-')
+            c = '_';
+    return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SelfPruneWorkloads,
+    ::testing::Combine(
+        ::testing::ValuesIn(workloads::workloadNames()),
+        ::testing::Values(core::PeMode::Off, core::PeMode::Standard,
+                          core::PeMode::Cmp)),
+    workloadParamName);
+
+// ---------------------------------------------------------------------
+// Engagement and the activation gates.
+// ---------------------------------------------------------------------
+
+TEST(SelfPrune, EngagesOnSaturatedKernel)
+{
+    auto program = saturatedKernel(300);
+    uint64_t pruned = comparePrune(program, saturatingConfig(), "", {});
+    // Most of the run is the saturated inner loop; after warmup it
+    // must retire through the superblock path.
+    EXPECT_GT(pruned, 0u);
+}
+
+TEST(SelfPrune, GatesKeepTheFlagInert)
+{
+    auto program = saturatedKernel(120);
+
+    {
+        SCOPED_TRACE("random spawn factor consumes RNG at branches");
+        auto cfg = saturatingConfig();
+        cfg.randomSpawnFraction = 0.25;
+        EXPECT_EQ(comparePrune(program, cfg, "", {}), 0u);
+    }
+    {
+        SCOPED_TRACE("NT redirect ablation reads frozen counters");
+        auto cfg = saturatingConfig();
+        cfg.followNonTakenInNt = true;
+        EXPECT_EQ(comparePrune(program, cfg, "", {}), 0u);
+    }
+    {
+        SCOPED_TRACE("threshold above the counter cap");
+        auto cfg = saturatingConfig();
+        cfg.ntPathCounterThreshold = 16;    // > 4-bit cap: at-cap
+                                            // edges could still spawn
+        EXPECT_EQ(comparePrune(program, cfg, "", {}), 0u);
+    }
+    {
+        SCOPED_TRACE("legacy per-step loop");
+        auto cfg = saturatingConfig();
+        cfg.legacyStepLoop = true;
+        EXPECT_EQ(comparePrune(program, cfg, "", {}), 0u);
+    }
+    {
+        SCOPED_TRACE("PE off");
+        auto cfg = saturatingConfig();
+        cfg.mode = core::PeMode::Off;
+        EXPECT_EQ(comparePrune(program, cfg, "", {}), 0u);
+    }
+    {
+        SCOPED_TRACE("CMP mode");
+        auto cfg = saturatingConfig();
+        cfg.mode = core::PeMode::Cmp;
+        EXPECT_EQ(comparePrune(program, cfg, "", {}), 0u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Epoch invalidation: counter resets landing where a superblock would
+// otherwise keep running.  The budget clip must stop the superblock at
+// the exact legacy reset boundary, the reset must demote every
+// promoted branch, and re-saturation must re-engage — all invisibly.
+// ---------------------------------------------------------------------
+
+TEST(SelfPruneEpochs, CounterResetMidSuperblock)
+{
+    auto program = saturatedKernel(200);
+    for (uint64_t interval : {3ull, 17ull, 50ull, 256ull, 1000ull}) {
+        SCOPED_TRACE("interval " + std::to_string(interval));
+        auto cfg = saturatingConfig();
+        cfg.counterResetInterval = interval;
+        comparePrune(program, cfg, "", {});
+    }
+}
+
+TEST(SelfPruneEpochs, TightIntervalOnWorkload)
+{
+    const auto &w = workloads::getWorkload("schedule2");
+    auto program = minic::compile(w.source, w.name);
+    for (uint64_t interval : {3ull, 17ull, 256ull}) {
+        SCOPED_TRACE("interval " + std::to_string(interval));
+        auto cfg = core::PeConfig::forMode(core::PeMode::Standard);
+        cfg.maxNtPathLength = w.maxNtPathLength;
+        cfg.counterResetInterval = interval;
+        cfg.ntPathCounterThreshold = 15;
+        comparePrune(program, cfg, w.tools, w.benignInputs[0]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration corners interacting with the bulk cycle accounting
+// and the promotion predicate's waived-direction legs.
+// ---------------------------------------------------------------------
+
+TEST(SelfPruneCorners, SoftwareCostModel)
+{
+    // Per-branch analysis cost must be bulk-charged exactly.
+    auto program = saturatedKernel(150);
+    auto cfg = saturatingConfig();
+    cfg.costModel = core::CostModelKind::Software;
+    EXPECT_GT(comparePrune(program, cfg, "", {}), 0u);
+}
+
+TEST(SelfPruneCorners, SpawnPreFilterAndNoFixing)
+{
+    const auto &w = workloads::getWorkload("schedule");
+    auto program = minic::compile(w.source, w.name);
+    auto cfg = core::PeConfig::forMode(core::PeMode::Standard);
+    cfg.maxNtPathLength = w.maxNtPathLength;
+    cfg.ntPathCounterThreshold = 15;
+    cfg.spawnPreFilter = true;      // doomed edges waive their leg
+    cfg.variableFixing = false;
+    comparePrune(program, cfg, w.tools, w.benignInputs[0]);
+}
+
+TEST(SelfPruneCorners, InstructionLimit)
+{
+    // The limit must cut the run at the exact same instruction even
+    // when it lands inside a superblock.
+    auto program = saturatedKernel(100000);
+    for (uint64_t limit : {1000ull, 12345ull}) {
+        SCOPED_TRACE("limit " + std::to_string(limit));
+        auto cfg = saturatingConfig();
+        cfg.maxTakenInstructions = limit;
+        comparePrune(program, cfg, "", {});
+    }
+}
+
+TEST(SelfPruneCorners, DetectorKeepsChecksSurfacing)
+{
+    // With a detector attached, Chkb/Assert must still surface from
+    // the pruned image (startsSuper's inertChecks leg).
+    const auto &w = workloads::getWorkload("pe_bc");
+    auto program = minic::compile(w.source, w.name);
+    auto cfg = core::PeConfig::forMode(core::PeMode::Standard);
+    cfg.maxNtPathLength = w.maxNtPathLength;
+    cfg.ntPathCounterThreshold = 15;
+    comparePrune(program, cfg, w.tools, w.benignInputs[0]);
+}
+
+// ---------------------------------------------------------------------
+// Random programs: same generator family as the block-step sweep
+// (ALU runs, div/rem by possibly-zero registers, masked loads/stores,
+// forward branches in a counted loop), but iterated enough for
+// counters to cap so promotions actually happen.
+// ---------------------------------------------------------------------
+
+std::string
+generateProgram(uint64_t seed)
+{
+    Rng rng(seed);
+    std::ostringstream out;
+    out << ".data acc 0\n.array buf 16\n";
+
+    for (int r = 8; r <= 15; ++r)
+        out << "li r" << r << ", " << rng.nextRange(-50, 50) << "\n";
+    out << "li r20, " << rng.nextRange(40, 80) << "\n";
+    out << "outer:\n";
+
+    int blocks = static_cast<int>(rng.nextRange(4, 8));
+    for (int b = 0; b < blocks; ++b) {
+        int ops = static_cast<int>(rng.nextRange(3, 8));
+        for (int i = 0; i < ops; ++i) {
+            int rd = static_cast<int>(rng.nextRange(8, 15));
+            int rs1 = static_cast<int>(rng.nextRange(8, 15));
+            int rs2 = static_cast<int>(rng.nextRange(8, 15));
+            switch (rng.nextBelow(9)) {
+              case 0:
+                out << "add r" << rd << ", r" << rs1 << ", r" << rs2
+                    << "\n";
+                break;
+              case 1:
+                out << "sub r" << rd << ", r" << rs1 << ", r" << rs2
+                    << "\n";
+                break;
+              case 2:
+                out << "mul r" << rd << ", r" << rs1 << ", r" << rs2
+                    << "\n";
+                break;
+              case 3:
+                out << "xor r" << rd << ", r" << rs1 << ", r" << rs2
+                    << "\n";
+                break;
+              case 4:
+                out << "slt r" << rd << ", r" << rs1 << ", r" << rs2
+                    << "\n";
+                break;
+              case 5:
+                // Crash-capable: rs2 may hold zero on some path.
+                out << "div r" << rd << ", r" << rs1 << ", r" << rs2
+                    << "\n";
+                break;
+              case 6:
+                out << "rem r" << rd << ", r" << rs1 << ", r" << rs2
+                    << "\n";
+                break;
+              case 7: {
+                out << "andi r28, r" << rs1 << ", 15\n"
+                    << "li r29, buf\n"
+                    << "add r28, r28, r29\n"
+                    << "st r" << rs2 << ", 0(r28)\n";
+                break;
+              }
+              default: {
+                out << "andi r28, r" << rs1 << ", 15\n"
+                    << "li r29, buf\n"
+                    << "add r28, r28, r29\n"
+                    << "ld r" << rd << ", 0(r28)\n";
+                break;
+              }
+            }
+        }
+        int rs1 = static_cast<int>(rng.nextRange(8, 15));
+        int rs2 = static_cast<int>(rng.nextRange(8, 15));
+        const char *cond =
+            (const char *[]){"beq", "bne", "blt", "bge"}[rng.nextBelow(
+                4)];
+        out << cond << " r" << rs1 << ", r" << rs2 << ", blk" << seed
+            << "_" << b + 1 << "\n";
+        out << "addi r" << rs1 << ", r" << rs1 << ", 1\n";
+        out << "blk" << seed << "_" << b + 1 << ":\n";
+    }
+
+    out << "addi r20, r20, -1\n"
+        << "bgt r20, r0, outer\n";
+    out << "li r21, 0\n";
+    for (int r = 8; r <= 15; ++r)
+        out << "xor r21, r21, r" << r << "\n";
+    out << "sys print_int r21\n"
+        << "sys exit\n";
+    return out.str();
+}
+
+TEST(SelfPruneRandom, SeedSweepIsBitIdentical)
+{
+    int crashes = 0;
+    uint64_t totalPruned = 0;
+    for (uint64_t seed = 1; seed <= 24; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        auto program =
+            isa::assemble(generateProgram(seed),
+                          "selfprune_" + std::to_string(seed));
+        auto cfg = saturatingConfig();
+        cfg.maxTakenInstructions = 50'000;
+
+        auto runWith = [&](bool prune) {
+            core::PeConfig c = cfg;
+            c.selfPrune = prune;
+            core::PathExpanderEngine engine(program, c, nullptr);
+            return engine.run({});
+        };
+        core::RunResult pruned = runWith(true);
+        core::RunResult plain = runWith(false);
+        expectIdentical(pruned, plain);
+        totalPruned += pruned.prunedInstructions;
+        if (pruned.programCrashed)
+            ++crashes;
+
+        // And with a reset interval that fires mid-run.
+        cfg.counterResetInterval = 997;
+        core::RunResult prunedTight = runWith(true);
+        core::RunResult plainTight = runWith(false);
+        expectIdentical(prunedTight, plainTight);
+    }
+    // The sweep is only meaningful if some seeds crash-surface and
+    // some seeds actually engage the pruned path.
+    EXPECT_GT(crashes, 0);
+    EXPECT_GT(totalPruned, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Unit tests of the building blocks.
+// ---------------------------------------------------------------------
+
+TEST(BtbEpoch, ResetBumpsEpoch)
+{
+    branch::Btb btb;
+    EXPECT_EQ(btb.resetEpoch(), 0u);
+    btb.increment(42, true);
+    EXPECT_EQ(btb.resetEpoch(), 0u);    // increments don't invalidate
+    btb.resetCounters();
+    EXPECT_EQ(btb.resetEpoch(), 1u);
+    btb.resetCounters();
+    EXPECT_EQ(btb.resetEpoch(), 2u);
+}
+
+TEST(BtbEpoch, AtCapTracksSaturation)
+{
+    branch::Btb btb;
+    EXPECT_FALSE(btb.atCap(7, false));  // miss reads as not-at-cap
+    for (int i = 0; i < 15; ++i)
+        btb.increment(7, false);
+    EXPECT_TRUE(btb.atCap(7, false));
+    EXPECT_FALSE(btb.atCap(7, true));
+    btb.increment(7, false);            // saturating: still at cap
+    EXPECT_TRUE(btb.atCap(7, false));
+    btb.resetCounters();
+    EXPECT_FALSE(btb.atCap(7, false));
+}
+
+TEST(CoverageGeneration, BumpsOnlyOnRealChange)
+{
+    isa::Program p;
+    p.code.push_back(isa::makeLi(8, 1));
+    p.code.push_back(isa::makeBranch(isa::Opcode::Beq, 8, 0, 0));
+    p.code.push_back(isa::makeBranch(isa::Opcode::Bne, 8, 0, 0));
+
+    coverage::BranchCoverage cov(p);
+    EXPECT_EQ(cov.generation(), 0u);
+    EXPECT_FALSE(cov.takenEdgeCovered(1, true));
+
+    cov.onTakenEdge(1, true);
+    EXPECT_TRUE(cov.takenEdgeCovered(1, true));
+    EXPECT_FALSE(cov.takenEdgeCovered(1, false));
+    uint64_t g = cov.generation();
+    EXPECT_GT(g, 0u);
+
+    cov.onTakenEdge(1, true);           // idempotent re-record
+    EXPECT_EQ(cov.generation(), g);
+
+    cov.onNtEdge(2, false);             // NT bitmap counts too
+    EXPECT_GT(cov.generation(), g);
+}
+
+TEST(CoverageGeneration, MergeAndRestoreInvalidate)
+{
+    isa::Program p;
+    p.code.push_back(isa::makeLi(8, 1));
+    p.code.push_back(isa::makeBranch(isa::Opcode::Beq, 8, 0, 0));
+
+    coverage::BranchCoverage a(p);
+    coverage::BranchCoverage b(p);
+    b.onTakenEdge(1, false);
+
+    uint64_t g = a.generation();
+    a.mergeFrom(b);                     // contributes a new bit
+    EXPECT_GT(a.generation(), g);
+    EXPECT_TRUE(a.takenEdgeCovered(1, false));
+
+    g = a.generation();
+    a.mergeFrom(b);                     // no-op merge
+    EXPECT_EQ(a.generation(), g);
+
+    // Universe growth counts as a change even with no new bits.
+    isa::Program bigger = p;
+    bigger.code.push_back(isa::makeBranch(isa::Opcode::Bne, 8, 0, 0));
+    coverage::BranchCoverage c(bigger);
+    g = c.generation();
+    c.mergeFrom(a);
+    EXPECT_GT(c.generation(), g);
+
+    // restoreWords may clear bits: always a change.
+    g = a.generation();
+    a.restoreWords(a.takenWords(), a.ntWords());
+    EXPECT_GT(a.generation(), g);
+}
+
+TEST(SaturationEligibility, ConflictingSetsAreExcluded)
+{
+    isa::Program p;
+    p.code.push_back(isa::makeLi(8, 1));
+    p.code.push_back(isa::makeBranch(isa::Opcode::Beq, 8, 0, 0));
+    p.code.push_back(isa::makeBranch(isa::Opcode::Bne, 8, 0, 0));
+
+    // One set, one way: two valid branches conflict — neither is safe.
+    auto tight = analysis::computeSaturationEligibility(p, 1, 1);
+    EXPECT_EQ(tight.condBranches, 2u);
+    EXPECT_EQ(tight.eligibleBranches, 0u);
+    EXPECT_FALSE(tight.branchEligible[1]);
+    EXPECT_FALSE(tight.branchEligible[2]);
+
+    // One set, two ways: both fit, eviction impossible.
+    auto roomy = analysis::computeSaturationEligibility(p, 1, 2);
+    EXPECT_EQ(roomy.eligibleBranches, 2u);
+
+    // Two sets, one way: pcs 1 and 2 land in different sets.
+    auto spread = analysis::computeSaturationEligibility(p, 2, 1);
+    EXPECT_EQ(spread.eligibleBranches, 2u);
+}
+
+TEST(SaturationEligibility, InvalidTargetsDoNotPopulateSets)
+{
+    isa::Program p;
+    p.code.push_back(isa::makeLi(8, 1));
+    p.code.push_back(isa::makeBranch(isa::Opcode::Beq, 8, 0, 0));
+    p.code.push_back(isa::makeBranch(isa::Opcode::Bne, 8, 0, 99));
+
+    // The invalid-target branch crashes before any BTB bookkeeping,
+    // so it neither counts nor conflicts.
+    auto elig = analysis::computeSaturationEligibility(p, 1, 1);
+    EXPECT_EQ(elig.condBranches, 1u);
+    EXPECT_EQ(elig.eligibleBranches, 1u);
+    EXPECT_TRUE(elig.branchEligible[1]);
+    EXPECT_FALSE(elig.branchEligible[2]);
+}
+
+TEST(SaturationEligibility, CountsRegionsOverTheCfg)
+{
+    auto program = saturatedKernel(10);
+    const branch::BtbParams btb;
+    auto elig = analysis::computeSaturationEligibility(
+        program, btb.entries / btb.ways, btb.ways);
+    EXPECT_GT(elig.condBranches, 0u);
+    EXPECT_EQ(elig.eligibleBranches, elig.condBranches);
+    analysis::Cfg cfg(program);
+    EXPECT_GT(analysis::countEligibleRegions(cfg, elig), 0u);
+}
+
+TEST(SuperblockCacheUnit, PromoteDemoteLifecycle)
+{
+    auto program = isa::assemble("li r8, 0\n"
+                                 "li r9, 5\n"
+                                 "loop:\n"
+                                 "addi r8, r8, 1\n"
+                                 "blt r8, r9, loop\n"
+                                 "sys exit\n",
+                                 "tiny_loop");
+    const uint32_t branchPc = 3;
+    sim::DecodedProgram decoded(program,
+                                sim::TimingConfig::standardConfig());
+    std::vector<bool> elig(program.code.size(), true);
+    sim::SuperblockCache cache(decoded, elig);
+
+    // Fresh cache: branch demoted, straight-line kinds intact.
+    EXPECT_TRUE(cache.eligible(branchPc));
+    EXPECT_FALSE(cache.promoted(branchPc));
+    EXPECT_FALSE(cache.startsSuper(branchPc, true));
+    EXPECT_TRUE(cache.startsSuper(0, true));        // li
+    EXPECT_FALSE(cache.startsSuper(4, true));       // sys: Surface
+    EXPECT_EQ(cache.epoch(), 0u);
+
+    cache.promote(branchPc);
+    EXPECT_TRUE(cache.promoted(branchPc));
+    EXPECT_TRUE(cache.startsSuper(branchPc, true));
+    EXPECT_EQ(cache.promotedCount(), 1u);
+
+    cache.syncEpoch(0);                 // same epoch: no-op
+    EXPECT_TRUE(cache.promoted(branchPc));
+
+    cache.syncEpoch(1);                 // reset intervened: demote all
+    EXPECT_FALSE(cache.promoted(branchPc));
+    EXPECT_FALSE(cache.startsSuper(branchPc, true));
+    EXPECT_EQ(cache.promotedCount(), 0u);
+    EXPECT_EQ(cache.epoch(), 1u);
+
+    cache.promote(branchPc);            // re-saturation re-promotes
+    EXPECT_TRUE(cache.promoted(branchPc));
+}
+
+} // namespace
