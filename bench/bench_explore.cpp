@@ -13,7 +13,13 @@
  *              (exactly the Section-7.4 experiment);
  *   uniform  — greedy-random exploration: corpus seeded with a few
  *              suite inputs, parents picked uniformly;
- *   rare     — the same, but rare-edge-weighted scheduling.
+ *   rare     — the same, but rare-edge-weighted scheduling;
+ *   sharded  — the rare arm distributed over a worker-process fleet
+ *              (src/fleet/) at the *same total budget*, recording
+ *              wall time and the merged frontier/corpus digests so
+ *              CI can (a) compare sharded vs single-process wall
+ *              time on multi-core runners and (b) assert the merge
+ *              is bit-reproducible.
  *
  * The headline claim: the guided explorer matches or beats the
  * static suite's cumulative coverage at <= the same number of runs.
@@ -22,6 +28,7 @@
  *
  * PE_EXPLORE_RUNS overrides the per-arm run budget (CI smoke runs a
  * tiny budget; the suite-parity gate only applies at the default).
+ * PE_EXPLORE_SHARDS overrides the fleet width (default 4).
  */
 
 #include <chrono>
@@ -32,6 +39,7 @@
 
 #include "bench_util.hh"
 #include "src/explore/explorer.hh"
+#include "src/fleet/coordinator.hh"
 #include "src/support/status.hh"
 #include "src/support/strutil.hh"
 #include "src/support/table.hh"
@@ -50,7 +58,19 @@ struct Arm
     uint64_t runs = 0;
     size_t edges = 0;       //!< frontier combined edges
     size_t corpus = 0;
+    double wallSeconds = 0;
+    uint64_t frontierDigest = 0;    //!< sharded arm only
+    uint64_t corpusDigest = 0;      //!< sharded arm only
+    uint64_t planDigest = 0;        //!< sharded arm only
 };
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    std::chrono::duration<double> d =
+        std::chrono::steady_clock::now() - start;
+    return d.count();
+}
 
 Arm
 runExplorer(const App &app, explore::SchedulePolicy policy,
@@ -78,10 +98,55 @@ runExplorer(const App &app, explore::SchedulePolicy policy,
                 {app.workload->benignInputs.size(), 5, budget}));
 
     explore::Explorer explorer(app.program, seeds, opts);
+    auto start = std::chrono::steady_clock::now();
     auto result = explorer.run();
-    return Arm{result.runs,
-               explorer.corpus().frontier().combinedCovered(),
-               explorer.corpus().size()};
+    Arm arm;
+    arm.runs = result.runs;
+    arm.edges = explorer.corpus().frontier().combinedCovered();
+    arm.corpus = explorer.corpus().size();
+    arm.wallSeconds = secondsSince(start);
+    return arm;
+}
+
+/**
+ * The rare arm again, but spread over a process fleet at the same
+ * total run budget.  On a single core this pays the fork/IPC tax; on
+ * a multi-core runner the shards overlap and the wall time should
+ * drop below the single-process rare arm — which is exactly what the
+ * recorded `*_sharded_wall_seconds` vs `*_rare_wall_seconds` pairs
+ * let CI trend.  The digests witness that the merged result is a
+ * deterministic function of the plan, not of host scheduling.
+ */
+Arm
+runSharded(const App &app, unsigned shards, uint64_t budget,
+           std::ostream *jsonl)
+{
+    fleet::FleetOptions fopts;
+    fopts.base.config = appConfig(app, core::PeMode::Standard);
+    fopts.base.policy = explore::SchedulePolicy::RareEdgeWeighted;
+    fopts.base.budget.maxRuns = budget;
+    fopts.base.batchSize = 8;
+    fopts.base.jsonl = jsonl;
+    fopts.base.label = app.workload->name + "/sharded";
+    fopts.shards = shards;
+
+    std::vector<std::vector<int32_t>> seeds(
+        app.workload->benignInputs.begin(),
+        app.workload->benignInputs.begin() +
+            std::min<size_t>(
+                {app.workload->benignInputs.size(), 5, budget}));
+
+    auto start = std::chrono::steady_clock::now();
+    auto result = fleet::runFleet(app.program, seeds, fopts);
+    Arm arm;
+    arm.runs = result.runs;
+    arm.edges = result.edgesCombined;
+    arm.corpus = result.corpusSize;
+    arm.wallSeconds = secondsSince(start);
+    arm.frontierDigest = result.frontierDigest;
+    arm.corpusDigest = result.corpusDigest;
+    arm.planDigest = result.planDigest;
+    return arm;
 }
 
 Arm
@@ -112,6 +177,13 @@ main()
         budget = std::strtoull(env, nullptr, 10);
         customBudget = true;
     }
+    unsigned shardCount = 4;
+    if (const char *env = std::getenv("PE_EXPLORE_SHARDS");
+        env && *env)
+        shardCount = static_cast<unsigned>(
+            std::strtoul(env, nullptr, 10));
+    if (shardCount < 2)
+        shardCount = 2;
 
     const char *dir = std::getenv("PE_BENCH_JSON_DIR");
     std::string jsonlPath =
@@ -126,7 +198,8 @@ main()
         core::PeConfig::forMode(core::PeMode::Standard));
 
     Table table({"App", "Budget", "Static suite", "Uniform-random",
-                 "Rare-edge", "Rare+priors", "Rare-edge (PE off)"});
+                 "Rare-edge", "Rare+priors", "Rare-edge (PE off)",
+                 "Sharded x" + std::to_string(shardCount)});
     bool guidedMatches = true;
     int priorWins = 0;      //!< apps where prior-seeded >= uniform
     uint64_t totalRuns = 0;
@@ -154,6 +227,8 @@ main()
         Arm rareOff = runExplorer(
             app, explore::SchedulePolicy::RareEdgeWeighted,
             core::PeMode::Off, armBudget, &jsonl);
+        // Equal total budget, split over a worker-process fleet.
+        Arm sharded = runSharded(app, shardCount, armBudget, &jsonl);
 
         auto cell = [](const Arm &a) {
             return std::to_string(a.edges) + " edges / " +
@@ -161,7 +236,9 @@ main()
         };
         table.addRow({name, std::to_string(armBudget), cell(stat),
                       cell(uniform), cell(rare), cell(prior),
-                      cell(rareOff)});
+                      cell(rareOff),
+                      cell(sharded) + " / " +
+                          fmtDouble(sharded.wallSeconds, 2) + "s"});
 
         guidedMatches = guidedMatches && rare.edges >= stat.edges &&
                         rare.runs <= stat.runs;
@@ -169,7 +246,7 @@ main()
             ++priorWins;
 
         totalRuns += stat.runs + uniform.runs + rare.runs +
-                     prior.runs + rareOff.runs;
+                     prior.runs + rareOff.runs + sharded.runs;
 
         std::string prefix = std::string(name) + "_";
         json.setInt(prefix + "budget", armBudget);
@@ -180,6 +257,18 @@ main()
         json.setInt(prefix + "rare_edges_pe_off", rareOff.edges);
         json.setInt(prefix + "rare_runs", rare.runs);
         json.setInt(prefix + "rare_corpus", rare.corpus);
+        json.set(prefix + "rare_wall_seconds", rare.wallSeconds);
+        json.setInt(prefix + "sharded_edges", sharded.edges);
+        json.setInt(prefix + "sharded_runs", sharded.runs);
+        json.setInt(prefix + "sharded_corpus", sharded.corpus);
+        json.set(prefix + "sharded_wall_seconds",
+                 sharded.wallSeconds);
+        json.set(prefix + "sharded_frontier_digest",
+                 fmtHex(sharded.frontierDigest));
+        json.set(prefix + "sharded_corpus_digest",
+                 fmtHex(sharded.corpusDigest));
+        json.set(prefix + "sharded_plan_digest",
+                 fmtHex(sharded.planDigest));
     }
     table.print(std::cout);
 
@@ -201,6 +290,7 @@ main()
               << fmtDouble(totalRuns / wall.count(), 2)
               << " runs/s).\n";
 
+    json.setInt("sharded_shards", shardCount);
     json.setInt("guided_matches_static", guidedMatches ? 1 : 0);
     json.setInt("prior_beats_uniform_apps", priorWins);
     json.setInt("custom_budget", customBudget ? 1 : 0);

@@ -12,15 +12,28 @@
  *       --jobs N                campaign workers (default PE_JOBS)
  *       --seed S                exploration seed
  *       --jsonl PATH            write the JSONL progress stream
+ *                               ("-" = stdout)
  *       --checkpoint PATH       write a resumable checkpoint file
  *       --checkpoint-every K    batches between checkpoints (default 1)
  *       --resume PATH           resume from a checkpoint file
+ *       --shards N              distribute over N worker processes
+ *       --round-runs N          fleet runs per round (default
+ *                               shards * batch)
+ *       --serve [SPOOLDIR]      service mode: run job specs from the
+ *                               spool directory (or stdin), one JSON
+ *                               result per job on stdout
+ *       --drain                 with --serve: process the queued jobs
+ *                               and exit instead of polling
  *       --verbose               print a dot per finished run
  *
- * SIGINT/SIGTERM raise the explorer's cooperative stop flag: the
- * session finishes its current batch, writes a final checkpoint (when
- * --checkpoint is set) and exits cleanly with stop cause
- * "interrupted".  A second signal kills the process the default way.
+ * Human-readable status goes to stderr; stdout carries only
+ * machine-parseable output (the JSONL stream under `--jsonl -`, job
+ * results under --serve), so `explore --serve | jq .` just works.
+ *
+ * SIGINT/SIGTERM raise the cooperative stop flag: the session (or
+ * fleet, or service) finishes its current batch/round/job, writes a
+ * final checkpoint (when --checkpoint is set) and exits cleanly.  A
+ * second signal kills the process the default way.
  */
 
 #include <algorithm>
@@ -31,6 +44,8 @@
 #include <string>
 
 #include "src/explore/explorer.hh"
+#include "src/fleet/coordinator.hh"
+#include "src/fleet/service.hh"
 #include "src/minic/compiler.hh"
 #include "src/support/status.hh"
 #include "src/support/strutil.hh"
@@ -49,9 +64,12 @@ usage(const char *msg)
                  "[--mode off|standard|cmp]\n"
               << "               [--runs N] [--batch N] [--plateau K] "
                  "[--jobs N] [--seed S]\n"
-              << "               [--jsonl PATH] [--checkpoint PATH] "
+              << "               [--jsonl PATH|-] [--checkpoint PATH] "
                  "[--checkpoint-every K]\n"
-              << "               [--resume PATH] [--verbose]\n";
+              << "               [--resume PATH] [--shards N] "
+                 "[--round-runs N]\n"
+              << "               [--serve [SPOOLDIR]] [--drain] "
+                 "[--verbose]\n";
     return 2;
 }
 
@@ -77,6 +95,11 @@ main(int argc, char **argv)
     explore::ExploreOptions opts;
     opts.budget.maxRuns = 200;
     opts.budget.plateauBatches = 8;
+    unsigned shards = 1;
+    uint64_t roundRuns = 0;
+    bool serve = false;
+    bool drain = false;
+    std::string spoolDir;
     bool verbose = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -156,6 +179,25 @@ main(int argc, char **argv)
             if (!v)
                 return usage("--resume needs a value");
             opts.resumeFrom = v;
+        } else if (arg == "--shards") {
+            const char *v = next();
+            if (!v)
+                return usage("--shards needs a value");
+            shards = static_cast<unsigned>(std::stoul(v));
+            if (shards < 1)
+                return usage("--shards must be >= 1");
+        } else if (arg == "--round-runs") {
+            const char *v = next();
+            if (!v)
+                return usage("--round-runs needs a value");
+            roundRuns = std::stoull(v);
+        } else if (arg == "--serve") {
+            serve = true;
+            // Optional value: a spool directory; omitted = stdin.
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                spoolDir = argv[++i];
+        } else if (arg == "--drain") {
+            drain = true;
         } else if (arg == "--verbose") {
             verbose = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -163,6 +205,27 @@ main(int argc, char **argv)
         } else {
             name = arg;
         }
+    }
+
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
+
+    // --- Service mode: jobs in, JSONL results on stdout ------------
+    if (serve) {
+        fleet::ServiceOptions svc;
+        svc.spoolDir = spoolDir;
+        svc.out = &std::cout;
+        svc.status = &std::cerr;
+        svc.drainOnce = drain;
+        svc.workerThreads = opts.threads;
+        svc.stopFlag = &stopRequested;
+        try {
+            fleet::runService(svc);
+        } catch (const FatalError &err) {
+            std::cerr << "explore: " << err.what() << "\n";
+            return 1;
+        }
+        return 0;
     }
 
     auto names = workloads::workloadNames();
@@ -180,7 +243,9 @@ main(int argc, char **argv)
     opts.config.maxNtPathLength = workload.maxNtPathLength;
 
     std::ofstream jsonlFile;
-    if (!jsonlPath.empty()) {
+    if (jsonlPath == "-") {
+        opts.jsonl = &std::cout;
+    } else if (!jsonlPath.empty()) {
         jsonlFile.open(jsonlPath);
         if (!jsonlFile) {
             std::cerr << "explore: cannot write " << jsonlPath << "\n";
@@ -190,15 +255,52 @@ main(int argc, char **argv)
     }
     if (verbose) {
         opts.onRun = [](const core::RunResult &) {
-            std::cout << "." << std::flush;
+            std::cerr << "." << std::flush;
         };
     }
-
     opts.stopFlag = &stopRequested;
-    std::signal(SIGINT, onStopSignal);
-    std::signal(SIGTERM, onStopSignal);
 
-    std::cout << "exploring '" << name << "' ("
+    // --- Fleet mode: shard the exploration over N processes --------
+    if (shards > 1) {
+        if (!opts.checkpointPath.empty() || !opts.resumeFrom.empty())
+            return usage("--checkpoint/--resume do not combine with "
+                         "--shards (checkpointing is per-process)");
+        fleet::FleetOptions fopts;
+        fopts.base = opts;
+        fopts.shards = shards;
+        fopts.roundRuns = roundRuns;
+        fopts.plateauRounds = opts.budget.plateauBatches;
+        fopts.status = &std::cerr;
+        fopts.stopFlag = &stopRequested;
+
+        std::cerr << "exploring '" << name << "' ("
+                  << program.numBranches() << " branches, "
+                  << shards << " shards, policy "
+                  << explore::schedulePolicyName(opts.policy)
+                  << ", mode " << core::peModeName(opts.config.mode)
+                  << ", budget " << opts.budget.maxRuns << " runs)\n";
+
+        auto result =
+            fleet::runFleet(program, workload.benignInputs, fopts);
+
+        std::cerr << "\nstopped: " << fleet::fleetStopName(result.stop)
+                  << " after " << result.runs << " runs / "
+                  << result.rounds << " rounds\n"
+                  << "corpus:  " << result.corpusSize
+                  << " inputs (merged across shards)\n"
+                  << "coverage: " << result.edgesCombined << "/"
+                  << result.totalEdges << " edges with NT-Paths\n"
+                  << "fleet:   " << result.lostWorkers
+                  << " lost worker(s), " << result.stolenRuns
+                  << " stolen runs\n"
+                  << "plan:     " << fmtHex(result.planDigest)
+                  << "\nfrontier: " << fmtHex(result.frontierDigest)
+                  << "\ncorpus:   " << fmtHex(result.corpusDigest)
+                  << "\n";
+        return 0;
+    }
+
+    std::cerr << "exploring '" << name << "' ("
               << program.numBranches() << " branches, policy "
               << explore::schedulePolicyName(opts.policy) << ", mode "
               << core::peModeName(opts.config.mode) << ", budget "
@@ -207,10 +309,10 @@ main(int argc, char **argv)
     explore::Explorer explorer(program, workload.benignInputs, opts);
     auto result = explorer.run();
     if (verbose)
-        std::cout << "\n";
+        std::cerr << "\n";
 
     for (const auto &b : result.history) {
-        std::cout << "batch " << padLeft(std::to_string(b.batch), 3)
+        std::cerr << "batch " << padLeft(std::to_string(b.batch), 3)
                   << ": runs " << padLeft(std::to_string(b.totalRuns), 5)
                   << "  corpus " << padLeft(std::to_string(b.corpusSize), 4)
                   << "  edges "
@@ -222,7 +324,7 @@ main(int argc, char **argv)
     }
 
     const auto &frontier = explorer.corpus().frontier();
-    std::cout << "\nstopped: " << explore::exploreStopName(result.stop)
+    std::cerr << "\nstopped: " << explore::exploreStopName(result.stop)
               << " after " << result.runs << " runs / "
               << result.batches << " batches\n"
               << "corpus:  " << explorer.corpus().size()

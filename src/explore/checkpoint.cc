@@ -10,25 +10,30 @@
  * having stopped, because the loop's only other inputs (program,
  * config, seeds) are validated to match.
  *
- * The file is binary, little-endian, versioned, and written
- * temp-then-atomic-rename: a kill -9 at any moment leaves either the
- * previous checkpoint or the new one, never a torn file.  Header
- * fields (config hash, master seed, schedule policy, a program
- * fingerprint) are checked on resume and mismatches are fatal — a
- * checkpoint silently applied to the wrong session would "resume"
- * into nonsense.
+ * The byte layout is the shared explorer-state codec
+ * (src/explore/serialize.hh over wire::Encoder/Decoder) — the same
+ * encoding the fleet ships over its IPC frames — wrapped in a magic +
+ * version + identity header and written temp-then-atomic-rename: a
+ * kill -9 at any moment leaves either the previous checkpoint or the
+ * new one, never a torn file.  Header fields (config hash, master
+ * seed, schedule policy, a program fingerprint) are checked on resume
+ * and mismatches are fatal with the expected and found values spelled
+ * out — a checkpoint silently applied to the wrong session would
+ * "resume" into nonsense, and a bare "mismatch" would leave the
+ * operator of a many-session fleet guessing which knob diverged.
  */
 
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
-#include <istream>
-#include <ostream>
+#include <sstream>
 
 #include "src/explore/explorer.hh"
-#include "src/isa/instruction.hh"
+#include "src/explore/serialize.hh"
+#include "src/fleet/wire.hh"
 #include "src/support/faultinject.hh"
 #include "src/support/status.hh"
+#include "src/support/strutil.hh"
 
 namespace pe::explore
 {
@@ -36,117 +41,14 @@ namespace pe::explore
 namespace
 {
 
-constexpr char magic[8] = {'P', 'E', 'X', 'C', 'K', 'P', '1', '\0'};
-constexpr uint32_t checkpointVersion = 1;
-
-void
-putU32(std::ostream &os, uint32_t v)
-{
-    char b[4];
-    for (int i = 0; i < 4; ++i)
-        b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
-    os.write(b, 4);
-}
-
-void
-putU64(std::ostream &os, uint64_t v)
-{
-    putU32(os, static_cast<uint32_t>(v));
-    putU32(os, static_cast<uint32_t>(v >> 32));
-}
-
-uint32_t
-getU32(std::istream &is)
-{
-    char b[4];
-    is.read(b, 4);
-    if (!is)
-        pe_fatal("explorer checkpoint truncated");
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-        v |= static_cast<uint32_t>(static_cast<unsigned char>(b[i]))
-             << (8 * i);
-    }
-    return v;
-}
-
-uint64_t
-getU64(std::istream &is)
-{
-    uint64_t lo = getU32(is);
-    uint64_t hi = getU32(is);
-    return lo | (hi << 32);
-}
-
-constexpr uint32_t sizeSanityCap = 1u << 26;
-
-uint32_t
-getCount(std::istream &is, const char *what)
-{
-    uint32_t n = getU32(is);
-    if (n > sizeSanityCap)
-        pe_fatal("explorer checkpoint ", what, " count implausible: ",
-                 n);
-    return n;
-}
-
-void
-putU64Vec(std::ostream &os, const std::vector<uint64_t> &v)
-{
-    putU32(os, static_cast<uint32_t>(v.size()));
-    for (uint64_t w : v)
-        putU64(os, w);
-}
-
-std::vector<uint64_t>
-getU64Vec(std::istream &is, const char *what)
-{
-    uint32_t n = getCount(is, what);
-    std::vector<uint64_t> v;
-    v.reserve(n);
-    for (uint32_t i = 0; i < n; ++i)
-        v.push_back(getU64(is));
-    return v;
-}
+constexpr char magic[8] = {'P', 'E', 'X', 'C', 'K', 'P', '2', '\0'};
 
 /**
- * Identity of the program image this session explores: FNV-1a over
- * the workload name, the code size and every encoded instruction.
- * Data/locs changes that leave the code identical are deliberately
- * ignored — they cannot change control flow or the edge universe.
+ * Version 2: the shared serialize.hh codec (entries gained the
+ * `foreign` flag the fleet's corpus-exchange needs).  Version-1 files
+ * predate the fleet and are refused with both numbers reported.
  */
-uint64_t
-programFingerprint(const isa::Program &program)
-{
-    constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-    constexpr uint64_t kFnvPrime = 0x100000001b3ull;
-    uint64_t h = kFnvOffset;
-    auto mix = [&h](uint64_t v) {
-        for (int i = 0; i < 8; ++i) {
-            h = (h ^ ((v >> (8 * i)) & 0xff)) * kFnvPrime;
-        }
-    };
-    for (char c : program.name)
-        h = (h ^ static_cast<unsigned char>(c)) * kFnvPrime;
-    mix(program.code.size());
-    for (const auto &inst : program.code)
-        mix(isa::encode(inst));
-    return h;
-}
-
-/**
- * The checkpoint's "policy" word is really the full scheduling
- * contract: the SchedulePolicy enum in the low byte plus bit 8 for
- * useStaticPriors.  Prior seeding changes every energy after resume,
- * so a priors-on checkpoint must not silently continue a priors-off
- * session (or vice versa) any more than a policy swap may.
- */
-uint32_t
-policyWord(const ExploreOptions &opts)
-{
-    return static_cast<uint32_t>(opts.policy) |
-           (opts.useStaticPriors ? 0x100u : 0u);
-}
+constexpr uint32_t checkpointVersion = 2;
 
 } // namespace
 
@@ -155,69 +57,46 @@ Explorer::writeCheckpoint(const ExploreResult &res) const
 {
     fault::site("explore.checkpoint_write");
 
+    wire::Encoder enc;
+    enc.bytes(magic, sizeof(magic));
+    enc.u32(checkpointVersion);
+    enc.u64(core::configHash(opts.config));
+    enc.u64(opts.seed);
+    enc.u64(programFingerprint(program));
+    enc.u32(policyWord(opts));
+
+    enc.u64(res.batches);
+    enc.u64(res.runs);
+    enc.u64(res.instructions);
+    enc.u64(res.ntSpawned);
+    enc.u64(res.failedJobs);
+    enc.u32(dryBatches);
+
+    enc.u64(mut.rngState());
+    enc.u64(sched.rngState());
+    enc.u64(donorRng.rawState());
+
+    enc.u64vec(corp.frontier().takenWords());
+    enc.u64vec(corp.frontier().ntWords());
+
+    enc.u32vec(corp.exercise().rawCounts());
+    enc.u64(corp.exercise().runsAccumulated());
+
+    enc.u32(static_cast<uint32_t>(corp.size()));
+    for (const CorpusEntry &e : corp.entries())
+        encodeEntry(enc, e);
+
+    enc.u32(static_cast<uint32_t>(res.history.size()));
+    for (const ExploreBatchStats &s : res.history)
+        encodeBatchStats(enc, s);
+
     const std::string tmp = opts.checkpointPath + ".tmp";
     {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         if (!os)
             pe_fatal("cannot write checkpoint '", tmp, "'");
-
-        os.write(magic, sizeof(magic));
-        putU32(os, checkpointVersion);
-        putU64(os, core::configHash(opts.config));
-        putU64(os, opts.seed);
-        putU64(os, programFingerprint(program));
-        putU32(os, policyWord(opts));
-
-        putU64(os, res.batches);
-        putU64(os, res.runs);
-        putU64(os, res.instructions);
-        putU64(os, res.ntSpawned);
-        putU64(os, res.failedJobs);
-        putU32(os, dryBatches);
-
-        putU64(os, mut.rngState());
-        putU64(os, sched.rngState());
-        putU64(os, donorRng.rawState());
-
-        putU64Vec(os, corp.frontier().takenWords());
-        putU64Vec(os, corp.frontier().ntWords());
-
-        const auto &counts = corp.exercise().rawCounts();
-        putU32(os, static_cast<uint32_t>(counts.size()));
-        for (uint32_t c : counts)
-            putU32(os, c);
-        putU64(os, corp.exercise().runsAccumulated());
-
-        putU32(os, static_cast<uint32_t>(corp.size()));
-        for (const CorpusEntry &e : corp.entries()) {
-            putU32(os, static_cast<uint32_t>(e.input.size()));
-            for (int32_t w : e.input)
-                putU32(os, static_cast<uint32_t>(w));
-            putU64Vec(os, e.coverage.takenWords());
-            putU64Vec(os, e.coverage.ntWords());
-            putU64(os, e.newEdges);
-            putU64(os, e.rareEdges);
-            putU64(os, e.ntEarlyStops);
-            putU64(os, e.ntSpawned);
-            putU64(os, e.batchAdmitted);
-            putU64(os, e.timesScheduled);
-        }
-
-        putU32(os, static_cast<uint32_t>(res.history.size()));
-        for (const ExploreBatchStats &s : res.history) {
-            putU64(os, s.batch);
-            putU64(os, s.batchRuns);
-            putU64(os, s.totalRuns);
-            putU64(os, s.admitted);
-            putU64(os, s.corpusSize);
-            putU64(os, s.takenEdges);
-            putU64(os, s.combinedEdges);
-            putU64(os, s.newEdges);
-            putU64(os, s.ntSpawned);
-            putU64(os, s.ntEarlyStops);
-            putU64(os, s.failedJobs);
-        }
-
+        os.write(enc.buffer().data(),
+                 static_cast<std::streamsize>(enc.size()));
         os.flush();
         if (!os)
             pe_fatal("write to checkpoint '", tmp, "' failed");
@@ -235,114 +114,104 @@ Explorer::resume(ExploreResult &res)
     std::ifstream is(opts.resumeFrom, std::ios::binary);
     if (!is)
         pe_fatal("cannot open checkpoint '", opts.resumeFrom, "'");
+    std::ostringstream raw;
+    raw << is.rdbuf();
+    const std::string bytes = raw.str();
 
-    char m[8];
-    is.read(m, sizeof(m));
-    if (!is || std::string(m, sizeof(m)) !=
-                   std::string(magic, sizeof(magic))) {
-        pe_fatal("'", opts.resumeFrom,
-                 "' is not an explorer checkpoint");
-    }
-    uint32_t version = getU32(is);
-    if (version != checkpointVersion) {
-        pe_fatal("checkpoint '", opts.resumeFrom, "' is version ",
-                 version, ", expected ", checkpointVersion);
-    }
-    uint64_t cfgHash = getU64(is);
-    if (cfgHash != core::configHash(opts.config)) {
-        pe_fatal("checkpoint '", opts.resumeFrom,
-                 "' was taken under a different engine config");
-    }
-    uint64_t seed = getU64(is);
-    if (seed != opts.seed) {
-        pe_fatal("checkpoint '", opts.resumeFrom,
-                 "' was taken with master seed ", seed, ", not ",
-                 opts.seed);
-    }
-    uint64_t fp = getU64(is);
-    if (fp != programFingerprint(program)) {
-        pe_fatal("checkpoint '", opts.resumeFrom,
-                 "' was taken against a different program image");
-    }
-    uint32_t policy = getU32(is);
-    if (policy != policyWord(opts)) {
-        pe_fatal("checkpoint '", opts.resumeFrom,
-                 "' was taken under a different schedule policy or "
-                 "prior-seeding setting");
-    }
+    try {
+        wire::Decoder dec(bytes);
 
-    res.batches = getU64(is);
-    res.runs = getU64(is);
-    res.instructions = getU64(is);
-    res.ntSpawned = getU64(is);
-    res.failedJobs = getU64(is);
-    dryBatches = getU32(is);
+        char m[8];
+        for (size_t i = 0; i < sizeof(m); ++i)
+            m[i] = static_cast<char>(dec.u8("checkpoint magic"));
+        if (std::string(m, sizeof(m)) !=
+            std::string(magic, sizeof(magic))) {
+            pe_fatal("'", opts.resumeFrom,
+                     "' is not an explorer checkpoint");
+        }
+        uint32_t version = dec.u32("checkpoint version");
+        if (version != checkpointVersion) {
+            pe_fatal("checkpoint '", opts.resumeFrom,
+                     "' version mismatch: expected ",
+                     checkpointVersion, ", found ", version);
+        }
+        uint64_t cfgHash = dec.u64("config hash");
+        if (cfgHash != core::configHash(opts.config)) {
+            pe_fatal("checkpoint '", opts.resumeFrom,
+                     "' engine-config mismatch: this session's "
+                     "config hash is 0x",
+                     fmtHex(core::configHash(opts.config)),
+                     ", checkpoint was taken under 0x",
+                     fmtHex(cfgHash));
+        }
+        uint64_t seed = dec.u64("master seed");
+        if (seed != opts.seed) {
+            pe_fatal("checkpoint '", opts.resumeFrom,
+                     "' master-seed mismatch: expected ", opts.seed,
+                     ", found ", seed);
+        }
+        uint64_t fp = dec.u64("program fingerprint");
+        if (fp != programFingerprint(program)) {
+            pe_fatal("checkpoint '", opts.resumeFrom,
+                     "' program mismatch: this session explores "
+                     "image 0x",
+                     fmtHex(programFingerprint(program)),
+                     ", checkpoint was taken against 0x", fmtHex(fp));
+        }
+        uint32_t policy = dec.u32("policy word");
+        if (policy != policyWord(opts)) {
+            pe_fatal("checkpoint '", opts.resumeFrom,
+                     "' schedule-policy/prior mismatch: expected "
+                     "policy word 0x",
+                     fmtHex(policyWord(opts)), ", found 0x",
+                     fmtHex(policy));
+        }
 
-    mut.setRngState(getU64(is));
-    sched.setRngState(getU64(is));
-    donorRng.setRawState(getU64(is));
+        res.batches = dec.u64("batches");
+        res.runs = dec.u64("runs");
+        res.instructions = dec.u64("instructions");
+        res.ntSpawned = dec.u64("ntSpawned");
+        res.failedJobs = dec.u64("failedJobs");
+        dryBatches = dec.u32("dryBatches");
 
-    auto frontierTaken = getU64Vec(is, "frontier-taken");
-    auto frontierNt = getU64Vec(is, "frontier-nt");
+        mut.setRngState(dec.u64("mutator rng"));
+        sched.setRngState(dec.u64("scheduler rng"));
+        donorRng.setRawState(dec.u64("donor rng"));
 
-    uint32_t nCounts = getCount(is, "exercise");
-    std::vector<uint32_t> counts;
-    counts.reserve(nCounts);
-    for (uint32_t i = 0; i < nCounts; ++i)
-        counts.push_back(getU32(is));
-    uint64_t exerciseRuns = getU64(is);
+        auto frontierTaken = dec.u64vec("frontier taken words");
+        auto frontierNt = dec.u64vec("frontier nt words");
 
-    uint32_t nEntries = getCount(is, "corpus");
-    std::vector<CorpusEntry> entries;
-    entries.reserve(nEntries);
-    for (uint32_t i = 0; i < nEntries; ++i) {
-        uint32_t len = getCount(is, "input");
-        std::vector<int32_t> input;
-        input.reserve(len);
-        for (uint32_t j = 0; j < len; ++j)
-            input.push_back(static_cast<int32_t>(getU32(is)));
-        auto taken = getU64Vec(is, "entry-taken");
-        auto nt = getU64Vec(is, "entry-nt");
-        coverage::BranchCoverage cov(program);
-        cov.restoreWords(taken, nt);
-        CorpusEntry e(std::move(input), std::move(cov));
-        e.newEdges = getU64(is);
-        e.rareEdges = getU64(is);
-        e.ntEarlyStops = getU64(is);
-        e.ntSpawned = getU64(is);
-        e.batchAdmitted = getU64(is);
-        e.timesScheduled = getU64(is);
-        entries.push_back(std::move(e));
-    }
-    corp.restore(std::move(entries), frontierTaken, frontierNt, counts,
-                 exerciseRuns);
+        auto counts = dec.u32vec("exercise counts");
+        uint64_t exerciseRuns = dec.u64("exercise runs");
 
-    // priorEnergy is a pure function of (program, config, entry
-    // coverage), so it is recomputed here rather than serialized —
-    // the checkpoint format stays prior-agnostic and the restored
-    // energies cannot drift from what a fresh session would compute.
-    if (opts.useStaticPriors) {
-        for (CorpusEntry &e : corp.entries())
-            e.priorEnergy = entryPriorEnergy(e);
-    }
+        uint32_t nEntries = dec.count("corpus entries");
+        std::vector<CorpusEntry> entries;
+        entries.reserve(nEntries);
+        for (uint32_t i = 0; i < nEntries; ++i)
+            entries.push_back(decodeEntry(dec, program));
+        corp.restore(std::move(entries), frontierTaken, frontierNt,
+                     counts, exerciseRuns);
 
-    uint32_t nStats = getCount(is, "history");
-    res.history.clear();
-    res.history.reserve(nStats);
-    for (uint32_t i = 0; i < nStats; ++i) {
-        ExploreBatchStats s;
-        s.batch = getU64(is);
-        s.batchRuns = getU64(is);
-        s.totalRuns = getU64(is);
-        s.admitted = getU64(is);
-        s.corpusSize = getU64(is);
-        s.takenEdges = getU64(is);
-        s.combinedEdges = getU64(is);
-        s.newEdges = getU64(is);
-        s.ntSpawned = getU64(is);
-        s.ntEarlyStops = getU64(is);
-        s.failedJobs = getU64(is);
-        res.history.push_back(s);
+        // priorEnergy is a pure function of (program, config, entry
+        // coverage), so it is recomputed here rather than serialized —
+        // the checkpoint format stays prior-agnostic and the restored
+        // energies cannot drift from what a fresh session would
+        // compute.
+        if (opts.useStaticPriors) {
+            for (CorpusEntry &e : corp.entries())
+                e.priorEnergy = entryPriorEnergy(e);
+        }
+
+        uint32_t nStats = dec.count("history");
+        res.history.clear();
+        res.history.reserve(nStats);
+        for (uint32_t i = 0; i < nStats; ++i)
+            res.history.push_back(decodeBatchStats(dec));
+
+        dec.expectEnd("checkpoint");
+    } catch (const wire::WireError &err) {
+        pe_fatal("checkpoint '", opts.resumeFrom, "' unreadable (",
+                 wireErrorKindName(err.kind()), "): ", err.what());
     }
 
     inform("resumed from '", opts.resumeFrom, "': ", res.batches,

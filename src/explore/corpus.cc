@@ -37,6 +37,35 @@ Corpus::consider(const std::vector<int32_t> &input,
     return fresh;
 }
 
+size_t
+Corpus::considerForeign(CorpusEntry entry, uint64_t batch)
+{
+    // The foreign run's coverage feeds the local rarity histogram
+    // exactly once — the origin shard never re-sends an entry, so
+    // cross-shard double counting cannot occur.
+    hits.accumulate(entry.coverage);
+
+    size_t fresh = entry.coverage.newEdgesOver(front);
+    if (fresh == 0)
+        return 0;
+    front.mergeFrom(entry.coverage);
+
+    entry.newEdges = fresh;
+    entry.batchAdmitted = batch;
+    entry.foreign = true;
+    pool.push_back(std::move(entry));
+    return fresh;
+}
+
+void
+Corpus::mergeFrontierWords(const std::vector<uint64_t> &taken,
+                           const std::vector<uint64_t> &nt)
+{
+    coverage::BranchCoverage peer(front);
+    peer.restoreWords(taken, nt);
+    front.mergeFrom(peer);
+}
+
 void
 Corpus::restore(std::vector<CorpusEntry> entries,
                 const std::vector<uint64_t> &frontierTaken,

@@ -74,6 +74,15 @@ struct CorpusEntry
      * than serialized.
      */
     double priorEnergy = 0.0;
+
+    /**
+     * True when the entry arrived from another shard over the fleet's
+     * corpus-exchange rather than from a local run.  Foreign entries
+     * schedule and mutate like any other, but a worker never exports
+     * them back — that keeps the exchange echo-free (an entry crosses
+     * each pipe at most once per direction).
+     */
+    bool foreign = false;
 };
 
 /** Corpus plus global frontier and cross-run edge exercise counts. */
@@ -90,6 +99,26 @@ class Corpus
      */
     size_t consider(const std::vector<int32_t> &input,
                     const core::RunResult &result, uint64_t batch);
+
+    /**
+     * Admit an entry that another shard already vetted (fleet
+     * corpus-exchange).  Same admission rule as consider() — at least
+     * one edge new over the local frontier, exercise counts
+     * accumulate either way — but the entry's run stats travel with
+     * it instead of coming from a local RunResult, and the admitted
+     * copy is flagged foreign so it is never exported back.  Returns
+     * the number of locally-new edges (0 = rejected).
+     */
+    size_t considerForeign(CorpusEntry entry, uint64_t batch);
+
+    /**
+     * OR a serialized frontier (taken + NT words from a peer shard)
+     * into the local frontier.  Word counts must match this program's
+     * edge universe — the fleet validates the program fingerprint
+     * before any frontier words cross the wire.
+     */
+    void mergeFrontierWords(const std::vector<uint64_t> &taken,
+                            const std::vector<uint64_t> &nt);
 
     /**
      * Refresh every entry's rareEdges against the current exercise

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <ostream>
 
+#include "src/explore/serialize.hh"
 #include "src/support/faultinject.hh"
 #include "src/support/status.hh"
 #include "src/support/strutil.hh"
@@ -180,86 +181,179 @@ Explorer::maybeCheckpoint(const ExploreResult &res, bool force)
     lastCheckpointBatch = res.batches;
 }
 
+void
+Explorer::runSeedBatch()
+{
+    seeded = true;
+    // Batch 0: the seeds themselves, trimmed to the run budget.
+    std::vector<std::vector<int32_t>> inputs = seeds;
+    if (inputs.size() > opts.budget.maxRuns)
+        inputs.resize(opts.budget.maxRuns);
+    runBatch(inputs, acc);
+}
+
+void
+Explorer::runMutationBatch(size_t maxBatch)
+{
+    size_t batch = std::min<uint64_t>(
+        maxBatch, opts.budget.maxRuns - acc.runs);
+    auto parents = sched.pick(corp, batch);
+    std::vector<std::vector<int32_t>> inputs;
+    inputs.reserve(parents.size());
+    for (size_t idx : parents) {
+        const auto &donor =
+            corp.entries()[donorRng.nextBelow(corp.size())].input;
+        inputs.push_back(mut.mutate(corp.entries()[idx].input, donor));
+    }
+    runBatch(inputs, acc);
+}
+
+bool
+Explorer::stopCheck(ExploreResult &res)
+{
+    if (opts.stopFlag &&
+        opts.stopFlag->load(std::memory_order_relaxed)) {
+        res.stop = ExploreStop::Interrupted;
+        return true;
+    }
+    if (res.runs >= opts.budget.maxRuns) {
+        res.stop = ExploreStop::RunBudget;
+        return true;
+    }
+    if (opts.budget.maxInstructions &&
+        res.instructions >= opts.budget.maxInstructions) {
+        res.stop = ExploreStop::InstructionBudget;
+        return true;
+    }
+    if (opts.budget.plateauBatches &&
+        dryBatches >= opts.budget.plateauBatches) {
+        res.stop = ExploreStop::Plateau;
+        return true;
+    }
+    if (corp.size() == 0) {
+        // Only possible for branch-free programs: nothing can
+        // ever be admitted, so mutation has nothing to work on.
+        res.stop = ExploreStop::Plateau;
+        return true;
+    }
+    return false;
+}
+
 ExploreResult
 Explorer::run()
 {
-    ExploreResult res;
-    emitHeader();
+    emitHeaderOnce();
 
     if (seeds.empty() || opts.budget.maxRuns == 0) {
-        res.stop = ExploreStop::NoSeeds;
-        emitDone(res);
-        return res;
+        acc.stop = ExploreStop::NoSeeds;
+        emitDone(acc);
+        return acc;
     }
 
-    std::vector<std::vector<int32_t>> inputs;
     if (!opts.resumeFrom.empty()) {
         // Restored state is exactly the uninterrupted run's state at
         // a batch boundary; the loop below enters at the budget
         // checks, skipping the seed batch.
-        resume(res);
-        lastCheckpointBatch = res.batches;
+        resume(acc);
+        lastCheckpointBatch = acc.batches;
+        seeded = true;
+        exportMark = corp.size();
     } else {
-        // Batch 0: the seeds themselves, trimmed to the run budget.
-        inputs = seeds;
-        if (inputs.size() > opts.budget.maxRuns)
-            inputs.resize(opts.budget.maxRuns);
+        runSeedBatch();
+        // Checkpoints land exactly at batch boundaries, before the
+        // budget checks: a kill here resumes into the same checks the
+        // uninterrupted run would perform next.
+        maybeCheckpoint(acc, /*force=*/false);
     }
 
-    for (;;) {
-        if (!inputs.empty()) {
-            runBatch(inputs, res);
-            // Checkpoints land exactly at batch boundaries, before
-            // the budget checks: a kill here resumes into the same
-            // checks the uninterrupted run would perform next.
-            maybeCheckpoint(res, /*force=*/false);
-        }
-
-        if (opts.stopFlag &&
-            opts.stopFlag->load(std::memory_order_relaxed)) {
-            res.stop = ExploreStop::Interrupted;
-            break;
-        }
-        if (res.runs >= opts.budget.maxRuns) {
-            res.stop = ExploreStop::RunBudget;
-            break;
-        }
-        if (opts.budget.maxInstructions &&
-            res.instructions >= opts.budget.maxInstructions) {
-            res.stop = ExploreStop::InstructionBudget;
-            break;
-        }
-        if (opts.budget.plateauBatches &&
-            dryBatches >= opts.budget.plateauBatches) {
-            res.stop = ExploreStop::Plateau;
-            break;
-        }
-        if (corp.size() == 0) {
-            // Only possible for branch-free programs: nothing can
-            // ever be admitted, so mutation has nothing to work on.
-            res.stop = ExploreStop::Plateau;
-            break;
-        }
-
-        size_t batch = std::min<uint64_t>(
-            opts.batchSize, opts.budget.maxRuns - res.runs);
-        auto parents = sched.pick(corp, batch);
-        inputs.clear();
-        inputs.reserve(parents.size());
-        for (size_t idx : parents) {
-            const auto &donor =
-                corp.entries()[donorRng.nextBelow(corp.size())]
-                    .input;
-            inputs.push_back(
-                mut.mutate(corp.entries()[idx].input, donor));
-        }
+    while (!stopCheck(acc)) {
+        runMutationBatch(opts.batchSize);
+        maybeCheckpoint(acc, /*force=*/false);
     }
 
     // Final snapshot so a clean shutdown (Interrupted included) can
     // be resumed too.
-    maybeCheckpoint(res, /*force=*/true);
-    emitDone(res);
-    return res;
+    maybeCheckpoint(acc, /*force=*/true);
+    emitDone(acc);
+    return acc;
+}
+
+uint64_t
+Explorer::step(uint64_t maxNewRuns)
+{
+    emitHeaderOnce();
+    uint64_t start = acc.runs;
+
+    if (!seeded) {
+        if (seeds.empty() || opts.budget.maxRuns == 0) {
+            acc.stop = ExploreStop::NoSeeds;
+            return 0;
+        }
+        runSeedBatch();
+    }
+
+    while (acc.runs - start < maxNewRuns && !stopCheck(acc)) {
+        runMutationBatch(std::min<uint64_t>(
+            opts.batchSize, maxNewRuns - (acc.runs - start)));
+        maybeCheckpoint(acc, /*force=*/false);
+    }
+    return acc.runs - start;
+}
+
+void
+Explorer::importFrontierWords(const std::vector<uint64_t> &taken,
+                              const std::vector<uint64_t> &nt)
+{
+    corp.mergeFrontierWords(taken, nt);
+}
+
+size_t
+Explorer::importForeignEntries(std::vector<CorpusEntry> entries)
+{
+    size_t admitted = 0;
+    for (CorpusEntry &entry : entries) {
+        if (corp.considerForeign(std::move(entry), acc.batches) > 0) {
+            ++admitted;
+            if (opts.useStaticPriors) {
+                CorpusEntry &in = corp.entries().back();
+                in.priorEnergy = entryPriorEnergy(in);
+            }
+        }
+    }
+    // Imports are admissions like any other: fold the accumulated
+    // exercise drift into the rarity ranking at the same trigger a
+    // local admitting batch would.
+    if (admitted > 0)
+        corp.rescore(opts.rarePercentile);
+    return admitted;
+}
+
+std::vector<const CorpusEntry *>
+Explorer::drainNewLocalEntries()
+{
+    std::vector<const CorpusEntry *> fresh;
+    for (; exportMark < corp.size(); ++exportMark) {
+        const CorpusEntry &entry = corp.entries()[exportMark];
+        if (!entry.foreign)
+            fresh.push_back(&entry);
+    }
+    return fresh;
+}
+
+void
+Explorer::finish()
+{
+    maybeCheckpoint(acc, /*force=*/true);
+    emitDone(acc);
+}
+
+void
+Explorer::emitHeaderOnce()
+{
+    if (headerEmitted)
+        return;
+    headerEmitted = true;
+    emitHeader();
 }
 
 void
@@ -323,7 +417,9 @@ Explorer::emitDone(const ExploreResult &res) const
                 << ",\"edges_taken\":"
                 << corp.frontier().takenCovered()
                 << ",\"edges_combined\":"
-                << corp.frontier().combinedCovered() << "}\n";
+                << corp.frontier().combinedCovered()
+                << ",\"frontier_digest\":\""
+                << fmtHex(coverageDigest(corp.frontier())) << "\"}\n";
     // Terminal record: every clean shutdown (checkpoint-triggered
     // included) ends the stream the same way, so "no stopped line"
     // reliably means the session died hard.

@@ -200,12 +200,76 @@ class Explorer
     /** Run the loop to a budget bound; reentrant-safe to call once. */
     ExploreResult run();
 
+    /**
+     * Fleet hook: advance the loop by up to @p maxNewRuns monitored
+     * runs and return control (a coordinator round).  The first call
+     * runs the seed batch (which may overshoot small budgets by the
+     * seed count — the caller accounts the *returned* run count).
+     * Returns the runs actually executed; 0 with a nonzero budget
+     * means the explorer is exhausted (empty corpus, local budget or
+     * stop flag) and further calls are useless.
+     *
+     * run() and step() drive the same batch loop; a session uses one
+     * or the other, not both.
+     */
+    uint64_t step(uint64_t maxNewRuns);
+
+    /**
+     * Fleet hook: OR a peer frontier into the local one.  Edges the
+     * fleet already covered elsewhere stop being "new" here, so local
+     * admission stays globally meaningful.
+     */
+    void importFrontierWords(const std::vector<uint64_t> &taken,
+                             const std::vector<uint64_t> &nt);
+
+    /**
+     * Fleet hook: offer peer-admitted corpus entries to the local
+     * corpus (Corpus::considerForeign semantics).  Returns how many
+     * were admitted; admitted entries are rescored and, under
+     * useStaticPriors, prior-seeded exactly like local admissions.
+     */
+    size_t importForeignEntries(std::vector<CorpusEntry> entries);
+
+    /**
+     * Fleet hook: entries admitted from *local* runs since the last
+     * drain, in admission order (foreign imports are skipped — an
+     * entry crosses the wire at most once per direction).  The
+     * pointers are invalidated by the next batch; encode immediately.
+     */
+    std::vector<const CorpusEntry *> drainNewLocalEntries();
+
+    /** Progress so far (step() sessions; run() returns the same). */
+    const ExploreResult &progress() const { return acc; }
+
+    /**
+     * End a step() session: final checkpoint (if configured) plus the
+     * terminal JSONL records run() would have written.
+     */
+    void finish();
+
     const Corpus &corpus() const { return corp; }
     const ExploreOptions &options() const { return opts; }
 
   private:
     void runBatch(const std::vector<std::vector<int32_t>> &inputs,
                   ExploreResult &res);
+
+    /** Run the seed inputs as batch 0, trimmed to the run budget. */
+    void runSeedBatch();
+
+    /**
+     * Mutation-schedule the next batch (capped by @p maxBatch and the
+     * remaining run budget) and run it.
+     */
+    void runMutationBatch(size_t maxBatch);
+
+    /**
+     * Evaluate the stop conditions in their documented priority
+     * order; sets res.stop and returns true when the loop must end.
+     */
+    bool stopCheck(ExploreResult &res);
+
+    void emitHeaderOnce();
     void emitHeader() const;
     void emitBatch(const ExploreBatchStats &stats) const;
     void emitDone(const ExploreResult &res) const;
@@ -233,6 +297,12 @@ class Explorer
     Rng donorRng;
     uint32_t dryBatches = 0;
     uint64_t lastCheckpointBatch = 0;
+
+    /** Accumulated progress shared by run() and step() sessions. */
+    ExploreResult acc;
+    bool seeded = false;            //!< seed batch (or resume) done
+    bool headerEmitted = false;
+    size_t exportMark = 0;          //!< first undrained corpus index
 };
 
 } // namespace pe::explore

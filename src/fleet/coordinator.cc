@@ -1,0 +1,648 @@
+/**
+ * @file
+ * Fleet coordinator implementation.
+ */
+
+#include "src/fleet/coordinator.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+#include "src/core/config.hh"
+#include "src/explore/serialize.hh"
+#include "src/fleet/worker.hh"
+#include "src/support/status.hh"
+#include "src/support/strutil.hh"
+
+namespace pe::fleet
+{
+
+namespace
+{
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t
+fnvMix(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/**
+ * Budget a worker never hits: the coordinator meters runs round by
+ * round, so the worker-local budget must not fire first.
+ */
+constexpr uint64_t kUnboundedRuns = ~0ull / 2;
+
+} // namespace
+
+ShardPlan
+makeShardPlan(uint64_t configHash, uint64_t masterSeed,
+              uint32_t shards, size_t seedCount)
+{
+    pe_assert(shards >= 1, "fleet needs at least one shard");
+    ShardPlan plan;
+    plan.shards = shards;
+
+    // Derive per-shard seeds from a stream forked off (configHash,
+    // masterSeed) so a config change re-seeds the whole fleet, never
+    // just reshuffles it.
+    Rng planRng(masterSeed ^ fnvMix(kFnvOffset, configHash));
+    uint64_t digest = fnvMix(kFnvOffset, configHash);
+    digest = fnvMix(digest, masterSeed);
+    digest = fnvMix(digest, shards);
+    digest = fnvMix(digest, seedCount);
+
+    plan.specs.resize(shards);
+    for (uint32_t s = 0; s < shards; ++s) {
+        plan.specs[s].shard = s;
+        plan.specs[s].shardSeed =
+            planRng.fork(0xf1ee7000ull + s).next64();
+        digest = fnvMix(digest, plan.specs[s].shardSeed);
+    }
+
+    // Deal seed inputs round-robin; when there are fewer seeds than
+    // shards, wrap so every shard still starts with at least one
+    // (shards exploring the same seed diverge via their shard seeds).
+    if (seedCount > 0) {
+        if (seedCount >= shards) {
+            for (size_t i = 0; i < seedCount; ++i)
+                plan.specs[i % shards].seedIndices.push_back(
+                    static_cast<uint32_t>(i));
+        } else {
+            for (uint32_t s = 0; s < shards; ++s)
+                plan.specs[s].seedIndices.push_back(
+                    static_cast<uint32_t>(s % seedCount));
+        }
+        for (const ShardSpec &spec : plan.specs)
+            for (uint32_t idx : spec.seedIndices)
+                digest = fnvMix(digest, idx);
+    }
+
+    plan.planDigest = digest;
+    return plan;
+}
+
+const char *
+fleetStopName(FleetStop stop)
+{
+    switch (stop) {
+    case FleetStop::RunBudget:
+        return "run_budget";
+    case FleetStop::Plateau:
+        return "plateau";
+    case FleetStop::Interrupted:
+        return "interrupted";
+    case FleetStop::WorkersLost:
+        return "workers_lost";
+    }
+    return "unknown";
+}
+
+Coordinator::Coordinator(const isa::Program &program,
+                         std::vector<std::vector<int32_t>> seeds,
+                         FleetOptions opts)
+    : program(program), seeds(std::move(seeds)),
+      opts(std::move(opts)), global(program)
+{
+    pe_assert(this->opts.shards >= 1,
+              "fleet needs at least one shard");
+    pe_assert(this->opts.shardPlateau >= 1,
+              "shardPlateau must be >= 1");
+    shardPlan = makeShardPlan(core::configHash(this->opts.base.config),
+                              this->opts.base.seed, this->opts.shards,
+                              this->seeds.size());
+}
+
+void
+Coordinator::spawnWorkers()
+{
+    uint64_t cfgHash = core::configHash(opts.base.config);
+    uint64_t fp = explore::programFingerprint(program);
+    size_t words = global.frontier().takenWords().size();
+
+    fleet.resize(shardPlan.specs.size());
+    for (size_t s = 0; s < shardPlan.specs.size(); ++s) {
+        Shard &shard = fleet[s];
+        shard.spec = shardPlan.specs[s];
+        shard.summary.shard = shard.spec.shard;
+        shard.sentTaken.assign(words, 0);
+        shard.sentNt.assign(words, 0);
+
+        WorkerConfig cfg;
+        cfg.expect.wireVersion = wire::kWireVersion;
+        cfg.expect.shard = shard.spec.shard;
+        cfg.expect.shards = shardPlan.shards;
+        cfg.expect.configHash = cfgHash;
+        cfg.expect.masterSeed = opts.base.seed;
+        cfg.expect.shardSeed = shard.spec.shardSeed;
+        cfg.expect.planDigest = shardPlan.planDigest;
+        cfg.expect.programFp = fp;
+
+        // The worker's explorer is the coordinator's base options
+        // minus everything the coordinator owns: budgets are metered
+        // per round, checkpoints/JSONL/stop flags stay with the
+        // parent process, and the seed becomes the derived shard
+        // seed so sibling shards explore different universes.
+        cfg.opts = opts.base;
+        cfg.opts.seed = shard.spec.shardSeed;
+        cfg.opts.budget.maxRuns = kUnboundedRuns;
+        cfg.opts.budget.maxInstructions = 0;
+        cfg.opts.budget.plateauBatches = 0;
+        cfg.opts.jsonl = nullptr;
+        cfg.opts.onRun = nullptr;
+        cfg.opts.checkpointPath.clear();
+        cfg.opts.resumeFrom.clear();
+        cfg.opts.stopFlag = nullptr;
+        cfg.opts.threads = opts.workerThreads;
+        cfg.opts.label =
+            opts.base.label + "/shard" +
+            std::to_string(shard.spec.shard);
+        for (uint32_t idx : shard.spec.seedIndices)
+            cfg.seeds.push_back(seeds[idx]);
+
+        shard.child = proc::spawnChild([this, cfg](int fd) {
+            return workerMain(fd, program, cfg);
+        });
+        shard.summary.alive = true;
+    }
+}
+
+bool
+Coordinator::handshake(Shard &shard)
+{
+    Hello hello;
+    hello.wireVersion = wire::kWireVersion;
+    hello.shard = shard.spec.shard;
+    hello.shards = shardPlan.shards;
+    hello.configHash = core::configHash(opts.base.config);
+    hello.masterSeed = opts.base.seed;
+    hello.shardSeed = shard.spec.shardSeed;
+    hello.planDigest = shardPlan.planDigest;
+    hello.programFp = explore::programFingerprint(program);
+
+    try {
+        wire::Encoder enc;
+        encodeHello(enc, hello);
+        wire::writeFrame(shard.child.fd(), wire::FrameType::Hello,
+                         enc.buffer());
+
+        auto frame = wire::readFrame(shard.child.fd());
+        if (!frame)
+            throw wire::WireError(wire::WireErrorKind::Truncated,
+                                  "worker closed before hello reply");
+        if (frame->type == wire::FrameType::Error) {
+            wire::Decoder dec(frame->payload);
+            throw wire::WireError(wire::WireErrorKind::Mismatch,
+                                  dec.str("worker error"));
+        }
+        if (frame->type != wire::FrameType::HelloReply)
+            throw wire::WireError(
+                wire::WireErrorKind::BadFrame,
+                detail::concat("expected hello-reply, got ",
+                               wire::frameTypeName(frame->type)));
+        wire::Decoder dec(frame->payload);
+        HelloReply reply = decodeHelloReply(dec);
+        dec.expectEnd("hello-reply");
+        if (reply.shard != shard.spec.shard ||
+            reply.totalEdges != global.frontier().totalEdges()) {
+            throw wire::WireError(
+                wire::WireErrorKind::Mismatch,
+                detail::concat("hello-reply identity mismatch: "
+                               "expected shard ", shard.spec.shard,
+                               "/", global.frontier().totalEdges(),
+                               " edges, found ", reply.shard, "/",
+                               reply.totalEdges, " edges"));
+        }
+    } catch (const wire::WireError &err) {
+        if (opts.status)
+            *opts.status << "[fleet] shard " << shard.spec.shard
+                         << " failed handshake: " << err.what()
+                         << "\n";
+        return false;
+    }
+    return true;
+}
+
+std::vector<uint64_t>
+Coordinator::allocateBudgets(uint64_t roundTotal, FleetResult &res)
+{
+    // Weight each live shard in percent-of-fair: steady shards 100,
+    // plateaued-with-fresh-material shards steal extra, plateaued-dry
+    // shards wind down to the floor, exhausted shards 0.
+    std::vector<uint64_t> weight(fleet.size(), 0);
+    uint64_t sum = 0;
+    size_t alive = 0;
+    for (size_t s = 0; s < fleet.size(); ++s) {
+        const Shard &shard = fleet[s];
+        if (!shard.summary.alive)
+            continue;
+        ++alive;
+        if (shard.summary.exhausted)
+            continue;
+        uint64_t w = 100;
+        if (shard.summary.dryRounds >= opts.shardPlateau) {
+            w = shard.gotForeign && opts.stealBoostPct > 0
+                    ? 100 + opts.stealBoostPct
+                    : opts.idleFloorPct;
+        }
+        weight[s] = w;
+        sum += w;
+    }
+
+    std::vector<uint64_t> budget(fleet.size(), 0);
+    if (alive == 0 || roundTotal == 0)
+        return budget;
+    if (sum == 0) {
+        // Every live shard is exhausted; hand out fair shares anyway
+        // so the final round confirms nothing moved (the stop check
+        // ends the fleet right after).
+        for (size_t s = 0; s < fleet.size(); ++s)
+            if (fleet[s].summary.alive)
+                weight[s] = 100;
+        sum = 100 * alive;
+    }
+
+    uint64_t assigned = 0;
+    for (size_t s = 0; s < fleet.size(); ++s) {
+        budget[s] = roundTotal * weight[s] / sum;
+        assigned += budget[s];
+    }
+    // Distribute the integer remainder one run at a time in shard
+    // order — deterministic, and biased toward nobody in particular.
+    for (size_t s = 0; assigned < roundTotal; s = (s + 1) % fleet.size()) {
+        if (weight[s] == 0)
+            continue;
+        ++budget[s];
+        ++assigned;
+    }
+
+    // Steal accounting: runs above the fair share of live shards.
+    uint64_t fair = roundTotal / alive;
+    for (size_t s = 0; s < fleet.size(); ++s) {
+        if (fleet[s].summary.alive && budget[s] > fair &&
+            fleet[s].summary.dryRounds >= opts.shardPlateau)
+            res.stolenRuns += budget[s] - fair;
+    }
+    return budget;
+}
+
+void
+Coordinator::sendRoundStart(Shard &shard, uint64_t round,
+                            uint64_t budget)
+{
+    RoundStart start;
+    start.round = round;
+    start.budgetRuns = budget;
+    start.frontier =
+        diffFrontier(global.frontier(), shard.sentTaken,
+                     shard.sentNt);
+
+    // Globally-admitted entries this shard has not seen, skipping
+    // the ones it contributed itself (echo-free exchange).
+    shard.gotForeign = false;
+    for (size_t i = shard.entryMark; i < global.size(); ++i) {
+        if (origins[i] == shard.spec.shard)
+            continue;
+        start.entries.push_back(global.entries()[i]);
+        shard.gotForeign = true;
+    }
+    shard.entryMark = global.size();
+
+    wire::Encoder enc;
+    encodeRoundStart(enc, start);
+    wire::writeFrame(shard.child.fd(), wire::FrameType::RoundStart,
+                     enc.buffer());
+    shard.summary.assigned += budget;
+}
+
+void
+Coordinator::mergeRoundDelta(Shard &shard, const RoundDelta &delta,
+                             FleetResult &res,
+                             uint64_t &roundNewEdges)
+{
+    res.runs += delta.runs;
+    res.instructions += delta.instructions;
+    res.ntSpawned += delta.ntSpawned;
+    res.failedJobs += delta.failedJobs;
+    shard.summary.runs += delta.runs;
+    shard.summary.exhausted = delta.exhausted;
+
+    size_t before = global.frontier().combinedCovered();
+
+    // Entries first: each one was new over its worker's frontier at
+    // admission; judging it against the global frontier *before* the
+    // shard's bulk delta lands is what lets it into the global corpus
+    // (the bulk delta contains the entry's own edges).
+    for (const explore::CorpusEntry &entry : delta.entries) {
+        size_t sizeBefore = global.size();
+        if (global.considerForeign(entry, res.rounds) > 0 &&
+            global.size() > sizeBefore) {
+            origins.push_back(shard.spec.shard);
+            ++shard.summary.admittedGlobal;
+        }
+    }
+
+    if (!delta.frontier.empty()) {
+        std::vector<uint64_t> taken = global.frontier().takenWords();
+        std::vector<uint64_t> nt = global.frontier().ntWords();
+        applyFrontier(delta.frontier, taken, nt);
+        global.mergeFrontierWords(taken, nt);
+    }
+
+    size_t grown = global.frontier().combinedCovered() - before;
+    shard.summary.newEdges += grown;
+    roundNewEdges += grown;
+    if (grown == 0)
+        ++shard.summary.dryRounds;
+    else
+        shard.summary.dryRounds = 0;
+}
+
+void
+Coordinator::markDead(Shard &shard, FleetResult &res,
+                      const std::string &why)
+{
+    if (!shard.summary.alive)
+        return;
+    shard.summary.alive = false;
+    ++res.lostWorkers;
+    if (opts.status)
+        *opts.status << "[fleet] shard " << shard.spec.shard
+                     << " lost: " << why << "\n";
+    // Closing our end wakes a child blocked in read; the reap happens
+    // in shutdownWorkers so round latency is not spent on waitpid.
+    shard.child.closeFd();
+}
+
+void
+Coordinator::shutdownWorkers()
+{
+    for (Shard &shard : fleet) {
+        if (!shard.summary.alive)
+            continue;
+        try {
+            wire::writeFrame(shard.child.fd(), wire::FrameType::Stop,
+                             {});
+            auto frame = wire::readFrame(shard.child.fd());
+            if (frame && frame->type == wire::FrameType::Goodbye) {
+                wire::Decoder dec(frame->payload);
+                Goodbye bye = decodeGoodbye(dec);
+                dec.expectEnd("goodbye");
+                if (opts.status)
+                    *opts.status
+                        << "[fleet] shard " << shard.spec.shard
+                        << " done: " << bye.runs << " runs, "
+                        << bye.corpusSize << " corpus entries, "
+                        << bye.edgesCombined << " edges\n";
+            }
+        } catch (const wire::WireError &) {
+            // Already exiting; the wait below still reaps it.
+        }
+        shard.child.closeFd();
+    }
+    for (Shard &shard : fleet)
+        if (shard.child.valid())
+            shard.child.wait();
+}
+
+void
+Coordinator::emitRound(const FleetResult &res, uint64_t round,
+                       uint64_t roundRuns, uint64_t roundNewEdges)
+{
+    size_t alive = 0;
+    for (const Shard &shard : fleet)
+        if (shard.summary.alive)
+            ++alive;
+    if (opts.base.jsonl) {
+        *opts.base.jsonl
+            << "{\"event\":\"fleet_round\",\"round\":" << round
+            << ",\"runs\":" << roundRuns
+            << ",\"total_runs\":" << res.runs
+            << ",\"new_edges\":" << roundNewEdges
+            << ",\"edges_combined\":"
+            << global.frontier().combinedCovered()
+            << ",\"corpus\":" << global.size()
+            << ",\"stolen_runs\":" << res.stolenRuns
+            << ",\"alive\":" << alive << "}\n";
+        opts.base.jsonl->flush();
+    }
+    if (opts.status) {
+        *opts.status << "[fleet] round " << round << ": " << roundRuns
+                     << " runs, +" << roundNewEdges << " edges, "
+                     << global.frontier().combinedCovered() << "/"
+                     << global.frontier().totalEdges()
+                     << " covered, corpus " << global.size() << ", "
+                     << alive << "/" << fleet.size() << " alive\n";
+    }
+}
+
+void
+Coordinator::emitDone(const FleetResult &res)
+{
+    if (!opts.base.jsonl)
+        return;
+    *opts.base.jsonl
+        << "{\"event\":\"fleet_done\",\"stop\":\""
+        << fleetStopName(res.stop) << "\",\"rounds\":" << res.rounds
+        << ",\"runs\":" << res.runs
+        << ",\"failed\":" << res.failedJobs
+        << ",\"instructions\":" << res.instructions
+        << ",\"nt_spawned\":" << res.ntSpawned
+        << ",\"corpus\":" << res.corpusSize
+        << ",\"edges_taken\":" << res.edgesTaken
+        << ",\"edges_combined\":" << res.edgesCombined
+        << ",\"total_edges\":" << res.totalEdges
+        << ",\"shards\":" << shardPlan.shards
+        << ",\"lost_workers\":" << res.lostWorkers
+        << ",\"stolen_runs\":" << res.stolenRuns
+        << ",\"plan_digest\":\"" << fmtHex(res.planDigest)
+        << "\",\"frontier_digest\":\"" << fmtHex(res.frontierDigest)
+        << "\",\"corpus_digest\":\"" << fmtHex(res.corpusDigest)
+        << "\"}\n";
+    opts.base.jsonl->flush();
+}
+
+FleetResult
+Coordinator::run()
+{
+    FleetResult res;
+    res.planDigest = shardPlan.planDigest;
+    res.totalEdges = global.frontier().totalEdges();
+
+    if (opts.base.jsonl) {
+        *opts.base.jsonl
+            << "{\"event\":\"fleet_start\",\"workload\":\""
+            << opts.base.label << "\",\"shards\":" << shardPlan.shards
+            << ",\"seed\":" << opts.base.seed
+            << ",\"max_runs\":" << opts.base.budget.maxRuns
+            << ",\"round_runs\":"
+            << (opts.roundRuns
+                    ? opts.roundRuns
+                    : uint64_t(opts.shards) * opts.base.batchSize)
+            << ",\"total_edges\":" << res.totalEdges
+            << ",\"config_hash\":\""
+            << fmtHex(core::configHash(opts.base.config))
+            << "\",\"plan_digest\":\"" << fmtHex(shardPlan.planDigest)
+            << "\"}\n";
+        opts.base.jsonl->flush();
+    }
+
+    spawnWorkers();
+    for (Shard &shard : fleet)
+        if (!handshake(shard))
+            markDead(shard, res, "handshake failed");
+
+    uint64_t roundTotal =
+        opts.roundRuns ? opts.roundRuns
+                       : uint64_t(opts.shards) * opts.base.batchSize;
+    pe_assert(roundTotal > 0, "fleet round budget must be positive");
+
+    for (;;) {
+        size_t alive = 0;
+        bool allExhausted = true;
+        for (const Shard &shard : fleet) {
+            if (!shard.summary.alive)
+                continue;
+            ++alive;
+            if (!shard.summary.exhausted)
+                allExhausted = false;
+        }
+        if (alive == 0) {
+            res.stop = FleetStop::WorkersLost;
+            break;
+        }
+        if (opts.stopFlag &&
+            opts.stopFlag->load(std::memory_order_relaxed)) {
+            res.stop = FleetStop::Interrupted;
+            break;
+        }
+        if (res.runs >= opts.base.budget.maxRuns) {
+            res.stop = FleetStop::RunBudget;
+            break;
+        }
+        if (allExhausted && res.rounds > 0) {
+            res.stop = FleetStop::Plateau;
+            break;
+        }
+        if (opts.plateauRounds &&
+            globalDryRounds >= opts.plateauRounds) {
+            res.stop = FleetStop::Plateau;
+            break;
+        }
+
+        uint64_t round = ++res.rounds;
+        uint64_t thisRound = std::min<uint64_t>(
+            roundTotal, opts.base.budget.maxRuns - res.runs);
+        std::vector<uint64_t> budgets =
+            allocateBudgets(thisRound, res);
+
+        for (Shard &shard : fleet) {
+            if (!shard.summary.alive)
+                continue;
+            try {
+                sendRoundStart(shard, round,
+                               budgets[shard.spec.shard]);
+            } catch (const wire::WireError &err) {
+                markDead(shard, res, err.what());
+            }
+        }
+
+        // Collect replies in shard order: all workers compute
+        // concurrently, and a fixed merge order is what makes the
+        // merged corpus reproducible.
+        uint64_t roundRuns = 0;
+        uint64_t roundNewEdges = 0;
+        for (Shard &shard : fleet) {
+            if (!shard.summary.alive)
+                continue;
+            try {
+                auto frame = wire::readFrame(shard.child.fd());
+                if (!frame)
+                    throw wire::WireError(
+                        wire::WireErrorKind::Truncated,
+                        "worker closed mid-round");
+                if (frame->type == wire::FrameType::Error) {
+                    wire::Decoder dec(frame->payload);
+                    throw wire::WireError(
+                        wire::WireErrorKind::BadFrame,
+                        dec.str("worker error"));
+                }
+                if (frame->type != wire::FrameType::RoundDelta)
+                    throw wire::WireError(
+                        wire::WireErrorKind::BadFrame,
+                        detail::concat(
+                            "expected round-delta, got ",
+                            wire::frameTypeName(frame->type)));
+                wire::Decoder dec(frame->payload);
+                RoundDelta delta = decodeRoundDelta(dec, program);
+                dec.expectEnd("round-delta");
+                roundRuns += delta.runs;
+                mergeRoundDelta(shard, delta, res, roundNewEdges);
+            } catch (const wire::WireError &err) {
+                markDead(shard, res, err.what());
+            }
+        }
+
+        if (roundNewEdges == 0)
+            ++globalDryRounds;
+        else
+            globalDryRounds = 0;
+
+        emitRound(res, round, roundRuns, roundNewEdges);
+    }
+
+    shutdownWorkers();
+
+    res.corpusSize = global.size();
+    res.edgesTaken = global.frontier().takenCovered();
+    res.edgesCombined = global.frontier().combinedCovered();
+    res.frontierDigest = explore::coverageDigest(global.frontier());
+
+    // Corpus digest: FNV over every admitted entry's serialized
+    // bytes, in admission order — the second reproducibility witness
+    // next to the frontier digest.
+    {
+        wire::Encoder enc;
+        for (const explore::CorpusEntry &entry : global.entries())
+            explore::encodeEntry(enc, entry);
+        uint64_t digest = fnvMix(kFnvOffset, global.size());
+        for (char c : enc.buffer()) {
+            digest ^= static_cast<unsigned char>(c);
+            digest *= kFnvPrime;
+        }
+        res.corpusDigest = digest;
+    }
+
+    for (const Shard &shard : fleet)
+        res.shards.push_back(shard.summary);
+
+    emitDone(res);
+    if (opts.status) {
+        *opts.status << "[fleet] stopped (" << fleetStopName(res.stop)
+                     << "): " << res.runs << " runs over "
+                     << res.rounds << " rounds, corpus "
+                     << res.corpusSize << ", edges "
+                     << res.edgesCombined << "/" << res.totalEdges
+                     << ", frontier digest "
+                     << fmtHex(res.frontierDigest) << "\n";
+    }
+    return res;
+}
+
+FleetResult
+runFleet(const isa::Program &program,
+         std::vector<std::vector<int32_t>> seeds, FleetOptions opts)
+{
+    Coordinator coordinator(program, std::move(seeds),
+                            std::move(opts));
+    return coordinator.run();
+}
+
+} // namespace pe::fleet

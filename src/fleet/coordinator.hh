@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Fleet coordinator: N worker shards, one merged frontier.
+ *
+ * The coordinator scales the exploration loop horizontally without
+ * giving up the repo's core invariant — bit-reproducibility.  The
+ * shard plan (per-shard seeds derived from configHash + master seed,
+ * seed inputs dealt round-robin) is a pure function of the options;
+ * rounds are lockstep (every worker gets a RoundStart, every reply
+ * is merged in shard-id order); and the frontier merge is a word-OR,
+ * so the merged frontier and the globally-admitted corpus after
+ * round R depend only on the plan, never on host scheduling.  Two
+ * fleets with the same plan produce byte-identical frontier and
+ * corpus digests, which is what the fleet-smoke CI job asserts.
+ *
+ * Work stealing re-partitions the per-round run budget: a shard that
+ * stopped contributing new global edges (shardPlateau dry rounds) is
+ * wound down to a floor share — unless the fleet just handed it
+ * foreign entries it has not chewed through yet, in which case it
+ * *steals* extra budget from the steady shards (stealBoost) to work
+ * the fresh material.  Both triggers are integer arithmetic over
+ * merged round stats, so the re-partitioning is as deterministic as
+ * everything else.
+ *
+ * Worker loss is survivable: a shard whose pipe breaks is marked
+ * dead, its already-merged contributions stay, and its budget share
+ * flows to the survivors from the next round on.
+ */
+
+#ifndef PE_FLEET_COORDINATOR_HH
+#define PE_FLEET_COORDINATOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/explore/explorer.hh"
+#include "src/fleet/protocol.hh"
+#include "src/support/subprocess.hh"
+
+namespace pe::fleet
+{
+
+struct FleetOptions
+{
+    /**
+     * Shared exploration options.  budget.maxRuns is the *global*
+     * run budget across all shards; seed is the fleet master seed;
+     * jsonl receives the coordinator's own round stream.  Worker
+     * copies get derived seeds and neutralized budgets/checkpoints.
+     */
+    explore::ExploreOptions base;
+
+    /** Worker process count (>= 1). */
+    unsigned shards = 2;
+
+    /**
+     * Total runs handed out per round across the fleet; 0 derives
+     * shards * base.batchSize (one classic batch per shard).
+     */
+    uint64_t roundRuns = 0;
+
+    /**
+     * Global stop: rounds in a row with zero new merged edges.
+     * 0 disables (the run budget is then the only bound).
+     */
+    uint32_t plateauRounds = 0;
+
+    /** Dry rounds before one shard counts as plateaued (>= 1). */
+    uint32_t shardPlateau = 2;
+
+    /**
+     * Budget multiplier (in percent of a fair share, added on top)
+     * a plateaued shard steals when it has fresh foreign entries to
+     * work: 100 = double share.  0 disables stealing.
+     */
+    uint32_t stealBoostPct = 100;
+
+    /**
+     * Share (percent of fair) a plateaued shard without fresh
+     * material keeps — wind-down, not starvation, so it can revive
+     * when the next broadcast reaches it.
+     */
+    uint32_t idleFloorPct = 25;
+
+    /** Campaign worker threads per shard; 0 = PE_JOBS default. */
+    unsigned workerThreads = 0;
+
+    /** Human-readable status stream (CLI: stderr); may be null. */
+    std::ostream *status = nullptr;
+
+    /** Checked between rounds; true stops the fleet cleanly. */
+    const std::atomic<bool> *stopFlag = nullptr;
+};
+
+/** One shard's slice of the deterministic plan. */
+struct ShardSpec
+{
+    uint32_t shard = 0;
+    uint64_t shardSeed = 0;
+    std::vector<uint32_t> seedIndices;
+};
+
+/**
+ * The partition of seed/energy space: pure function of (configHash,
+ * masterSeed, shards, seedCount).  planDigest names it — it goes
+ * into the Hello handshake and the result record, and reruns with
+ * equal digests are bit-comparable.
+ */
+struct ShardPlan
+{
+    uint32_t shards = 0;
+    uint64_t planDigest = 0;
+    std::vector<ShardSpec> specs;
+};
+
+ShardPlan makeShardPlan(uint64_t configHash, uint64_t masterSeed,
+                        uint32_t shards, size_t seedCount);
+
+/** Why the fleet stopped. */
+enum class FleetStop : uint8_t
+{
+    RunBudget,      //!< global maxRuns spent
+    Plateau,        //!< plateauRounds dry rounds (or all exhausted)
+    Interrupted,    //!< stopFlag raised
+    WorkersLost,    //!< every worker died
+};
+
+const char *fleetStopName(FleetStop stop);
+
+struct ShardSummary
+{
+    uint32_t shard = 0;
+    uint64_t runs = 0;          //!< runs this shard executed
+    uint64_t assigned = 0;      //!< budget it was handed
+    uint64_t admittedGlobal = 0; //!< its entries the fleet admitted
+    uint64_t newEdges = 0;      //!< global edges it contributed
+    uint32_t dryRounds = 0;     //!< current plateau streak
+    bool alive = false;
+    bool exhausted = false;
+};
+
+struct FleetResult
+{
+    FleetStop stop = FleetStop::RunBudget;
+    uint64_t rounds = 0;
+    uint64_t runs = 0;
+    uint64_t instructions = 0;
+    uint64_t ntSpawned = 0;
+    uint64_t failedJobs = 0;
+    size_t corpusSize = 0;
+    size_t edgesTaken = 0;
+    size_t edgesCombined = 0;
+    size_t totalEdges = 0;
+    uint64_t planDigest = 0;
+
+    /** Reproducibility witnesses (explore::coverageDigest et al.). */
+    uint64_t frontierDigest = 0;
+    uint64_t corpusDigest = 0;
+
+    /** Runs re-partitioned away from fair shares by stealing. */
+    uint64_t stolenRuns = 0;
+    uint32_t lostWorkers = 0;
+    std::vector<ShardSummary> shards;
+};
+
+/** Spawns the fleet, runs rounds to a bound, reaps the workers. */
+class Coordinator
+{
+  public:
+    Coordinator(const isa::Program &program,
+                std::vector<std::vector<int32_t>> seeds,
+                FleetOptions opts);
+
+    /** Run the fleet to completion; call once. */
+    FleetResult run();
+
+    const ShardPlan &plan() const { return shardPlan; }
+
+    /** Globally admitted corpus (valid after run()). */
+    const explore::Corpus &corpus() const { return global; }
+
+  private:
+    struct Shard
+    {
+        ShardSpec spec;
+        proc::ChildProcess child;
+        ShardSummary summary;
+        /** Global-frontier words last broadcast to this shard. */
+        std::vector<uint64_t> sentTaken;
+        std::vector<uint64_t> sentNt;
+        /** Global corpus entries already broadcast. */
+        size_t entryMark = 0;
+        /** Broadcast delivered fresh foreign material last round. */
+        bool gotForeign = false;
+    };
+
+    void spawnWorkers();
+    bool handshake(Shard &shard);
+    std::vector<uint64_t> allocateBudgets(uint64_t roundTotal,
+                                          FleetResult &res);
+    void sendRoundStart(Shard &shard, uint64_t round,
+                        uint64_t budget);
+    void mergeRoundDelta(Shard &shard, const RoundDelta &delta,
+                         FleetResult &res, uint64_t &roundNewEdges);
+    void markDead(Shard &shard, FleetResult &res,
+                  const std::string &why);
+    void shutdownWorkers();
+    void emitRound(const FleetResult &res, uint64_t round,
+                   uint64_t roundRuns, uint64_t roundNewEdges);
+    void emitDone(const FleetResult &res);
+
+    const isa::Program &program;
+    std::vector<std::vector<int32_t>> seeds;
+    FleetOptions opts;
+    ShardPlan shardPlan;
+    explore::Corpus global;
+    /** Origin shard of every globally admitted corpus entry. */
+    std::vector<uint32_t> origins;
+    std::vector<Shard> fleet;
+    uint32_t globalDryRounds = 0;
+};
+
+/** One-call convenience wrapper. */
+FleetResult runFleet(const isa::Program &program,
+                     std::vector<std::vector<int32_t>> seeds,
+                     FleetOptions opts);
+
+} // namespace pe::fleet
+
+#endif // PE_FLEET_COORDINATOR_HH

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Fleet payload codec implementation.
+ */
+
+#include "src/fleet/protocol.hh"
+
+#include "src/explore/serialize.hh"
+#include "src/support/status.hh"
+#include "src/support/strutil.hh"
+
+namespace pe::fleet
+{
+
+namespace
+{
+
+void
+encodeSparse(wire::Encoder &enc, const SparseWords &w)
+{
+    pe_assert(w.index.size() == w.taken.size() &&
+                  w.index.size() == w.nt.size(),
+              "ragged sparse frontier");
+    enc.u32vec(w.index);
+    for (size_t i = 0; i < w.index.size(); ++i) {
+        enc.u64(w.taken[i]);
+        enc.u64(w.nt[i]);
+    }
+}
+
+SparseWords
+decodeSparse(wire::Decoder &dec)
+{
+    SparseWords w;
+    w.index = dec.u32vec("sparse frontier indices");
+    w.taken.reserve(w.index.size());
+    w.nt.reserve(w.index.size());
+    for (size_t i = 0; i < w.index.size(); ++i) {
+        w.taken.push_back(dec.u64("sparse taken word"));
+        w.nt.push_back(dec.u64("sparse nt word"));
+    }
+    return w;
+}
+
+void
+encodeEntries(wire::Encoder &enc,
+              const std::vector<explore::CorpusEntry> &entries)
+{
+    enc.u32(static_cast<uint32_t>(entries.size()));
+    for (const auto &e : entries)
+        explore::encodeEntry(enc, e);
+}
+
+std::vector<explore::CorpusEntry>
+decodeEntries(wire::Decoder &dec, const isa::Program &program)
+{
+    uint32_t n = dec.count("frame entries");
+    std::vector<explore::CorpusEntry> entries;
+    entries.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        entries.push_back(explore::decodeEntry(dec, program));
+    return entries;
+}
+
+} // namespace
+
+void
+encodeHello(wire::Encoder &enc, const Hello &h)
+{
+    enc.u32(h.wireVersion);
+    enc.u32(h.shard);
+    enc.u32(h.shards);
+    enc.u64(h.configHash);
+    enc.u64(h.masterSeed);
+    enc.u64(h.shardSeed);
+    enc.u64(h.planDigest);
+    enc.u64(h.programFp);
+}
+
+Hello
+decodeHello(wire::Decoder &dec)
+{
+    Hello h;
+    h.wireVersion = dec.u32("hello wire version");
+    h.shard = dec.u32("hello shard");
+    h.shards = dec.u32("hello shards");
+    h.configHash = dec.u64("hello config hash");
+    h.masterSeed = dec.u64("hello master seed");
+    h.shardSeed = dec.u64("hello shard seed");
+    h.planDigest = dec.u64("hello plan digest");
+    h.programFp = dec.u64("hello program fingerprint");
+    return h;
+}
+
+void
+encodeHelloReply(wire::Encoder &enc, const HelloReply &r)
+{
+    enc.u32(r.wireVersion);
+    enc.u32(r.shard);
+    enc.u64(r.totalEdges);
+    enc.u64(r.seedCount);
+}
+
+HelloReply
+decodeHelloReply(wire::Decoder &dec)
+{
+    HelloReply r;
+    r.wireVersion = dec.u32("hello-reply wire version");
+    r.shard = dec.u32("hello-reply shard");
+    r.totalEdges = dec.u64("hello-reply total edges");
+    r.seedCount = dec.u64("hello-reply seed count");
+    return r;
+}
+
+void
+encodeRoundStart(wire::Encoder &enc, const RoundStart &r)
+{
+    enc.u64(r.round);
+    enc.u64(r.budgetRuns);
+    encodeSparse(enc, r.frontier);
+    encodeEntries(enc, r.entries);
+}
+
+RoundStart
+decodeRoundStart(wire::Decoder &dec, const isa::Program &program)
+{
+    RoundStart r;
+    r.round = dec.u64("round-start round");
+    r.budgetRuns = dec.u64("round-start budget");
+    r.frontier = decodeSparse(dec);
+    r.entries = decodeEntries(dec, program);
+    return r;
+}
+
+void
+encodeRoundDelta(wire::Encoder &enc, const RoundDelta &r)
+{
+    enc.u64(r.round);
+    enc.u64(r.runs);
+    enc.u64(r.failedJobs);
+    enc.u64(r.instructions);
+    enc.u64(r.ntSpawned);
+    enc.u64(r.admittedLocal);
+    enc.u8(r.exhausted ? 1 : 0);
+    encodeSparse(enc, r.frontier);
+    encodeEntries(enc, r.entries);
+}
+
+RoundDelta
+decodeRoundDelta(wire::Decoder &dec, const isa::Program &program)
+{
+    RoundDelta r;
+    r.round = dec.u64("round-delta round");
+    r.runs = dec.u64("round-delta runs");
+    r.failedJobs = dec.u64("round-delta failed jobs");
+    r.instructions = dec.u64("round-delta instructions");
+    r.ntSpawned = dec.u64("round-delta nt spawned");
+    r.admittedLocal = dec.u64("round-delta admitted");
+    r.exhausted = dec.u8("round-delta exhausted") != 0;
+    r.frontier = decodeSparse(dec);
+    r.entries = decodeEntries(dec, program);
+    return r;
+}
+
+void
+encodeGoodbye(wire::Encoder &enc, const Goodbye &g)
+{
+    enc.u64(g.runs);
+    enc.u64(g.batches);
+    enc.u64(g.corpusSize);
+    enc.u64(g.edgesCombined);
+}
+
+Goodbye
+decodeGoodbye(wire::Decoder &dec)
+{
+    Goodbye g;
+    g.runs = dec.u64("goodbye runs");
+    g.batches = dec.u64("goodbye batches");
+    g.corpusSize = dec.u64("goodbye corpus");
+    g.edgesCombined = dec.u64("goodbye edges");
+    return g;
+}
+
+void
+validateHello(const Hello &got, const Hello &want)
+{
+    auto shardCtx = [&](const char *field) {
+        return detail::concat("fleet hello for shard ", want.shard,
+                              ": ", field);
+    };
+    if (got.wireVersion != want.wireVersion) {
+        throw wire::WireError(
+            wire::WireErrorKind::BadVersion,
+            detail::concat(shardCtx("wire version"), " mismatch: "
+                           "expected ", want.wireVersion, ", found ",
+                           got.wireVersion),
+            want.wireVersion, got.wireVersion);
+    }
+    auto check = [&](uint64_t wantV, uint64_t gotV,
+                     const char *field) {
+        if (wantV == gotV)
+            return;
+        throw wire::WireError(
+            wire::WireErrorKind::Mismatch,
+            detail::concat(shardCtx(field), " mismatch: expected 0x",
+                           fmtHex(wantV), ", found 0x", fmtHex(gotV)),
+            wantV, gotV);
+    };
+    check(want.shard, got.shard, "shard id");
+    check(want.shards, got.shards, "fleet width");
+    check(want.configHash, got.configHash, "config hash");
+    check(want.masterSeed, got.masterSeed, "master seed");
+    check(want.shardSeed, got.shardSeed, "shard seed");
+    check(want.planDigest, got.planDigest, "plan digest");
+    check(want.programFp, got.programFp, "program fingerprint");
+}
+
+SparseWords
+diffFrontier(const coverage::BranchCoverage &cov,
+             std::vector<uint64_t> &prevTaken,
+             std::vector<uint64_t> &prevNt)
+{
+    const auto &taken = cov.takenWords();
+    const auto &nt = cov.ntWords();
+    pe_assert(prevTaken.size() == taken.size() &&
+                  prevNt.size() == nt.size(),
+              "frontier snapshot sized for a different program");
+    SparseWords delta;
+    for (size_t i = 0; i < taken.size(); ++i) {
+        if (taken[i] != prevTaken[i] || nt[i] != prevNt[i]) {
+            delta.index.push_back(static_cast<uint32_t>(i));
+            delta.taken.push_back(taken[i]);
+            delta.nt.push_back(nt[i]);
+            prevTaken[i] = taken[i];
+            prevNt[i] = nt[i];
+        }
+    }
+    return delta;
+}
+
+void
+applyFrontier(const SparseWords &delta, std::vector<uint64_t> &taken,
+              std::vector<uint64_t> &nt)
+{
+    for (size_t i = 0; i < delta.index.size(); ++i) {
+        size_t w = delta.index[i];
+        if (w >= taken.size() || w >= nt.size()) {
+            throw wire::WireError(
+                wire::WireErrorKind::Mismatch,
+                detail::concat("sparse frontier word index ", w,
+                               " beyond this program's ",
+                               taken.size(), "-word bitmap"),
+                taken.size(), w);
+        }
+        taken[w] |= delta.taken[i];
+        nt[w] |= delta.nt[i];
+    }
+}
+
+} // namespace pe::fleet

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Long-running fleet service: jobs in, JSONL results out.
+ *
+ * The service turns the fleet into infrastructure: instead of one
+ * CLI invocation per exploration, a resident process accepts job
+ * specs — `key=value` lines naming a workload, a budget and a fleet
+ * shape — from a spool directory (one `*.job` file per job, consumed
+ * in name order and renamed `*.done` / `*.failed` afterward) or from
+ * stdin (one job per line), runs each as a fleet, and appends one
+ * JSON object per job to the result stream.  Malformed or failing
+ * jobs produce a `job_error` record and never take the service down.
+ *
+ * Results go to one stream (stdout in the CLI), human logs to
+ * another (stderr), so `explore --serve | jq .` composes the obvious
+ * way.
+ */
+
+#ifndef PE_FLEET_SERVICE_HH
+#define PE_FLEET_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/fleet/coordinator.hh"
+
+namespace pe::fleet
+{
+
+/** One parsed job spec (see parseJobSpec for the line format). */
+struct JobSpec
+{
+    std::string name;       //!< spool file stem or "stdin:<n>"
+    std::string workload;
+    uint64_t runs = 200;
+    uint32_t shards = 2;
+    uint64_t seed = 0x5eedbea7;
+    uint64_t batch = 8;
+    uint64_t roundRuns = 0;     //!< 0 = shards * batch
+    uint32_t plateau = 0;       //!< fleet plateau rounds; 0 = off
+    std::string policy = "rare";
+    std::string mode = "standard";
+};
+
+/**
+ * Parse `key=value` tokens (whitespace/newline separated; `#` starts
+ * a comment) into a JobSpec.  Unknown keys and malformed values
+ * throw FatalError naming the offending token — the service catches
+ * this per job and emits a job_error record.
+ */
+JobSpec parseJobSpec(const std::string &name,
+                     const std::string &text);
+
+struct ServiceOptions
+{
+    /** Spool directory; empty switches to stdin line jobs. */
+    std::string spoolDir;
+
+    /** JSONL results (one object per job); must not be null. */
+    std::ostream *out = nullptr;
+
+    /** Human-readable log; may be null. */
+    std::ostream *status = nullptr;
+
+    /**
+     * Process what is queued right now, then return (tests, batch
+     * use).  Off = keep polling the spool until stopFlag.
+     */
+    bool drainOnce = false;
+
+    /** Spool poll interval. */
+    unsigned pollMs = 200;
+
+    /** Campaign threads per worker shard; 0 = PE_JOBS default. */
+    unsigned workerThreads = 0;
+
+    /** Cooperative stop, checked between jobs and polls. */
+    const std::atomic<bool> *stopFlag = nullptr;
+};
+
+/**
+ * Run the service loop.  Returns the number of jobs processed
+ * (job_error records count — the job was consumed).
+ */
+uint64_t runService(const ServiceOptions &opts);
+
+} // namespace pe::fleet
+
+#endif // PE_FLEET_SERVICE_HH

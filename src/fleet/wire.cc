@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Wire codec + frame transport implementation.
+ */
+
+#include "src/fleet/wire.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "src/support/status.hh"
+#include "src/support/strutil.hh"
+
+namespace pe::wire
+{
+
+const char *
+wireErrorKindName(WireErrorKind kind)
+{
+    switch (kind) {
+      case WireErrorKind::Truncated: return "truncated";
+      case WireErrorKind::BadMagic: return "bad-magic";
+      case WireErrorKind::BadVersion: return "bad-version";
+      case WireErrorKind::Implausible: return "implausible";
+      case WireErrorKind::BadFrame: return "bad-frame";
+      case WireErrorKind::Io: return "io";
+      case WireErrorKind::Mismatch: return "mismatch";
+    }
+    return "?";
+}
+
+const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+      case FrameType::Hello: return "hello";
+      case FrameType::HelloReply: return "hello-reply";
+      case FrameType::RoundStart: return "round-start";
+      case FrameType::RoundDelta: return "round-delta";
+      case FrameType::Stop: return "stop";
+      case FrameType::Goodbye: return "goodbye";
+      case FrameType::Error: return "error";
+    }
+    return "?";
+}
+
+void
+Decoder::need(size_t n, const char *what) const
+{
+    if (data.size() - pos < n) {
+        throw WireError(WireErrorKind::Truncated,
+                        detail::concat("truncated while reading ",
+                                       what, ": need ", n,
+                                       " bytes, have ",
+                                       data.size() - pos),
+                        n, data.size() - pos);
+    }
+}
+
+uint8_t
+Decoder::u8(const char *what)
+{
+    need(1, what);
+    return static_cast<uint8_t>(data[pos++]);
+}
+
+uint32_t
+Decoder::u32(const char *what)
+{
+    need(4, what);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<uint32_t>(
+                 static_cast<unsigned char>(data[pos + i]))
+             << (8 * i);
+    }
+    pos += 4;
+    return v;
+}
+
+uint64_t
+Decoder::u64(const char *what)
+{
+    uint64_t lo = u32(what);
+    uint64_t hi = u32(what);
+    return lo | (hi << 32);
+}
+
+int32_t
+Decoder::i32(const char *what)
+{
+    return static_cast<int32_t>(u32(what));
+}
+
+uint32_t
+Decoder::count(const char *what)
+{
+    uint32_t n = u32(what);
+    if (n > kSanityCap) {
+        throw WireError(WireErrorKind::Implausible,
+                        detail::concat(what, " count implausible: ",
+                                       n, " > cap ", kSanityCap),
+                        kSanityCap, n);
+    }
+    return n;
+}
+
+std::string
+Decoder::str(const char *what)
+{
+    uint32_t n = count(what);
+    need(n, what);
+    std::string s(data.substr(pos, n));
+    pos += n;
+    return s;
+}
+
+std::vector<uint64_t>
+Decoder::u64vec(const char *what)
+{
+    uint32_t n = count(what);
+    need(size_t{n} * 8, what);
+    std::vector<uint64_t> v;
+    v.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        v.push_back(u64(what));
+    return v;
+}
+
+std::vector<uint32_t>
+Decoder::u32vec(const char *what)
+{
+    uint32_t n = count(what);
+    need(size_t{n} * 4, what);
+    std::vector<uint32_t> v;
+    v.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        v.push_back(u32(what));
+    return v;
+}
+
+std::vector<int32_t>
+Decoder::i32vec(const char *what)
+{
+    uint32_t n = count(what);
+    need(size_t{n} * 4, what);
+    std::vector<int32_t> v;
+    v.reserve(n);
+    for (uint32_t i = 0; i < n; ++i)
+        v.push_back(i32(what));
+    return v;
+}
+
+void
+Decoder::expectEnd(const char *what) const
+{
+    if (pos != data.size()) {
+        throw WireError(WireErrorKind::BadFrame,
+                        detail::concat(what, ": ",
+                                       data.size() - pos,
+                                       " trailing bytes after payload"),
+                        0, data.size() - pos);
+    }
+}
+
+namespace
+{
+
+constexpr uint32_t kFrameMagic = 0x31464550; // "PEF1" little-endian
+
+/**
+ * write() that survives EINTR and short writes, and never raises
+ * SIGPIPE on sockets (send(MSG_NOSIGNAL), falling back to write()
+ * for plain pipes where a dead reader is the caller's EPIPE).
+ */
+void
+writeAll(int fd, const char *p, size_t n)
+{
+    while (n > 0) {
+        ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w < 0 && errno == ENOTSOCK)
+            w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            throw WireError(WireErrorKind::Io,
+                            detail::concat("frame write failed: ",
+                                           std::strerror(errno)));
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+}
+
+/**
+ * Read exactly @p n bytes.  Returns false on EOF before the first
+ * byte (clean close); throws on EOF mid-read or errno.
+ */
+bool
+readAll(int fd, char *p, size_t n, const char *what)
+{
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd, p + got, n - got);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            throw WireError(WireErrorKind::Io,
+                            detail::concat("frame read failed: ",
+                                           std::strerror(errno)));
+        }
+        if (r == 0) {
+            if (got == 0)
+                return false;
+            throw WireError(WireErrorKind::Truncated,
+                            detail::concat("peer closed mid-", what,
+                                           ": got ", got, " of ", n,
+                                           " bytes"),
+                            n, got);
+        }
+        got += static_cast<size_t>(r);
+    }
+    return true;
+}
+
+} // namespace
+
+void
+writeFrame(int fd, FrameType type, std::string_view payload)
+{
+    pe_assert(payload.size() <= kMaxFramePayload,
+              "oversized frame payload");
+    Encoder header;
+    header.u32(kFrameMagic);
+    header.u32(static_cast<uint32_t>(payload.size()));
+    header.u32(static_cast<uint32_t>(type));
+    // One buffer, one writev-equivalent: small frames (the common
+    // case) leave in a single syscall.
+    std::string buf = header.take();
+    buf.append(payload.data(), payload.size());
+    writeAll(fd, buf.data(), buf.size());
+}
+
+std::optional<Frame>
+readFrame(int fd)
+{
+    char head[12];
+    if (!readAll(fd, head, sizeof(head), "frame header"))
+        return std::nullopt;
+
+    Decoder dec(std::string_view(head, sizeof(head)));
+    uint32_t magic = dec.u32("frame magic");
+    if (magic != kFrameMagic) {
+        throw WireError(WireErrorKind::BadMagic,
+                        detail::concat("bad frame magic: expected 0x",
+                                       fmtHex(kFrameMagic),
+                                       ", found 0x", fmtHex(magic)),
+                        kFrameMagic, magic);
+    }
+    uint32_t len = dec.u32("frame length");
+    uint32_t type = dec.u32("frame type");
+    if (len > kMaxFramePayload) {
+        throw WireError(WireErrorKind::BadFrame,
+                        detail::concat("frame payload length ", len,
+                                       " exceeds cap ",
+                                       kMaxFramePayload),
+                        kMaxFramePayload, len);
+    }
+
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.payload.resize(len);
+    if (len > 0 &&
+        !readAll(fd, frame.payload.data(), len, "frame payload")) {
+        throw WireError(WireErrorKind::Truncated,
+                        "peer closed between frame header and payload",
+                        len, 0);
+    }
+    return frame;
+}
+
+} // namespace pe::wire

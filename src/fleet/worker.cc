@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Fleet worker implementation.
+ */
+
+#include "src/fleet/worker.hh"
+
+#include <string>
+
+#include "src/explore/serialize.hh"
+#include "src/support/faultinject.hh"
+#include "src/support/status.hh"
+
+namespace pe::fleet
+{
+
+namespace
+{
+
+void
+sendError(int fd, const std::string &message)
+{
+    try {
+        wire::Encoder enc;
+        enc.str(message);
+        wire::writeFrame(fd, wire::FrameType::Error, enc.buffer());
+    } catch (const wire::WireError &) {
+        // The pipe is already gone; the exit code still tells.
+    }
+}
+
+} // namespace
+
+int
+workerMain(int fd, const isa::Program &program,
+           const WorkerConfig &config)
+{
+    // --- Negotiation -------------------------------------------------
+    auto first = wire::readFrame(fd);
+    if (!first)
+        return 0;   // coordinator vanished before Hello; nothing to do
+    if (first->type != wire::FrameType::Hello) {
+        sendError(fd, detail::concat("expected hello frame, got ",
+                                     wire::frameTypeName(first->type)));
+        return 1;
+    }
+    try {
+        wire::Decoder dec(first->payload);
+        Hello hello = decodeHello(dec);
+        dec.expectEnd("hello");
+        validateHello(hello, config.expect);
+    } catch (const wire::WireError &err) {
+        sendError(fd, err.what());
+        return 1;
+    }
+
+    explore::Explorer explorer(program, config.seeds, config.opts);
+
+    {
+        HelloReply reply;
+        reply.shard = config.expect.shard;
+        reply.totalEdges = explorer.corpus().frontier().totalEdges();
+        reply.seedCount = config.seeds.size();
+        wire::Encoder enc;
+        encodeHelloReply(enc, reply);
+        wire::writeFrame(fd, wire::FrameType::HelloReply,
+                         enc.buffer());
+    }
+
+    // Snapshot of the frontier words last reported upstream; the
+    // per-round report is the diff against it.
+    std::vector<uint64_t> sentTaken(
+        explorer.corpus().frontier().takenWords().size(), 0);
+    std::vector<uint64_t> sentNt(sentTaken.size(), 0);
+
+    const std::string roundSite =
+        "fleet.worker_round." + std::to_string(config.expect.shard);
+
+    // --- Rounds ------------------------------------------------------
+    for (;;) {
+        std::optional<wire::Frame> frame;
+        try {
+            frame = wire::readFrame(fd);
+        } catch (const wire::WireError &) {
+            return 0;   // coordinator died; exit quietly
+        }
+        if (!frame)
+            return 0;   // clean EOF: coordinator closed the pipe
+
+        if (frame->type == wire::FrameType::Stop) {
+            explorer.finish();
+            Goodbye bye;
+            bye.runs = explorer.progress().runs;
+            bye.batches = explorer.progress().batches;
+            bye.corpusSize = explorer.corpus().size();
+            bye.edgesCombined =
+                explorer.corpus().frontier().combinedCovered();
+            wire::Encoder enc;
+            encodeGoodbye(enc, bye);
+            wire::writeFrame(fd, wire::FrameType::Goodbye,
+                             enc.buffer());
+            return 0;
+        }
+        if (frame->type != wire::FrameType::RoundStart) {
+            sendError(fd,
+                      detail::concat("expected round-start, got ",
+                                     wire::frameTypeName(frame->type)));
+            return 1;
+        }
+
+        wire::Decoder dec(frame->payload);
+        RoundStart start = decodeRoundStart(dec, program);
+        dec.expectEnd("round-start");
+
+        // Deterministic chaos hook: a plan armed on this site (the
+        // shard id is part of the name) kills exactly this worker
+        // mid-round, which is what the fleet fault-tolerance test
+        // exercises.
+        fault::site(roundSite.c_str());
+
+        // Import before running: this round's mutations see the
+        // fleet's merged knowledge.
+        if (!start.frontier.empty()) {
+            std::vector<uint64_t> taken =
+                explorer.corpus().frontier().takenWords();
+            std::vector<uint64_t> nt =
+                explorer.corpus().frontier().ntWords();
+            applyFrontier(start.frontier, taken, nt);
+            explorer.importFrontierWords(taken, nt);
+        }
+        if (!start.entries.empty())
+            explorer.importForeignEntries(std::move(start.entries));
+
+        uint64_t before = explorer.progress().failedJobs;
+        uint64_t beforeInst = explorer.progress().instructions;
+        uint64_t beforeNt = explorer.progress().ntSpawned;
+        uint64_t ran = explorer.step(start.budgetRuns);
+
+        RoundDelta delta;
+        delta.round = start.round;
+        delta.runs = ran;
+        delta.failedJobs = explorer.progress().failedJobs - before;
+        delta.instructions =
+            explorer.progress().instructions - beforeInst;
+        delta.ntSpawned = explorer.progress().ntSpawned - beforeNt;
+        delta.exhausted = ran == 0 && start.budgetRuns > 0;
+        delta.frontier = diffFrontier(explorer.corpus().frontier(),
+                                      sentTaken, sentNt);
+        for (const explore::CorpusEntry *e :
+             explorer.drainNewLocalEntries())
+            delta.entries.push_back(*e);
+        delta.admittedLocal = delta.entries.size();
+
+        wire::Encoder enc;
+        encodeRoundDelta(enc, delta);
+        wire::writeFrame(fd, wire::FrameType::RoundDelta,
+                         enc.buffer());
+    }
+}
+
+} // namespace pe::fleet

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fleet worker: one shard's exploration loop, driven over a pipe.
+ *
+ * A worker is a forked child that owns a full Explorer for its slice
+ * of the seed space.  It never decides anything global: the
+ * coordinator tells it how many runs to spend each round
+ * (RoundStart), hands it the merged frontier delta and foreign
+ * corpus entries to import, and the worker answers with its own
+ * delta (RoundDelta).  Everything else — work stealing, plateaus,
+ * global budget — is the coordinator's problem, which keeps the
+ * worker simple enough to be obviously deterministic: its only
+ * inputs are the shard seed, its seed slice, and the byte-exact
+ * frame sequence.
+ */
+
+#ifndef PE_FLEET_WORKER_HH
+#define PE_FLEET_WORKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/explore/explorer.hh"
+#include "src/fleet/protocol.hh"
+#include "src/isa/program.hh"
+
+namespace pe::fleet
+{
+
+/** Everything a forked worker needs besides the fd. */
+struct WorkerConfig
+{
+    /** Hello the coordinator must send for this worker to proceed. */
+    Hello expect;
+
+    /** Shard-local explorer options (seed already set to shardSeed). */
+    explore::ExploreOptions opts;
+
+    /** This shard's slice of the fleet's seed inputs. */
+    std::vector<std::vector<int32_t>> seeds;
+};
+
+/**
+ * The worker process body: negotiate, then serve rounds until Stop
+ * or EOF.  Returns the child's exit code (0 = clean shutdown).
+ * Validation failures send an Error frame before exiting nonzero so
+ * the coordinator can log *why* the shard refused to start.
+ */
+int workerMain(int fd, const isa::Program &program,
+               const WorkerConfig &config);
+
+} // namespace pe::fleet
+
+#endif // PE_FLEET_WORKER_HH

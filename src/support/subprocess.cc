@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Child-process spawn/reap implementation.
+ */
+
+#include "src/support/subprocess.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <utility>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/support/status.hh"
+
+namespace pe::proc
+{
+
+ChildProcess::ChildProcess(ChildProcess &&other) noexcept
+    : childPid(std::exchange(other.childPid, -1)),
+      parentFd(std::exchange(other.parentFd, -1)),
+      reaped(std::exchange(other.reaped, false)),
+      exitCode(other.exitCode)
+{}
+
+ChildProcess &
+ChildProcess::operator=(ChildProcess &&other) noexcept
+{
+    if (this != &other) {
+        if (valid() && !reaped)
+            wait();
+        closeFd();
+        childPid = std::exchange(other.childPid, -1);
+        parentFd = std::exchange(other.parentFd, -1);
+        reaped = std::exchange(other.reaped, false);
+        exitCode = other.exitCode;
+    }
+    return *this;
+}
+
+ChildProcess::~ChildProcess()
+{
+    if (valid() && !reaped)
+        wait();
+    closeFd();
+}
+
+void
+ChildProcess::closeFd()
+{
+    if (parentFd >= 0) {
+        ::close(parentFd);
+        parentFd = -1;
+    }
+}
+
+int
+ChildProcess::wait()
+{
+    if (!valid())
+        return 0;
+    if (reaped)
+        return exitCode;
+    // EOF on the socket is the only shutdown signal a blocked child
+    // ever needs; close before blocking in waitpid.
+    closeFd();
+    int status = 0;
+    pid_t r;
+    do {
+        r = ::waitpid(childPid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    reaped = true;
+    if (r < 0)
+        exitCode = -1;
+    else if (WIFEXITED(status))
+        exitCode = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        exitCode = -WTERMSIG(status);
+    else
+        exitCode = -1;
+    return exitCode;
+}
+
+void
+ChildProcess::kill(int sig)
+{
+    if (valid() && !reaped)
+        ::kill(childPid, sig);
+}
+
+ChildProcess
+spawnChild(const std::function<int(int fd)> &childMain)
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        pe_fatal("socketpair failed: ", std::strerror(errno));
+    }
+
+    // A fork duplicates unflushed stdio buffers into the child, which
+    // would replay them on the child's first flush.
+    std::cout.flush();
+    std::cerr.flush();
+    std::fflush(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        pe_fatal("fork failed: ", std::strerror(errno));
+    }
+
+    if (pid == 0) {
+        // Child: the parent end closes so its EOF is unambiguous.
+        ::close(fds[0]);
+        int code = 1;
+        try {
+            code = childMain(fds[1]);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "worker (pid %d) died: %s\n",
+                         static_cast<int>(::getpid()), e.what());
+        } catch (...) {
+            std::fprintf(stderr, "worker (pid %d) died: unknown "
+                                 "exception\n",
+                         static_cast<int>(::getpid()));
+        }
+        // _exit: no atexit handlers, no double-flushed inherited
+        // buffers, no LeakSanitizer pass over shared pages.
+        ::_exit(code);
+    }
+
+    ::close(fds[1]);
+    return ChildProcess(pid, fds[0]);
+}
+
+} // namespace pe::proc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Child-process spawning with a socketpair transport.
+ *
+ * The fleet's workers are real OS processes, not threads: a worker
+ * owns its whole simulator state (engine, corpus, RNG streams) with
+ * no sharing, can be killed -9 without corrupting the coordinator,
+ * and is the shape a multi-machine deployment would take (the
+ * socketpair fd is the only channel, so swapping it for a TCP socket
+ * changes nothing above this layer).
+ *
+ * spawnChild() forks and runs a caller-supplied function in the
+ * child over one end of a SOCK_STREAM socketpair.  Fork-without-exec
+ * keeps the child self-contained: it inherits the parent's compiled
+ * program image and options by memory, so nothing but deltas ever
+ * needs to cross the pipe.  The caller must spawn before creating
+ * threads it cannot account for (campaign pools are joined between
+ * batches, so fleet startup is a safe fork point).
+ *
+ * The child never returns: it runs the function, flushes nothing it
+ * does not own, and leaves via _exit() so inherited stdio buffers
+ * and atexit handlers are not replayed.
+ */
+
+#ifndef PE_SUPPORT_SUBPROCESS_HH
+#define PE_SUPPORT_SUBPROCESS_HH
+
+#include <functional>
+
+#include <sys/types.h>
+
+namespace pe::proc
+{
+
+/** A live child process and the parent's end of its socketpair. */
+class ChildProcess
+{
+  public:
+    ChildProcess() = default;
+    ChildProcess(pid_t pid, int fd) : childPid(pid), parentFd(fd) {}
+
+    ChildProcess(const ChildProcess &) = delete;
+    ChildProcess &operator=(const ChildProcess &) = delete;
+    ChildProcess(ChildProcess &&other) noexcept;
+    ChildProcess &operator=(ChildProcess &&other) noexcept;
+
+    /** Reaps (blocking) and closes if still live. */
+    ~ChildProcess();
+
+    pid_t pid() const { return childPid; }
+    int fd() const { return parentFd; }
+    bool valid() const { return childPid > 0; }
+
+    /** Close the parent's socket end (the child sees EOF). */
+    void closeFd();
+
+    /**
+     * Blocking waitpid.  Returns the exit status (>= 0) or the
+     * negated terminating signal; repeated calls return the first
+     * result.  Closes the fd first so a child blocked on a read
+     * wakes up instead of deadlocking the reap.
+     */
+    int wait();
+
+    /** Send @p sig; no-op once reaped. */
+    void kill(int sig);
+
+  private:
+    pid_t childPid = -1;
+    int parentFd = -1;
+    bool reaped = false;
+    int exitCode = 0;
+};
+
+/**
+ * Fork a child running `childMain(fd)` over a socketpair.  Flushes
+ * stdout/stderr before forking so buffered output is not duplicated.
+ * In the child, exceptions escaping childMain print to stderr and
+ * _exit(1); a normal return _exit()s with the returned code.
+ * Throws FatalError if the socketpair or fork syscall fails.
+ */
+ChildProcess spawnChild(const std::function<int(int fd)> &childMain);
+
+} // namespace pe::proc
+
+#endif // PE_SUPPORT_SUBPROCESS_HH

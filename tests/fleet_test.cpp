@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Fleet tests: deterministic sharding, bit-reproducible merges,
+ * worker-loss tolerance and the job service.
+ *
+ * The fleet's contract mirrors the single-process explorer's: same
+ * options, same result — except "result" is now a merged frontier
+ * and corpus assembled from N worker processes over IPC.  The tests
+ * pin the shard plan (a pure function of config hash + seed), the
+ * reproducibility witnesses (frontier/corpus digests across repeated
+ * runs), the chaos story (kill one worker mid-round via an armed
+ * fault plan; the fleet converges and reports the loss), and the
+ * spool-driven service mode end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/fleet/coordinator.hh"
+#include "src/fleet/service.hh"
+#include "src/minic/compiler.hh"
+#include "src/support/faultinject.hh"
+#include "src/support/status.hh"
+#include "src/workloads/workload.hh"
+
+namespace
+{
+
+using namespace pe;
+namespace fs = std::filesystem;
+
+const workloads::Workload &
+scheduleWorkload()
+{
+    return workloads::getWorkload("schedule");
+}
+
+const isa::Program &
+scheduleProgram()
+{
+    static const isa::Program program =
+        minic::compile(scheduleWorkload().source, "schedule");
+    return program;
+}
+
+fleet::FleetOptions
+fleetOptions(unsigned shards, uint64_t maxRuns, uint64_t seed)
+{
+    fleet::FleetOptions opts;
+    // PE off keeps each monitored run cheap; the fleet machinery
+    // under test is identical in every mode.
+    opts.base.config = core::PeConfig::forMode(core::PeMode::Off);
+    opts.base.budget.maxRuns = maxRuns;
+    opts.base.batchSize = 8;
+    opts.base.seed = seed;
+    opts.base.label = "schedule";
+    opts.shards = shards;
+    opts.workerThreads = 1;
+    return opts;
+}
+
+TEST(ShardPlan, IsAPureFunctionOfItsInputs)
+{
+    auto a = fleet::makeShardPlan(0xc0de, 0x5eed, 4, 10);
+    auto b = fleet::makeShardPlan(0xc0de, 0x5eed, 4, 10);
+    EXPECT_EQ(a.planDigest, b.planDigest);
+    ASSERT_EQ(a.specs.size(), b.specs.size());
+    for (size_t i = 0; i < a.specs.size(); ++i) {
+        EXPECT_EQ(a.specs[i].shardSeed, b.specs[i].shardSeed);
+        EXPECT_EQ(a.specs[i].seedIndices, b.specs[i].seedIndices);
+    }
+
+    // Any identity knob moving re-plans the fleet.
+    EXPECT_NE(fleet::makeShardPlan(0xc0de, 0x5eed, 4, 10).planDigest,
+              fleet::makeShardPlan(0xc0df, 0x5eed, 4, 10).planDigest);
+    EXPECT_NE(fleet::makeShardPlan(0xc0de, 0x5eed, 4, 10).planDigest,
+              fleet::makeShardPlan(0xc0de, 0x5eee, 4, 10).planDigest);
+    EXPECT_NE(fleet::makeShardPlan(0xc0de, 0x5eed, 4, 10).planDigest,
+              fleet::makeShardPlan(0xc0de, 0x5eed, 3, 10).planDigest);
+}
+
+TEST(ShardPlan, DealsSeedsRoundRobinAndWrapsSmallSeedSets)
+{
+    auto plan = fleet::makeShardPlan(1, 2, 3, 8);
+    // 8 seeds over 3 shards: 0,3,6 / 1,4,7 / 2,5.
+    EXPECT_EQ(plan.specs[0].seedIndices,
+              (std::vector<uint32_t>{0, 3, 6}));
+    EXPECT_EQ(plan.specs[1].seedIndices,
+              (std::vector<uint32_t>{1, 4, 7}));
+    EXPECT_EQ(plan.specs[2].seedIndices,
+              (std::vector<uint32_t>{2, 5}));
+
+    // Fewer seeds than shards: every shard still starts with one.
+    auto small = fleet::makeShardPlan(1, 2, 4, 2);
+    for (const auto &spec : small.specs)
+        EXPECT_FALSE(spec.seedIndices.empty());
+    EXPECT_EQ(small.specs[2].seedIndices,
+              (std::vector<uint32_t>{0}));
+    EXPECT_EQ(small.specs[3].seedIndices,
+              (std::vector<uint32_t>{1}));
+
+    // Distinct shard seeds, so wrapped shards still diverge.
+    EXPECT_NE(small.specs[2].shardSeed, small.specs[0].shardSeed);
+}
+
+TEST(Fleet, MergedDigestsAreBitReproducible)
+{
+    auto runOnce = [&] {
+        return fleet::runFleet(scheduleProgram(),
+                               scheduleWorkload().benignInputs,
+                               fleetOptions(3, 120, 0x42));
+    };
+    fleet::FleetResult first = runOnce();
+    fleet::FleetResult second = runOnce();
+
+    EXPECT_EQ(first.planDigest, second.planDigest);
+    EXPECT_EQ(first.frontierDigest, second.frontierDigest);
+    EXPECT_EQ(first.corpusDigest, second.corpusDigest);
+    EXPECT_EQ(first.runs, second.runs);
+    EXPECT_EQ(first.rounds, second.rounds);
+    EXPECT_EQ(first.corpusSize, second.corpusSize);
+    EXPECT_EQ(first.edgesCombined, second.edgesCombined);
+
+    // And the fleet actually explored: corpus beyond the seeds'
+    // admissions, a real share of the edge universe covered.
+    EXPECT_EQ(first.runs, 120u);
+    EXPECT_GT(first.corpusSize, 0u);
+    EXPECT_GT(first.edgesCombined, first.totalEdges / 2);
+    EXPECT_EQ(first.lostWorkers, 0u);
+}
+
+TEST(Fleet, DifferentSeedsDiverge)
+{
+    fleet::FleetResult a =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs,
+                        fleetOptions(2, 80, 0x42));
+    fleet::FleetResult b =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs,
+                        fleetOptions(2, 80, 0x43));
+    EXPECT_NE(a.planDigest, b.planDigest);
+    // The corpora virtually never coincide; digests catch it if the
+    // seed failed to propagate into the workers.
+    EXPECT_NE(a.corpusDigest, b.corpusDigest);
+}
+
+TEST(Fleet, SurvivesAWorkerKilledMidRound)
+{
+    // Shard 1's second round throws inside the forked worker; the
+    // exception escapes workerMain, the child exits nonzero, and the
+    // coordinator sees a dead pipe mid-round.  The fault site name
+    // carries the shard id, so exactly one worker dies.
+    fault::FaultPlan plan;
+    plan.site = "fleet.worker_round.1";
+    plan.hit = 2;
+    plan.message = "injected worker death";
+    fault::ScopedFaultPlan armed(plan);
+
+    fleet::FleetResult res =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs,
+                        fleetOptions(3, 120, 0x42));
+
+    EXPECT_EQ(res.lostWorkers, 1u);
+    ASSERT_EQ(res.shards.size(), 3u);
+    EXPECT_FALSE(res.shards[1].alive);
+    EXPECT_TRUE(res.shards[0].alive);
+    EXPECT_TRUE(res.shards[2].alive);
+
+    // The fleet still converged on the survivors.
+    EXPECT_EQ(res.stop, fleet::FleetStop::RunBudget);
+    EXPECT_EQ(res.runs, 120u);
+    EXPECT_GT(res.edgesCombined, res.totalEdges / 2);
+}
+
+TEST(Fleet, SingleShardMatchesItsOwnRerun)
+{
+    // Degenerate fleet: one worker.  Still reproducible, still
+    // terminates on the budget.
+    fleet::FleetResult a =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs,
+                        fleetOptions(1, 60, 0x99));
+    fleet::FleetResult b =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs,
+                        fleetOptions(1, 60, 0x99));
+    EXPECT_EQ(a.frontierDigest, b.frontierDigest);
+    EXPECT_EQ(a.corpusDigest, b.corpusDigest);
+    EXPECT_GE(a.runs, 60u);
+}
+
+TEST(Fleet, PlateauStopsBeforeTheRunBudget)
+{
+    fleet::FleetOptions opts = fleetOptions(2, 100000, 0x42);
+    opts.plateauRounds = 4;
+    fleet::FleetResult res =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs, opts);
+    EXPECT_EQ(res.stop, fleet::FleetStop::Plateau);
+    EXPECT_LT(res.runs, 100000u);
+}
+
+// --- Job specs and the service loop ---------------------------------
+
+TEST(FleetService, ParsesJobSpecs)
+{
+    fleet::JobSpec job = fleet::parseJobSpec(
+        "j1",
+        "workload=schedule runs=64 shards=3 seed=7 batch=4 "
+        "rounds=12 plateau=2 policy=uniform mode=off");
+    EXPECT_EQ(job.workload, "schedule");
+    EXPECT_EQ(job.runs, 64u);
+    EXPECT_EQ(job.shards, 3u);
+    EXPECT_EQ(job.seed, 7u);
+    EXPECT_EQ(job.batch, 4u);
+    EXPECT_EQ(job.roundRuns, 12u);
+    EXPECT_EQ(job.plateau, 2u);
+    EXPECT_EQ(job.policy, "uniform");
+    EXPECT_EQ(job.mode, "off");
+
+    EXPECT_THROW(fleet::parseJobSpec("j2", "runs=10"), FatalError);
+    EXPECT_THROW(
+        fleet::parseJobSpec("j3", "workload=schedule bogus=1"),
+        FatalError);
+    EXPECT_THROW(
+        fleet::parseJobSpec("j4", "workload=schedule runs=ten"),
+        FatalError);
+    EXPECT_THROW(
+        fleet::parseJobSpec("j5", "workload=schedule shards=0"),
+        FatalError);
+}
+
+TEST(FleetService, DrainsASpoolDirectory)
+{
+    fs::path spool =
+        fs::path(testing::TempDir()) / "fleet_service_spool";
+    fs::remove_all(spool);
+    fs::create_directories(spool);
+
+    {
+        std::ofstream good(spool / "001-good.job");
+        good << "# a tiny but real fleet job\n"
+             << "workload=schedule runs=40 shards=2 seed=11 "
+             << "mode=off\n";
+        std::ofstream bad(spool / "002-bad.job");
+        bad << "workload=no_such_workload runs=10\n";
+    }
+
+    std::ostringstream out;
+    fleet::ServiceOptions svc;
+    svc.spoolDir = spool.string();
+    svc.out = &out;
+    svc.drainOnce = true;
+    svc.workerThreads = 1;
+    EXPECT_EQ(fleet::runService(svc), 2u);
+
+    std::string results = out.str();
+    EXPECT_NE(results.find("\"event\":\"job\""), std::string::npos);
+    EXPECT_NE(results.find("\"job\":\"001-good\""),
+              std::string::npos);
+    EXPECT_NE(results.find("\"frontier_digest\":\"0x"),
+              std::string::npos);
+    EXPECT_NE(results.find("\"event\":\"job_error\""),
+              std::string::npos);
+    EXPECT_NE(results.find("no_such_workload"), std::string::npos);
+
+    // Consumed jobs are renamed out of the queue.
+    EXPECT_FALSE(fs::exists(spool / "001-good.job"));
+    EXPECT_TRUE(fs::exists(spool / "001-good.done"));
+    EXPECT_TRUE(fs::exists(spool / "002-bad.failed"));
+
+    // A second drain finds an empty queue.
+    std::ostringstream out2;
+    svc.out = &out2;
+    EXPECT_EQ(fleet::runService(svc), 0u);
+    EXPECT_EQ(out2.str().find("\"event\":\"job\""),
+              std::string::npos);
+
+    fs::remove_all(spool);
+}
+
+TEST(FleetService, JobResultsAreReproducible)
+{
+    auto runJob = [&] {
+        fs::path spool =
+            fs::path(testing::TempDir()) / "fleet_repro_spool";
+        fs::remove_all(spool);
+        fs::create_directories(spool);
+        {
+            std::ofstream job(spool / "r.job");
+            job << "workload=schedule runs=60 shards=2 seed=5 "
+                << "mode=off\n";
+        }
+        std::ostringstream out;
+        fleet::ServiceOptions svc;
+        svc.spoolDir = spool.string();
+        svc.out = &out;
+        svc.drainOnce = true;
+        svc.workerThreads = 1;
+        fleet::runService(svc);
+        fs::remove_all(spool);
+
+        // Strip the wall_ms field: it is the one legitimately
+        // nondeterministic value in the record.
+        std::string line = out.str();
+        size_t wall = line.find(",\"wall_ms\":");
+        EXPECT_NE(wall, std::string::npos);
+        return line.substr(0, wall);
+    };
+    EXPECT_EQ(runJob(), runJob());
+}
+
+} // namespace

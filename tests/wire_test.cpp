@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Wire-module tests: the versioned serialization substrate shared by
+ * the explorer's checkpoints and the fleet's IPC frames.
+ *
+ * The headline property: encode → decode → encode is byte-identical
+ * for random corpus entries, frontier states and RNG states, so a
+ * checkpoint and an IPC frame describing the same state hold the same
+ * bytes.  The failure surface is exercised just as explicitly —
+ * every truncated prefix of a payload is rejected as a structured
+ * WireError (never a crash, never a silent partial decode), frames
+ * with foreign magic or bumped versions are refused with the expected
+ * and found values attached, and checkpoint-header corruption names
+ * the exact disagreeing field.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fcntl.h>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "src/explore/explorer.hh"
+#include "src/explore/serialize.hh"
+#include "src/fleet/protocol.hh"
+#include "src/fleet/wire.hh"
+#include "src/minic/compiler.hh"
+#include "src/support/rng.hh"
+#include "src/support/status.hh"
+#include "src/workloads/workload.hh"
+
+namespace
+{
+
+using namespace pe;
+
+const isa::Program &
+testProgram()
+{
+    static const isa::Program program = [] {
+        const auto &workload = workloads::getWorkload("schedule");
+        return minic::compile(workload.source, "schedule");
+    }();
+    return program;
+}
+
+/** A random but internally consistent corpus entry. */
+explore::CorpusEntry
+randomEntry(Rng &rng)
+{
+    const isa::Program &program = testProgram();
+    std::vector<int32_t> input(1 + rng.nextBelow(16));
+    for (int32_t &v : input)
+        v = static_cast<int32_t>(rng.next64());
+
+    coverage::BranchCoverage cov(program);
+    size_t pcs = program.code.size();
+    for (size_t i = 0, n = rng.nextBelow(64); i < n; ++i) {
+        uint32_t pc = static_cast<uint32_t>(rng.nextBelow(pcs));
+        if (rng.nextBool())
+            cov.onTakenEdge(pc, rng.nextBool());
+        else
+            cov.onNtEdge(pc, rng.nextBool());
+    }
+
+    explore::CorpusEntry entry(std::move(input), std::move(cov));
+    entry.newEdges = rng.nextBelow(100);
+    entry.rareEdges = rng.nextBelow(100);
+    entry.ntEarlyStops = rng.next64();
+    entry.ntSpawned = rng.next64();
+    entry.batchAdmitted = rng.nextBelow(1000);
+    entry.timesScheduled = rng.nextBelow(1000);
+    entry.foreign = rng.nextBool();
+    return entry;
+}
+
+std::string
+encodeOne(const explore::CorpusEntry &entry)
+{
+    wire::Encoder enc;
+    explore::encodeEntry(enc, entry);
+    return enc.buffer();
+}
+
+TEST(Wire, PrimitivesRoundTrip)
+{
+    wire::Encoder enc;
+    enc.u8(0xab);
+    enc.u32(0xdeadbeef);
+    enc.u64(0x0123456789abcdefull);
+    enc.i32(-42);
+    enc.str("hello wire");
+    enc.u64vec({1, 2, 3});
+    enc.u32vec({});
+    enc.i32vec({-1, 0, 1});
+
+    wire::Decoder dec(enc.buffer());
+    EXPECT_EQ(dec.u8("a"), 0xab);
+    EXPECT_EQ(dec.u32("b"), 0xdeadbeefu);
+    EXPECT_EQ(dec.u64("c"), 0x0123456789abcdefull);
+    EXPECT_EQ(dec.i32("d"), -42);
+    EXPECT_EQ(dec.str("e"), "hello wire");
+    EXPECT_EQ(dec.u64vec("f"), (std::vector<uint64_t>{1, 2, 3}));
+    EXPECT_TRUE(dec.u32vec("g").empty());
+    EXPECT_EQ(dec.i32vec("h"), (std::vector<int32_t>{-1, 0, 1}));
+    EXPECT_TRUE(dec.atEnd());
+    EXPECT_NO_THROW(dec.expectEnd("primitives"));
+}
+
+TEST(Wire, DecoderRejectsImplausibleCounts)
+{
+    wire::Encoder enc;
+    enc.u32(wire::Decoder::kSanityCap + 1);
+    wire::Decoder dec(enc.buffer());
+    try {
+        dec.count("bogus count");
+        FAIL() << "implausible count was accepted";
+    } catch (const wire::WireError &err) {
+        EXPECT_EQ(err.kind(), wire::WireErrorKind::Implausible);
+        EXPECT_EQ(err.found(), wire::Decoder::kSanityCap + 1);
+    }
+}
+
+TEST(Wire, ExpectEndRejectsTrailingBytes)
+{
+    wire::Encoder enc;
+    enc.u32(7);
+    enc.u8(1);
+    wire::Decoder dec(enc.buffer());
+    dec.u32("value");
+    try {
+        dec.expectEnd("trailing");
+        FAIL() << "trailing byte was accepted";
+    } catch (const wire::WireError &err) {
+        EXPECT_EQ(err.kind(), wire::WireErrorKind::BadFrame);
+    }
+}
+
+/** encode → decode → encode is byte-identical for random entries. */
+TEST(Wire, EntryRoundTripIsByteIdentical)
+{
+    Rng rng(0xc0ffee);
+    for (int i = 0; i < 200; ++i) {
+        explore::CorpusEntry entry = randomEntry(rng);
+        std::string first = encodeOne(entry);
+
+        wire::Decoder dec(first);
+        explore::CorpusEntry decoded =
+            explore::decodeEntry(dec, testProgram());
+        EXPECT_TRUE(dec.atEnd());
+
+        EXPECT_EQ(decoded.input, entry.input);
+        EXPECT_EQ(decoded.coverage.takenWords(),
+                  entry.coverage.takenWords());
+        EXPECT_EQ(decoded.coverage.ntWords(),
+                  entry.coverage.ntWords());
+        EXPECT_EQ(decoded.foreign, entry.foreign);
+        EXPECT_EQ(encodeOne(decoded), first) << "iteration " << i;
+    }
+}
+
+/** Frontier words and RNG states survive a round trip bit-exactly. */
+TEST(Wire, FrontierAndRngStateRoundTrip)
+{
+    Rng rng(0x5eed);
+    coverage::BranchCoverage cov(testProgram());
+    for (int i = 0; i < 300; ++i) {
+        uint32_t pc = static_cast<uint32_t>(
+            rng.nextBelow(testProgram().code.size()));
+        cov.onTakenEdge(pc, rng.nextBool());
+        cov.onNtEdge(pc, rng.nextBool());
+    }
+    uint64_t rngState = rng.rawState();
+
+    wire::Encoder enc;
+    enc.u64vec(cov.takenWords());
+    enc.u64vec(cov.ntWords());
+    enc.u64(rngState);
+    std::string first = enc.buffer();
+
+    wire::Decoder dec(first);
+    auto taken = dec.u64vec("taken");
+    auto nt = dec.u64vec("nt");
+    uint64_t state = dec.u64("rng");
+
+    wire::Encoder enc2;
+    enc2.u64vec(taken);
+    enc2.u64vec(nt);
+    enc2.u64(state);
+    EXPECT_EQ(enc2.buffer(), first);
+
+    // The digest — the fleet's reproducibility witness — must agree
+    // between the original tracker and a restored copy.
+    coverage::BranchCoverage restored(testProgram());
+    restored.restoreWords(taken, nt);
+    EXPECT_EQ(explore::coverageDigest(restored),
+              explore::coverageDigest(cov));
+}
+
+/** Every truncated prefix is a structured Truncated error. */
+TEST(Wire, TruncatedEntryPrefixesAreRejected)
+{
+    Rng rng(0x77);
+    explore::CorpusEntry entry = randomEntry(rng);
+    std::string full = encodeOne(entry);
+    ASSERT_GT(full.size(), 8u);
+
+    for (size_t cut = 0; cut < full.size(); ++cut) {
+        wire::Decoder dec(std::string_view(full.data(), cut));
+        try {
+            explore::decodeEntry(dec, testProgram());
+            FAIL() << "prefix of " << cut << "/" << full.size()
+                   << " bytes decoded";
+        } catch (const wire::WireError &err) {
+            EXPECT_EQ(err.kind(), wire::WireErrorKind::Truncated)
+                << "prefix " << cut;
+        }
+    }
+}
+
+/** Entries from a different edge universe are refused, not aborted. */
+TEST(Wire, ForeignProgramEntryIsMismatch)
+{
+    Rng rng(0xfeed);
+    explore::CorpusEntry entry = randomEntry(rng);
+    std::string bytes = encodeOne(entry);
+
+    // Any workload with a different-size edge universe will do.
+    isa::Program foreign;
+    bool found = false;
+    for (const std::string &name : workloads::workloadNames()) {
+        auto candidate = minic::compile(
+            workloads::getWorkload(name).source, name);
+        if (coverage::BranchCoverage(candidate).takenWords().size() !=
+            entry.coverage.takenWords().size()) {
+            foreign = std::move(candidate);
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found)
+        << "every workload shares schedule's bitmap size?";
+    wire::Decoder dec(bytes);
+    try {
+        explore::decodeEntry(dec, foreign);
+        FAIL() << "entry for another program decoded";
+    } catch (const wire::WireError &err) {
+        EXPECT_EQ(err.kind(), wire::WireErrorKind::Mismatch);
+        EXPECT_NE(err.expected(), err.found());
+    }
+}
+
+// --- Framing over real fds ------------------------------------------
+
+TEST(Wire, FrameRoundTripOverPipe)
+{
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+
+    wire::writeFrame(fds[1], wire::FrameType::RoundStart, "payload");
+    wire::writeFrame(fds[1], wire::FrameType::Stop, "");
+    close(fds[1]);
+
+    auto first = wire::readFrame(fds[0]);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->type, wire::FrameType::RoundStart);
+    EXPECT_EQ(first->payload, "payload");
+
+    auto second = wire::readFrame(fds[0]);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->type, wire::FrameType::Stop);
+    EXPECT_TRUE(second->payload.empty());
+
+    // Clean EOF at a frame boundary is a normal shutdown.
+    EXPECT_FALSE(wire::readFrame(fds[0]).has_value());
+    close(fds[0]);
+}
+
+TEST(Wire, MidFrameEofIsTruncated)
+{
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+
+    // A full header promising 100 payload bytes, then silence.
+    wire::Encoder header;
+    header.u32(0x31464550);     // kFrameMagic "PEF1"
+    header.u32(100);
+    header.u32(static_cast<uint32_t>(wire::FrameType::RoundDelta));
+    ASSERT_EQ(write(fds[1], header.buffer().data(), header.size()),
+              static_cast<ssize_t>(header.size()));
+    close(fds[1]);
+
+    try {
+        wire::readFrame(fds[0]);
+        FAIL() << "truncated frame was accepted";
+    } catch (const wire::WireError &err) {
+        EXPECT_EQ(err.kind(), wire::WireErrorKind::Truncated);
+    }
+    close(fds[0]);
+}
+
+TEST(Wire, BadMagicIsRejected)
+{
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+
+    wire::Encoder header;
+    header.u32(0x46454542);     // not our magic
+    header.u32(0);
+    header.u32(1);
+    ASSERT_EQ(write(fds[1], header.buffer().data(), header.size()),
+              static_cast<ssize_t>(header.size()));
+    close(fds[1]);
+
+    try {
+        wire::readFrame(fds[0]);
+        FAIL() << "foreign magic was accepted";
+    } catch (const wire::WireError &err) {
+        EXPECT_EQ(err.kind(), wire::WireErrorKind::BadMagic);
+        EXPECT_EQ(err.found(), 0x46454542u);
+    }
+    close(fds[0]);
+}
+
+// --- Version negotiation --------------------------------------------
+
+TEST(Wire, VersionBumpedHelloIsRejectedWithBothValues)
+{
+    fleet::Hello want;
+    want.shard = 3;
+    fleet::Hello got = want;
+    got.wireVersion = wire::kWireVersion + 1;
+
+    try {
+        fleet::validateHello(got, want);
+        FAIL() << "future wire version was accepted";
+    } catch (const wire::WireError &err) {
+        EXPECT_EQ(err.kind(), wire::WireErrorKind::BadVersion);
+        EXPECT_EQ(err.expected(), wire::kWireVersion);
+        EXPECT_EQ(err.found(), wire::kWireVersion + 1);
+        // The message names the shard and both versions.
+        EXPECT_NE(std::string(err.what()).find("shard 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(Wire, HelloIdentityMismatchNamesTheField)
+{
+    fleet::Hello want;
+    want.configHash = 0x1111;
+    fleet::Hello got = want;
+    got.configHash = 0x2222;
+
+    try {
+        fleet::validateHello(got, want);
+        FAIL() << "config-hash mismatch was accepted";
+    } catch (const wire::WireError &err) {
+        EXPECT_EQ(err.kind(), wire::WireErrorKind::Mismatch);
+        EXPECT_EQ(err.expected(), 0x1111u);
+        EXPECT_EQ(err.found(), 0x2222u);
+        std::string what = err.what();
+        EXPECT_NE(what.find("config hash"), std::string::npos);
+        EXPECT_NE(what.find("expected"), std::string::npos);
+        EXPECT_NE(what.find("found"), std::string::npos);
+    }
+}
+
+// --- Checkpoint corruption reporting --------------------------------
+
+class WireCheckpointTest : public ::testing::Test
+{
+  protected:
+    std::string
+    path(const char *name)
+    {
+        return testing::TempDir() + "wire_ckp_" + name + ".bin";
+    }
+
+    /** Run a short exploration that leaves a checkpoint behind. */
+    void
+    writeCheckpoint(const std::string &file)
+    {
+        const auto &workload = workloads::getWorkload("schedule");
+        explore::ExploreOptions opts;
+        opts.config = core::PeConfig::forMode(core::PeMode::Off);
+        opts.budget.maxRuns = 24;
+        opts.batchSize = 4;
+        opts.checkpointPath = file;
+        explore::Explorer explorer(testProgram(),
+                                   workload.benignInputs, opts);
+        explorer.run();
+    }
+};
+
+TEST_F(WireCheckpointTest, VersionCorruptionReportsExpectedAndFound)
+{
+    std::string file = path("version");
+    writeCheckpoint(file);
+
+    // The u32 version lives right after the 8-byte magic.
+    {
+        std::fstream f(file, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekp(8);
+        uint32_t bogus = 77;
+        f.write(reinterpret_cast<const char *>(&bogus), 4);
+    }
+
+    const auto &workload = workloads::getWorkload("schedule");
+    explore::ExploreOptions opts;
+    opts.config = core::PeConfig::forMode(core::PeMode::Off);
+    opts.budget.maxRuns = 48;
+    opts.batchSize = 4;
+    opts.resumeFrom = file;
+    explore::Explorer explorer(testProgram(), workload.benignInputs,
+                               opts);
+    try {
+        explorer.run();
+        FAIL() << "corrupt checkpoint version was accepted";
+    } catch (const FatalError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("version mismatch"), std::string::npos);
+        EXPECT_NE(what.find("expected 2"), std::string::npos);
+        EXPECT_NE(what.find("found 77"), std::string::npos);
+    }
+    std::remove(file.c_str());
+}
+
+TEST_F(WireCheckpointTest, TruncatedCheckpointIsStructuredError)
+{
+    std::string file = path("truncated");
+    writeCheckpoint(file);
+
+    // Chop the file at two thirds: decode must fail as Truncated,
+    // surfaced through the explorer as a FatalError naming the kind.
+    std::string bytes;
+    {
+        std::ifstream f(file, std::ios::binary);
+        std::ostringstream raw;
+        raw << f.rdbuf();
+        bytes = raw.str();
+    }
+    ASSERT_GT(bytes.size(), 32u);
+    {
+        std::ofstream f(file, std::ios::binary | std::ios::trunc);
+        f.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size() * 2 / 3));
+    }
+
+    const auto &workload = workloads::getWorkload("schedule");
+    explore::ExploreOptions opts;
+    opts.config = core::PeConfig::forMode(core::PeMode::Off);
+    opts.budget.maxRuns = 48;
+    opts.batchSize = 4;
+    opts.resumeFrom = file;
+    explore::Explorer explorer(testProgram(), workload.benignInputs,
+                               opts);
+    try {
+        explorer.run();
+        FAIL() << "truncated checkpoint was accepted";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("truncated"),
+                  std::string::npos);
+    }
+    std::remove(file.c_str());
+}
+
+} // namespace
