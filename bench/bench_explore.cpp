@@ -20,6 +20,12 @@
  *              CI can (a) compare sharded vs single-process wall
  *              time on multi-core runners and (b) assert the merge
  *              is bit-reproducible.
+ *   tcp      — the sharded arm again, but over the TCP transport on
+ *              loopback (coordinator binds an ephemeral port, the
+ *              workers dial in, exactly as a multi-host deployment
+ *              would).  Identical digests to the sharded arm are
+ *              the cross-transport reproducibility witness; the
+ *              wall-time delta prices the framing + socket tax.
  *
  * The headline claim: the guided explorer matches or beats the
  * static suite's cumulative coverage at <= the same number of runs.
@@ -36,12 +42,18 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <memory>
+
+#include <unistd.h>
 
 #include "bench_util.hh"
 #include "src/explore/explorer.hh"
 #include "src/fleet/coordinator.hh"
+#include "src/fleet/transport.hh"
+#include "src/fleet/worker.hh"
 #include "src/support/status.hh"
 #include "src/support/strutil.hh"
+#include "src/support/subprocess.hh"
 #include "src/support/table.hh"
 
 using namespace pe;
@@ -149,6 +161,68 @@ runSharded(const App &app, unsigned shards, uint64_t budget,
     return arm;
 }
 
+/**
+ * The sharded arm over TCP loopback: bind an ephemeral port, fork
+ * the same number of worker processes, but have each one *dial in*
+ * and run remoteWorkerMain — the exact code path a worker on
+ * another machine takes (src/fleet/transport.hh).  Same plan, same
+ * budget, so the digests must match the socketpair fleet's
+ * byte-for-byte.
+ */
+Arm
+runTcp(const App &app, unsigned shards, uint64_t budget,
+       std::ostream *jsonl)
+{
+    fleet::FleetOptions fopts;
+    fopts.base.config = appConfig(app, core::PeMode::Standard);
+    fopts.base.policy = explore::SchedulePolicy::RareEdgeWeighted;
+    fopts.base.budget.maxRuns = budget;
+    fopts.base.batchSize = 8;
+    fopts.base.jsonl = jsonl;
+    fopts.base.label = app.workload->name + "/tcp";
+    fopts.shards = shards;
+    fopts.roundDeadlineMs = 60000;
+
+    std::vector<std::vector<int32_t>> seeds(
+        app.workload->benignInputs.begin(),
+        app.workload->benignInputs.begin() +
+            std::min<size_t>(
+                {app.workload->benignInputs.size(), 5, budget}));
+
+    auto transport =
+        std::make_shared<fleet::TcpTransport>("127.0.0.1:0");
+    const std::string addr =
+        "127.0.0.1:" + std::to_string(transport->port());
+    fopts.transport = transport;
+
+    std::vector<proc::ChildProcess> workers;
+    for (unsigned i = 0; i < shards; ++i) {
+        workers.push_back(proc::spawnChild([&](int pairFd) {
+            close(pairFd);  // dialing worker; the pair is unused
+            fleet::RemoteWorkerOptions ro;
+            ro.connect = addr;
+            ro.shards = shards;
+            ro.base = fopts.base;
+            ro.seeds = seeds;
+            return fleet::remoteWorkerMain(app.program, ro);
+        }));
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    auto result = fleet::runFleet(app.program, seeds, fopts);
+    Arm arm;
+    arm.runs = result.runs;
+    arm.edges = result.edgesCombined;
+    arm.corpus = result.corpusSize;
+    arm.wallSeconds = secondsSince(start);
+    arm.frontierDigest = result.frontierDigest;
+    arm.corpusDigest = result.corpusDigest;
+    arm.planDigest = result.planDigest;
+    for (proc::ChildProcess &worker : workers)
+        worker.wait();
+    return arm;
+}
+
 Arm
 runStatic(const App &app, uint64_t budget)
 {
@@ -199,7 +273,8 @@ main()
 
     Table table({"App", "Budget", "Static suite", "Uniform-random",
                  "Rare-edge", "Rare+priors", "Rare-edge (PE off)",
-                 "Sharded x" + std::to_string(shardCount)});
+                 "Sharded x" + std::to_string(shardCount),
+                 "TCP x" + std::to_string(shardCount)});
     bool guidedMatches = true;
     int priorWins = 0;      //!< apps where prior-seeded >= uniform
     uint64_t totalRuns = 0;
@@ -229,6 +304,8 @@ main()
             core::PeMode::Off, armBudget, &jsonl);
         // Equal total budget, split over a worker-process fleet.
         Arm sharded = runSharded(app, shardCount, armBudget, &jsonl);
+        // The same fleet once more, over TCP loopback.
+        Arm tcp = runTcp(app, shardCount, armBudget, &jsonl);
 
         auto cell = [](const Arm &a) {
             return std::to_string(a.edges) + " edges / " +
@@ -238,7 +315,9 @@ main()
                       cell(uniform), cell(rare), cell(prior),
                       cell(rareOff),
                       cell(sharded) + " / " +
-                          fmtDouble(sharded.wallSeconds, 2) + "s"});
+                          fmtDouble(sharded.wallSeconds, 2) + "s",
+                      cell(tcp) + " / " +
+                          fmtDouble(tcp.wallSeconds, 2) + "s"});
 
         guidedMatches = guidedMatches && rare.edges >= stat.edges &&
                         rare.runs <= stat.runs;
@@ -246,7 +325,8 @@ main()
             ++priorWins;
 
         totalRuns += stat.runs + uniform.runs + rare.runs +
-                     prior.runs + rareOff.runs + sharded.runs;
+                     prior.runs + rareOff.runs + sharded.runs +
+                     tcp.runs;
 
         std::string prefix = std::string(name) + "_";
         json.setInt(prefix + "budget", armBudget);
@@ -269,6 +349,19 @@ main()
                  fmtHex(sharded.corpusDigest));
         json.set(prefix + "sharded_plan_digest",
                  fmtHex(sharded.planDigest));
+        json.setInt(prefix + "tcp_edges", tcp.edges);
+        json.setInt(prefix + "tcp_runs", tcp.runs);
+        json.set(prefix + "tcp_wall_seconds", tcp.wallSeconds);
+        json.set(prefix + "tcp_frontier_digest",
+                 fmtHex(tcp.frontierDigest));
+        json.set(prefix + "tcp_corpus_digest",
+                 fmtHex(tcp.corpusDigest));
+        // The cross-transport witness: same plan, same bytes.
+        json.setInt(prefix + "tcp_matches_sharded",
+                    (tcp.frontierDigest == sharded.frontierDigest &&
+                     tcp.corpusDigest == sharded.corpusDigest)
+                        ? 1
+                        : 0);
     }
     table.print(std::cout);
 

@@ -19,6 +19,18 @@
  *       --shards N              distribute over N worker processes
  *       --round-runs N          fleet runs per round (default
  *                               shards * batch)
+ *       --listen HOST:PORT      with --shards: wait for N TCP workers
+ *                               instead of forking (port 0 = pick)
+ *       --connect HOST:PORT     worker mode: dial a --listen
+ *                               coordinator and serve one shard
+ *                               (requires matching --shards and
+ *                               identical exploration flags)
+ *       --round-deadline-ms N   coordinator: mark a shard dead when
+ *                               its round delta is N ms late
+ *                               (default 30000 with --listen, off
+ *                               otherwise; 0 = wait forever)
+ *       --dial-attempts N       worker: dial/redial retries before
+ *                               giving up (default 40)
  *       --serve [SPOOLDIR]      service mode: run job specs from the
  *                               spool directory (or stdin), one JSON
  *                               result per job on stdout
@@ -41,11 +53,14 @@
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "src/explore/explorer.hh"
 #include "src/fleet/coordinator.hh"
 #include "src/fleet/service.hh"
+#include "src/fleet/transport.hh"
+#include "src/fleet/worker.hh"
 #include "src/minic/compiler.hh"
 #include "src/support/status.hh"
 #include "src/support/strutil.hh"
@@ -68,6 +83,10 @@ usage(const char *msg)
                  "[--checkpoint-every K]\n"
               << "               [--resume PATH] [--shards N] "
                  "[--round-runs N]\n"
+              << "               [--listen HOST:PORT] "
+                 "[--connect HOST:PORT]\n"
+              << "               [--round-deadline-ms N] "
+                 "[--dial-attempts N]\n"
               << "               [--serve [SPOOLDIR]] [--drain] "
                  "[--verbose]\n";
     return 2;
@@ -97,6 +116,10 @@ main(int argc, char **argv)
     opts.budget.plateauBatches = 8;
     unsigned shards = 1;
     uint64_t roundRuns = 0;
+    std::string listenSpec;
+    std::string connectSpec;
+    int roundDeadlineMs = -1;   // -1 = pick a default per transport
+    int dialAttempts = 40;
     bool serve = false;
     bool drain = false;
     std::string spoolDir;
@@ -191,6 +214,26 @@ main(int argc, char **argv)
             if (!v)
                 return usage("--round-runs needs a value");
             roundRuns = std::stoull(v);
+        } else if (arg == "--listen") {
+            const char *v = next();
+            if (!v)
+                return usage("--listen needs HOST:PORT");
+            listenSpec = v;
+        } else if (arg == "--connect") {
+            const char *v = next();
+            if (!v)
+                return usage("--connect needs HOST:PORT");
+            connectSpec = v;
+        } else if (arg == "--round-deadline-ms") {
+            const char *v = next();
+            if (!v)
+                return usage("--round-deadline-ms needs a value");
+            roundDeadlineMs = static_cast<int>(std::stol(v));
+        } else if (arg == "--dial-attempts") {
+            const char *v = next();
+            if (!v)
+                return usage("--dial-attempts needs a value");
+            dialAttempts = static_cast<int>(std::stol(v));
         } else if (arg == "--serve") {
             serve = true;
             // Optional value: a spool directory; omitted = stdin.
@@ -260,8 +303,35 @@ main(int argc, char **argv)
     }
     opts.stopFlag = &stopRequested;
 
+    // --- TCP worker mode: dial a coordinator, serve one shard ------
+    if (!connectSpec.empty()) {
+        if (!listenSpec.empty())
+            return usage("--connect and --listen are exclusive");
+        if (shards < 2)
+            return usage("--connect needs the coordinator's --shards "
+                         "value (the fleet width is part of the "
+                         "identity handshake)");
+        if (!opts.checkpointPath.empty() || !opts.resumeFrom.empty())
+            return usage("--checkpoint/--resume do not combine with "
+                         "--connect");
+        fleet::RemoteWorkerOptions ro;
+        ro.connect = connectSpec;
+        ro.shards = shards;
+        ro.base = opts;
+        ro.seeds = workload.benignInputs;
+        ro.workerThreads = opts.threads;
+        ro.dialAttempts = dialAttempts;
+        ro.status = &std::cerr;
+        try {
+            return fleet::remoteWorkerMain(program, ro);
+        } catch (const FatalError &err) {
+            std::cerr << "explore: " << err.what() << "\n";
+            return 1;
+        }
+    }
+
     // --- Fleet mode: shard the exploration over N processes --------
-    if (shards > 1) {
+    if (shards > 1 || !listenSpec.empty()) {
         if (!opts.checkpointPath.empty() || !opts.resumeFrom.empty())
             return usage("--checkpoint/--resume do not combine with "
                          "--shards (checkpointing is per-process)");
@@ -272,6 +342,20 @@ main(int argc, char **argv)
         fopts.plateauRounds = opts.budget.plateauBatches;
         fopts.status = &std::cerr;
         fopts.stopFlag = &stopRequested;
+        if (!listenSpec.empty()) {
+            try {
+                fopts.transport = std::make_shared<fleet::TcpTransport>(
+                    listenSpec, &std::cerr);
+            } catch (const FatalError &err) {
+                std::cerr << "explore: " << err.what() << "\n";
+                return 1;
+            }
+        }
+        // TCP workers can vanish without an EOF; a late shard must
+        // not park the fleet forever, so the deadline defaults on.
+        fopts.roundDeadlineMs =
+            roundDeadlineMs >= 0 ? roundDeadlineMs
+                                 : (listenSpec.empty() ? 0 : 30000);
 
         std::cerr << "exploring '" << name << "' ("
                   << program.numBranches() << " branches, "
@@ -291,7 +375,8 @@ main(int argc, char **argv)
                   << "coverage: " << result.edgesCombined << "/"
                   << result.totalEdges << " edges with NT-Paths\n"
                   << "fleet:   " << result.lostWorkers
-                  << " lost worker(s), " << result.stolenRuns
+                  << " lost worker(s), " << result.reconnects
+                  << " reconnect(s), " << result.stolenRuns
                   << " stolen runs\n"
                   << "plan:     " << fmtHex(result.planDigest)
                   << "\nfrontier: " << fmtHex(result.frontierDigest)

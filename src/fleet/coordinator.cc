@@ -6,11 +6,17 @@
 #include "src/fleet/coordinator.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
 #include <ostream>
 #include <utility>
 
+#include <poll.h>
+
 #include "src/core/config.hh"
 #include "src/explore/serialize.hh"
+#include "src/fleet/transport.hh"
 #include "src/fleet/worker.hh"
 #include "src/support/status.hh"
 #include "src/support/strutil.hh"
@@ -34,11 +40,20 @@ fnvMix(uint64_t h, uint64_t v)
     return h;
 }
 
-/**
- * Budget a worker never hits: the coordinator meters runs round by
- * round, so the worker-local budget must not fire first.
- */
-constexpr uint64_t kUnboundedRuns = ~0ull / 2;
+using Clock = std::chrono::steady_clock;
+
+int
+msUntil(Clock::time_point deadline)
+{
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+    if (left < 0)
+        return 0;
+    if (left > 1000 * 60 * 60)
+        return 1000 * 60 * 60;
+    return static_cast<int>(left);
+}
 
 } // namespace
 
@@ -115,18 +130,31 @@ Coordinator::Coordinator(const isa::Program &program,
               "fleet needs at least one shard");
     pe_assert(this->opts.shardPlateau >= 1,
               "shardPlateau must be >= 1");
+    transport = this->opts.transport
+                    ? this->opts.transport
+                    : std::make_shared<ForkTransport>(program);
     shardPlan = makeShardPlan(core::configHash(this->opts.base.config),
                               this->opts.base.seed, this->opts.shards,
                               this->seeds.size());
 }
 
 void
-Coordinator::spawnWorkers()
+Coordinator::establishFleet(FleetResult &res)
 {
     uint64_t cfgHash = core::configHash(opts.base.config);
     uint64_t fp = explore::programFingerprint(program);
     size_t words = global.frontier().takenWords().size();
 
+    FleetIdentity id;
+    id.shards = shardPlan.shards;
+    id.configHash = cfgHash;
+    id.masterSeed = opts.base.seed;
+    id.planDigest = shardPlan.planDigest;
+    id.programFp = fp;
+    id.sessionWord = sessionWord(opts.base);
+    id.seedsDigest = seedsDigest(seeds);
+
+    std::vector<WorkerConfig> configs;
     fleet.resize(shardPlan.specs.size());
     for (size_t s = 0; s < shardPlan.specs.size(); ++s) {
         Shard &shard = fleet[s];
@@ -144,34 +172,35 @@ Coordinator::spawnWorkers()
         cfg.expect.shardSeed = shard.spec.shardSeed;
         cfg.expect.planDigest = shardPlan.planDigest;
         cfg.expect.programFp = fp;
-
-        // The worker's explorer is the coordinator's base options
-        // minus everything the coordinator owns: budgets are metered
-        // per round, checkpoints/JSONL/stop flags stay with the
-        // parent process, and the seed becomes the derived shard
-        // seed so sibling shards explore different universes.
-        cfg.opts = opts.base;
-        cfg.opts.seed = shard.spec.shardSeed;
-        cfg.opts.budget.maxRuns = kUnboundedRuns;
-        cfg.opts.budget.maxInstructions = 0;
-        cfg.opts.budget.plateauBatches = 0;
-        cfg.opts.jsonl = nullptr;
-        cfg.opts.onRun = nullptr;
-        cfg.opts.checkpointPath.clear();
-        cfg.opts.resumeFrom.clear();
-        cfg.opts.stopFlag = nullptr;
-        cfg.opts.threads = opts.workerThreads;
-        cfg.opts.label =
-            opts.base.label + "/shard" +
-            std::to_string(shard.spec.shard);
+        cfg.opts = shardWorkerOptions(opts.base,
+                                      shard.spec.shardSeed,
+                                      shard.spec.shard,
+                                      opts.workerThreads);
         for (uint32_t idx : shard.spec.seedIndices)
             cfg.seeds.push_back(seeds[idx]);
-
-        shard.child = proc::spawnChild([this, cfg](int fd) {
-            return workerMain(fd, program, cfg);
-        });
-        shard.summary.alive = true;
+        configs.push_back(std::move(cfg));
     }
+
+    std::vector<int> fds =
+        transport->establish(id, configs, opts.stopFlag);
+    pe_assert(fds.size() == fleet.size(),
+              "transport returned the wrong shard count");
+    for (size_t s = 0; s < fleet.size(); ++s) {
+        fleet[s].fd = fds[s];
+        fleet[s].summary.alive = fds[s] >= 0;
+    }
+
+    // The Hello/HelloReply handshake runs on blocking fds (lockstep,
+    // one frame each way); the reactor flips them non-blocking after.
+    for (Shard &shard : fleet) {
+        if (!shard.summary.alive)
+            continue;
+        if (!handshake(shard))
+            markDead(shard, res, "handshake failed");
+    }
+    for (Shard &shard : fleet)
+        if (shard.summary.alive && shard.fd >= 0)
+            wire::setNonBlocking(shard.fd);
 }
 
 bool
@@ -190,10 +219,10 @@ Coordinator::handshake(Shard &shard)
     try {
         wire::Encoder enc;
         encodeHello(enc, hello);
-        wire::writeFrame(shard.child.fd(), wire::FrameType::Hello,
+        wire::writeFrame(shard.fd, wire::FrameType::Hello,
                          enc.buffer());
 
-        auto frame = wire::readFrame(shard.child.fd());
+        auto frame = wire::readFrameTimeout(shard.fd, 10000);
         if (!frame)
             throw wire::WireError(wire::WireErrorKind::Truncated,
                                   "worker closed before hello reply");
@@ -315,11 +344,19 @@ Coordinator::sendRoundStart(Shard &shard, uint64_t round,
     }
     shard.entryMark = global.size();
 
+    // Payload generation advances sentTaken/entryMark, so a resend
+    // must reuse these exact bytes: this IS the replay buffer.
     wire::Encoder enc;
     encodeRoundStart(enc, start);
-    wire::writeFrame(shard.child.fd(), wire::FrameType::RoundStart,
-                     enc.buffer());
+    shard.replayRound = round;
+    shard.replayPayload = enc.take();
     shard.summary.assigned += budget;
+    shard.pendingDelta = true;
+
+    if (shard.fd < 0)
+        return;   // detached: replayed when the worker rejoins
+    wire::writeFrame(shard.fd, wire::FrameType::RoundStart,
+                     shard.replayPayload);
 }
 
 void
@@ -366,6 +403,27 @@ Coordinator::mergeRoundDelta(Shard &shard, const RoundDelta &delta,
 }
 
 void
+Coordinator::disconnectShard(Shard &shard, FleetResult &res,
+                             const std::string &why)
+{
+    if (!shard.summary.alive)
+        return;
+    if (!transport->supportsReconnect()) {
+        markDead(shard, res, why);
+        return;
+    }
+    if (shard.fd >= 0) {
+        transport->closeChannel(shard.spec.shard);
+        shard.fd = -1;
+    }
+    shard.reader.reset();
+    if (opts.status)
+        *opts.status << "[fleet] shard " << shard.spec.shard
+                     << " disconnected: " << why
+                     << " (awaiting rejoin)\n";
+}
+
+void
 Coordinator::markDead(Shard &shard, FleetResult &res,
                       const std::string &why)
 {
@@ -377,20 +435,262 @@ Coordinator::markDead(Shard &shard, FleetResult &res,
         *opts.status << "[fleet] shard " << shard.spec.shard
                      << " lost: " << why << "\n";
     // Closing our end wakes a child blocked in read; the reap happens
-    // in shutdownWorkers so round latency is not spent on waitpid.
-    shard.child.closeFd();
+    // in the transport's shutdown so round latency is not spent on
+    // waitpid.
+    if (shard.fd >= 0) {
+        transport->closeChannel(shard.spec.shard);
+        shard.fd = -1;
+    }
+    shard.reader.reset();
+    shard.stashed.reset();
+}
+
+void
+Coordinator::pumpShard(Shard &shard, FleetResult &res,
+                       uint64_t round)
+{
+    wire::FillStatus status = wire::FillStatus::Drained;
+    try {
+        status = wire::fillFromFd(shard.fd, shard.reader);
+        while (shard.summary.alive) {
+            auto frame = shard.reader.next();
+            if (!frame)
+                break;
+            if (frame->type == wire::FrameType::Error) {
+                wire::Decoder dec(frame->payload);
+                markDead(shard, res, dec.str("worker error"));
+                return;
+            }
+            if (frame->type != wire::FrameType::RoundDelta) {
+                markDead(shard, res,
+                         detail::concat(
+                             "expected round-delta, got ",
+                             wire::frameTypeName(frame->type)));
+                return;
+            }
+            wire::Decoder dec(frame->payload);
+            RoundDelta delta = decodeRoundDelta(dec, program);
+            dec.expectEnd("round-delta");
+            if (delta.round != round || shard.stashed) {
+                markDead(shard, res,
+                         detail::concat("unexpected delta for round ",
+                                        delta.round, " during round ",
+                                        round));
+                return;
+            }
+            shard.stashed = std::move(delta);
+        }
+    } catch (const wire::WireError &err) {
+        // Header garbage / malformed payloads are protocol failures;
+        // only honest connection trouble earns a reconnect window.
+        if (err.kind() == wire::WireErrorKind::Io)
+            disconnectShard(shard, res, err.what());
+        else
+            markDead(shard, res, err.what());
+        return;
+    }
+
+    if (status == wire::FillStatus::Eof && !shard.stashed) {
+        disconnectShard(shard, res,
+                        shard.reader.midFrame()
+                            ? "connection died mid-frame"
+                            : "connection closed mid-round");
+    }
+}
+
+void
+Coordinator::acceptReconnects(FleetResult &res, uint64_t round)
+{
+    auto mayJoin = [&](uint32_t shardId, bool rejoin) {
+        (void)rejoin;
+        if (shardId >= fleet.size())
+            return false;
+        const Shard &s = fleet[shardId];
+        return s.summary.alive && s.fd < 0;
+    };
+    while (auto peer = transport->acceptPeer(mayJoin)) {
+        Shard &shard = fleet[peer->shard];
+        shard.fd = peer->fd;
+        shard.reader.reset();
+        try {
+            wire::setNonBlocking(shard.fd);
+        } catch (const wire::WireError &err) {
+            disconnectShard(shard, res, err.what());
+            continue;
+        }
+        ++res.reconnects;
+
+        if (!shard.pendingDelta)
+            continue;   // between rounds; nothing to replay
+
+        // Resume: the peer is valid if it executed up to the replay
+        // round (delta lost in transit) or up to the round before it
+        // (RoundStart lost).  Anything else cannot resume losslessly.
+        pe_assert(shard.replayRound == round,
+                  "replay buffer out of step with the round loop");
+        if (peer->lastAckedRound != round &&
+            peer->lastAckedRound + 1 != round) {
+            markDead(shard, res,
+                     detail::concat("rejoined too far behind: last "
+                                    "acked round ",
+                                    peer->lastAckedRound,
+                                    " during round ", round));
+            continue;
+        }
+        try {
+            wire::writeFrame(shard.fd, wire::FrameType::RoundStart,
+                             shard.replayPayload);
+        } catch (const wire::WireError &err) {
+            disconnectShard(shard, res, err.what());
+        }
+    }
+}
+
+void
+Coordinator::collectRound(FleetResult &res, uint64_t round,
+                          uint64_t &roundRuns,
+                          uint64_t &roundNewEdges)
+{
+    std::optional<Clock::time_point> deadline;
+    if (opts.roundDeadlineMs > 0)
+        deadline = Clock::now() +
+                   std::chrono::milliseconds(opts.roundDeadlineMs);
+
+    auto unresolved = [&] {
+        size_t n = 0;
+        for (const Shard &s : fleet)
+            if (s.summary.alive && s.pendingDelta && !s.stashed)
+                ++n;
+        return n;
+    };
+
+    while (unresolved() > 0) {
+        // Poll every live shard still owing a delta; the transport's
+        // accept fd rides along whenever a detached shard could
+        // rejoin.  Shards whose delta already arrived are *not*
+        // polled — extra bytes from them surface next round.
+        std::vector<struct pollfd> pfds;
+        std::vector<size_t> owners;
+        bool anyDetached = false;
+        for (size_t s = 0; s < fleet.size(); ++s) {
+            Shard &shard = fleet[s];
+            if (!shard.summary.alive || !shard.pendingDelta ||
+                shard.stashed)
+                continue;
+            if (shard.fd < 0) {
+                anyDetached = true;
+                continue;
+            }
+            pfds.push_back({shard.fd, POLLIN, 0});
+            owners.push_back(s);
+        }
+        int acceptFd = transport->acceptFd();
+        if (acceptFd >= 0 && anyDetached) {
+            pfds.push_back({acceptFd, POLLIN, 0});
+            owners.push_back(SIZE_MAX);
+        }
+
+        if (pfds.empty()) {
+            // Every unresolved shard is detached with no way back.
+            for (Shard &shard : fleet)
+                if (shard.summary.alive && shard.pendingDelta &&
+                    !shard.stashed)
+                    markDead(shard, res, "detached with no "
+                                         "reconnect path");
+            break;
+        }
+
+        int timeout = -1;
+        if (deadline) {
+            timeout = msUntil(*deadline);
+            if (timeout == 0) {
+                // Deadline: everyone still owing a delta is dead;
+                // already-stashed deltas still merge below, so a
+                // stalled shard never drags the others down.
+                for (Shard &shard : fleet)
+                    if (shard.summary.alive && shard.pendingDelta &&
+                        !shard.stashed)
+                        markDead(shard, res, "round deadline");
+                break;
+            }
+        }
+
+        int rc = ::poll(pfds.data(), pfds.size(), timeout);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            pe_fatal("fleet poll failed: ", std::strerror(errno));
+        }
+        if (rc == 0)
+            continue;   // deadline check happens on the next pass
+
+        for (size_t i = 0; i < pfds.size(); ++i) {
+            if (pfds[i].revents == 0)
+                continue;
+            if (owners[i] == SIZE_MAX)
+                acceptReconnects(res, round);
+            else
+                pumpShard(fleet[owners[i]], res, round);
+        }
+    }
+
+    // Merge in shard-id order — arrival order must never matter, or
+    // the digests stop being pure functions of the plan.
+    for (Shard &shard : fleet) {
+        if (shard.summary.alive && shard.stashed) {
+            roundRuns += shard.stashed->runs;
+            mergeRoundDelta(shard, *shard.stashed, res,
+                            roundNewEdges);
+        }
+        shard.stashed.reset();
+        shard.pendingDelta = false;
+    }
+}
+
+std::optional<wire::Frame>
+Coordinator::readShardFrame(Shard &shard, int timeoutMs)
+{
+    // Like wire::readFrameTimeout, but draining through the shard's
+    // own reassembly buffer so bytes it already holds are not lost.
+    auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs);
+    for (;;) {
+        if (auto frame = shard.reader.next())
+            return frame;
+        int left = msUntil(deadline);
+        if (left == 0)
+            return std::nullopt;
+        struct pollfd pfd = {shard.fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, left);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throw wire::WireError(
+                wire::WireErrorKind::Io,
+                detail::concat("poll failed: ",
+                               std::strerror(errno)));
+        }
+        if (rc == 0)
+            return std::nullopt;
+        if (wire::fillFromFd(shard.fd, shard.reader) ==
+            wire::FillStatus::Eof)
+            return shard.reader.next();
+    }
 }
 
 void
 Coordinator::shutdownWorkers()
 {
+    // Bounded: a worker that never answers Stop with Goodbye cannot
+    // hang the fleet — after goodbyeTimeoutMs we fall through to the
+    // transport's reap (which escalates to SIGKILL for fork).
     for (Shard &shard : fleet) {
-        if (!shard.summary.alive)
+        if (!shard.summary.alive || shard.fd < 0)
             continue;
         try {
-            wire::writeFrame(shard.child.fd(), wire::FrameType::Stop,
-                             {});
-            auto frame = wire::readFrame(shard.child.fd());
+            wire::writeFrame(shard.fd, wire::FrameType::Stop, {});
+            auto frame =
+                readShardFrame(shard, opts.goodbyeTimeoutMs);
             if (frame && frame->type == wire::FrameType::Goodbye) {
                 wire::Decoder dec(frame->payload);
                 Goodbye bye = decodeGoodbye(dec);
@@ -401,15 +701,19 @@ Coordinator::shutdownWorkers()
                         << " done: " << bye.runs << " runs, "
                         << bye.corpusSize << " corpus entries, "
                         << bye.edgesCombined << " edges\n";
+            } else if (!frame && opts.status) {
+                *opts.status << "[fleet] shard " << shard.spec.shard
+                             << " sent no goodbye within "
+                             << opts.goodbyeTimeoutMs
+                             << " ms; reaping\n";
             }
         } catch (const wire::WireError &) {
-            // Already exiting; the wait below still reaps it.
+            // Already exiting; the transport shutdown still reaps.
         }
-        shard.child.closeFd();
+        transport->closeChannel(shard.spec.shard);
+        shard.fd = -1;
     }
-    for (Shard &shard : fleet)
-        if (shard.child.valid())
-            shard.child.wait();
+    transport->shutdown(opts.reapTimeoutMs);
 }
 
 void
@@ -460,7 +764,9 @@ Coordinator::emitDone(const FleetResult &res)
         << ",\"edges_combined\":" << res.edgesCombined
         << ",\"total_edges\":" << res.totalEdges
         << ",\"shards\":" << shardPlan.shards
-        << ",\"lost_workers\":" << res.lostWorkers
+        << ",\"transport\":\"" << transport->name()
+        << "\",\"lost_workers\":" << res.lostWorkers
+        << ",\"reconnects\":" << res.reconnects
         << ",\"stolen_runs\":" << res.stolenRuns
         << ",\"plan_digest\":\"" << fmtHex(res.planDigest)
         << "\",\"frontier_digest\":\"" << fmtHex(res.frontierDigest)
@@ -486,7 +792,8 @@ Coordinator::run()
             << (opts.roundRuns
                     ? opts.roundRuns
                     : uint64_t(opts.shards) * opts.base.batchSize)
-            << ",\"total_edges\":" << res.totalEdges
+            << ",\"transport\":\"" << transport->name()
+            << "\",\"total_edges\":" << res.totalEdges
             << ",\"config_hash\":\""
             << fmtHex(core::configHash(opts.base.config))
             << "\",\"plan_digest\":\"" << fmtHex(shardPlan.planDigest)
@@ -494,10 +801,7 @@ Coordinator::run()
         opts.base.jsonl->flush();
     }
 
-    spawnWorkers();
-    for (Shard &shard : fleet)
-        if (!handshake(shard))
-            markDead(shard, res, "handshake failed");
+    establishFleet(res);
 
     uint64_t roundTotal =
         opts.roundRuns ? opts.roundRuns
@@ -550,45 +854,15 @@ Coordinator::run()
                 sendRoundStart(shard, round,
                                budgets[shard.spec.shard]);
             } catch (const wire::WireError &err) {
-                markDead(shard, res, err.what());
+                // The payload is stored; a reconnecting worker can
+                // still pick the round up within the deadline.
+                disconnectShard(shard, res, err.what());
             }
         }
 
-        // Collect replies in shard order: all workers compute
-        // concurrently, and a fixed merge order is what makes the
-        // merged corpus reproducible.
         uint64_t roundRuns = 0;
         uint64_t roundNewEdges = 0;
-        for (Shard &shard : fleet) {
-            if (!shard.summary.alive)
-                continue;
-            try {
-                auto frame = wire::readFrame(shard.child.fd());
-                if (!frame)
-                    throw wire::WireError(
-                        wire::WireErrorKind::Truncated,
-                        "worker closed mid-round");
-                if (frame->type == wire::FrameType::Error) {
-                    wire::Decoder dec(frame->payload);
-                    throw wire::WireError(
-                        wire::WireErrorKind::BadFrame,
-                        dec.str("worker error"));
-                }
-                if (frame->type != wire::FrameType::RoundDelta)
-                    throw wire::WireError(
-                        wire::WireErrorKind::BadFrame,
-                        detail::concat(
-                            "expected round-delta, got ",
-                            wire::frameTypeName(frame->type)));
-                wire::Decoder dec(frame->payload);
-                RoundDelta delta = decodeRoundDelta(dec, program);
-                dec.expectEnd("round-delta");
-                roundRuns += delta.runs;
-                mergeRoundDelta(shard, delta, res, roundNewEdges);
-            } catch (const wire::WireError &err) {
-                markDead(shard, res, err.what());
-            }
-        }
+        collectRound(res, round, roundRuns, roundNewEdges);
 
         if (roundNewEdges == 0)
             ++globalDryRounds;

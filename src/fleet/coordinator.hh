@@ -25,6 +25,24 @@
  * Worker loss is survivable: a shard whose pipe breaks is marked
  * dead, its already-merged contributions stay, and its budget share
  * flows to the survivors from the next round on.
+ *
+ * Collection is a poll(2) reactor, not a blocking sweep: every
+ * worker fd is non-blocking, frames reassemble into per-shard
+ * FrameReaders as bytes arrive, and a slow shard never blocks the
+ * coordinator from *reading* the others (no head-of-line blocking).
+ * Merging still happens in shard-id order once every pending shard
+ * has resolved — delta arrived, or shard died — because the merge
+ * order, not the arrival order, is what keeps the digests pure
+ * functions of the plan.  An optional per-round deadline converts a
+ * stalled shard into a dead one so its budget flows on.
+ *
+ * Channels come from a pluggable Transport (fork/socketpair or TCP;
+ * see transport.hh).  On a transport with reconnect support, a
+ * broken channel first *detaches* the shard: the coordinator keeps a
+ * one-round replay buffer (the exact RoundStart bytes last sent), and
+ * a worker redialing with its shard id + last acked round gets the
+ * missed frame resent.  Only the deadline turns a detached shard
+ * into a dead one.
  */
 
 #ifndef PE_FLEET_COORDINATOR_HH
@@ -33,14 +51,18 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "src/explore/explorer.hh"
 #include "src/fleet/protocol.hh"
-#include "src/support/subprocess.hh"
 
 namespace pe::fleet
 {
+
+class Transport;
 
 struct FleetOptions
 {
@@ -92,6 +114,27 @@ struct FleetOptions
 
     /** Checked between rounds; true stops the fleet cleanly. */
     const std::atomic<bool> *stopFlag = nullptr;
+
+    /**
+     * Channel factory; null = fork/socketpair workers on this host.
+     * Supply a TcpTransport to run the fleet across machines.
+     */
+    std::shared_ptr<Transport> transport;
+
+    /**
+     * Per-round collection deadline, ms: a shard whose delta has not
+     * arrived (and which has not reconnected) by the deadline is
+     * marked dead and its budget flows to the survivors from the
+     * next round.  0 waits forever (fork workers die loudly, so the
+     * deadline mainly matters for TCP fleets).
+     */
+    int roundDeadlineMs = 0;
+
+    /** Longest wait for each worker's Goodbye at shutdown, ms. */
+    int goodbyeTimeoutMs = 2000;
+
+    /** Grace before SIGKILL when reaping forked workers, ms. */
+    int reapTimeoutMs = 5000;
 };
 
 /** One shard's slice of the deterministic plan. */
@@ -162,6 +205,8 @@ struct FleetResult
     /** Runs re-partitioned away from fair shares by stealing. */
     uint64_t stolenRuns = 0;
     uint32_t lostWorkers = 0;
+    /** Successful worker re-attachments after a dropped channel. */
+    uint32_t reconnects = 0;
     std::vector<ShardSummary> shards;
 };
 
@@ -185,8 +230,18 @@ class Coordinator
     struct Shard
     {
         ShardSpec spec;
-        proc::ChildProcess child;
         ShardSummary summary;
+        /** Current channel fd; -1 = detached (awaiting rejoin). */
+        int fd = -1;
+        /** Per-shard reassembly buffer for the poll reactor. */
+        wire::FrameReader reader;
+        /** RoundStart sent this round, delta not merged yet. */
+        bool pendingDelta = false;
+        /** Delta arrived, parked until the in-order merge. */
+        std::optional<RoundDelta> stashed;
+        /** One-round replay buffer: last RoundStart, exact bytes. */
+        uint64_t replayRound = 0;
+        std::string replayPayload;
         /** Global-frontier words last broadcast to this shard. */
         std::vector<uint64_t> sentTaken;
         std::vector<uint64_t> sentNt;
@@ -196,16 +251,24 @@ class Coordinator
         bool gotForeign = false;
     };
 
-    void spawnWorkers();
+    void establishFleet(FleetResult &res);
     bool handshake(Shard &shard);
     std::vector<uint64_t> allocateBudgets(uint64_t roundTotal,
                                           FleetResult &res);
     void sendRoundStart(Shard &shard, uint64_t round,
                         uint64_t budget);
+    void collectRound(FleetResult &res, uint64_t round,
+                      uint64_t &roundRuns, uint64_t &roundNewEdges);
+    void pumpShard(Shard &shard, FleetResult &res, uint64_t round);
+    void acceptReconnects(FleetResult &res, uint64_t round);
     void mergeRoundDelta(Shard &shard, const RoundDelta &delta,
                          FleetResult &res, uint64_t &roundNewEdges);
+    void disconnectShard(Shard &shard, FleetResult &res,
+                         const std::string &why);
     void markDead(Shard &shard, FleetResult &res,
                   const std::string &why);
+    std::optional<wire::Frame> readShardFrame(Shard &shard,
+                                              int timeoutMs);
     void shutdownWorkers();
     void emitRound(const FleetResult &res, uint64_t round,
                    uint64_t roundRuns, uint64_t roundNewEdges);
@@ -214,6 +277,7 @@ class Coordinator
     const isa::Program &program;
     std::vector<std::vector<int32_t>> seeds;
     FleetOptions opts;
+    std::shared_ptr<Transport> transport;
     ShardPlan shardPlan;
     explore::Corpus global;
     /** Origin shard of every globally admitted corpus entry. */

@@ -26,6 +26,11 @@
 #include "src/fleet/wire.hh"
 #include "src/isa/program.hh"
 
+namespace pe::explore
+{
+struct ExploreOptions;
+}
+
 namespace pe::fleet
 {
 
@@ -49,6 +54,34 @@ struct HelloReply
     uint32_t shard = 0;
     uint64_t totalEdges = 0;    //!< worker's view of the universe
     uint64_t seedCount = 0;
+};
+
+/** Join::desiredShard wildcard: "assign me any free shard". */
+constexpr uint32_t kAnyShard = 0xffffffffu;
+
+/**
+ * Dialing worker -> coordinator, before anything else (TCP transport
+ * only; forked workers inherit their identity by memory and skip
+ * straight to Hello).  Carries everything a remote process derived
+ * on its own — config hash, plan digest, program fingerprint, the
+ * session word and the seeds digest — so the coordinator can refuse
+ * a peer exploring a different universe before assigning it a shard.
+ * On reconnect, desiredShard pins the old slot and lastAckedRound
+ * names the last round this worker sent a delta for; the coordinator
+ * replays the RoundStart the worker missed.
+ */
+struct Join
+{
+    uint32_t wireVersion = wire::kWireVersion;
+    uint32_t desiredShard = kAnyShard;
+    uint32_t shards = 0;
+    uint64_t configHash = 0;
+    uint64_t masterSeed = 0;
+    uint64_t planDigest = 0;
+    uint64_t programFp = 0;
+    uint64_t sessionWord = 0;   //!< fleet::sessionWord of the options
+    uint64_t seedsDigest = 0;   //!< fleet::seedsDigest of the inputs
+    uint64_t lastAckedRound = 0;
 };
 
 /**
@@ -114,6 +147,35 @@ RoundDelta decodeRoundDelta(wire::Decoder &dec,
 
 void encodeGoodbye(wire::Encoder &enc, const Goodbye &g);
 Goodbye decodeGoodbye(wire::Decoder &dec);
+
+void encodeJoin(wire::Encoder &enc, const Join &j);
+Join decodeJoin(wire::Decoder &dec);
+
+/**
+ * Everything about the exploration contract that Hello's configHash
+ * does *not* cover but that changes worker behavior: the scheduling
+ * policy word, the batch size and the rarity percentile.  A TCP
+ * worker built from its own command line must agree on these with
+ * the coordinator or the merged digests silently diverge — so the
+ * Join handshake validates the word instead of trusting the flags.
+ */
+uint64_t sessionWord(const explore::ExploreOptions &opts);
+
+/**
+ * FNV-1a over the fleet's seed inputs (count, lengths, values).  The
+ * shard plan deals seed *indices*; this digest is what guarantees a
+ * remote worker's seed list holds the same bytes at those indices.
+ */
+uint64_t seedsDigest(const std::vector<std::vector<int32_t>> &seeds);
+
+/**
+ * Compare a dialing peer's Join against this fleet's identity
+ * (desiredShard and lastAckedRound are negotiation, not identity,
+ * and are checked by the coordinator instead).  Throws
+ * wire::WireError — BadVersion / Mismatch — naming the disagreeing
+ * field with expected and found values.
+ */
+void validateJoin(const Join &got, const Join &want);
 
 /**
  * Compare a received Hello against what this worker was forked to

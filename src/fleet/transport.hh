@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Pluggable fleet transports: how coordinator and workers get wired.
+ *
+ * The wire layer speaks versioned 'PEF1' frames over any fd; the
+ * protocol layer defines what crosses them.  What remained pinned to
+ * one machine was the *channel establishment*: PR 7's coordinator
+ * forked its workers over socketpairs inline.  Transport extracts
+ * that step behind an interface with two implementations:
+ *
+ *  - ForkTransport — the original fork-without-exec socketpair
+ *    channel.  Workers inherit the program image and options by
+ *    memory; nothing but deltas crosses the pipe.  No reconnect:
+ *    a broken socketpair means the process is gone.
+ *
+ *  - TcpTransport — the coordinator binds a listening socket and
+ *    remote `explore --connect host:port` processes dial in.  Each
+ *    dialing peer opens with a Join frame carrying everything it
+ *    derived on its own (config hash, plan digest, program
+ *    fingerprint, session word, seeds digest); the transport refuses
+ *    mismatched peers before a shard is assigned.  Reconnect is
+ *    first-class: a worker whose connection drops dials again with
+ *    its shard id and last acked round, and the coordinator replays
+ *    the RoundStart it missed.
+ *
+ * Either way the coordinator ends up holding one fd per shard and
+ * runs the identical Hello/HelloReply handshake and round protocol
+ * over it — the transport never interprets rounds, only channels.
+ */
+
+#ifndef PE_FLEET_TRANSPORT_HH
+#define PE_FLEET_TRANSPORT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fleet/protocol.hh"
+#include "src/fleet/worker.hh"
+#include "src/support/subprocess.hh"
+
+namespace pe::fleet
+{
+
+/**
+ * What every peer must agree on before it may hold a shard — the
+ * coordinator's side of Join validation.
+ */
+struct FleetIdentity
+{
+    uint32_t shards = 0;
+    uint64_t configHash = 0;
+    uint64_t masterSeed = 0;
+    uint64_t planDigest = 0;
+    uint64_t programFp = 0;
+    uint64_t sessionWord = 0;
+    uint64_t seedsDigest = 0;
+
+    /** The Join frame a matching peer would send. */
+    Join asJoin() const;
+};
+
+/** A peer (re)attached to a shard slot by acceptPeer(). */
+struct PeerJoin
+{
+    uint32_t shard = 0;
+    int fd = -1;
+    uint64_t lastAckedRound = 0;
+    bool rejoin = false;    //!< slot was held before (reconnect)
+};
+
+/**
+ * Coordinator-side channel factory.  The coordinator owns the
+ * protocol; the transport owns fd lifetimes (creation, per-shard
+ * close, teardown) and nothing else.
+ */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Bring up the initial channel for every shard and return the
+     * per-shard fds.  Fork: spawns the children from @p configs.
+     * TCP: accepts dialing peers and validates their Join against
+     * @p id (configs are unused — remote workers bring their own).
+     * Blocks until the fleet is complete; honors @p stopFlag;
+     * throws FatalError if the fleet cannot form.
+     */
+    virtual std::vector<int>
+    establish(const FleetIdentity &id,
+              const std::vector<WorkerConfig> &configs,
+              const std::atomic<bool> *stopFlag) = 0;
+
+    /** fd to include in poll() for reconnecting peers; -1 = none. */
+    virtual int acceptFd() const { return -1; }
+
+    /** Whether a lost channel may ever come back. */
+    virtual bool supportsReconnect() const { return false; }
+
+    /**
+     * Accept one pending peer on acceptFd(): read + validate its
+     * Join, resolve the shard slot, ask @p mayJoin(shard, rejoin)
+     * whether the coordinator will take it (a dead or still-connected
+     * shard refuses).  Refused or invalid peers get a best-effort
+     * Error frame and a close.  Returns the attachment, or nullopt.
+     */
+    virtual std::optional<PeerJoin>
+    acceptPeer(const std::function<bool(uint32_t, bool)> &mayJoin)
+    {
+        (void)mayJoin;
+        return std::nullopt;
+    }
+
+    /** Close shard's channel; the slot may rejoin if supported. */
+    virtual void closeChannel(uint32_t shard) = 0;
+
+    /**
+     * Tear down everything.  Fork: reap children, escalating to
+     * SIGKILL after @p reapTimeoutMs per straggler so a wedged
+     * worker cannot hang shutdown.  TCP: close sockets.
+     */
+    virtual void shutdown(int reapTimeoutMs) = 0;
+};
+
+/** PR 7's fork + socketpair channel, behind the interface. */
+class ForkTransport final : public Transport
+{
+  public:
+    explicit ForkTransport(const isa::Program &program)
+        : program(program)
+    {}
+
+    const char *name() const override { return "fork"; }
+    std::vector<int>
+    establish(const FleetIdentity &id,
+              const std::vector<WorkerConfig> &configs,
+              const std::atomic<bool> *stopFlag) override;
+    void closeChannel(uint32_t shard) override;
+    void shutdown(int reapTimeoutMs) override;
+
+  private:
+    const isa::Program &program;
+    std::vector<proc::ChildProcess> children;
+};
+
+/** Coordinator listens; `explore --connect` workers dial in. */
+class TcpTransport final : public Transport
+{
+  public:
+    /**
+     * Bind + listen immediately (so port() is answerable before any
+     * worker exists).  @p listenSpec is `host:port`; an empty host
+     * means every interface, port 0 picks an ephemeral port.
+     * @p status receives human progress lines; may be null.
+     */
+    TcpTransport(const std::string &listenSpec,
+                 std::ostream *status = nullptr);
+    ~TcpTransport() override;
+
+    /** The bound TCP port (resolves port 0). */
+    uint16_t port() const { return boundPort; }
+
+    const char *name() const override { return "tcp"; }
+    std::vector<int>
+    establish(const FleetIdentity &id,
+              const std::vector<WorkerConfig> &configs,
+              const std::atomic<bool> *stopFlag) override;
+    int acceptFd() const override { return listenSock; }
+    bool supportsReconnect() const override { return true; }
+    std::optional<PeerJoin>
+    acceptPeer(const std::function<bool(uint32_t, bool)> &mayJoin)
+        override;
+    void closeChannel(uint32_t shard) override;
+    void shutdown(int reapTimeoutMs) override;
+
+  private:
+    std::optional<PeerJoin>
+    acceptOne(const std::function<bool(uint32_t, bool)> &mayJoin);
+
+    FleetIdentity identity;
+    std::ostream *status = nullptr;
+    int listenSock = -1;
+    uint16_t boundPort = 0;
+    /** Per-shard live fd (-1 = unattached). */
+    std::vector<int> slots;
+    /** Slots that have ever been held (rejoin vs first join). */
+    std::vector<bool> assigned;
+};
+
+/**
+ * Worker side: dial `host:port` (blocking connect).  Returns the
+ * connected fd; throws FatalError on resolve/connect failure (the
+ * caller owns retry policy).
+ */
+int tcpDial(const std::string &hostPort);
+
+} // namespace pe::fleet
+
+#endif // PE_FLEET_TRANSPORT_HH

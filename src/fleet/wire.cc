@@ -5,9 +5,16 @@
 
 #include "src/fleet/wire.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
+#include <mutex>
+#include <utility>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -43,6 +50,7 @@ frameTypeName(FrameType type)
       case FrameType::Stop: return "stop";
       case FrameType::Goodbye: return "goodbye";
       case FrameType::Error: return "error";
+      case FrameType::Join: return "join";
     }
     return "?";
 }
@@ -170,11 +178,60 @@ namespace
 {
 
 constexpr uint32_t kFrameMagic = 0x31464550; // "PEF1" little-endian
+constexpr size_t kFrameHeader = 12;
 
 /**
- * write() that survives EINTR and short writes, and never raises
- * SIGPIPE on sockets (send(MSG_NOSIGNAL), falling back to write()
- * for plain pipes where a dead reader is the caller's EPIPE).
+ * Validate a complete 12-byte header; returns payload length + type.
+ * One implementation for both the blocking readFrame and the
+ * incremental FrameReader, so the two paths can never disagree on
+ * what a malformed header is.
+ */
+std::pair<uint32_t, FrameType>
+parseFrameHeader(const char *head)
+{
+    Decoder dec(std::string_view(head, kFrameHeader));
+    uint32_t magic = dec.u32("frame magic");
+    if (magic != kFrameMagic) {
+        throw WireError(WireErrorKind::BadMagic,
+                        detail::concat("bad frame magic: expected 0x",
+                                       fmtHex(kFrameMagic),
+                                       ", found 0x", fmtHex(magic)),
+                        kFrameMagic, magic);
+    }
+    uint32_t len = dec.u32("frame length");
+    uint32_t type = dec.u32("frame type");
+    if (len > kMaxFramePayload) {
+        throw WireError(WireErrorKind::BadFrame,
+                        detail::concat("frame payload length ", len,
+                                       " exceeds cap ",
+                                       kMaxFramePayload),
+                        kMaxFramePayload, len);
+    }
+    return {len, static_cast<FrameType>(type)};
+}
+
+/**
+ * Write to a non-socket fd without risking SIGPIPE: the first time
+ * the send(MSG_NOSIGNAL) path reports ENOTSOCK (a plain pipe — test
+ * harnesses, fd redirection), ignore SIGPIPE process-wide so a dead
+ * reader surfaces as EPIPE -> WireError{Io} instead of killing the
+ * coordinator.  Sockets never reach this path, so fleets over
+ * socketpairs/TCP leave the process disposition untouched.
+ */
+ssize_t
+writeNonSocket(int fd, const char *p, size_t n)
+{
+    static std::once_flag once;
+    std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+    return ::write(fd, p, n);
+}
+
+/**
+ * write() that survives EINTR, EAGAIN (non-blocking reactor fds
+ * block in poll until writable) and short writes, and never raises
+ * SIGPIPE: sockets use send(MSG_NOSIGNAL), plain pipes ignore the
+ * signal — either way a dead peer is WireError{Io}, handled like any
+ * other worker loss.
  */
 void
 writeAll(int fd, const char *p, size_t n)
@@ -182,10 +239,20 @@ writeAll(int fd, const char *p, size_t n)
     while (n > 0) {
         ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
         if (w < 0 && errno == ENOTSOCK)
-            w = ::write(fd, p, n);
+            w = writeNonSocket(fd, p, n);
         if (w < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                struct pollfd pfd = {fd, POLLOUT, 0};
+                if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) {
+                    throw WireError(
+                        WireErrorKind::Io,
+                        detail::concat("frame write poll failed: ",
+                                       std::strerror(errno)));
+                }
+                continue;
+            }
             throw WireError(WireErrorKind::Io,
                             detail::concat("frame write failed: ",
                                            std::strerror(errno)));
@@ -247,31 +314,13 @@ writeFrame(int fd, FrameType type, std::string_view payload)
 std::optional<Frame>
 readFrame(int fd)
 {
-    char head[12];
+    char head[kFrameHeader];
     if (!readAll(fd, head, sizeof(head), "frame header"))
         return std::nullopt;
 
-    Decoder dec(std::string_view(head, sizeof(head)));
-    uint32_t magic = dec.u32("frame magic");
-    if (magic != kFrameMagic) {
-        throw WireError(WireErrorKind::BadMagic,
-                        detail::concat("bad frame magic: expected 0x",
-                                       fmtHex(kFrameMagic),
-                                       ", found 0x", fmtHex(magic)),
-                        kFrameMagic, magic);
-    }
-    uint32_t len = dec.u32("frame length");
-    uint32_t type = dec.u32("frame type");
-    if (len > kMaxFramePayload) {
-        throw WireError(WireErrorKind::BadFrame,
-                        detail::concat("frame payload length ", len,
-                                       " exceeds cap ",
-                                       kMaxFramePayload),
-                        kMaxFramePayload, len);
-    }
-
+    auto [len, type] = parseFrameHeader(head);
     Frame frame;
-    frame.type = static_cast<FrameType>(type);
+    frame.type = type;
     frame.payload.resize(len);
     if (len > 0 &&
         !readAll(fd, frame.payload.data(), len, "frame payload")) {
@@ -280,6 +329,145 @@ readFrame(int fd)
                         len, 0);
     }
     return frame;
+}
+
+void
+FrameReader::feed(const char *p, size_t n)
+{
+    while (n > 0) {
+        if (payloadLen == SIZE_MAX) {
+            // Accumulating the header.  Validate the moment byte 12
+            // lands: garbage is refused before any payload is
+            // buffered or believed.
+            size_t want = kFrameHeader - fill;
+            size_t take = std::min(want, n);
+            buf.append(p, take);
+            fill += take;
+            p += take;
+            n -= take;
+            if (fill < kFrameHeader)
+                return;
+            auto [len, t] = parseFrameHeader(buf.data());
+            payloadLen = len;
+            type = t;
+        }
+        size_t have = fill - kFrameHeader;
+        size_t take = std::min(payloadLen - have, n);
+        buf.append(p, take);
+        fill += take;
+        p += take;
+        n -= take;
+        if (fill - kFrameHeader < payloadLen)
+            return;
+        Frame frame;
+        frame.type = type;
+        frame.payload = buf.substr(kFrameHeader, payloadLen);
+        ready.push_back(std::move(frame));
+        buf.clear();
+        fill = 0;
+        payloadLen = SIZE_MAX;
+    }
+}
+
+std::optional<Frame>
+FrameReader::next()
+{
+    if (ready.empty())
+        return std::nullopt;
+    Frame frame = std::move(ready.front());
+    ready.pop_front();
+    return frame;
+}
+
+void
+FrameReader::reset()
+{
+    ready.clear();
+    buf.clear();
+    fill = 0;
+    payloadLen = SIZE_MAX;
+}
+
+FillStatus
+fillFromFd(int fd, FrameReader &reader)
+{
+    char tmp[64 * 1024];
+    bool progressed = false;
+    for (;;) {
+        ssize_t r = ::read(fd, tmp, sizeof(tmp));
+        if (r > 0) {
+            reader.feed(tmp, static_cast<size_t>(r));
+            progressed = true;
+            // A short read means the fd is drained; on a blocking fd
+            // this is also the bail-out that keeps us from parking.
+            if (static_cast<size_t>(r) < sizeof(tmp))
+                return FillStatus::Progress;
+            continue;
+        }
+        if (r == 0)
+            return FillStatus::Eof;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return progressed ? FillStatus::Progress
+                              : FillStatus::Drained;
+        throw WireError(WireErrorKind::Io,
+                        detail::concat("frame read failed: ",
+                                       std::strerror(errno)));
+    }
+}
+
+std::optional<Frame>
+readFrameTimeout(int fd, int timeoutMs)
+{
+    using clock = std::chrono::steady_clock;
+    auto deadline = clock::now() +
+                    std::chrono::milliseconds(timeoutMs);
+    FrameReader reader;
+    for (;;) {
+        if (auto frame = reader.next())
+            return frame;
+        auto left = std::chrono::duration_cast<
+                        std::chrono::milliseconds>(deadline -
+                                                   clock::now())
+                        .count();
+        if (left <= 0) {
+            throw WireError(WireErrorKind::Io,
+                            detail::concat("timed out after ",
+                                           timeoutMs,
+                                           " ms waiting for a frame"),
+                            static_cast<uint64_t>(timeoutMs), 0);
+        }
+        struct pollfd pfd = {fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, static_cast<int>(left));
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            throw WireError(WireErrorKind::Io,
+                            detail::concat("frame poll failed: ",
+                                           std::strerror(errno)));
+        }
+        if (rc == 0)
+            continue;   // recompute `left`, then throw above
+        if (fillFromFd(fd, reader) == FillStatus::Eof) {
+            if (reader.midFrame()) {
+                throw WireError(WireErrorKind::Truncated,
+                                "peer closed mid-frame");
+            }
+            return std::nullopt;
+        }
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        throw WireError(WireErrorKind::Io,
+                        detail::concat("O_NONBLOCK failed: ",
+                                       std::strerror(errno)));
+    }
 }
 
 } // namespace pe::wire

@@ -26,7 +26,9 @@
 #ifndef PE_FLEET_WIRE_HH
 #define PE_FLEET_WIRE_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -36,8 +38,12 @@
 namespace pe::wire
 {
 
-/** Protocol revision spoken by this build's coordinator + workers. */
-constexpr uint32_t kWireVersion = 1;
+/**
+ * Protocol revision spoken by this build's coordinator + workers.
+ * v2 added the Join frame (TCP workers dialing in, with
+ * reconnect/resume); the v1 frame layouts are unchanged.
+ */
+constexpr uint32_t kWireVersion = 2;
 
 /** Why a decode was refused. */
 enum class WireErrorKind : uint8_t
@@ -183,6 +189,7 @@ enum class FrameType : uint32_t
     Stop,           //!< coordinator -> worker: shut down cleanly
     Goodbye,        //!< worker -> coordinator: final summary
     Error,          //!< worker -> coordinator: fatal worker error
+    Join,           //!< dialing worker -> coordinator: identify/resume
 };
 
 const char *frameTypeName(FrameType type);
@@ -209,6 +216,85 @@ void writeFrame(int fd, FrameType type, std::string_view payload);
  * mid-frame, {BadMagic}/{BadFrame} on garbage, {Io} on errno.
  */
 std::optional<Frame> readFrame(int fd);
+
+/**
+ * Incremental frame reassembly for poll-multiplexed fds.
+ *
+ * The blocking readFrame() above parks a thread until a whole frame
+ * has arrived — fine for a worker with one peer, wrong for a
+ * coordinator multiplexing a fleet.  FrameReader is the non-blocking
+ * half: feed() it whatever bytes a read() returned (any split, down
+ * to one byte at a time) and poll next() for the frames completed so
+ * far.  The 12-byte header is validated the moment it completes —
+ * bad magic or an implausible length throws the same structured
+ * WireError the blocking path would, *before* any payload is
+ * buffered, so a garbage peer cannot make the reader allocate or
+ * hang.
+ */
+class FrameReader
+{
+  public:
+    /**
+     * Append @p n raw bytes from the peer.  Completed frames queue
+     * for next(); throws WireError{BadMagic}/{BadFrame} the moment a
+     * malformed header completes.
+     */
+    void feed(const char *p, size_t n);
+
+    /** Pop the next completed frame, in arrival order. */
+    std::optional<Frame> next();
+
+    /**
+     * True when a partial frame is buffered — EOF now means the peer
+     * died mid-frame (Truncated), not a clean close.
+     */
+    bool midFrame() const { return fill > 0; }
+
+    /** Completed frames waiting in next()'s queue. */
+    size_t pendingFrames() const { return ready.size(); }
+
+    /** Drop all buffered state (a reconnected peer starts clean). */
+    void reset();
+
+  private:
+    std::deque<Frame> ready;
+    /** Partial frame: header then payload, contiguous. */
+    std::string buf;
+    size_t fill = 0;
+    /** Payload length once the header is complete; SIZE_MAX before. */
+    size_t payloadLen = SIZE_MAX;
+    FrameType type = FrameType::Error;
+};
+
+/** Outcome of one drain of a non-blocking fd into a FrameReader. */
+enum class FillStatus : uint8_t
+{
+    Progress,   //!< read at least one byte
+    Drained,    //!< nothing available right now (EAGAIN)
+    Eof,        //!< peer closed
+};
+
+/**
+ * Read whatever @p fd has (until EAGAIN or EOF) into @p reader.
+ * Intended for O_NONBLOCK fds inside a poll loop; on a blocking fd
+ * it reads exactly once (call only after poll reports readable).
+ * Throws WireError{Io} on errno, and whatever feed() throws on
+ * malformed headers.
+ */
+FillStatus fillFromFd(int fd, FrameReader &reader);
+
+/**
+ * readFrame with a deadline: poll + reassemble until one frame
+ * completes, EOF (nullopt), or @p timeoutMs elapses — the timeout
+ * throws WireError{Io}, so a wedged peer can never park the caller
+ * forever.  Works on blocking and non-blocking fds.  Bytes beyond
+ * the first frame are discarded; use only for lockstep exchanges
+ * (handshakes, Goodbye).
+ */
+std::optional<Frame> readFrameTimeout(int fd, int timeoutMs);
+
+/** Set O_NONBLOCK; throws WireError{Io} on failure. */
+void setNonBlocking(int fd);
 
 } // namespace pe::wire
 

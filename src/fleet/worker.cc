@@ -1,13 +1,24 @@
 /**
  * @file
- * Fleet worker implementation.
+ * Fleet worker implementation: the shared round loop (WorkerSession),
+ * the forked entry point, and the dialing TCP entry point.
  */
 
 #include "src/fleet/worker.hh"
 
+#include <chrono>
+#include <memory>
+#include <ostream>
 #include <string>
+#include <thread>
+#include <utility>
 
+#include <unistd.h>
+
+#include "src/core/config.hh"
 #include "src/explore/serialize.hh"
+#include "src/fleet/coordinator.hh"
+#include "src/fleet/transport.hh"
 #include "src/support/faultinject.hh"
 #include "src/support/status.hh"
 
@@ -29,7 +40,248 @@ sendError(int fd, const std::string &message)
     }
 }
 
+/**
+ * Thrown (only) by the drop-simulation fault sites so a test can
+ * force "the connection died here" without killing the process —
+ * distinct from FatalError so real failures keep killing the worker.
+ */
+struct SimulatedDrop
+{};
+
+/** Hit a drop site; an armed Throw plan becomes a SimulatedDrop. */
+void
+dropSite(const std::string &name)
+{
+    if (name.empty())
+        return;
+    try {
+        fault::site(name.c_str());
+    } catch (const FatalError &) {
+        throw SimulatedDrop{};
+    }
+}
+
+/**
+ * The round-serving loop shared by forked and dialing workers.  Owns
+ * everything that must survive a reconnect: the frontier snapshot
+ * last reported upstream, the last executed round number, and that
+ * round's encoded delta — so a replayed RoundStart is answered from
+ * storage instead of re-executed (idempotent resume).
+ */
+class WorkerSession
+{
+  public:
+    /** Why serve() returned. */
+    enum class Exit : uint8_t
+    {
+        Stopped,    //!< Stop received, Goodbye sent: clean shutdown
+        Eof,        //!< coordinator closed the channel
+        Dropped,    //!< connection-level failure (reconnectable)
+        Protocol,   //!< the conversation itself is broken
+    };
+
+    WorkerSession(const isa::Program &program,
+                  explore::Explorer &explorer, uint32_t shard,
+                  bool remote)
+        : program(program), explorer(explorer),
+          roundSite("fleet.worker_round." + std::to_string(shard)),
+          stopSite("fleet.worker_stop." + std::to_string(shard))
+    {
+        if (remote) {
+            dropPreSite =
+                "fleet.remote_drop_pre." + std::to_string(shard);
+            dropPostSite =
+                "fleet.remote_drop_post." + std::to_string(shard);
+        }
+        sentTaken.assign(
+            explorer.corpus().frontier().takenWords().size(), 0);
+        sentNt.assign(sentTaken.size(), 0);
+    }
+
+    /** Last round executed (and whose delta is stored). */
+    uint64_t lastRound() const { return round; }
+
+    /** Serve frames on @p fd until the conversation ends. */
+    Exit serve(int fd)
+    {
+        for (;;) {
+            std::optional<wire::Frame> frame;
+            try {
+                frame = wire::readFrame(fd);
+            } catch (const wire::WireError &err) {
+                return err.kind() == wire::WireErrorKind::Io ||
+                               err.kind() ==
+                                   wire::WireErrorKind::Truncated
+                           ? Exit::Dropped
+                           : Exit::Protocol;
+            }
+            if (!frame)
+                return Exit::Eof;
+
+            switch (frame->type) {
+            case wire::FrameType::Stop:
+                return handleStop(fd);
+            case wire::FrameType::Error:
+                return Exit::Protocol;
+            case wire::FrameType::RoundStart:
+                break;
+            default:
+                sendError(fd, detail::concat(
+                                  "expected round-start, got ",
+                                  wire::frameTypeName(frame->type)));
+                return Exit::Protocol;
+            }
+
+            wire::Decoder dec(frame->payload);
+            RoundStart start = decodeRoundStart(dec, program);
+            dec.expectEnd("round-start");
+
+            if (start.round == round && !deltaPayload.empty()) {
+                // Replay after a reconnect: the coordinator never
+                // got our delta.  Resend it; re-executing would run
+                // the round's RNG draws twice and fork the universe.
+                try {
+                    wire::writeFrame(fd, wire::FrameType::RoundDelta,
+                                     deltaPayload);
+                } catch (const wire::WireError &) {
+                    return Exit::Dropped;
+                }
+                continue;
+            }
+            if (start.round != round + 1) {
+                sendError(fd, detail::concat(
+                                  "round out of sequence: expected ",
+                                  round + 1, ", got ", start.round));
+                return Exit::Protocol;
+            }
+
+            // Deterministic chaos hook: a plan armed on this site
+            // (the shard id is part of the name) kills exactly this
+            // worker mid-round, which is what the fleet
+            // fault-tolerance test exercises.
+            fault::site(roundSite.c_str());
+
+            try {
+                dropSite(dropPreSite);
+                executeRound(start);
+                dropSite(dropPostSite);
+                wire::writeFrame(fd, wire::FrameType::RoundDelta,
+                                 deltaPayload);
+            } catch (const SimulatedDrop &) {
+                return Exit::Dropped;
+            } catch (const wire::WireError &) {
+                return Exit::Dropped;
+            }
+        }
+    }
+
+  private:
+    Exit handleStop(int fd)
+    {
+        explorer.finish();
+        // Chaos hook for the bounded-shutdown path: a Stall plan
+        // here delays the Goodbye past the coordinator's timeout.
+        fault::site(stopSite.c_str());
+        Goodbye bye;
+        bye.runs = explorer.progress().runs;
+        bye.batches = explorer.progress().batches;
+        bye.corpusSize = explorer.corpus().size();
+        bye.edgesCombined =
+            explorer.corpus().frontier().combinedCovered();
+        wire::Encoder enc;
+        encodeGoodbye(enc, bye);
+        try {
+            wire::writeFrame(fd, wire::FrameType::Goodbye,
+                             enc.buffer());
+        } catch (const wire::WireError &) {
+            // The coordinator may have stopped waiting; still a
+            // clean shutdown from our side.
+        }
+        return Exit::Stopped;
+    }
+
+    /** Import, run, and store the round's encoded delta. */
+    void executeRound(RoundStart &start)
+    {
+        // Import before running: this round's mutations see the
+        // fleet's merged knowledge.
+        if (!start.frontier.empty()) {
+            std::vector<uint64_t> taken =
+                explorer.corpus().frontier().takenWords();
+            std::vector<uint64_t> nt =
+                explorer.corpus().frontier().ntWords();
+            applyFrontier(start.frontier, taken, nt);
+            explorer.importFrontierWords(taken, nt);
+        }
+        if (!start.entries.empty())
+            explorer.importForeignEntries(std::move(start.entries));
+
+        uint64_t before = explorer.progress().failedJobs;
+        uint64_t beforeInst = explorer.progress().instructions;
+        uint64_t beforeNt = explorer.progress().ntSpawned;
+        uint64_t ran = explorer.step(start.budgetRuns);
+
+        RoundDelta delta;
+        delta.round = start.round;
+        delta.runs = ran;
+        delta.failedJobs = explorer.progress().failedJobs - before;
+        delta.instructions =
+            explorer.progress().instructions - beforeInst;
+        delta.ntSpawned = explorer.progress().ntSpawned - beforeNt;
+        delta.exhausted = ran == 0 && start.budgetRuns > 0;
+        delta.frontier = diffFrontier(explorer.corpus().frontier(),
+                                      sentTaken, sentNt);
+        for (const explore::CorpusEntry *e :
+             explorer.drainNewLocalEntries())
+            delta.entries.push_back(*e);
+        delta.admittedLocal = delta.entries.size();
+
+        wire::Encoder enc;
+        encodeRoundDelta(enc, delta);
+        deltaPayload = enc.buffer();
+        round = start.round;
+    }
+
+    const isa::Program &program;
+    explore::Explorer &explorer;
+    std::string roundSite;
+    std::string stopSite;
+    std::string dropPreSite;
+    std::string dropPostSite;
+    /** Frontier words last reported upstream (survives reconnects). */
+    std::vector<uint64_t> sentTaken;
+    std::vector<uint64_t> sentNt;
+    /** Last executed round and its encoded RoundDelta. */
+    uint64_t round = 0;
+    std::string deltaPayload;
+};
+
 } // namespace
+
+explore::ExploreOptions
+shardWorkerOptions(const explore::ExploreOptions &base,
+                   uint64_t shardSeed, uint32_t shard,
+                   unsigned workerThreads)
+{
+    // The worker's explorer is the fleet's base options minus
+    // everything the coordinator owns: budgets are metered per
+    // round, checkpoints/JSONL/stop flags stay with the coordinating
+    // process, and the seed becomes the derived shard seed so
+    // sibling shards explore different universes.
+    explore::ExploreOptions o = base;
+    o.seed = shardSeed;
+    o.budget.maxRuns = kUnboundedRuns;
+    o.budget.maxInstructions = 0;
+    o.budget.plateauBatches = 0;
+    o.jsonl = nullptr;
+    o.onRun = nullptr;
+    o.checkpointPath.clear();
+    o.resumeFrom.clear();
+    o.stopFlag = nullptr;
+    o.threads = workerThreads;
+    o.label = base.label + "/shard" + std::to_string(shard);
+    return o;
+}
 
 int
 workerMain(int fd, const isa::Program &program,
@@ -67,94 +319,195 @@ workerMain(int fd, const isa::Program &program,
                          enc.buffer());
     }
 
-    // Snapshot of the frontier words last reported upstream; the
-    // per-round report is the diff against it.
-    std::vector<uint64_t> sentTaken(
-        explorer.corpus().frontier().takenWords().size(), 0);
-    std::vector<uint64_t> sentNt(sentTaken.size(), 0);
+    WorkerSession session(program, explorer, config.expect.shard,
+                          /*remote=*/false);
+    switch (session.serve(fd)) {
+    case WorkerSession::Exit::Stopped:
+    case WorkerSession::Exit::Eof:
+    case WorkerSession::Exit::Dropped:
+        return 0;   // socketpair gone = coordinator gone; no retry
+    case WorkerSession::Exit::Protocol:
+        return 1;
+    }
+    return 1;
+}
 
-    const std::string roundSite =
-        "fleet.worker_round." + std::to_string(config.expect.shard);
+int
+remoteWorkerMain(const isa::Program &program,
+                 const RemoteWorkerOptions &options)
+{
+    pe_assert(options.shards >= 1,
+              "remote worker needs the fleet width");
 
-    // --- Rounds ------------------------------------------------------
+    // Derive the fleet identity locally: the shard plan is a pure
+    // function of (configHash, masterSeed, shards, seedCount), so a
+    // worker on another host computes the same plan — and the Join
+    // handshake proves it did.
+    const uint64_t cfgHash = core::configHash(options.base.config);
+    const ShardPlan plan =
+        makeShardPlan(cfgHash, options.base.seed, options.shards,
+                      options.seeds.size());
+
+    Join join;
+    join.desiredShard = kAnyShard;
+    join.shards = options.shards;
+    join.configHash = cfgHash;
+    join.masterSeed = options.base.seed;
+    join.planDigest = plan.planDigest;
+    join.programFp = explore::programFingerprint(program);
+    join.sessionWord = sessionWord(options.base);
+    join.seedsDigest = seedsDigest(options.seeds);
+
+    std::unique_ptr<explore::Explorer> explorer;
+    std::unique_ptr<WorkerSession> session;
+    uint32_t shard = kAnyShard;
+
+    int dialsLeft = options.dialAttempts;
+    uint64_t lastDropRound = ~0ull;
+    int sameRoundDrops = 0;
+
     for (;;) {
-        std::optional<wire::Frame> frame;
+        int fd = -1;
         try {
-            frame = wire::readFrame(fd);
-        } catch (const wire::WireError &) {
-            return 0;   // coordinator died; exit quietly
+            fd = tcpDial(options.connect);
+        } catch (const FatalError &err) {
+            if (--dialsLeft <= 0) {
+                if (options.status)
+                    *options.status << "[worker] giving up: "
+                                    << err.what() << "\n";
+                return 1;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options.redialDelayMs));
+            continue;
         }
-        if (!frame)
-            return 0;   // clean EOF: coordinator closed the pipe
+        dialsLeft = options.dialAttempts;
 
-        if (frame->type == wire::FrameType::Stop) {
-            explorer.finish();
-            Goodbye bye;
-            bye.runs = explorer.progress().runs;
-            bye.batches = explorer.progress().batches;
-            bye.corpusSize = explorer.corpus().size();
-            bye.edgesCombined =
-                explorer.corpus().frontier().combinedCovered();
+        join.desiredShard = shard;
+        join.lastAckedRound = session ? session->lastRound() : 0;
+        try {
             wire::Encoder enc;
-            encodeGoodbye(enc, bye);
-            wire::writeFrame(fd, wire::FrameType::Goodbye,
+            encodeJoin(enc, join);
+            wire::writeFrame(fd, wire::FrameType::Join,
                              enc.buffer());
+
+            if (!session) {
+                // First attach: the coordinator answers the Join
+                // with a Hello assigning our shard (or an Error
+                // refusing us — identity refusals are not
+                // retryable).
+                auto frame = wire::readFrame(fd);
+                if (!frame)
+                    throw wire::WireError(
+                        wire::WireErrorKind::Truncated,
+                        "coordinator closed before hello");
+                if (frame->type == wire::FrameType::Error) {
+                    wire::Decoder dec(frame->payload);
+                    pe_fatal("coordinator refused join: ",
+                             dec.str("error message"));
+                }
+                if (frame->type != wire::FrameType::Hello)
+                    throw wire::WireError(
+                        wire::WireErrorKind::BadFrame,
+                        detail::concat(
+                            "expected hello, got ",
+                            wire::frameTypeName(frame->type)));
+
+                wire::Decoder dec(frame->payload);
+                Hello hello = decodeHello(dec);
+                dec.expectEnd("hello");
+                if (hello.shard >= options.shards)
+                    throw wire::WireError(
+                        wire::WireErrorKind::Mismatch,
+                        detail::concat("assigned shard ",
+                                       hello.shard, " out of range"),
+                        options.shards, hello.shard);
+
+                Hello want;
+                want.shard = hello.shard;
+                want.shards = options.shards;
+                want.configHash = cfgHash;
+                want.masterSeed = options.base.seed;
+                want.shardSeed =
+                    plan.specs[hello.shard].shardSeed;
+                want.planDigest = plan.planDigest;
+                want.programFp = join.programFp;
+                validateHello(hello, want);
+
+                shard = hello.shard;
+                std::vector<std::vector<int32_t>> slice;
+                for (uint32_t idx : plan.specs[shard].seedIndices)
+                    slice.push_back(options.seeds[idx]);
+                explorer = std::make_unique<explore::Explorer>(
+                    program, slice,
+                    shardWorkerOptions(options.base,
+                                       plan.specs[shard].shardSeed,
+                                       shard,
+                                       options.workerThreads));
+                session = std::make_unique<WorkerSession>(
+                    program, *explorer, shard, /*remote=*/true);
+
+                HelloReply reply;
+                reply.shard = shard;
+                reply.totalEdges =
+                    explorer->corpus().frontier().totalEdges();
+                reply.seedCount = slice.size();
+                wire::Encoder replyEnc;
+                encodeHelloReply(replyEnc, reply);
+                wire::writeFrame(fd, wire::FrameType::HelloReply,
+                                 replyEnc.buffer());
+                if (options.status)
+                    *options.status << "[worker] joined as shard "
+                                    << shard << "\n";
+            } else if (options.status) {
+                *options.status << "[worker] shard " << shard
+                                << " reconnected (last round "
+                                << session->lastRound() << ")\n";
+            }
+        } catch (const wire::WireError &err) {
+            // Handshake-level connection trouble: treat like a drop
+            // and redial (the coordinator may not have noticed the
+            // old connection dying yet).
+            ::close(fd);
+            if (options.status)
+                *options.status << "[worker] handshake retry: "
+                                << err.what() << "\n";
+            if (--dialsLeft <= 0)
+                return 1;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options.redialDelayMs));
+            continue;
+        }
+
+        WorkerSession::Exit exit = session->serve(fd);
+        ::close(fd);
+        switch (exit) {
+        case WorkerSession::Exit::Stopped:
+        case WorkerSession::Exit::Eof:
             return 0;
-        }
-        if (frame->type != wire::FrameType::RoundStart) {
-            sendError(fd,
-                      detail::concat("expected round-start, got ",
-                                     wire::frameTypeName(frame->type)));
+        case WorkerSession::Exit::Protocol:
             return 1;
+        case WorkerSession::Exit::Dropped:
+            // Guard against a round that drops every attempt (a
+            // deterministic failure would redial forever).
+            if (session->lastRound() == lastDropRound) {
+                if (++sameRoundDrops > 8) {
+                    if (options.status)
+                        *options.status
+                            << "[worker] shard " << shard
+                            << " dropping repeatedly at round "
+                            << lastDropRound << "; giving up\n";
+                    return 1;
+                }
+            } else {
+                lastDropRound = session->lastRound();
+                sameRoundDrops = 1;
+            }
+            if (options.status)
+                *options.status << "[worker] shard " << shard
+                                << " lost connection; redialing\n";
+            break;
         }
-
-        wire::Decoder dec(frame->payload);
-        RoundStart start = decodeRoundStart(dec, program);
-        dec.expectEnd("round-start");
-
-        // Deterministic chaos hook: a plan armed on this site (the
-        // shard id is part of the name) kills exactly this worker
-        // mid-round, which is what the fleet fault-tolerance test
-        // exercises.
-        fault::site(roundSite.c_str());
-
-        // Import before running: this round's mutations see the
-        // fleet's merged knowledge.
-        if (!start.frontier.empty()) {
-            std::vector<uint64_t> taken =
-                explorer.corpus().frontier().takenWords();
-            std::vector<uint64_t> nt =
-                explorer.corpus().frontier().ntWords();
-            applyFrontier(start.frontier, taken, nt);
-            explorer.importFrontierWords(taken, nt);
-        }
-        if (!start.entries.empty())
-            explorer.importForeignEntries(std::move(start.entries));
-
-        uint64_t before = explorer.progress().failedJobs;
-        uint64_t beforeInst = explorer.progress().instructions;
-        uint64_t beforeNt = explorer.progress().ntSpawned;
-        uint64_t ran = explorer.step(start.budgetRuns);
-
-        RoundDelta delta;
-        delta.round = start.round;
-        delta.runs = ran;
-        delta.failedJobs = explorer.progress().failedJobs - before;
-        delta.instructions =
-            explorer.progress().instructions - beforeInst;
-        delta.ntSpawned = explorer.progress().ntSpawned - beforeNt;
-        delta.exhausted = ran == 0 && start.budgetRuns > 0;
-        delta.frontier = diffFrontier(explorer.corpus().frontier(),
-                                      sentTaken, sentNt);
-        for (const explore::CorpusEntry *e :
-             explorer.drainNewLocalEntries())
-            delta.entries.push_back(*e);
-        delta.admittedLocal = delta.entries.size();
-
-        wire::Encoder enc;
-        encodeRoundDelta(enc, delta);
-        wire::writeFrame(fd, wire::FrameType::RoundDelta,
-                         enc.buffer());
     }
 }
 

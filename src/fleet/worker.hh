@@ -18,6 +18,8 @@
 #define PE_FLEET_WORKER_HH
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "src/explore/explorer.hh"
@@ -26,6 +28,27 @@
 
 namespace pe::fleet
 {
+
+/**
+ * Worker-local run budget the coordinator's metering must beat: the
+ * coordinator hands out runs round by round, so the worker's own
+ * budget is set to a value it can never reach.
+ */
+constexpr uint64_t kUnboundedRuns = ~0ull / 2;
+
+/**
+ * Derive one shard's explorer options from the fleet's base options:
+ * the shard seed replaces the master seed, budgets/checkpoints/output
+ * streams stay with the coordinator, and the label gains a /shardN
+ * suffix.  Both the forking coordinator and a remote `--connect`
+ * worker MUST build their options through this one function — it is
+ * the code-level half of the determinism contract (the Join
+ * handshake's sessionWord is the wire-level half).
+ */
+explore::ExploreOptions
+shardWorkerOptions(const explore::ExploreOptions &base,
+                   uint64_t shardSeed, uint32_t shard,
+                   unsigned workerThreads);
 
 /** Everything a forked worker needs besides the fd. */
 struct WorkerConfig
@@ -48,6 +71,53 @@ struct WorkerConfig
  */
 int workerMain(int fd, const isa::Program &program,
                const WorkerConfig &config);
+
+/** Everything a dialing (TCP) worker needs. */
+struct RemoteWorkerOptions
+{
+    /** Coordinator address, `host:port`. */
+    std::string connect;
+
+    /** Fleet width — must match the coordinator's --shards. */
+    uint32_t shards = 0;
+
+    /**
+     * Fleet-level base options, exactly as the coordinator sees them
+     * (seed = master seed).  The worker derives its own shard options
+     * through shardWorkerOptions once the coordinator assigns it a
+     * shard.
+     */
+    explore::ExploreOptions base;
+
+    /** The FULL fleet seed list (the plan deals indices into it). */
+    std::vector<std::vector<int32_t>> seeds;
+
+    /** Campaign worker threads; 0 = PE_JOBS default. */
+    unsigned workerThreads = 0;
+
+    /** Dial retries before giving up (coordinator not up yet, or a
+     *  dropped connection being re-established). */
+    int dialAttempts = 40;
+
+    /** Delay between dial attempts, ms. */
+    int redialDelayMs = 250;
+
+    /** Human-readable status stream; may be null. */
+    std::ostream *status = nullptr;
+};
+
+/**
+ * The remote worker body: derive the shard plan locally, dial the
+ * coordinator, Join (wildcard shard), run the Hello handshake, then
+ * serve rounds.  A dropped connection is survivable as long as this
+ * process survives: the worker redials with its pinned shard id and
+ * last acked round, and the coordinator replays the RoundStart it
+ * missed; an already-executed round is answered from the stored
+ * delta without re-executing, so reconnects never perturb the
+ * deterministic merge.  Returns the process exit code.
+ */
+int remoteWorkerMain(const isa::Program &program,
+                     const RemoteWorkerOptions &options);
 
 } // namespace pe::fleet
 

@@ -6,10 +6,12 @@
 #include "src/support/subprocess.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <iostream>
+#include <thread>
 #include <utility>
 
 #include <signal.h>
@@ -85,6 +87,42 @@ ChildProcess::wait()
     else
         exitCode = -1;
     return exitCode;
+}
+
+bool
+ChildProcess::waitFor(int timeoutMs)
+{
+    if (!valid() || reaped)
+        return true;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeoutMs);
+    for (;;) {
+        int status = 0;
+        pid_t r = ::waitpid(childPid, &status, WNOHANG);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r < 0) {
+            // ECHILD etc: nothing left to reap.
+            reaped = true;
+            exitCode = -1;
+            return true;
+        }
+        if (r == childPid) {
+            reaped = true;
+            if (WIFEXITED(status))
+                exitCode = WEXITSTATUS(status);
+            else if (WIFSIGNALED(status))
+                exitCode = -WTERMSIG(status);
+            else
+                exitCode = -1;
+            return true;
+        }
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        // No SIGCHLD plumbing here; a short sleep keeps this simple
+        // and the reap path is not hot.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
 }
 
 void

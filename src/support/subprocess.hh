@@ -62,6 +62,16 @@ class ChildProcess
      */
     int wait();
 
+    /**
+     * Bounded reap: poll waitpid(WNOHANG) for up to @p timeoutMs.
+     * Returns true once the child is reaped (wait() then returns the
+     * stored code immediately); false if it is still running when the
+     * timeout expires — the caller decides whether to escalate.
+     * Does NOT close the fd; pair with closeFd() for a clean EOF
+     * shutdown before the deadline starts.
+     */
+    bool waitFor(int timeoutMs);
+
     /** Send @p sig; no-op once reaped. */
     void kill(int sig);
 

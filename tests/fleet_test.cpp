@@ -15,16 +15,23 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "src/fleet/coordinator.hh"
 #include "src/fleet/service.hh"
+#include "src/fleet/transport.hh"
+#include "src/fleet/worker.hh"
 #include "src/minic/compiler.hh"
 #include "src/support/faultinject.hh"
 #include "src/support/status.hh"
+#include "src/support/subprocess.hh"
 #include "src/workloads/workload.hh"
 
 namespace
@@ -204,6 +211,170 @@ TEST(Fleet, PlateauStopsBeforeTheRunBudget)
                         scheduleWorkload().benignInputs, opts);
     EXPECT_EQ(res.stop, fleet::FleetStop::Plateau);
     EXPECT_LT(res.runs, 100000u);
+}
+
+// --- Round deadline and bounded shutdown ----------------------------
+
+TEST(Fleet, RoundDeadlineTurnsAStallIntoALostWorkerNotAHang)
+{
+    // Shard 1 stalls 2 s inside its second round.  The 400 ms round
+    // deadline marks it dead instead of waiting the stall out: the
+    // survivors' deltas (which arrived long before the deadline)
+    // still merge, the dead shard's budget flows on, and the fleet
+    // spends the full run budget.
+    fault::FaultPlan plan;
+    plan.site = "fleet.worker_round.1";
+    plan.hit = 2;
+    plan.kind = fault::FaultKind::Stall;
+    plan.stallMs = 2000;
+    fault::ScopedFaultPlan armed(plan);
+
+    fleet::FleetOptions opts = fleetOptions(3, 120, 0x42);
+    opts.roundDeadlineMs = 400;
+    fleet::FleetResult res =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs, opts);
+
+    EXPECT_EQ(res.lostWorkers, 1u);
+    ASSERT_EQ(res.shards.size(), 3u);
+    EXPECT_FALSE(res.shards[1].alive);
+    EXPECT_TRUE(res.shards[0].alive);
+    EXPECT_TRUE(res.shards[2].alive);
+    EXPECT_EQ(res.stop, fleet::FleetStop::RunBudget);
+    EXPECT_EQ(res.runs, 120u);
+}
+
+TEST(Fleet, ShutdownIsBoundedWhenAWorkerSitsOnItsGoodbye)
+{
+    // Shard 0 stalls 10 s between receiving Stop and answering with
+    // Goodbye.  The goodbye timeout gives up on the frame and the
+    // reap timeout escalates to SIGKILL, so the whole run returns
+    // long before the stall would have ended on its own.
+    fault::FaultPlan plan;
+    plan.site = "fleet.worker_stop.0";
+    plan.kind = fault::FaultKind::Stall;
+    plan.stallMs = 10000;
+    fault::ScopedFaultPlan armed(plan);
+
+    fleet::FleetOptions opts = fleetOptions(2, 48, 0x42);
+    opts.goodbyeTimeoutMs = 200;
+    opts.reapTimeoutMs = 200;
+
+    auto start = std::chrono::steady_clock::now();
+    fleet::FleetResult res =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs, opts);
+    auto elapsedMs = std::chrono::duration_cast<
+                         std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+    // The rounds themselves completed normally before the stall
+    // (round-remainder allocation may overshoot the budget slightly).
+    EXPECT_EQ(res.stop, fleet::FleetStop::RunBudget);
+    EXPECT_GE(res.runs, 48u);
+    EXPECT_EQ(res.lostWorkers, 0u);
+    EXPECT_LT(elapsedMs, 8000)
+        << "shutdown must not wait out a wedged worker";
+}
+
+// --- TCP transport: loopback fleets ---------------------------------
+
+/**
+ * Run a TCP fleet on loopback: bind an ephemeral port, fork
+ * opts.shards dialing workers (each runs remoteWorkerMain exactly as
+ * `explore --connect` would, deriving its own plan and options), and
+ * drive the coordinator over the accepted sockets.  @p workerPlans
+ * are armed inside the children only; the shard id baked into a
+ * fault-site name selects which worker misbehaves.
+ */
+fleet::FleetResult
+runTcpFleet(fleet::FleetOptions opts,
+            const std::vector<fault::FaultPlan> &workerPlans = {})
+{
+    auto transport =
+        std::make_shared<fleet::TcpTransport>("127.0.0.1:0");
+    const std::string addr =
+        "127.0.0.1:" + std::to_string(transport->port());
+    opts.transport = transport;
+    if (opts.roundDeadlineMs == 0)
+        opts.roundDeadlineMs = 30000;   // hang guard, not the test
+
+    std::vector<proc::ChildProcess> workers;
+    for (unsigned i = 0; i < opts.shards; ++i) {
+        workers.push_back(proc::spawnChild([&](int pairFd) {
+            // The socketpair is not the channel here: dial instead.
+            close(pairFd);
+            fault::armPlans(workerPlans);
+            fleet::RemoteWorkerOptions ro;
+            ro.connect = addr;
+            ro.shards = opts.shards;
+            ro.base = opts.base;
+            ro.seeds = scheduleWorkload().benignInputs;
+            ro.workerThreads = opts.workerThreads;
+            ro.redialDelayMs = 25;  // keep reconnects brisk in tests
+            return fleet::remoteWorkerMain(scheduleProgram(), ro);
+        }));
+    }
+
+    fleet::FleetResult res =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs, opts);
+    for (auto &worker : workers)
+        EXPECT_EQ(worker.wait(), 0) << "worker exit status";
+    return res;
+}
+
+TEST(FleetTcp, LoopbackDigestsMatchTheForkFleet)
+{
+    // The whole point of the transport abstraction: same options,
+    // same bytes, whether the workers are forked children over
+    // socketpairs or remote processes over TCP.
+    fleet::FleetOptions opts = fleetOptions(3, 120, 0x42);
+    fleet::FleetResult forked =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs, opts);
+    fleet::FleetResult tcp = runTcpFleet(opts);
+
+    EXPECT_EQ(tcp.planDigest, forked.planDigest);
+    EXPECT_EQ(tcp.frontierDigest, forked.frontierDigest);
+    EXPECT_EQ(tcp.corpusDigest, forked.corpusDigest);
+    EXPECT_EQ(tcp.runs, forked.runs);
+    EXPECT_EQ(tcp.rounds, forked.rounds);
+    EXPECT_EQ(tcp.corpusSize, forked.corpusSize);
+    EXPECT_EQ(tcp.edgesCombined, forked.edgesCombined);
+    EXPECT_EQ(tcp.lostWorkers, 0u);
+    EXPECT_EQ(tcp.reconnects, 0u);
+}
+
+TEST(FleetTcp, DroppedConnectionsResumeWithoutPerturbingDigests)
+{
+    fleet::FleetOptions opts = fleetOptions(3, 120, 0x42);
+    fleet::FleetResult forked =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs, opts);
+
+    // Shard 0 loses its socket right *after* executing round 2: on
+    // rejoin the coordinator replays the RoundStart and the worker
+    // must answer from its stored delta without re-executing (a
+    // re-execution would fork the RNG universe and the digests would
+    // catch it).  Shard 1 loses its socket *before* executing round
+    // 3: the replayed RoundStart is executed for the first time.
+    fault::FaultPlan post;
+    post.site = "fleet.remote_drop_post.0";
+    post.hit = 2;
+    fault::FaultPlan pre;
+    pre.site = "fleet.remote_drop_pre.1";
+    pre.hit = 3;
+    fleet::FleetResult tcp = runTcpFleet(opts, {post, pre});
+
+    EXPECT_EQ(tcp.reconnects, 2u);
+    EXPECT_EQ(tcp.lostWorkers, 0u);
+    EXPECT_EQ(tcp.frontierDigest, forked.frontierDigest);
+    EXPECT_EQ(tcp.corpusDigest, forked.corpusDigest);
+    EXPECT_EQ(tcp.runs, forked.runs);
+    EXPECT_EQ(tcp.rounds, forked.rounds);
+    EXPECT_EQ(tcp.corpusSize, forked.corpusSize);
 }
 
 // --- Job specs and the service loop ---------------------------------

@@ -324,6 +324,285 @@ TEST(Wire, BadMagicIsRejected)
     close(fds[0]);
 }
 
+// --- Frame reader state machine -------------------------------------
+
+constexpr uint32_t kTestFrameMagic = 0x31464550; // "PEF1"
+
+/** Raw bytes of one well-formed frame. */
+std::string
+frameBytes(wire::FrameType type, std::string_view payload)
+{
+    wire::Encoder enc;
+    enc.u32(kTestFrameMagic);
+    enc.u32(static_cast<uint32_t>(payload.size()));
+    enc.u32(static_cast<uint32_t>(type));
+    std::string out = enc.take();
+    out.append(payload.data(), payload.size());
+    return out;
+}
+
+/**
+ * The incremental reader must be delivery-agnostic: a stream of
+ * random frames fed one byte at a time yields exactly the frames a
+ * single bulk feed yields, in order, with byte-identical payloads and
+ * no residue at the end.
+ */
+TEST(Wire, FrameReaderByteAtATimeMatchesBulkFeed)
+{
+    Rng rng(0xf00df4a6);
+    const wire::FrameType kinds[] = {
+        wire::FrameType::Hello,      wire::FrameType::HelloReply,
+        wire::FrameType::RoundStart, wire::FrameType::RoundDelta,
+        wire::FrameType::Stop,       wire::FrameType::Goodbye,
+        wire::FrameType::Error,      wire::FrameType::Join,
+    };
+    std::string stream;
+    std::vector<std::pair<wire::FrameType, std::string>> sent;
+    for (int i = 0; i < 25; ++i) {
+        std::string payload(rng.nextBelow(200), '\0');
+        for (char &c : payload)
+            c = static_cast<char>(rng.next64());
+        wire::FrameType type = kinds[rng.nextBelow(8)];
+        sent.emplace_back(type, payload);
+        stream += frameBytes(type, payload);
+    }
+
+    wire::FrameReader bulk;
+    wire::FrameReader trickle;
+    bulk.feed(stream.data(), stream.size());
+    for (char c : stream)
+        trickle.feed(&c, 1);
+
+    EXPECT_EQ(bulk.pendingFrames(), sent.size());
+    EXPECT_EQ(trickle.pendingFrames(), sent.size());
+    for (const auto &[type, payload] : sent) {
+        auto a = bulk.next();
+        auto b = trickle.next();
+        ASSERT_TRUE(a.has_value());
+        ASSERT_TRUE(b.has_value());
+        EXPECT_EQ(a->type, type);
+        EXPECT_EQ(a->payload, payload);
+        EXPECT_EQ(b->type, type);
+        EXPECT_EQ(b->payload, payload);
+    }
+    EXPECT_FALSE(bulk.next().has_value());
+    EXPECT_FALSE(trickle.next().has_value());
+    EXPECT_FALSE(bulk.midFrame());
+    EXPECT_FALSE(trickle.midFrame());
+}
+
+/** Reassembly is split-point-independent, including inside headers. */
+TEST(Wire, FrameReaderReassemblesAcrossEverySplitPoint)
+{
+    std::string stream =
+        frameBytes(wire::FrameType::RoundStart, "alpha") +
+        frameBytes(wire::FrameType::Stop, "") +
+        frameBytes(wire::FrameType::Goodbye, "omega payload");
+
+    for (size_t cut = 0; cut <= stream.size(); ++cut) {
+        wire::FrameReader reader;
+        reader.feed(stream.data(), cut);
+        reader.feed(stream.data() + cut, stream.size() - cut);
+
+        auto first = reader.next();
+        ASSERT_TRUE(first.has_value()) << "cut " << cut;
+        EXPECT_EQ(first->type, wire::FrameType::RoundStart);
+        EXPECT_EQ(first->payload, "alpha");
+        auto second = reader.next();
+        ASSERT_TRUE(second.has_value()) << "cut " << cut;
+        EXPECT_EQ(second->type, wire::FrameType::Stop);
+        EXPECT_TRUE(second->payload.empty());
+        auto third = reader.next();
+        ASSERT_TRUE(third.has_value()) << "cut " << cut;
+        EXPECT_EQ(third->payload, "omega payload");
+        EXPECT_FALSE(reader.next().has_value()) << "cut " << cut;
+        EXPECT_FALSE(reader.midFrame()) << "cut " << cut;
+    }
+}
+
+/**
+ * Fuzz the header state machine: random 12-byte headers fed one byte
+ * at a time.  A malformed header must throw a structured WireError
+ * (BadMagic for foreign bytes, BadFrame for an implausible length)
+ * exactly when its 12th byte lands — never earlier, never after
+ * buffering payload it should not believe — and a well-formed header
+ * must never throw.
+ */
+TEST(Wire, FrameReaderRejectsRandomHeadersTheMomentTheyComplete)
+{
+    Rng rng(0x8eade4);
+    int sawBadMagic = 0;
+    int sawBadLength = 0;
+    int sawWellFormed = 0;
+
+    for (int iter = 0; iter < 3000; ++iter) {
+        uint32_t magic;
+        uint32_t len;
+        switch (iter % 3) {
+          case 0:   // fully random header; magic is ~never ours
+            magic = static_cast<uint32_t>(rng.next64());
+            len = static_cast<uint32_t>(rng.next64());
+            break;
+          case 1:   // our magic, random (usually implausible) length
+            magic = kTestFrameMagic;
+            len = static_cast<uint32_t>(rng.next64());
+            break;
+          default:  // fully well-formed header
+            magic = kTestFrameMagic;
+            len = static_cast<uint32_t>(rng.nextBelow(4096));
+            break;
+        }
+        wire::Encoder enc;
+        enc.u32(magic);
+        enc.u32(len);
+        enc.u32(static_cast<uint32_t>(rng.next64())); // type: any u32
+        const std::string &head = enc.buffer();
+        ASSERT_EQ(head.size(), 12u);
+
+        const bool badMagic = magic != kTestFrameMagic;
+        const bool badLen = !badMagic && len > wire::kMaxFramePayload;
+
+        wire::FrameReader reader;
+        size_t fed = 0;
+        bool threw = false;
+        try {
+            for (char c : head) {
+                ++fed;
+                reader.feed(&c, 1);
+            }
+        } catch (const wire::WireError &err) {
+            threw = true;
+            EXPECT_EQ(fed, 12u) << "threw before the header completed";
+            if (badMagic) {
+                EXPECT_EQ(err.kind(), wire::WireErrorKind::BadMagic);
+                EXPECT_EQ(err.found(), magic);
+                ++sawBadMagic;
+            } else {
+                EXPECT_EQ(err.kind(), wire::WireErrorKind::BadFrame);
+                EXPECT_EQ(err.found(), len);
+                ++sawBadLength;
+            }
+        }
+        EXPECT_EQ(threw, badMagic || badLen) << "iteration " << iter;
+        if (threw)
+            continue;
+
+        ++sawWellFormed;
+        // Nothing completed yet unless the frame was empty; a partial
+        // payload never yields a frame and never over-reads.
+        if (len == 0) {
+            EXPECT_EQ(reader.pendingFrames(), 1u);
+            EXPECT_FALSE(reader.midFrame());
+        } else {
+            EXPECT_EQ(reader.pendingFrames(), 0u);
+            EXPECT_TRUE(reader.midFrame());
+            std::string part(std::min<size_t>(len - 1, 64), 'x');
+            reader.feed(part.data(), part.size());
+            EXPECT_EQ(reader.pendingFrames(), 0u);
+            EXPECT_TRUE(reader.midFrame());
+        }
+    }
+    // The fuzz loop actually exercised all three classes.
+    EXPECT_GT(sawBadMagic, 0);
+    EXPECT_GT(sawBadLength, 0);
+    EXPECT_GT(sawWellFormed, 0);
+}
+
+/** After garbage, reset() returns the reader to a clean state. */
+TEST(Wire, FrameReaderResetRecoversAfterGarbage)
+{
+    wire::FrameReader reader;
+    std::string garbage(12, '\x5a');
+    EXPECT_THROW(reader.feed(garbage.data(), garbage.size()),
+                 wire::WireError);
+
+    reader.reset();
+    EXPECT_FALSE(reader.midFrame());
+    EXPECT_EQ(reader.pendingFrames(), 0u);
+
+    std::string good = frameBytes(wire::FrameType::Stop, "ok");
+    reader.feed(good.data(), good.size());
+    auto frame = reader.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, wire::FrameType::Stop);
+    EXPECT_EQ(frame->payload, "ok");
+}
+
+// --- Join identity (TCP transport handshake) ------------------------
+
+TEST(Wire, JoinIdentityMismatchNamesTheField)
+{
+    fleet::Join want;
+    want.shards = 3;
+    want.configHash = 0x1111;
+    want.sessionWord = 0xaaaa;
+    want.seedsDigest = 0x5e5e;
+
+    fleet::Join got = want;
+    got.seedsDigest = 0x6f6f;
+    try {
+        fleet::validateJoin(got, want);
+        FAIL() << "seeds-digest mismatch was accepted";
+    } catch (const wire::WireError &err) {
+        EXPECT_EQ(err.kind(), wire::WireErrorKind::Mismatch);
+        EXPECT_EQ(err.expected(), 0x5e5eu);
+        EXPECT_EQ(err.found(), 0x6f6fu);
+        EXPECT_NE(std::string(err.what()).find("seeds digest"),
+                  std::string::npos);
+    }
+
+    got = want;
+    got.sessionWord = 0xbbbb;
+    try {
+        fleet::validateJoin(got, want);
+        FAIL() << "session-word mismatch was accepted";
+    } catch (const wire::WireError &err) {
+        EXPECT_EQ(err.kind(), wire::WireErrorKind::Mismatch);
+        EXPECT_NE(std::string(err.what()).find("session word"),
+                  std::string::npos);
+    }
+
+    got = want;
+    got.wireVersion = wire::kWireVersion + 1;
+    try {
+        fleet::validateJoin(got, want);
+        FAIL() << "future wire version was accepted";
+    } catch (const wire::WireError &err) {
+        EXPECT_EQ(err.kind(), wire::WireErrorKind::BadVersion);
+    }
+
+    // desiredShard and lastAckedRound are negotiation, not identity.
+    got = want;
+    got.desiredShard = 2;
+    got.lastAckedRound = 7;
+    EXPECT_NO_THROW(fleet::validateJoin(got, want));
+}
+
+/**
+ * The session word must move with every off-wire knob that changes
+ * worker behavior — it is what stops a TCP worker started with
+ * different flags from silently forking the deterministic merge.
+ */
+TEST(Wire, SessionWordTracksOffWireKnobs)
+{
+    explore::ExploreOptions base;
+    uint64_t word = fleet::sessionWord(base);
+    EXPECT_EQ(word, fleet::sessionWord(base));
+
+    explore::ExploreOptions batch = base;
+    batch.batchSize = base.batchSize + 1;
+    EXPECT_NE(fleet::sessionWord(batch), word);
+
+    explore::ExploreOptions pct = base;
+    pct.rarePercentile = base.rarePercentile + 0.1;
+    EXPECT_NE(fleet::sessionWord(pct), word);
+
+    explore::ExploreOptions pol = base;
+    pol.policy = explore::SchedulePolicy::UniformRandom;
+    ASSERT_NE(pol.policy, base.policy);
+    EXPECT_NE(fleet::sessionWord(pol), word);
+}
+
 // --- Version negotiation --------------------------------------------
 
 TEST(Wire, VersionBumpedHelloIsRejectedWithBothValues)
