@@ -30,7 +30,23 @@
  *                               (default 30000 with --listen, off
  *                               otherwise; 0 = wait forever)
  *       --dial-attempts N       worker: dial/redial retries before
- *                               giving up (default 40)
+ *                               giving up (default 40; consecutive
+ *                               failures back off exponentially)
+ *       --fleet-checkpoint PATH coordinator: persist the session
+ *                               after every round (atomic rename)
+ *       --fleet-resume PATH     coordinator: resume a session from a
+ *                               fleet checkpoint (requires --listen;
+ *                               the workers redial and continue)
+ *       --heartbeat-ms N        coordinator: mid-round worker
+ *                               liveness; silent > N ms = suspect,
+ *                               > 2N ms = dead (default off)
+ *       --min-quorum K          coordinator: pause dispatch below K
+ *                               attached shards, stop (quorum_lost)
+ *                               below K live shards (default off)
+ *       --print-worker-cmd      with --listen + --shards: print the
+ *                               worker command line for each shard
+ *                               and exit (consumed by
+ *                               scripts/fleet-ssh.sh)
  *       --serve [SPOOLDIR]      service mode: run job specs from the
  *                               spool directory (or stdin), one JSON
  *                               result per job on stdout
@@ -87,6 +103,10 @@ usage(const char *msg)
                  "[--connect HOST:PORT]\n"
               << "               [--round-deadline-ms N] "
                  "[--dial-attempts N]\n"
+              << "               [--fleet-checkpoint PATH] "
+                 "[--fleet-resume PATH]\n"
+              << "               [--heartbeat-ms N] [--min-quorum K] "
+                 "[--print-worker-cmd]\n"
               << "               [--serve [SPOOLDIR]] [--drain] "
                  "[--verbose]\n";
     return 2;
@@ -120,6 +140,15 @@ main(int argc, char **argv)
     std::string connectSpec;
     int roundDeadlineMs = -1;   // -1 = pick a default per transport
     int dialAttempts = 40;
+    std::string fleetCheckpoint;
+    std::string fleetResume;
+    int heartbeatMs = 0;
+    uint32_t minQuorum = 0;
+    bool printWorkerCmd = false;
+    // The raw --policy/--mode tokens, re-emitted by
+    // --print-worker-cmd so the worker command round-trips exactly.
+    std::string policyArg = "rare";
+    std::string modeArg = "standard";
     bool serve = false;
     bool drain = false;
     std::string spoolDir;
@@ -142,6 +171,7 @@ main(int argc, char **argv)
                 opts.policy = explore::SchedulePolicy::RareEdgeWeighted;
             else
                 return usage("unknown policy");
+            policyArg = v;
         } else if (arg == "--mode") {
             const char *v = next();
             if (!v)
@@ -156,6 +186,7 @@ main(int argc, char **argv)
                 opts.config = core::PeConfig::forMode(core::PeMode::Cmp);
             else
                 return usage("unknown mode");
+            modeArg = m;
         } else if (arg == "--runs") {
             const char *v = next();
             if (!v)
@@ -234,6 +265,28 @@ main(int argc, char **argv)
             if (!v)
                 return usage("--dial-attempts needs a value");
             dialAttempts = static_cast<int>(std::stol(v));
+        } else if (arg == "--fleet-checkpoint") {
+            const char *v = next();
+            if (!v)
+                return usage("--fleet-checkpoint needs a value");
+            fleetCheckpoint = v;
+        } else if (arg == "--fleet-resume") {
+            const char *v = next();
+            if (!v)
+                return usage("--fleet-resume needs a value");
+            fleetResume = v;
+        } else if (arg == "--heartbeat-ms") {
+            const char *v = next();
+            if (!v)
+                return usage("--heartbeat-ms needs a value");
+            heartbeatMs = static_cast<int>(std::stol(v));
+        } else if (arg == "--min-quorum") {
+            const char *v = next();
+            if (!v)
+                return usage("--min-quorum needs a value");
+            minQuorum = static_cast<uint32_t>(std::stoul(v));
+        } else if (arg == "--print-worker-cmd") {
+            printWorkerCmd = true;
         } else if (arg == "--serve") {
             serve = true;
             // Optional value: a spool directory; omitted = stdin.
@@ -314,6 +367,10 @@ main(int argc, char **argv)
         if (!opts.checkpointPath.empty() || !opts.resumeFrom.empty())
             return usage("--checkpoint/--resume do not combine with "
                          "--connect");
+        if (!fleetCheckpoint.empty() || !fleetResume.empty())
+            return usage("--fleet-checkpoint/--fleet-resume are "
+                         "coordinator flags; workers keep no durable "
+                         "state");
         fleet::RemoteWorkerOptions ro;
         ro.connect = connectSpec;
         ro.shards = shards;
@@ -330,11 +387,49 @@ main(int argc, char **argv)
         }
     }
 
+    // --- Worker-command printer: the ssh launcher's source of truth -
+    if (printWorkerCmd) {
+        if (listenSpec.empty() || shards < 2)
+            return usage("--print-worker-cmd needs --listen and "
+                         "--shards >= 2");
+        size_t colon = listenSpec.rfind(':');
+        std::string host =
+            colon == std::string::npos ? ""
+                                       : listenSpec.substr(0, colon);
+        std::string port =
+            colon == std::string::npos ? ""
+                                       : listenSpec.substr(colon + 1);
+        if (port.empty() || port == "0")
+            return usage("--print-worker-cmd needs an explicit "
+                         "--listen port (workers must know where to "
+                         "dial)");
+        if (host.empty())
+            host = "127.0.0.1";
+        // One line per shard; Joins are wildcard, so the commands
+        // are identical and any worker may take any shard.  Only
+        // identity-bearing flags are repeated: workload, policy,
+        // mode, batch, and seed all feed the Join handshake.
+        for (unsigned s = 0; s < shards; ++s) {
+            std::cout << argv[0] << " " << name << " --connect "
+                      << host << ":" << port << " --shards " << shards
+                      << " --policy " << policyArg << " --mode "
+                      << modeArg << " --batch " << opts.batchSize
+                      << " --seed " << opts.seed
+                      << " --dial-attempts 400\n";
+        }
+        return 0;
+    }
+
     // --- Fleet mode: shard the exploration over N processes --------
     if (shards > 1 || !listenSpec.empty()) {
         if (!opts.checkpointPath.empty() || !opts.resumeFrom.empty())
             return usage("--checkpoint/--resume do not combine with "
-                         "--shards (checkpointing is per-process)");
+                         "--shards (checkpointing is per-process; "
+                         "use --fleet-checkpoint/--fleet-resume)");
+        if (!fleetResume.empty() && listenSpec.empty())
+            return usage("--fleet-resume needs --listen: only TCP "
+                         "workers outlive the coordinator and can "
+                         "redial");
         fleet::FleetOptions fopts;
         fopts.base = opts;
         fopts.shards = shards;
@@ -342,6 +437,10 @@ main(int argc, char **argv)
         fopts.plateauRounds = opts.budget.plateauBatches;
         fopts.status = &std::cerr;
         fopts.stopFlag = &stopRequested;
+        fopts.heartbeatMs = heartbeatMs;
+        fopts.minQuorum = minQuorum;
+        fopts.checkpointPath = fleetCheckpoint;
+        fopts.resumeFrom = fleetResume;
         if (!listenSpec.empty()) {
             try {
                 fopts.transport = std::make_shared<fleet::TcpTransport>(
@@ -384,6 +483,12 @@ main(int argc, char **argv)
                   << "\n";
         return 0;
     }
+
+    if (!fleetCheckpoint.empty() || !fleetResume.empty() ||
+        heartbeatMs > 0 || minQuorum > 0)
+        return usage("--fleet-checkpoint/--fleet-resume/"
+                     "--heartbeat-ms/--min-quorum need fleet mode "
+                     "(--shards >= 2 or --listen)");
 
     std::cerr << "exploring '" << name << "' ("
               << program.numBranches() << " branches, policy "

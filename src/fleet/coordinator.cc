@@ -16,6 +16,7 @@
 
 #include "src/core/config.hh"
 #include "src/explore/serialize.hh"
+#include "src/fleet/checkpoint.hh"
 #include "src/fleet/transport.hh"
 #include "src/fleet/worker.hh"
 #include "src/support/status.hh"
@@ -53,6 +54,23 @@ msUntil(Clock::time_point deadline)
     if (left > 1000 * 60 * 60)
         return 1000 * 60 * 60;
     return static_cast<int>(left);
+}
+
+/** The identity every peer (and every checkpoint) must match. */
+FleetIdentity
+fleetIdentityOf(const explore::ExploreOptions &base,
+                const ShardPlan &plan, const isa::Program &program,
+                const std::vector<std::vector<int32_t>> &seeds)
+{
+    FleetIdentity id;
+    id.shards = plan.shards;
+    id.configHash = core::configHash(base.config);
+    id.masterSeed = base.seed;
+    id.planDigest = plan.planDigest;
+    id.programFp = explore::programFingerprint(program);
+    id.sessionWord = sessionWord(base);
+    id.seedsDigest = seedsDigest(seeds);
+    return id;
 }
 
 } // namespace
@@ -116,6 +134,8 @@ fleetStopName(FleetStop stop)
         return "interrupted";
     case FleetStop::WorkersLost:
         return "workers_lost";
+    case FleetStop::QuorumLost:
+        return "quorum_lost";
     }
     return "unknown";
 }
@@ -141,18 +161,9 @@ Coordinator::Coordinator(const isa::Program &program,
 void
 Coordinator::establishFleet(FleetResult &res)
 {
-    uint64_t cfgHash = core::configHash(opts.base.config);
-    uint64_t fp = explore::programFingerprint(program);
     size_t words = global.frontier().takenWords().size();
-
-    FleetIdentity id;
-    id.shards = shardPlan.shards;
-    id.configHash = cfgHash;
-    id.masterSeed = opts.base.seed;
-    id.planDigest = shardPlan.planDigest;
-    id.programFp = fp;
-    id.sessionWord = sessionWord(opts.base);
-    id.seedsDigest = seedsDigest(seeds);
+    FleetIdentity id =
+        fleetIdentityOf(opts.base, shardPlan, program, seeds);
 
     std::vector<WorkerConfig> configs;
     fleet.resize(shardPlan.specs.size());
@@ -167,11 +178,15 @@ Coordinator::establishFleet(FleetResult &res)
         cfg.expect.wireVersion = wire::kWireVersion;
         cfg.expect.shard = shard.spec.shard;
         cfg.expect.shards = shardPlan.shards;
-        cfg.expect.configHash = cfgHash;
+        cfg.expect.configHash = id.configHash;
         cfg.expect.masterSeed = opts.base.seed;
         cfg.expect.shardSeed = shard.spec.shardSeed;
         cfg.expect.planDigest = shardPlan.planDigest;
-        cfg.expect.programFp = fp;
+        cfg.expect.programFp = id.programFp;
+        cfg.expect.heartbeatMs =
+            opts.heartbeatMs > 0
+                ? static_cast<uint32_t>(opts.heartbeatMs)
+                : 0;
         cfg.opts = shardWorkerOptions(opts.base,
                                       shard.spec.shardSeed,
                                       shard.spec.shard,
@@ -215,6 +230,10 @@ Coordinator::handshake(Shard &shard)
     hello.shardSeed = shard.spec.shardSeed;
     hello.planDigest = shardPlan.planDigest;
     hello.programFp = explore::programFingerprint(program);
+    hello.heartbeatMs =
+        opts.heartbeatMs > 0
+            ? static_cast<uint32_t>(opts.heartbeatMs)
+            : 0;
 
     try {
         wire::Encoder enc;
@@ -352,6 +371,10 @@ Coordinator::sendRoundStart(Shard &shard, uint64_t round,
     shard.replayPayload = enc.take();
     shard.summary.assigned += budget;
     shard.pendingDelta = true;
+    // Dispatch counts as activity: the health machine measures the
+    // silence *after* the worker got work, not queueing delays.
+    shard.lastActivity = Clock::now();
+    shard.suspect = false;
 
     if (shard.fd < 0)
         return;   // detached: replayed when the worker rejoins
@@ -415,6 +438,8 @@ Coordinator::disconnectShard(Shard &shard, FleetResult &res,
     if (shard.fd >= 0) {
         transport->closeChannel(shard.spec.shard);
         shard.fd = -1;
+        emitHealth("fleet_degraded", shard.spec.shard, res.rounds,
+                   "detached", why);
     }
     shard.reader.reset();
     if (opts.status)
@@ -431,6 +456,8 @@ Coordinator::markDead(Shard &shard, FleetResult &res,
         return;
     shard.summary.alive = false;
     ++res.lostWorkers;
+    emitHealth("fleet_degraded", shard.spec.shard, res.rounds,
+               "dead", why);
     if (opts.status)
         *opts.status << "[fleet] shard " << shard.spec.shard
                      << " lost: " << why << "\n";
@@ -461,6 +488,17 @@ Coordinator::pumpShard(Shard &shard, FleetResult &res,
                 markDead(shard, res, dec.str("worker error"));
                 return;
             }
+            if (frame->type == wire::FrameType::Heartbeat) {
+                noteShardActivity(shard, round);
+                try {
+                    wire::writeFrame(shard.fd,
+                                     wire::FrameType::HeartbeatAck,
+                                     {});
+                } catch (const wire::WireError &) {
+                    // A dead channel surfaces on the read side.
+                }
+                continue;
+            }
             if (frame->type != wire::FrameType::RoundDelta) {
                 markDead(shard, res,
                          detail::concat(
@@ -478,6 +516,7 @@ Coordinator::pumpShard(Shard &shard, FleetResult &res,
                                         round));
                 return;
             }
+            noteShardActivity(shard, round);
             shard.stashed = std::move(delta);
         }
     } catch (const wire::WireError &err) {
@@ -519,6 +558,10 @@ Coordinator::acceptReconnects(FleetResult &res, uint64_t round)
             continue;
         }
         ++res.reconnects;
+        shard.lastActivity = Clock::now();
+        shard.suspect = false;
+        emitHealth("fleet_rejoined", shard.spec.shard, round, "live",
+                   peer->rejoin ? "reconnected" : "connected");
 
         if (!shard.pendingDelta)
             continue;   // between rounds; nothing to replay
@@ -565,6 +608,10 @@ Coordinator::collectRound(FleetResult &res, uint64_t round,
     };
 
     while (unresolved() > 0) {
+        // Health first: a heartbeat-silent shard may flip suspect or
+        // dead right here, shrinking the poll set below.
+        int healthLeft = updateHealth(res, round);
+
         // Poll every live shard still owing a delta; the transport's
         // accept fd rides along whenever a detached shard could
         // rejoin.  Shards whose delta already arrived are *not*
@@ -614,6 +661,10 @@ Coordinator::collectRound(FleetResult &res, uint64_t round,
                 break;
             }
         }
+        // Wake for the next health transition even when the round
+        // deadline (or no deadline at all) would sleep past it.
+        if (healthLeft >= 0 && (timeout < 0 || healthLeft < timeout))
+            timeout = healthLeft;
 
         int rc = ::poll(pfds.data(), pfds.size(), timeout);
         if (rc < 0) {
@@ -644,6 +695,361 @@ Coordinator::collectRound(FleetResult &res, uint64_t round,
         }
         shard.stashed.reset();
         shard.pendingDelta = false;
+    }
+}
+
+void
+Coordinator::emitHealth(const char *event, uint32_t shard,
+                        uint64_t round, const char *state,
+                        const std::string &detail)
+{
+    if (!opts.base.jsonl)
+        return;
+    *opts.base.jsonl << "{\"event\":\"" << event
+                     << "\",\"shard\":" << shard
+                     << ",\"round\":" << round << ",\"state\":\""
+                     << state << "\",\"detail\":\"" << detail
+                     << "\"}\n";
+    opts.base.jsonl->flush();
+}
+
+void
+Coordinator::noteShardActivity(Shard &shard, uint64_t round)
+{
+    shard.lastActivity = Clock::now();
+    if (shard.suspect) {
+        shard.suspect = false;
+        emitHealth("fleet_rejoined", shard.spec.shard, round, "live",
+                   "heartbeat resumed");
+        if (opts.status)
+            *opts.status << "[fleet] shard " << shard.spec.shard
+                         << " is live again\n";
+    }
+}
+
+int
+Coordinator::updateHealth(FleetResult &res, uint64_t round)
+{
+    if (opts.heartbeatMs <= 0)
+        return -1;
+    auto now = Clock::now();
+    int64_t next = -1;
+    for (Shard &shard : fleet) {
+        // Only attached shards still owing a delta are judged: a
+        // detached shard cannot beat (the reconnect window and round
+        // deadline govern it), and a stashed delta is proof enough.
+        if (!shard.summary.alive || !shard.pendingDelta ||
+            shard.stashed || shard.fd < 0)
+            continue;
+        int64_t silent =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - shard.lastActivity)
+                .count();
+        int64_t interval = opts.heartbeatMs;
+        if (silent >= 2 * interval) {
+            markDead(shard, res,
+                     detail::concat("heartbeat timeout (silent ",
+                                    silent, " ms)"));
+            continue;
+        }
+        if (silent >= interval && !shard.suspect) {
+            shard.suspect = true;
+            emitHealth("fleet_degraded", shard.spec.shard, round,
+                       "suspect",
+                       detail::concat("silent for ", silent, " ms"));
+            if (opts.status)
+                *opts.status << "[fleet] shard " << shard.spec.shard
+                             << " suspect: silent for " << silent
+                             << " ms\n";
+        }
+        int64_t edge = shard.suspect ? 2 * interval : interval;
+        int64_t left = edge - silent;
+        if (left < 1)
+            left = 1;
+        if (next < 0 || left < next)
+            next = left;
+    }
+    return static_cast<int>(next);
+}
+
+std::optional<FleetStop>
+Coordinator::checkStop(const FleetResult &res) const
+{
+    size_t alive = 0;
+    bool allExhausted = true;
+    for (const Shard &shard : fleet) {
+        if (!shard.summary.alive)
+            continue;
+        ++alive;
+        if (!shard.summary.exhausted)
+            allExhausted = false;
+    }
+    if (alive == 0)
+        return FleetStop::WorkersLost;
+    if (opts.stopFlag &&
+        opts.stopFlag->load(std::memory_order_relaxed))
+        return FleetStop::Interrupted;
+    if (res.runs >= opts.base.budget.maxRuns)
+        return FleetStop::RunBudget;
+    if (allExhausted && res.rounds > 0)
+        return FleetStop::Plateau;
+    if (opts.plateauRounds && globalDryRounds >= opts.plateauRounds)
+        return FleetStop::Plateau;
+    return std::nullopt;
+}
+
+std::optional<FleetStop>
+Coordinator::enforceQuorum(FleetResult &res)
+{
+    if (opts.minQuorum == 0)
+        return std::nullopt;
+    auto counts = [&] {
+        std::pair<uint32_t, uint32_t> c{0, 0};   // {alive, attached}
+        for (const Shard &s : fleet) {
+            if (!s.summary.alive)
+                continue;
+            ++c.first;
+            if (s.fd >= 0)
+                ++c.second;
+        }
+        return c;
+    };
+
+    // Recoverable shortfall: enough shards alive, too few attached.
+    // Pausing dispatch (bounded by the round deadline) beats running
+    // a degraded round a rejoining worker could have joined.
+    if (transport->supportsReconnect() && transport->acceptFd() >= 0) {
+        std::optional<Clock::time_point> deadline;
+        if (opts.roundDeadlineMs > 0)
+            deadline = Clock::now() + std::chrono::milliseconds(
+                                          opts.roundDeadlineMs);
+        bool paused = false;
+        for (;;) {
+            auto [alive, attached] = counts();
+            if (alive < opts.minQuorum ||
+                attached >= opts.minQuorum)
+                break;
+            if (opts.stopFlag &&
+                opts.stopFlag->load(std::memory_order_relaxed))
+                return FleetStop::Interrupted;
+            if (!paused) {
+                paused = true;
+                if (opts.status)
+                    *opts.status
+                        << "[fleet] below quorum (" << attached << "/"
+                        << opts.minQuorum
+                        << " attached); pausing for rejoins\n";
+            }
+            int timeout = 200;
+            if (deadline) {
+                int left = msUntil(*deadline);
+                if (left == 0) {
+                    for (Shard &shard : fleet)
+                        if (shard.summary.alive && shard.fd < 0)
+                            markDead(shard, res,
+                                     "no rejoin within the quorum "
+                                     "wait");
+                    break;
+                }
+                timeout = std::min(timeout, left);
+            }
+            struct pollfd pfd = {transport->acceptFd(), POLLIN, 0};
+            int rc = ::poll(&pfd, 1, timeout);
+            if (rc < 0 && errno != EINTR)
+                pe_fatal("fleet poll failed: ",
+                         std::strerror(errno));
+            if (rc > 0)
+                acceptReconnects(res, res.rounds);
+        }
+    }
+
+    if (counts().first < opts.minQuorum)
+        return FleetStop::QuorumLost;
+    return std::nullopt;
+}
+
+void
+Coordinator::maybeCheckpoint(const FleetResult &res)
+{
+    if (opts.checkpointPath.empty())
+        return;
+
+    FleetCheckpoint ckpt;
+    FleetIdentity id =
+        fleetIdentityOf(opts.base, shardPlan, program, seeds);
+    ckpt.configHash = id.configHash;
+    ckpt.masterSeed = id.masterSeed;
+    ckpt.shards = id.shards;
+    ckpt.planDigest = id.planDigest;
+    ckpt.programFp = id.programFp;
+    ckpt.sessionWord = id.sessionWord;
+    ckpt.seedsDigest = id.seedsDigest;
+
+    ckpt.rounds = res.rounds;
+    ckpt.runs = res.runs;
+    ckpt.instructions = res.instructions;
+    ckpt.ntSpawned = res.ntSpawned;
+    ckpt.failedJobs = res.failedJobs;
+    ckpt.stolenRuns = res.stolenRuns;
+    ckpt.lostWorkers = res.lostWorkers;
+    ckpt.reconnects = res.reconnects;
+    ckpt.globalDryRounds = globalDryRounds;
+
+    ckpt.frontierTaken = global.frontier().takenWords();
+    ckpt.frontierNt = global.frontier().ntWords();
+    ckpt.exerciseCounts = global.exercise().rawCounts();
+    ckpt.exerciseRuns = global.exercise().runsAccumulated();
+    ckpt.entries = global.entries();
+    ckpt.origins = origins;
+
+    for (const Shard &shard : fleet) {
+        ShardCheckpoint sc;
+        sc.summary = shard.summary;
+        sc.sentTaken = shard.sentTaken;
+        sc.sentNt = shard.sentNt;
+        sc.entryMark = shard.entryMark;
+        sc.gotForeign = shard.gotForeign;
+        sc.replayRound = shard.replayRound;
+        sc.replayPayload = shard.replayPayload;
+        ckpt.shardStates.push_back(std::move(sc));
+    }
+
+    try {
+        saveFleetCheckpoint(opts.checkpointPath, ckpt);
+    } catch (const FatalError &err) {
+        // Durability is best-effort; the session itself never dies
+        // for a full disk.  The previous checkpoint (if any) is still
+        // intact — the writer renames atomically.
+        if (opts.status)
+            *opts.status << "[fleet] warning: checkpoint write "
+                            "failed: "
+                         << err.what() << "\n";
+        if (opts.base.jsonl) {
+            *opts.base.jsonl
+                << "{\"event\":\"fleet_warning\",\"warning\":"
+                   "\"checkpoint_write_failed\",\"round\":"
+                << res.rounds << ",\"error\":\"" << err.what()
+                << "\"}\n";
+            opts.base.jsonl->flush();
+        }
+    }
+}
+
+void
+Coordinator::resumeState(FleetResult &res)
+{
+    FleetCheckpoint ckpt =
+        loadFleetCheckpoint(opts.resumeFrom, program);
+    FleetIdentity id =
+        fleetIdentityOf(opts.base, shardPlan, program, seeds);
+
+    auto check = [&](const char *field, uint64_t expected,
+                     uint64_t found) {
+        if (expected != found)
+            pe_fatal("fleet checkpoint '", opts.resumeFrom,
+                     "' belongs to another session: ", field,
+                     " expected ", expected, ", found ", found);
+    };
+    check("config hash", id.configHash, ckpt.configHash);
+    check("master seed", id.masterSeed, ckpt.masterSeed);
+    check("shard count", id.shards, ckpt.shards);
+    check("plan digest", id.planDigest, ckpt.planDigest);
+    check("program fingerprint", id.programFp, ckpt.programFp);
+    check("session word", id.sessionWord, ckpt.sessionWord);
+    check("seeds digest", id.seedsDigest, ckpt.seedsDigest);
+    pe_assert(ckpt.shardStates.size() == shardPlan.specs.size(),
+              "checkpoint shard state count mismatch");
+
+    global.restore(std::move(ckpt.entries), ckpt.frontierTaken,
+                   ckpt.frontierNt, ckpt.exerciseCounts,
+                   ckpt.exerciseRuns);
+    origins = std::move(ckpt.origins);
+
+    res.rounds = ckpt.rounds;
+    res.runs = ckpt.runs;
+    res.instructions = ckpt.instructions;
+    res.ntSpawned = ckpt.ntSpawned;
+    res.failedJobs = ckpt.failedJobs;
+    res.stolenRuns = ckpt.stolenRuns;
+    res.lostWorkers = ckpt.lostWorkers;
+    res.reconnects = ckpt.reconnects;
+    globalDryRounds = ckpt.globalDryRounds;
+
+    fleet.clear();
+    fleet.resize(shardPlan.specs.size());
+    for (size_t s = 0; s < fleet.size(); ++s) {
+        Shard &shard = fleet[s];
+        ShardCheckpoint &sc = ckpt.shardStates[s];
+        shard.spec = shardPlan.specs[s];
+        shard.summary = sc.summary;
+        shard.sentTaken = std::move(sc.sentTaken);
+        shard.sentNt = std::move(sc.sentNt);
+        shard.entryMark = sc.entryMark;
+        shard.gotForeign = sc.gotForeign;
+        shard.replayRound = sc.replayRound;
+        shard.replayPayload = std::move(sc.replayPayload);
+        shard.lastActivity = Clock::now();
+    }
+
+    if (opts.status)
+        *opts.status << "[fleet] resumed session from '"
+                     << opts.resumeFrom << "': round " << res.rounds
+                     << ", " << res.runs << " runs, corpus "
+                     << global.size() << ", edges "
+                     << global.frontier().combinedCovered() << "/"
+                     << global.frontier().totalEdges() << "\n";
+    if (opts.base.jsonl) {
+        *opts.base.jsonl << "{\"event\":\"fleet_resumed\",\"round\":"
+                         << res.rounds << ",\"runs\":" << res.runs
+                         << ",\"corpus\":" << global.size()
+                         << ",\"edges_combined\":"
+                         << global.frontier().combinedCovered()
+                         << "}\n";
+        opts.base.jsonl->flush();
+    }
+}
+
+void
+Coordinator::reattachFleet(FleetResult &res)
+{
+    transport->prepareResume(
+        fleetIdentityOf(opts.base, shardPlan, program, seeds));
+
+    // Bounded wait for the session's workers to redial.  A straggler
+    // past the bound is marked dead — degradation, never a hang —
+    // and the quorum gate decides whether the session goes on.
+    std::optional<Clock::time_point> deadline;
+    if (opts.roundDeadlineMs > 0)
+        deadline = Clock::now() +
+                   std::chrono::milliseconds(opts.roundDeadlineMs);
+    for (;;) {
+        size_t missing = 0;
+        for (const Shard &shard : fleet)
+            if (shard.summary.alive && shard.fd < 0)
+                ++missing;
+        if (missing == 0)
+            return;
+        if (opts.stopFlag &&
+            opts.stopFlag->load(std::memory_order_relaxed))
+            return;   // the round loop turns this into Interrupted
+        int timeout = 200;
+        if (deadline) {
+            int left = msUntil(*deadline);
+            if (left == 0) {
+                for (Shard &shard : fleet)
+                    if (shard.summary.alive && shard.fd < 0)
+                        markDead(shard, res,
+                                 "did not redial after resume");
+                return;
+            }
+            timeout = std::min(timeout, left);
+        }
+        struct pollfd pfd = {transport->acceptFd(), POLLIN, 0};
+        int rc = ::poll(&pfd, 1, timeout);
+        if (rc < 0 && errno != EINTR)
+            pe_fatal("fleet poll failed: ", std::strerror(errno));
+        if (rc > 0)
+            acceptReconnects(res, res.rounds);
     }
 }
 
@@ -691,6 +1097,11 @@ Coordinator::shutdownWorkers()
             wire::writeFrame(shard.fd, wire::FrameType::Stop, {});
             auto frame =
                 readShardFrame(shard, opts.goodbyeTimeoutMs);
+            // A beat already in flight when Stop landed is not a
+            // protocol violation; skip to the Goodbye behind it.
+            while (frame &&
+                   frame->type == wire::FrameType::Heartbeat)
+                frame = readShardFrame(shard, opts.goodbyeTimeoutMs);
             if (frame && frame->type == wire::FrameType::Goodbye) {
                 wire::Decoder dec(frame->payload);
                 Goodbye bye = decodeGoodbye(dec);
@@ -801,7 +1212,17 @@ Coordinator::run()
         opts.base.jsonl->flush();
     }
 
-    establishFleet(res);
+    if (!opts.resumeFrom.empty()) {
+        // Durable-session restart: restore the merged state and let
+        // the session's workers redial through the reconnect path —
+        // unless the checkpoint already satisfies a stop condition,
+        // in which case there is nothing left to reattach for.
+        resumeState(res);
+        if (!checkStop(res))
+            reattachFleet(res);
+    } else {
+        establishFleet(res);
+    }
 
     uint64_t roundTotal =
         opts.roundRuns ? opts.roundRuns
@@ -809,35 +1230,12 @@ Coordinator::run()
     pe_assert(roundTotal > 0, "fleet round budget must be positive");
 
     for (;;) {
-        size_t alive = 0;
-        bool allExhausted = true;
-        for (const Shard &shard : fleet) {
-            if (!shard.summary.alive)
-                continue;
-            ++alive;
-            if (!shard.summary.exhausted)
-                allExhausted = false;
-        }
-        if (alive == 0) {
-            res.stop = FleetStop::WorkersLost;
+        if (auto stop = checkStop(res)) {
+            res.stop = *stop;
             break;
         }
-        if (opts.stopFlag &&
-            opts.stopFlag->load(std::memory_order_relaxed)) {
-            res.stop = FleetStop::Interrupted;
-            break;
-        }
-        if (res.runs >= opts.base.budget.maxRuns) {
-            res.stop = FleetStop::RunBudget;
-            break;
-        }
-        if (allExhausted && res.rounds > 0) {
-            res.stop = FleetStop::Plateau;
-            break;
-        }
-        if (opts.plateauRounds &&
-            globalDryRounds >= opts.plateauRounds) {
-            res.stop = FleetStop::Plateau;
+        if (auto stop = enforceQuorum(res)) {
+            res.stop = *stop;
             break;
         }
 
@@ -868,6 +1266,11 @@ Coordinator::run()
             ++globalDryRounds;
         else
             globalDryRounds = 0;
+
+        // Post-merge is the one durable instant: every worker is at
+        // most one round ahead of this state, which is exactly what
+        // the replay buffer covers on resume.
+        maybeCheckpoint(res);
 
         emitRound(res, round, roundRuns, roundNewEdges);
     }

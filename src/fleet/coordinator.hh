@@ -49,6 +49,7 @@
 #define PE_FLEET_COORDINATOR_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -135,6 +136,43 @@ struct FleetOptions
 
     /** Grace before SIGKILL when reaping forked workers, ms. */
     int reapTimeoutMs = 5000;
+
+    /**
+     * Heartbeat interval, ms; 0 = off.  Workers send progress beats
+     * mid-round (rate-limited to half this interval) and the
+     * coordinator runs a per-shard health machine over them: a shard
+     * silent for longer than this turns *suspect* (fleet_degraded
+     * event), silent for twice this is marked dead — well before the
+     * round deadline, so a stalled worker's budget flows to the
+     * survivors within 2x heartbeatMs instead of a full deadline.
+     */
+    int heartbeatMs = 0;
+
+    /**
+     * Minimum live shards the session insists on; 0 = off.  When the
+     * live count drops below this, the coordinator first waits (on a
+     * reconnectable transport, up to the round deadline) for
+     * detached workers to rejoin instead of dispatching degraded
+     * rounds, then stops with FleetStop::QuorumLost rather than
+     * grinding on below quorum.
+     */
+    uint32_t minQuorum = 0;
+
+    /**
+     * Durable sessions: persist the full coordinator state here
+     * after every round's merge (temp + atomic rename).  A failed
+     * write is a warning (fleet_warning event), never a session
+     * abort.  Empty = off.
+     */
+    std::string checkpointPath;
+
+    /**
+     * Resume a session from a checkpoint written by a previous
+     * coordinator.  Requires a reconnectable transport (TCP): the
+     * session's workers redial and continue, and the final digests
+     * are byte-identical to an uninterrupted run.  Empty = off.
+     */
+    std::string resumeFrom;
 };
 
 /** One shard's slice of the deterministic plan. */
@@ -168,6 +206,7 @@ enum class FleetStop : uint8_t
     Plateau,        //!< plateauRounds dry rounds (or all exhausted)
     Interrupted,    //!< stopFlag raised
     WorkersLost,    //!< every worker died
+    QuorumLost,     //!< live shards fell below minQuorum
 };
 
 const char *fleetStopName(FleetStop stop);
@@ -249,10 +288,31 @@ class Coordinator
         size_t entryMark = 0;
         /** Broadcast delivered fresh foreign material last round. */
         bool gotForeign = false;
+        /** Liveness: last frame (heartbeat or delta) or dispatch. */
+        std::chrono::steady_clock::time_point lastActivity{};
+        /** Health machine: silent past heartbeatMs, not yet dead. */
+        bool suspect = false;
     };
 
     void establishFleet(FleetResult &res);
     bool handshake(Shard &shard);
+    /** Restore state from opts.resumeFrom; fatal on any mismatch. */
+    void resumeState(FleetResult &res);
+    /** Wait (bounded) for the session's workers to redial. */
+    void reattachFleet(FleetResult &res);
+    /** Persist after a merge; failure = warning, never abort. */
+    void maybeCheckpoint(const FleetResult &res);
+    /** Stop condition shared by the round loop and the resume path. */
+    std::optional<FleetStop> checkStop(const FleetResult &res) const;
+    /** Quorum gate: pause for rejoins, then QuorumLost or nullopt. */
+    std::optional<FleetStop> enforceQuorum(FleetResult &res);
+    /** A frame arrived from shard: reset the health machine. */
+    void noteShardActivity(Shard &shard, uint64_t round);
+    /** Advance live/suspect/dead; returns ms until the next edge. */
+    int updateHealth(FleetResult &res, uint64_t round);
+    void emitHealth(const char *event, uint32_t shard,
+                    uint64_t round, const char *state,
+                    const std::string &detail);
     std::vector<uint64_t> allocateBudgets(uint64_t roundTotal,
                                           FleetResult &res);
     void sendRoundStart(Shard &shard, uint64_t round,

@@ -91,6 +91,7 @@ encodeHello(wire::Encoder &enc, const Hello &h)
     enc.u64(h.shardSeed);
     enc.u64(h.planDigest);
     enc.u64(h.programFp);
+    enc.u32(h.heartbeatMs);
 }
 
 Hello
@@ -105,6 +106,7 @@ decodeHello(wire::Decoder &dec)
     h.shardSeed = dec.u64("hello shard seed");
     h.planDigest = dec.u64("hello plan digest");
     h.programFp = dec.u64("hello program fingerprint");
+    h.heartbeatMs = dec.u32("hello heartbeat interval");
     return h;
 }
 

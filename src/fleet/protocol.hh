@@ -45,6 +45,15 @@ struct Hello
     uint64_t shardSeed = 0;     //!< this shard's derived seed
     uint64_t planDigest = 0;    //!< ShardPlan identity
     uint64_t programFp = 0;     //!< explore::programFingerprint
+
+    /**
+     * Heartbeat interval the coordinator runs its liveness machine
+     * at; 0 = heartbeats off.  Negotiation, not identity: the worker
+     * adopts whatever the coordinator asks for (validateHello never
+     * compares it), so a resumed coordinator may re-tune liveness
+     * without perturbing the session's digests.
+     */
+    uint32_t heartbeatMs = 0;
 };
 
 /** Worker -> coordinator: negotiation accepted. */

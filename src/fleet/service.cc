@@ -308,8 +308,24 @@ runService(const ServiceOptions &opts)
                      << "\n";
     uint64_t processed = opts.spoolDir.empty() ? serveStdin(opts)
                                                : serveSpool(opts);
+
+    // Terminal record: consumers tailing the result stream learn the
+    // service exited deliberately (and why) instead of having to
+    // infer it from silence.  An in-flight job always finishes first
+    // — the stop flag is only checked between jobs — so its result
+    // (and spool marker rename) precedes this line.
+    const char *reason =
+        opts.stopFlag &&
+                opts.stopFlag->load(std::memory_order_relaxed)
+            ? "signal"
+            : (opts.spoolDir.empty() ? "eof" : "drained");
+    *opts.out << "{\"event\":\"stopped\",\"jobs\":" << processed
+              << ",\"reason\":\"" << reason << "\"}\n";
+    opts.out->flush();
+
     if (opts.status)
-        *opts.status << "[serve] fleet service down, " << processed
+        *opts.status << "[serve] fleet service down (" << reason
+                     << "), " << processed
                      << " job(s) processed\n";
     return processed;
 }

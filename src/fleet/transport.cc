@@ -310,6 +310,22 @@ TcpTransport::establish(const FleetIdentity &id,
     return slots;
 }
 
+void
+TcpTransport::prepareResume(const FleetIdentity &id)
+{
+    identity = id;
+    // Every slot was held by the dead coordinator's session; the
+    // workers are still out there redialing.  Marking the slots
+    // assigned-but-detached routes their Joins through the same
+    // accept path a mid-session reconnect takes.
+    slots.assign(id.shards, -1);
+    assigned.assign(id.shards, true);
+    if (status)
+        *status << "[fleet] resuming: waiting for workers to redial "
+                   "on tcp port "
+                << boundPort << "\n";
+}
+
 std::optional<PeerJoin>
 TcpTransport::acceptPeer(
     const std::function<bool(uint32_t, bool)> &mayJoin)

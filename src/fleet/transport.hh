@@ -41,6 +41,7 @@
 
 #include "src/fleet/protocol.hh"
 #include "src/fleet/worker.hh"
+#include "src/support/status.hh"
 #include "src/support/subprocess.hh"
 
 namespace pe::fleet
@@ -118,6 +119,22 @@ class Transport
         return std::nullopt;
     }
 
+    /**
+     * Prepare for a resumed session instead of establish(): adopt
+     * @p id as the fleet identity and mark every shard slot as
+     * previously assigned but detached, so the session's workers can
+     * redial through acceptPeer() as reconnects.  Only meaningful on
+     * transports with reconnect support — the default refuses,
+     * because fork workers die with the coordinator and there is
+     * nothing left to re-attach.
+     */
+    virtual void prepareResume(const FleetIdentity &id)
+    {
+        (void)id;
+        pe_fatal("fleet resume requires a transport with reconnect "
+                 "support (tcp), not ", name());
+    }
+
     /** Close shard's channel; the slot may rejoin if supported. */
     virtual void closeChannel(uint32_t shard) = 0;
 
@@ -174,6 +191,7 @@ class TcpTransport final : public Transport
               const std::atomic<bool> *stopFlag) override;
     int acceptFd() const override { return listenSock; }
     bool supportsReconnect() const override { return true; }
+    void prepareResume(const FleetIdentity &id) override;
     std::optional<PeerJoin>
     acceptPeer(const std::function<bool(uint32_t, bool)> &mayJoin)
         override;

@@ -51,6 +51,8 @@ frameTypeName(FrameType type)
       case FrameType::Goodbye: return "goodbye";
       case FrameType::Error: return "error";
       case FrameType::Join: return "join";
+      case FrameType::Heartbeat: return "heartbeat";
+      case FrameType::HeartbeatAck: return "heartbeat-ack";
     }
     return "?";
 }

@@ -41,9 +41,11 @@ namespace pe::wire
 /**
  * Protocol revision spoken by this build's coordinator + workers.
  * v2 added the Join frame (TCP workers dialing in, with
- * reconnect/resume); the v1 frame layouts are unchanged.
+ * reconnect/resume); v3 added the Heartbeat/HeartbeatAck liveness
+ * frames and the heartbeat interval in Hello.  The v1 frame layouts
+ * are unchanged.
  */
-constexpr uint32_t kWireVersion = 2;
+constexpr uint32_t kWireVersion = 3;
 
 /** Why a decode was refused. */
 enum class WireErrorKind : uint8_t
@@ -190,6 +192,8 @@ enum class FrameType : uint32_t
     Goodbye,        //!< worker -> coordinator: final summary
     Error,          //!< worker -> coordinator: fatal worker error
     Join,           //!< dialing worker -> coordinator: identify/resume
+    Heartbeat,      //!< worker -> coordinator: mid-round liveness
+    HeartbeatAck,   //!< coordinator -> worker: heartbeat echo
 };
 
 const char *frameTypeName(FrameType type);

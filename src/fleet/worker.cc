@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -60,6 +61,64 @@ dropSite(const std::string &name)
         throw SimulatedDrop{};
     }
 }
+
+/**
+ * Worker-side liveness beacon.  The campaign's onRun hook calls
+ * beat() once per finished run (already serialized under the
+ * campaign's result mutex, and always while the serve thread is
+ * parked inside explorer.step() — so a beat never races the serve
+ * thread's own frame writes on the fd).  Beats are rate-limited to
+ * half the negotiated interval: enough margin that one delayed beat
+ * never trips the coordinator's suspect edge.
+ */
+class HeartbeatPump
+{
+  public:
+    void configure(uint32_t intervalMs)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        interval = intervalMs;
+    }
+
+    void attach(int newFd)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        fd = newFd;
+        lastSend = std::chrono::steady_clock::now();
+    }
+
+    void detach()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        fd = -1;
+    }
+
+    void beat()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (fd < 0 || interval == 0)
+            return;
+        auto now = std::chrono::steady_clock::now();
+        auto since =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - lastSend)
+                .count();
+        if (since < std::max<int64_t>(1, interval / 2))
+            return;
+        try {
+            wire::writeFrame(fd, wire::FrameType::Heartbeat, {});
+            lastSend = now;
+        } catch (const wire::WireError &) {
+            fd = -1;   // dying channel; serve() finds out on read
+        }
+    }
+
+  private:
+    std::mutex mu;
+    int fd = -1;
+    uint32_t interval = 0;
+    std::chrono::steady_clock::time_point lastSend{};
+};
 
 /**
  * The round-serving loop shared by forked and dialing workers.  Owns
@@ -123,6 +182,8 @@ class WorkerSession
                 return handleStop(fd);
             case wire::FrameType::Error:
                 return Exit::Protocol;
+            case wire::FrameType::HeartbeatAck:
+                continue;   // coordinator echoing our liveness beat
             case wire::FrameType::RoundStart:
                 break;
             default:
@@ -258,6 +319,36 @@ class WorkerSession
 
 } // namespace
 
+int
+dialBackoffMs(uint64_t seedWord, uint64_t attempt, int baseMs,
+              int maxMs)
+{
+    if (baseMs < 1)
+        baseMs = 1;
+    if (maxMs < baseMs)
+        maxMs = baseMs;
+    uint64_t shift = attempt < 20 ? attempt : 20;
+    uint64_t raw = uint64_t(baseMs) << shift;
+    if (raw > uint64_t(maxMs))
+        raw = uint64_t(maxMs);
+
+    // FNV-1a over (seedWord, attempt) picks the jitter: up to half
+    // the raw wait is shaved off, so the delay lands in
+    // [raw/2, raw] and two workers with different seeds desynchronize
+    // while reruns stay byte-identical.
+    uint64_t h = 1469598103934665603ull;
+    for (uint64_t v : {seedWord, attempt}) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    uint64_t delay = raw - h % (raw / 2 + 1);
+    if (delay < 1)
+        delay = 1;
+    return static_cast<int>(delay);
+}
+
 explore::ExploreOptions
 shardWorkerOptions(const explore::ExploreOptions &base,
                    uint64_t shardSeed, uint32_t shard,
@@ -296,9 +387,10 @@ workerMain(int fd, const isa::Program &program,
                                      wire::frameTypeName(first->type)));
         return 1;
     }
+    Hello hello;
     try {
         wire::Decoder dec(first->payload);
-        Hello hello = decodeHello(dec);
+        hello = decodeHello(dec);
         dec.expectEnd("hello");
         validateHello(hello, config.expect);
     } catch (const wire::WireError &err) {
@@ -306,7 +398,18 @@ workerMain(int fd, const isa::Program &program,
         return 1;
     }
 
-    explore::Explorer explorer(program, config.seeds, config.opts);
+    // The Hello negotiates the heartbeat interval; a nonzero value
+    // hooks the liveness pump into the explorer's per-run callback.
+    HeartbeatPump pump;
+    explore::ExploreOptions opts = config.opts;
+    if (hello.heartbeatMs > 0) {
+        pump.configure(hello.heartbeatMs);
+        opts.onRun = [&pump](const core::RunResult &) {
+            pump.beat();
+        };
+    }
+
+    explore::Explorer explorer(program, config.seeds, opts);
 
     {
         HelloReply reply;
@@ -321,7 +424,10 @@ workerMain(int fd, const isa::Program &program,
 
     WorkerSession session(program, explorer, config.expect.shard,
                           /*remote=*/false);
-    switch (session.serve(fd)) {
+    pump.attach(fd);
+    WorkerSession::Exit exit = session.serve(fd);
+    pump.detach();
+    switch (exit) {
     case WorkerSession::Exit::Stopped:
     case WorkerSession::Exit::Eof:
     case WorkerSession::Exit::Dropped:
@@ -358,10 +464,17 @@ remoteWorkerMain(const isa::Program &program,
     join.sessionWord = sessionWord(options.base);
     join.seedsDigest = seedsDigest(options.seeds);
 
+    // Declared before the explorer so the onRun lambda capturing it
+    // never outlives it.
+    HeartbeatPump pump;
     std::unique_ptr<explore::Explorer> explorer;
     std::unique_ptr<WorkerSession> session;
     uint32_t shard = kAnyShard;
 
+    // Backoff is seeded off the session identity: every worker of
+    // one fleet jitters differently, every rerun identically.
+    const uint64_t backoffSeed = cfgHash ^ options.base.seed;
+    uint64_t failStreak = 0;
     int dialsLeft = options.dialAttempts;
     uint64_t lastDropRound = ~0ull;
     int sameRoundDrops = 0;
@@ -377,11 +490,14 @@ remoteWorkerMain(const isa::Program &program,
                                     << err.what() << "\n";
                 return 1;
             }
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(options.redialDelayMs));
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                dialBackoffMs(backoffSeed, failStreak++,
+                              options.redialDelayMs,
+                              options.redialMaxMs)));
             continue;
         }
         dialsLeft = options.dialAttempts;
+        failStreak = 0;
 
         join.desiredShard = shard;
         join.lastAckedRound = session ? session->lastRound() : 0;
@@ -438,12 +554,20 @@ remoteWorkerMain(const isa::Program &program,
                 std::vector<std::vector<int32_t>> slice;
                 for (uint32_t idx : plan.specs[shard].seedIndices)
                     slice.push_back(options.seeds[idx]);
-                explorer = std::make_unique<explore::Explorer>(
-                    program, slice,
+                explore::ExploreOptions shardOpts =
                     shardWorkerOptions(options.base,
                                        plan.specs[shard].shardSeed,
                                        shard,
-                                       options.workerThreads));
+                                       options.workerThreads);
+                if (hello.heartbeatMs > 0) {
+                    pump.configure(hello.heartbeatMs);
+                    shardOpts.onRun =
+                        [&pump](const core::RunResult &) {
+                            pump.beat();
+                        };
+                }
+                explorer = std::make_unique<explore::Explorer>(
+                    program, slice, shardOpts);
                 session = std::make_unique<WorkerSession>(
                     program, *explorer, shard, /*remote=*/true);
 
@@ -474,19 +598,29 @@ remoteWorkerMain(const isa::Program &program,
                                 << err.what() << "\n";
             if (--dialsLeft <= 0)
                 return 1;
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(options.redialDelayMs));
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                dialBackoffMs(backoffSeed, failStreak++,
+                              options.redialDelayMs,
+                              options.redialMaxMs)));
             continue;
         }
 
+        pump.attach(fd);
         WorkerSession::Exit exit = session->serve(fd);
+        pump.detach();
         ::close(fd);
         switch (exit) {
         case WorkerSession::Exit::Stopped:
-        case WorkerSession::Exit::Eof:
             return 0;
         case WorkerSession::Exit::Protocol:
             return 1;
+        case WorkerSession::Exit::Eof:
+            // A clean shutdown always ends Stop -> Goodbye (Stopped);
+            // a bare EOF means the coordinator died — possibly
+            // kill -9'd mid-session, in which case a resumed
+            // coordinator will take this worker back.  Redial like a
+            // drop; a coordinator that is gone for good burns the
+            // dial attempts and exits nonzero.
         case WorkerSession::Exit::Dropped:
             // Guard against a round that drops every attempt (a
             // deterministic failure would redial forever).

@@ -95,16 +95,32 @@ struct RemoteWorkerOptions
     /** Campaign worker threads; 0 = PE_JOBS default. */
     unsigned workerThreads = 0;
 
-    /** Dial retries before giving up (coordinator not up yet, or a
-     *  dropped connection being re-established). */
+    /** Consecutive dial failures before giving up (coordinator not
+     *  up yet, or a dropped connection being re-established). */
     int dialAttempts = 40;
 
-    /** Delay between dial attempts, ms. */
+    /** Base delay between dial attempts, ms; consecutive failures
+     *  back off exponentially (with seeded jitter) from here. */
     int redialDelayMs = 250;
+
+    /** Ceiling the exponential redial backoff saturates at, ms. */
+    int redialMaxMs = 5000;
 
     /** Human-readable status stream; may be null. */
     std::ostream *status = nullptr;
 };
+
+/**
+ * Deterministic exponential redial backoff: attempt 0 waits ~baseMs,
+ * each further consecutive failure doubles the wait until it
+ * saturates at maxMs.  A seeded FNV jitter subtracts up to half the
+ * raw wait — per (seedWord, attempt), so a fleet of workers sharing
+ * one dead coordinator spreads its redials out instead of thundering
+ * in lockstep, while any rerun of the same session reproduces the
+ * same schedule byte for byte.  Pure function; always >= 1 ms.
+ */
+int dialBackoffMs(uint64_t seedWord, uint64_t attempt, int baseMs,
+                  int maxMs);
 
 /**
  * The remote worker body: derive the shard plan locally, dial the

@@ -17,7 +17,8 @@
  *
  * Site naming convention: `<area>.<operation>`, lower-case, dots as
  * separators — `campaign.run_job`, `explore.batch_merge`,
- * `explore.checkpoint_write`, `objfile.write`.
+ * `explore.checkpoint_write`, `fleet.checkpoint_write`,
+ * `objfile.write`.
  *
  * Plans can be armed from the environment for CLI/CI use:
  * `PE_FAULT_PLAN` holds a ';'-separated list of plan specs (see

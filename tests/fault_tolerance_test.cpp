@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <iterator>
 #include <new>
@@ -23,6 +24,8 @@
 
 #include "src/core/campaign.hh"
 #include "src/explore/explorer.hh"
+#include "src/fleet/checkpoint.hh"
+#include "src/fleet/coordinator.hh"
 #include "src/minic/compiler.hh"
 #include "src/support/faultinject.hh"
 #include "src/support/status.hh"
@@ -625,6 +628,147 @@ TEST(Explorer, ContinuePolicyAbsorbsFailingRuns)
     EXPECT_EQ(res.runs, 19u);
     EXPECT_EQ(res.failedJobs, 1u);
     EXPECT_NE(jsonl.str().find("\"failed\":1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Fleet checkpoint chaos: a failed or slow checkpoint write must cost
+// durability, never the session.
+
+fleet::FleetOptions
+chaosFleetOptions(uint64_t maxRuns, uint64_t seed)
+{
+    fleet::FleetOptions opts;
+    opts.base.config = core::PeConfig::forMode(core::PeMode::Off);
+    opts.base.budget.maxRuns = maxRuns;
+    opts.base.batchSize = 8;
+    opts.base.seed = seed;
+    opts.base.label = "schedule";
+    opts.shards = 3;
+    opts.workerThreads = 1;
+    return opts;
+}
+
+TEST(FleetCheckpointChaos, WriteFailureIsAWarningNeverAnAbort)
+{
+    const auto &workload = workloads::getWorkload("schedule");
+    auto program = minic::compile(workload.source, "schedule");
+    TempPath ckpt("pe_fleet_chaos.ckpt");
+
+    fleet::FleetResult baseline = fleet::runFleet(
+        program, workload.benignInputs, chaosFleetOptions(120, 0x42));
+
+    // Every checkpoint write from round 2 on throws inside the save.
+    // The session must not notice beyond a warning record: same stop,
+    // same digests, full budget.  And since writes go temp + atomic
+    // rename, the failed attempts never clobber the round-1 file —
+    // the survivor on disk still loads.
+    fault::FaultPlan plan;
+    plan.site = "fleet.checkpoint_write";
+    plan.hit = 2;
+    plan.count = 0;     // every hit from the 2nd on
+    plan.message = "injected checkpoint write failure";
+    fault::ScopedFaultPlan armed(plan);
+
+    auto opts = chaosFleetOptions(120, 0x42);
+    opts.checkpointPath = ckpt.path;
+    std::ostringstream jsonl;
+    opts.base.jsonl = &jsonl;
+    fleet::FleetResult res =
+        fleet::runFleet(program, workload.benignInputs, opts);
+
+    EXPECT_EQ(res.stop, fleet::FleetStop::RunBudget);
+    EXPECT_EQ(res.runs, baseline.runs);
+    EXPECT_EQ(res.frontierDigest, baseline.frontierDigest);
+    EXPECT_EQ(res.corpusDigest, baseline.corpusDigest);
+    EXPECT_EQ(res.lostWorkers, 0u);
+    EXPECT_NE(jsonl.str().find(
+                  "\"warning\":\"checkpoint_write_failed\""),
+              std::string::npos);
+
+    fleet::FleetCheckpoint survivor =
+        fleet::loadFleetCheckpoint(ckpt.path, program);
+    EXPECT_EQ(survivor.rounds, 1u)
+        << "a failed write must leave the previous checkpoint intact";
+    EXPECT_EQ(survivor.shards, 3u);
+    ASSERT_EQ(survivor.shardStates.size(), 3u);
+}
+
+TEST(FleetCheckpointChaos, StalledWritesOnlySlowTheSessionDown)
+{
+    const auto &workload = workloads::getWorkload("schedule");
+    auto program = minic::compile(workload.source, "schedule");
+    TempPath ckpt("pe_fleet_stall_chaos.ckpt");
+
+    fleet::FleetResult baseline = fleet::runFleet(
+        program, workload.benignInputs, chaosFleetOptions(120, 0x42));
+
+    // Every checkpoint write stalls 50 ms (a wheezing disk).  The
+    // write itself still happens after the stall, the session result
+    // is untouched, and the final checkpoint covers the final round.
+    fault::FaultPlan plan;
+    plan.site = "fleet.checkpoint_write";
+    plan.hit = 1;
+    plan.count = 0;
+    plan.kind = fault::FaultKind::Stall;
+    plan.stallMs = 50;
+    fault::ScopedFaultPlan armed(plan);
+
+    auto opts = chaosFleetOptions(120, 0x42);
+    opts.checkpointPath = ckpt.path;
+    fleet::FleetResult res =
+        fleet::runFleet(program, workload.benignInputs, opts);
+
+    EXPECT_EQ(res.stop, fleet::FleetStop::RunBudget);
+    EXPECT_EQ(res.frontierDigest, baseline.frontierDigest);
+    EXPECT_EQ(res.corpusDigest, baseline.corpusDigest);
+
+    fleet::FleetCheckpoint final_ =
+        fleet::loadFleetCheckpoint(ckpt.path, program);
+    EXPECT_EQ(final_.rounds, res.rounds);
+    EXPECT_EQ(final_.runs, res.runs);
+}
+
+TEST(FleetCheckpointChaos, ResumeRefusesForeignCorruptOrMissingState)
+{
+    const auto &workload = workloads::getWorkload("schedule");
+    auto program = minic::compile(workload.source, "schedule");
+    TempPath ckpt("pe_fleet_identity_chaos.ckpt");
+
+    {
+        auto opts = chaosFleetOptions(120, 0x42);
+        opts.checkpointPath = ckpt.path;
+        fleet::runFleet(program, workload.benignInputs, opts);
+    }
+
+    {   // Another session's seed: the identity header is judged
+        // before any worker is contacted.
+        auto opts = chaosFleetOptions(120, 0x43);
+        opts.resumeFrom = ckpt.path;
+        EXPECT_THROW(
+            fleet::runFleet(program, workload.benignInputs, opts),
+            FatalError);
+    }
+    {   // Matching identity and budget left to spend, but the fork
+        // transport cannot take redialing workers — resume demands
+        // reconnect support.  (The budget is deliberately raised:
+        // it is not part of the session identity, and a checkpoint
+        // whose budget is already spent stops before any worker is
+        // contacted.)
+        auto opts = chaosFleetOptions(240, 0x42);
+        opts.resumeFrom = ckpt.path;
+        EXPECT_THROW(
+            fleet::runFleet(program, workload.benignInputs, opts),
+            FatalError);
+    }
+    {   // Corrupt bytes fail the magic/decode, not the process.
+        TempPath junk("pe_fleet_junk.ckpt");
+        std::ofstream(junk.path) << "not a fleet checkpoint";
+        EXPECT_THROW(fleet::loadFleetCheckpoint(junk.path, program),
+                     FatalError);
+    }
+    EXPECT_THROW(fleet::loadFleetCheckpoint(
+                     ckpt.path + ".nonexistent", program),
+                 FatalError);
 }
 
 } // namespace

@@ -15,15 +15,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include <unistd.h>
 
+#include "src/fleet/checkpoint.hh"
 #include "src/fleet/coordinator.hh"
 #include "src/fleet/service.hh"
 #include "src/fleet/transport.hh"
@@ -278,6 +282,116 @@ TEST(Fleet, ShutdownIsBoundedWhenAWorkerSitsOnItsGoodbye)
         << "shutdown must not wait out a wedged worker";
 }
 
+// --- Heartbeat liveness and quorum ----------------------------------
+
+TEST(Fleet, HeartbeatDeclaresAStalledWorkerDeadBeforeTheDeadline)
+{
+    // Shard 1 stalls 20 s inside its second round while the round
+    // deadline is a uselessly generous 30 s.  Heartbeats are what
+    // save the session: the worker's progress beats stop, the
+    // coordinator marks it suspect after heartbeatMs of silence and
+    // dead after twice that, and the stalled shard's budget flows to
+    // the survivors within ~2x heartbeatMs instead of a deadline.
+    fault::FaultPlan plan;
+    plan.site = "fleet.worker_round.1";
+    plan.hit = 2;
+    plan.kind = fault::FaultKind::Stall;
+    plan.stallMs = 20000;
+    fault::ScopedFaultPlan armed(plan);
+
+    fleet::FleetOptions opts = fleetOptions(3, 120, 0x42);
+    opts.heartbeatMs = 150;
+    opts.roundDeadlineMs = 30000;   // the heartbeat must beat this
+    opts.reapTimeoutMs = 200;       // bounded SIGKILL of the staller
+
+    auto start = std::chrono::steady_clock::now();
+    fleet::FleetResult res =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs, opts);
+    auto elapsedMs = std::chrono::duration_cast<
+                         std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+    EXPECT_EQ(res.lostWorkers, 1u);
+    ASSERT_EQ(res.shards.size(), 3u);
+    EXPECT_FALSE(res.shards[1].alive);
+    EXPECT_TRUE(res.shards[0].alive);
+    EXPECT_TRUE(res.shards[2].alive);
+
+    // The survivors still spent the whole budget...
+    EXPECT_EQ(res.stop, fleet::FleetStop::RunBudget);
+    EXPECT_EQ(res.runs, 120u);
+    // ...and the session never waited out the stall or the deadline.
+    EXPECT_LT(elapsedMs, 10000)
+        << "a stalled worker must die at 2x heartbeatMs, not at the "
+           "round deadline";
+}
+
+TEST(Fleet, QuorumLossStopsTheSessionInsteadOfLimpingOn)
+{
+    // Two of three workers die in round 2; with --min-quorum 2 the
+    // session refuses to limp along on the lone survivor and stops
+    // with QuorumLost instead of burning the rest of a huge budget.
+    fault::FaultPlan p1;
+    p1.site = "fleet.worker_round.1";
+    p1.hit = 2;
+    fault::FaultPlan p2;
+    p2.site = "fleet.worker_round.2";
+    p2.hit = 2;
+    fault::ScopedFaultPlan armed(
+        std::vector<fault::FaultPlan>{p1, p2});
+
+    fleet::FleetOptions opts = fleetOptions(3, 100000, 0x42);
+    opts.minQuorum = 2;
+    fleet::FleetResult res =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs, opts);
+
+    EXPECT_EQ(res.stop, fleet::FleetStop::QuorumLost);
+    EXPECT_EQ(res.lostWorkers, 2u);
+    ASSERT_EQ(res.shards.size(), 3u);
+    EXPECT_TRUE(res.shards[0].alive);
+    EXPECT_FALSE(res.shards[1].alive);
+    EXPECT_FALSE(res.shards[2].alive);
+    EXPECT_LT(res.runs, 100000u);
+}
+
+TEST(FleetBackoff, RedialDelayIsDeterministicBoundedAndGrows)
+{
+    // The redial schedule is a pure function: a crashed-and-restarted
+    // worker reproduces its own backoff, and distinct shards (distinct
+    // seed words) jitter apart instead of thundering in lockstep.
+    const uint64_t seed = 0xfeedface;
+    for (uint64_t attempt = 0; attempt < 12; ++attempt) {
+        int a = fleet::dialBackoffMs(seed, attempt, 100, 5000);
+        EXPECT_EQ(a, fleet::dialBackoffMs(seed, attempt, 100, 5000));
+
+        // Exponential envelope: jitter shaves at most half the raw
+        // doubling curve, so delay stays in [raw/2, raw].
+        int raw = static_cast<int>(std::min<uint64_t>(
+            5000, 100ull << std::min<uint64_t>(attempt, 20)));
+        EXPECT_GE(a, std::max(1, raw / 2)) << "attempt " << attempt;
+        EXPECT_LE(a, raw) << "attempt " << attempt;
+    }
+
+    // Saturation: arbitrarily late attempts sit in [max/2, max] with
+    // no overflow.
+    int late = fleet::dialBackoffMs(seed, 4000, 100, 5000);
+    EXPECT_GE(late, 2500);
+    EXPECT_LE(late, 5000);
+
+    // Degenerate parameters still yield a sane (>= 1 ms) delay.
+    EXPECT_GE(fleet::dialBackoffMs(seed, 0, 0, 0), 1);
+
+    // Different seed words de-synchronize somewhere in the schedule.
+    bool differs = false;
+    for (uint64_t attempt = 0; attempt < 8 && !differs; ++attempt)
+        differs = fleet::dialBackoffMs(1, attempt, 100, 5000) !=
+                  fleet::dialBackoffMs(2, attempt, 100, 5000);
+    EXPECT_TRUE(differs);
+}
+
 // --- TCP transport: loopback fleets ---------------------------------
 
 /**
@@ -377,6 +491,114 @@ TEST(FleetTcp, DroppedConnectionsResumeWithoutPerturbingDigests)
     EXPECT_EQ(tcp.corpusSize, forked.corpusSize);
 }
 
+// --- Durable sessions: kill -9 the coordinator, resume --------------
+
+TEST(FleetTcp, CoordinatorKillNineThenResumeIsByteIdentical)
+{
+    // The durable-session contract end to end: a coordinator with
+    // --fleet-checkpoint is SIGKILLed mid-session (no flush, no
+    // goodbye — exactly what a crashed host looks like), a fresh
+    // coordinator resumes from the checkpoint on the same address,
+    // the TCP workers redial through the ordinary reconnect path, and
+    // the merged digests come out byte-identical to a run that was
+    // never interrupted.
+    fleet::FleetOptions opts = fleetOptions(3, 240, 0x42);
+    fleet::FleetResult baseline =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs, opts);
+
+    fs::path ckpt =
+        fs::path(testing::TempDir()) / "fleet_kill9.ckpt";
+    fs::remove(ckpt);
+
+    // Pre-pick a port: bind an ephemeral one, note it, release it, so
+    // both the doomed coordinator and its replacement can claim the
+    // same address the workers know.
+    uint16_t port = 0;
+    {
+        fleet::TcpTransport probe("127.0.0.1:0");
+        port = probe.port();
+    }
+    const std::string addr = "127.0.0.1:" + std::to_string(port);
+
+    proc::ChildProcess coord = proc::spawnChild([&](int pairFd) {
+        close(pairFd);
+        fleet::FleetOptions co = opts;
+        co.transport = std::make_shared<fleet::TcpTransport>(addr);
+        co.roundDeadlineMs = 30000;
+        co.checkpointPath = ckpt.string();
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs, co);
+        return 0;
+    });
+
+    std::vector<proc::ChildProcess> workers;
+    for (unsigned i = 0; i < opts.shards; ++i) {
+        workers.push_back(proc::spawnChild([&](int pairFd) {
+            close(pairFd);
+            fleet::RemoteWorkerOptions ro;
+            ro.connect = addr;
+            ro.shards = opts.shards;
+            ro.base = opts.base;
+            ro.seeds = scheduleWorkload().benignInputs;
+            ro.workerThreads = opts.workerThreads;
+            ro.dialAttempts = 2000;  // outlive the coordinator gap
+            ro.redialDelayMs = 10;
+            ro.redialMaxMs = 100;
+            return fleet::remoteWorkerMain(scheduleProgram(), ro);
+        }));
+    }
+
+    // Wait for durable progress (a checkpoint covering >= 2 merged
+    // rounds), then kill -9: mid-session, zero warning.
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    for (;;) {
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "coordinator made no durable progress";
+        try {
+            fleet::FleetCheckpoint c = fleet::loadFleetCheckpoint(
+                ckpt.string(), scheduleProgram());
+            if (c.rounds >= 2)
+                break;
+        } catch (const FatalError &) {
+            // Not written yet; atomic rename means never partial.
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    coord.kill(SIGKILL);
+    EXPECT_EQ(coord.wait(), -SIGKILL);
+
+    // Resume on the same address.  The workers' bare-EOF redial loop
+    // finds the new listener; identity validation accepts the
+    // checkpoint; the session continues where round R left off.
+    fleet::FleetOptions resumeOpts = opts;
+    resumeOpts.transport =
+        std::make_shared<fleet::TcpTransport>(addr);
+    resumeOpts.roundDeadlineMs = 30000;
+    resumeOpts.checkpointPath = ckpt.string();
+    resumeOpts.resumeFrom = ckpt.string();
+    fleet::FleetResult resumed =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs, resumeOpts);
+
+    for (auto &worker : workers)
+        EXPECT_EQ(worker.wait(), 0) << "worker exit status";
+
+    EXPECT_EQ(resumed.planDigest, baseline.planDigest);
+    EXPECT_EQ(resumed.frontierDigest, baseline.frontierDigest);
+    EXPECT_EQ(resumed.corpusDigest, baseline.corpusDigest);
+    EXPECT_EQ(resumed.runs, baseline.runs);
+    EXPECT_EQ(resumed.rounds, baseline.rounds);
+    EXPECT_EQ(resumed.corpusSize, baseline.corpusSize);
+    EXPECT_EQ(resumed.edgesCombined, baseline.edgesCombined);
+    EXPECT_EQ(resumed.lostWorkers, 0u);
+    // All shards came back through the reconnect path.
+    EXPECT_GE(resumed.reconnects, opts.shards);
+
+    fs::remove(ckpt);
+}
+
 // --- Job specs and the service loop ---------------------------------
 
 TEST(FleetService, ParsesJobSpecs)
@@ -446,12 +668,71 @@ TEST(FleetService, DrainsASpoolDirectory)
     EXPECT_TRUE(fs::exists(spool / "001-good.done"));
     EXPECT_TRUE(fs::exists(spool / "002-bad.failed"));
 
+    // The drain announces its own exit so a tailing consumer can tell
+    // "done" from "dead".
+    EXPECT_NE(results.find("\"event\":\"stopped\""),
+              std::string::npos);
+    EXPECT_NE(results.find("\"reason\":\"drained\""),
+              std::string::npos);
+    EXPECT_NE(results.find("\"jobs\":2"), std::string::npos);
+
     // A second drain finds an empty queue.
     std::ostringstream out2;
     svc.out = &out2;
     EXPECT_EQ(fleet::runService(svc), 0u);
     EXPECT_EQ(out2.str().find("\"event\":\"job\""),
               std::string::npos);
+
+    fs::remove_all(spool);
+}
+
+TEST(FleetService, StopFlagFinishesTheJobAndWritesATerminalRecord)
+{
+    // Resident mode (no drainOnce): only the stop flag — the SIGTERM/
+    // SIGINT handler in the CLI — brings the loop down.  The in-flight
+    // job must finish (result record, spool marker) before the
+    // terminal stopped record goes out.
+    fs::path spool =
+        fs::path(testing::TempDir()) / "fleet_stop_spool";
+    fs::remove_all(spool);
+    fs::create_directories(spool);
+    {
+        std::ofstream job(spool / "001-only.job");
+        job << "workload=schedule runs=40 shards=2 seed=11 "
+            << "mode=off\n";
+    }
+
+    std::ostringstream out;
+    std::atomic<bool> stop{false};
+    fleet::ServiceOptions svc;
+    svc.spoolDir = spool.string();
+    svc.out = &out;
+    svc.drainOnce = false;
+    svc.pollMs = 10;
+    svc.workerThreads = 1;
+    svc.stopFlag = &stop;
+
+    std::thread stopper([&] {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(150));
+        stop.store(true, std::memory_order_relaxed);
+    });
+    uint64_t processed = fleet::runService(svc);
+    stopper.join();
+
+    EXPECT_EQ(processed, 1u);
+    EXPECT_TRUE(fs::exists(spool / "001-only.done"));
+
+    std::string results = out.str();
+    size_t job = results.find("\"event\":\"job\"");
+    size_t stopped = results.find("\"event\":\"stopped\"");
+    ASSERT_NE(job, std::string::npos);
+    ASSERT_NE(stopped, std::string::npos);
+    EXPECT_LT(job, stopped)
+        << "the in-flight job's record precedes the terminal record";
+    EXPECT_NE(results.find("\"reason\":\"signal\""),
+              std::string::npos);
+    EXPECT_NE(results.find("\"jobs\":1"), std::string::npos);
 
     fs::remove_all(spool);
 }
