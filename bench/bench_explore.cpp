@@ -14,6 +14,15 @@
  *   uniform  — greedy-random exploration: corpus seeded with a few
  *              suite inputs, parents picked uniformly;
  *   rare     — the same, but rare-edge-weighted scheduling;
+ *   path     — the rare arm plus the prime-path cover objective
+ *              (ExploreOptions::pathObjective): scheduler energy is
+ *              tilted toward corpus entries adjacent to incomplete
+ *              cover paths.  Judged against a `rare+trace` twin (the
+ *              rare arm with the edge trace on but the objective
+ *              off), so both sides measure completion with the same
+ *              config hash semantics: the gate is cover completion
+ *              >= the twin's on most apps with edge coverage within
+ *              5% of the plain rare arm;
  *   sharded  — the rare arm distributed over a worker-process fleet
  *              (src/fleet/) at the *same total budget*, recording
  *              wall time and the merged frontier/corpus digests so
@@ -47,6 +56,7 @@
 #include <unistd.h>
 
 #include "bench_util.hh"
+#include "src/coverage/pathcov.hh"
 #include "src/explore/explorer.hh"
 #include "src/fleet/coordinator.hh"
 #include "src/fleet/transport.hh"
@@ -74,6 +84,11 @@ struct Arm
     uint64_t frontierDigest = 0;    //!< sharded arm only
     uint64_t corpusDigest = 0;      //!< sharded arm only
     uint64_t planDigest = 0;        //!< sharded arm only
+    // Prime-path tracker readout (arms run with the edge trace on).
+    uint64_t primePaths = 0;
+    uint64_t coverSize = 0;
+    uint64_t pathsCompleted = 0;
+    uint64_t coverCompleted = 0;
 };
 
 double
@@ -87,11 +102,14 @@ secondsSince(std::chrono::steady_clock::time_point start)
 Arm
 runExplorer(const App &app, explore::SchedulePolicy policy,
             core::PeMode mode, uint64_t budget, std::ostream *jsonl,
-            bool staticPriors = false)
+            bool staticPriors = false, bool recordTrace = false,
+            bool pathObjective = false)
 {
     explore::ExploreOptions opts;
     opts.config = appConfig(app, mode);
+    opts.config.recordEdgeTrace = recordTrace;
     opts.policy = policy;
+    opts.pathObjective = pathObjective;
     opts.budget.maxRuns = budget;
     opts.batchSize = 8;
     opts.jsonl = jsonl;
@@ -99,7 +117,9 @@ runExplorer(const App &app, explore::SchedulePolicy policy,
     opts.label = app.workload->name + "/" +
                  explore::schedulePolicyName(policy) + "/" +
                  core::peModeName(mode) +
-                 (staticPriors ? "/priors" : "");
+                 (staticPriors ? "/priors" : "") +
+                 (pathObjective ? "/path"
+                                : (recordTrace ? "/trace" : ""));
 
     // Seed with a few suite inputs only: the explorer must *find*
     // the rest of the behavior the full static suite was given.
@@ -117,6 +137,12 @@ runExplorer(const App &app, explore::SchedulePolicy policy,
     arm.edges = explorer.corpus().frontier().combinedCovered();
     arm.corpus = explorer.corpus().size();
     arm.wallSeconds = secondsSince(start);
+    if (const coverage::PathCoverage *pt = explorer.pathTracker()) {
+        arm.primePaths = pt->numPaths();
+        arm.coverSize = pt->coverSize();
+        arm.pathsCompleted = pt->completedCount();
+        arm.coverCompleted = pt->coverCompleted();
+    }
     return arm;
 }
 
@@ -272,11 +298,14 @@ main()
         core::PeConfig::forMode(core::PeMode::Standard));
 
     Table table({"App", "Budget", "Static suite", "Uniform-random",
-                 "Rare-edge", "Rare+priors", "Rare-edge (PE off)",
+                 "Rare-edge", "Rare+priors", "Path-objective",
+                 "Rare-edge (PE off)",
                  "Sharded x" + std::to_string(shardCount),
                  "TCP x" + std::to_string(shardCount)});
     bool guidedMatches = true;
     int priorWins = 0;      //!< apps where prior-seeded >= uniform
+    int pathWins = 0;       //!< apps where path cover >= rare+trace
+    bool pathEdgesOk = true; //!< path edges within 5% of rare, always
     uint64_t totalRuns = 0;
     auto wallStart = std::chrono::steady_clock::now();
     for (const char *name : kWorkloads) {
@@ -299,6 +328,18 @@ main()
             app, explore::SchedulePolicy::RareEdgeWeighted,
             core::PeMode::Standard, armBudget, &jsonl,
             /*staticPriors=*/true);
+        // Path-objective arm vs its measurement twin: both carry the
+        // edge trace (so completion is observable on both sides);
+        // only the arm under test folds it into scheduling energy.
+        Arm rareTrace = runExplorer(
+            app, explore::SchedulePolicy::RareEdgeWeighted,
+            core::PeMode::Standard, armBudget, &jsonl,
+            /*staticPriors=*/false, /*recordTrace=*/true);
+        Arm path = runExplorer(
+            app, explore::SchedulePolicy::RareEdgeWeighted,
+            core::PeMode::Standard, armBudget, &jsonl,
+            /*staticPriors=*/false, /*recordTrace=*/true,
+            /*pathObjective=*/true);
         Arm rareOff = runExplorer(
             app, explore::SchedulePolicy::RareEdgeWeighted,
             core::PeMode::Off, armBudget, &jsonl);
@@ -313,6 +354,9 @@ main()
         };
         table.addRow({name, std::to_string(armBudget), cell(stat),
                       cell(uniform), cell(rare), cell(prior),
+                      cell(path) + " / cover " +
+                          std::to_string(path.coverCompleted) + "/" +
+                          std::to_string(path.coverSize),
                       cell(rareOff),
                       cell(sharded) + " / " +
                           fmtDouble(sharded.wallSeconds, 2) + "s",
@@ -323,10 +367,16 @@ main()
                         rare.runs <= stat.runs;
         if (prior.edges >= uniform.edges)
             ++priorWins;
+        if (path.coverCompleted >= rareTrace.coverCompleted)
+            ++pathWins;
+        // The objective must not trade away edge coverage: within 5%
+        // of the plain rare arm, on every app.
+        pathEdgesOk =
+            pathEdgesOk && path.edges * 100 >= rare.edges * 95;
 
         totalRuns += stat.runs + uniform.runs + rare.runs +
-                     prior.runs + rareOff.runs + sharded.runs +
-                     tcp.runs;
+                     prior.runs + rareTrace.runs + path.runs +
+                     rareOff.runs + sharded.runs + tcp.runs;
 
         std::string prefix = std::string(name) + "_";
         json.setInt(prefix + "budget", armBudget);
@@ -338,6 +388,15 @@ main()
         json.setInt(prefix + "rare_runs", rare.runs);
         json.setInt(prefix + "rare_corpus", rare.corpus);
         json.set(prefix + "rare_wall_seconds", rare.wallSeconds);
+        json.setInt(prefix + "prime_paths", path.primePaths);
+        json.setInt(prefix + "path_cover_size", path.coverSize);
+        json.setInt(prefix + "path_edges", path.edges);
+        json.setInt(prefix + "path_paths_completed",
+                    path.pathsCompleted);
+        json.setInt(prefix + "path_cover_completed",
+                    path.coverCompleted);
+        json.setInt(prefix + "rare_cover_completed",
+                    rareTrace.coverCompleted);
         json.setInt(prefix + "sharded_edges", sharded.edges);
         json.setInt(prefix + "sharded_runs", sharded.runs);
         json.setInt(prefix + "sharded_corpus", sharded.corpus);
@@ -374,6 +433,11 @@ main()
                  "on "
               << priorWins << "/" << std::size(kWorkloads)
               << " apps.\n"
+              << "Path-objective matches or beats rare-edge cover "
+                 "completion on "
+              << pathWins << "/" << std::size(kWorkloads)
+              << " apps (edge coverage within 5%: "
+              << (pathEdgesOk ? "yes" : "NO") << ").\n"
               << "JSONL stream: " << jsonlPath << "\n";
 
     std::chrono::duration<double> wall =
@@ -386,15 +450,20 @@ main()
     json.setInt("sharded_shards", shardCount);
     json.setInt("guided_matches_static", guidedMatches ? 1 : 0);
     json.setInt("prior_beats_uniform_apps", priorWins);
+    json.setInt("path_beats_rare_apps", pathWins);
+    json.setInt("path_edges_within_5pct", pathEdgesOk ? 1 : 0);
     json.setInt("custom_budget", customBudget ? 1 : 0);
     json.setInt("total_runs", totalRuns);
     json.set("wall_seconds", wall.count());
     json.set("runs_per_second", totalRuns / wall.count());
     json.write();
 
-    // The suite-parity and prior-vs-uniform gates are part of the
-    // bench contract only at the default budget; tiny smoke budgets
-    // just record numbers.
-    return (!customBudget && (!guidedMatches || priorWins < 2)) ? 1
-                                                                : 0;
+    // The suite-parity, prior-vs-uniform and path-vs-rare gates are
+    // part of the bench contract only at the default budget; tiny
+    // smoke budgets just record numbers.
+    return (!customBudget &&
+            (!guidedMatches || priorWins < 2 || pathWins < 2 ||
+             !pathEdgesOk))
+               ? 1
+               : 0;
 }

@@ -5,6 +5,10 @@
  *
  *   $ ./examples/explore [workload] [options]
  *       --policy rare|uniform   scheduling policy (default rare)
+ *       --path-objective        weight scheduling toward corpus
+ *                               entries adjacent to incomplete
+ *                               prime-path cover paths (enables the
+ *                               per-run edge trace; identity-bearing)
  *       --mode off|standard|cmp engine mode (default standard)
  *       --runs N                total run budget (default 200)
  *       --batch N               mutants per batch (default 8)
@@ -149,6 +153,7 @@ main(int argc, char **argv)
     // --print-worker-cmd so the worker command round-trips exactly.
     std::string policyArg = "rare";
     std::string modeArg = "standard";
+    bool pathObjective = false;
     bool serve = false;
     bool drain = false;
     std::string spoolDir;
@@ -172,6 +177,8 @@ main(int argc, char **argv)
             else
                 return usage("unknown policy");
             policyArg = v;
+        } else if (arg == "--path-objective") {
+            pathObjective = true;
         } else if (arg == "--mode") {
             const char *v = next();
             if (!v)
@@ -337,6 +344,12 @@ main(int argc, char **argv)
     auto program = minic::compile(workload.source, name);
     opts.label = name;
     opts.config.maxNtPathLength = workload.maxNtPathLength;
+    // After --mode: forMode() rebuilt the config, and the trace flag
+    // must land in the final one (it is part of the config hash).
+    if (pathObjective) {
+        opts.pathObjective = true;
+        opts.config.recordEdgeTrace = true;
+    }
 
     std::ofstream jsonlFile;
     if (jsonlPath == "-") {
@@ -413,7 +426,9 @@ main(int argc, char **argv)
             std::cout << argv[0] << " " << name << " --connect "
                       << host << ":" << port << " --shards " << shards
                       << " --policy " << policyArg << " --mode "
-                      << modeArg << " --batch " << opts.batchSize
+                      << modeArg
+                      << (pathObjective ? " --path-objective" : "")
+                      << " --batch " << opts.batchSize
                       << " --seed " << opts.seed
                       << " --dial-attempts 400\n";
         }

@@ -26,6 +26,7 @@
 
 #include "src/analysis/cfg.hh"
 #include "src/analysis/fixcheck.hh"
+#include "src/analysis/primepaths.hh"
 #include "src/analysis/regions.hh"
 #include "src/analysis/verify.hh"
 #include "src/branch/btb.hh"
@@ -103,6 +104,13 @@ struct LintResult
     uint32_t condBranches = 0;
     uint32_t eligibleBranches = 0;
     size_t saturableRegions = 0;
+    // Prime-path structure (src/analysis/primepaths.hh): how many
+    // maximal simple paths the CFG holds, how few of them suffice to
+    // cover every intraprocedural edge, and whether the enumeration
+    // hit its cap (counts below a truncated enumeration are floors).
+    size_t primePaths = 0;
+    size_t pathCover = 0;
+    bool pathsTruncated = false;
 };
 
 LintResult
@@ -140,6 +148,12 @@ lint(const isa::Program &program, bool fixcheck)
     res.eligibleBranches = elig.eligibleBranches;
     const analysis::Cfg cfg(program);
     res.saturableRegions = analysis::countEligibleRegions(cfg, elig);
+
+    const analysis::PrimePathSet pathSet =
+        analysis::enumeratePrimePaths(cfg);
+    res.primePaths = pathSet.paths.size();
+    res.pathCover = analysis::computePathCover(cfg, pathSet).size();
+    res.pathsTruncated = pathSet.truncated;
     return res;
 }
 
@@ -162,6 +176,10 @@ printText(const isa::Program &program, const LintResult &res,
                   << res.condBranches
                   << " branch(es) saturation-eligible, "
                   << res.saturableRegions << " saturable region(s)\n";
+        std::cout << res.name << ": " << res.primePaths
+                  << " prime path(s), cover " << res.pathCover
+                  << (res.pathsTruncated ? " (truncated)" : "")
+                  << "\n";
     }
 }
 
@@ -180,6 +198,10 @@ printJson(std::ostream &os, const isa::Program &program,
        << ",\"cond_branches\":" << res.condBranches
        << ",\"eligible_branches\":" << res.eligibleBranches
        << ",\"saturable_regions\":" << res.saturableRegions
+       << ",\"prime_paths\":" << res.primePaths
+       << ",\"path_cover\":" << res.pathCover
+       << ",\"paths_truncated\":"
+       << (res.pathsTruncated ? "true" : "false")
        << ",\"diagnostics\":[";
     for (size_t i = 0; i < res.diagnostics.size(); ++i) {
         const auto &d = res.diagnostics[i];

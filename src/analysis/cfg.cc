@@ -174,6 +174,26 @@ Cfg::Cfg(const isa::Program &program)
         }
     }
 
+    // Deterministic successor order: sort each block's outgoing
+    // edges by target firstPc (edge index breaks the tie for
+    // parallel edges).  Construction order above depends on the
+    // opcode cases — BranchTaken before BranchNotTaken, Call before
+    // CallReturn — which is stable today but an accident of the
+    // switch layout; prime-path ids and every order-sensitive
+    // consumer (reversePostOrder, the simple-path worklist) key off
+    // succession order, so it is pinned here instead
+    // (tests/primepath_test.cpp holds the pin).
+    for (BasicBlock &b : blockList) {
+        std::sort(b.succs.begin(), b.succs.end(),
+                  [&](uint32_t ea, uint32_t eb) {
+                      uint32_t pa = blockList[edgeList[ea].to].firstPc;
+                      uint32_t pb = blockList[edgeList[eb].to].firstPc;
+                      if (pa != pb)
+                          return pa < pb;
+                      return ea < eb;
+                  });
+    }
+
     // Reachability from the entry, across every edge kind.
     reach.assign(blockList.size(), false);
     if (program.entry < n) {

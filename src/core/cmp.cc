@@ -404,6 +404,10 @@ PathExpanderEngine::runCmp(RunState &state)
         }
         if (res.branch) {
             result.coverage.onTakenEdge(res.pc, res.branchTaken);
+            if (cfg.recordEdgeTrace) {
+                result.recordBranchEvent(res.pc, res.branchTaken,
+                                         cfg.edgeTraceCap);
+            }
             state.btb.increment(res.pc, res.branchTaken);
             if (shouldSpawn(cfg, state, decoded, res.pc, ntEdgeDir(res)))
                 spawn(res);

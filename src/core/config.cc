@@ -84,6 +84,8 @@ configHash(const PeConfig &cfg)
     f.value(cfg.maxSegmentDepth);
     f.value(cfg.spawnPreFilter);
     f.value(cfg.selfPrune);
+    f.value(cfg.recordEdgeTrace);
+    f.value(cfg.edgeTraceCap);
     for (const auto &fn : cfg.noSpawnFuncs)
         f.str(fn);
     f.value(cfg.layout.memWords);

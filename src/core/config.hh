@@ -161,6 +161,25 @@ struct PeConfig
     bool selfPrune = false;
 
     /**
+     * Record the taken-path branch-decision stream into
+     * RunResult::branchTrace: one (pc << 1) | taken word per executed
+     * conditional branch, in order, capped at edgeTraceCap events.
+     * Forces every conditional branch to surface from the bulk
+     * block-stepped dispatch and disengages self-pruned superblocks
+     * (both skip per-branch visibility), so architectural results and
+     * cycle accounting are unchanged but the execution strategy is
+     * not the fastest one.  Part of configHash() as an
+     * engine-behavior input, like selfPrune.
+     */
+    bool recordEdgeTrace = false;
+
+    /**
+     * Cap on recorded branchTrace events per run (~1 MiB at the
+     * default); overflow sets RunResult::branchTraceTruncated.
+     */
+    uint32_t edgeTraceCap = 1u << 18;
+
+    /**
      * Test hook: force the legacy one-instruction-at-a-time
      * execution loop instead of the pre-decoded block-stepped loop
      * (`sim::runBlock`).  The two loops are bit-identical by

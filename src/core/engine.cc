@@ -381,8 +381,13 @@ PathExpanderEngine::runInline(RunState &state)
     // pruned branch, no NT redirect ablation reading frozen counters
     // from NT-Paths, and a threshold within the counter range so "at
     // cap" really does freeze the spawn compare false.
+    // Branch tracing needs every conditional branch to surface from
+    // the bulk dispatch paths (blocks run them silently, superblocks
+    // even more so); the result bits are unchanged, only the
+    // execution strategy slows down.
+    const bool traceEdges = cfg.recordEdgeTrace;
     const bool pruneActive =
-        useBlocks && peActive && cfg.selfPrune &&
+        useBlocks && peActive && cfg.selfPrune && !traceEdges &&
         cfg.randomSpawnFraction == 0.0 && !cfg.followNonTakenInNt &&
         cfg.ntPathCounterThreshold <= state.btb.maxCount();
     if (pruneActive) {
@@ -443,15 +448,16 @@ PathExpanderEngine::runInline(RunState &state)
         // coverage bit, so blocks run straight through them: pass the
         // run's coverage tracker as the in-block branch sink.
         // Likewise Chkb/Assert are inert without a detector.
+        const bool branchesInBlock = !peActive && !traceEdges;
         if (useBlocks &&
-            decoded.startsBlock(core.pc, !peActive,
+            decoded.startsBlock(core.pc, branchesInBlock,
                                 detector == nullptr)) {
             sim::BlockOut blk = sim::runBlock(
                 decoded, core,
                 blockCap(state, cfg.maxTakenInstructions -
                                     result.takenInstructions),
                 UINT64_MAX, /*perInstExtra=*/0,
-                peActive ? nullptr : &result.coverage,
+                branchesInBlock ? &result.coverage : nullptr,
                 detector == nullptr);
             if (blk.instructions) {
                 result.takenInstructions += blk.instructions;
@@ -492,6 +498,10 @@ PathExpanderEngine::runInline(RunState &state)
 
         if (res.branch) {
             result.coverage.onTakenEdge(res.pc, res.branchTaken);
+            if (traceEdges) {
+                result.recordBranchEvent(res.pc, res.branchTaken,
+                                         cfg.edgeTraceCap);
+            }
 
             if (peActive) {
                 state.btb.increment(res.pc, res.branchTaken);

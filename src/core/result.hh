@@ -89,6 +89,26 @@ struct RunResult
      */
     uint64_t prunedInstructions = 0;
 
+    /**
+     * Taken-path branch-decision stream (cfg.recordEdgeTrace): one
+     * (pc << 1) | taken word per executed conditional branch, in
+     * execution order, capped at cfg.edgeTraceCap events.  Feeds the
+     * prime-path fold (coverage::PathCoverage).  Like
+     * prunedInstructions this is a diagnostic/metric channel excluded
+     * from bit-identity comparisons of engine results.
+     */
+    std::vector<uint32_t> branchTrace;
+    bool branchTraceTruncated = false;
+
+    /** Record one branch event, honoring @p cap. */
+    void recordBranchEvent(uint32_t pc, bool taken, uint32_t cap)
+    {
+        if (branchTrace.size() < cap)
+            branchTrace.push_back((pc << 1) | (taken ? 1u : 0u));
+        else
+            branchTraceTruncated = true;
+    }
+
     /** Primary-core completion time in cycles. */
     uint64_t cycles = 0;
 

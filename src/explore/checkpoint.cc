@@ -45,10 +45,12 @@ constexpr char magic[8] = {'P', 'E', 'X', 'C', 'K', 'P', '2', '\0'};
 
 /**
  * Version 2: the shared serialize.hh codec (entries gained the
- * `foreign` flag the fleet's corpus-exchange needs).  Version-1 files
- * predate the fleet and are refused with both numbers reported.
+ * `foreign` flag the fleet's corpus-exchange needs).  Version 3:
+ * batch stats carry pathsCompleted/coverCompleted and a prime-path
+ * tracker section follows the history (present flag + PathCoverage
+ * state).  Older files are refused with both numbers reported.
  */
-constexpr uint32_t checkpointVersion = 2;
+constexpr uint32_t checkpointVersion = 3;
 
 } // namespace
 
@@ -89,6 +91,13 @@ Explorer::writeCheckpoint(const ExploreResult &res) const
     enc.u32(static_cast<uint32_t>(res.history.size()));
     for (const ExploreBatchStats &s : res.history)
         encodeBatchStats(enc, s);
+
+    // Prime-path tracker: presence is implied by the config (the
+    // recordEdgeTrace flag is inside configHash, validated above),
+    // but an explicit flag keeps the layout self-describing.
+    enc.u8(paths ? 1 : 0);
+    if (paths)
+        paths->encodeState(enc);
 
     const std::string tmp = opts.checkpointPath + ".tmp";
     {
@@ -207,6 +216,21 @@ Explorer::resume(ExploreResult &res)
         res.history.reserve(nStats);
         for (uint32_t i = 0; i < nStats; ++i)
             res.history.push_back(decodeBatchStats(dec));
+
+        const bool hasTracker = dec.u8("path tracker flag") != 0;
+        if (hasTracker != (paths != nullptr)) {
+            // Unreachable through the public API — recordEdgeTrace is
+            // part of the config hash checked above — but the layout
+            // check costs nothing.
+            throw wire::WireError(wire::WireErrorKind::Mismatch,
+                                  "path tracker presence mismatch",
+                                  paths != nullptr ? 1 : 0,
+                                  hasTracker ? 1 : 0);
+        }
+        if (paths)
+            paths->decodeState(dec);
+        if (opts.pathObjective)
+            refreshPathEnergies();
 
         dec.expectEnd("checkpoint");
     } catch (const wire::WireError &err) {

@@ -76,6 +76,18 @@ struct CorpusEntry
     double priorEnergy = 0.0;
 
     /**
+     * Path-cover adjacency weight (PathCoverage::coverAdjacency over
+     * this entry's coverage), maintained by the explorer when
+     * ExploreOptions::pathObjective is on: recomputed at admission and
+     * refreshed whenever the global completion bits change, since a
+     * newly completed cover path stops contributing to every entry.
+     * 0 by default, so the prior-free/path-free energies stay
+     * bit-identical; recomputed after a checkpoint restore rather
+     * than serialized, like priorEnergy.
+     */
+    double pathEnergy = 0.0;
+
+    /**
      * True when the entry arrived from another shard over the fleet's
      * corpus-exchange rather than from a local run.  Foreign entries
      * schedule and mutate like any other, but a worker never exports

@@ -43,6 +43,12 @@ Explorer::Explorer(const isa::Program &program,
         priors = analysis::computeBranchPriors(
             program, this->opts.config.maxNtPathLength);
     }
+    pe_assert(!this->opts.pathObjective ||
+                  this->opts.config.recordEdgeTrace,
+              "pathObjective requires config.recordEdgeTrace");
+    if (this->opts.config.recordEdgeTrace) {
+        paths = std::make_unique<coverage::PathCoverage>(program);
+    }
     for (const auto &seed : this->seeds)
         mut.observe(seed);
 }
@@ -81,6 +87,22 @@ Explorer::entryPriorEnergy(const CorpusEntry &entry) const
     return sum;
 }
 
+double
+Explorer::entryPathEnergy(const CorpusEntry &entry) const
+{
+    if (!opts.pathObjective || !paths)
+        return 0.0;
+    return paths->coverAdjacency(entry.coverage.takenWords(),
+                                 entry.coverage.ntWords());
+}
+
+void
+Explorer::refreshPathEnergies()
+{
+    for (CorpusEntry &entry : corp.entries())
+        entry.pathEnergy = entryPathEnergy(entry);
+}
+
 void
 Explorer::runBatch(const std::vector<std::vector<int32_t>> &inputs,
                    ExploreResult &res)
@@ -114,8 +136,17 @@ Explorer::runBatch(const std::vector<std::vector<int32_t>> &inputs,
     stats.batch = res.batches;
     stats.batchRuns = outcome.results.size();
     stats.failedJobs = outcome.failures.size();
+    const uint64_t pathsBefore = paths ? paths->completedCount() : 0;
     for (size_t k = 0; k < outcome.results.size(); ++k) {
         const core::RunResult &result = outcome.results[k];
+        if (paths) {
+            // Job order — commutative OR, but keep the fold order
+            // deterministic anyway so the counters match too.
+            paths->fold(result.branchTrace,
+                        result.branchTraceTruncated,
+                        result.stopCause ==
+                            core::RunStopCause::Completed);
+        }
         // Under Continue/Retry the surviving results are a job-order
         // subsequence; resultJobIndex maps each back to its input.
         const auto &input = inputs[outcome.resultJobIndex[k]];
@@ -162,6 +193,20 @@ Explorer::runBatch(const std::vector<std::vector<int32_t>> &inputs,
     // rareEdges.
     if (stats.newEdges > 0)
         corp.rescore(opts.rarePercentile);
+
+    if (paths) {
+        stats.pathsCompleted = paths->completedCount();
+        stats.coverCompleted = paths->coverCompleted();
+        // Adjacency energies go stale two ways: a completed cover
+        // path stops contributing to *every* entry, and a new entry
+        // starts from 0.  Both triggers are deterministic, so resumed
+        // and uninterrupted sessions refresh at the same batches.
+        if (opts.pathObjective &&
+            (stats.pathsCompleted != pathsBefore ||
+             stats.admitted > 0)) {
+            refreshPathEnergies();
+        }
+    }
 
     emitBatch(stats);
     res.history.push_back(stats);
@@ -307,6 +352,17 @@ Explorer::importFrontierWords(const std::vector<uint64_t> &taken,
     corp.mergeFrontierWords(taken, nt);
 }
 
+void
+Explorer::importPathWords(const std::vector<uint64_t> &words)
+{
+    if (!paths || words.empty())
+        return;
+    const uint64_t before = paths->completedCount();
+    paths->mergeWords(words);
+    if (opts.pathObjective && paths->completedCount() != before)
+        refreshPathEnergies();
+}
+
 size_t
 Explorer::importForeignEntries(std::vector<CorpusEntry> entries)
 {
@@ -314,10 +370,10 @@ Explorer::importForeignEntries(std::vector<CorpusEntry> entries)
     for (CorpusEntry &entry : entries) {
         if (corp.considerForeign(std::move(entry), acc.batches) > 0) {
             ++admitted;
-            if (opts.useStaticPriors) {
-                CorpusEntry &in = corp.entries().back();
+            CorpusEntry &in = corp.entries().back();
+            if (opts.useStaticPriors)
                 in.priorEnergy = entryPriorEnergy(in);
-            }
+            in.pathEnergy = entryPathEnergy(in);
         }
     }
     // Imports are admissions like any other: fold the accumulated
@@ -373,8 +429,16 @@ Explorer::emitHeader() const
                 << ",\"plateau_batches\":"
                 << opts.budget.plateauBatches
                 << ",\"total_edges\":"
-                << corp.frontier().totalEdges()
-                << ",\"config_hash\":\""
+                << corp.frontier().totalEdges();
+    if (paths) {
+        *opts.jsonl << ",\"path_objective\":"
+                    << (opts.pathObjective ? "true" : "false")
+                    << ",\"prime_paths\":" << paths->numPaths()
+                    << ",\"path_cover\":" << paths->coverSize()
+                    << ",\"paths_truncated\":"
+                    << (paths->truncated() ? "true" : "false");
+    }
+    *opts.jsonl << ",\"config_hash\":\""
                 << fmtHex(core::configHash(opts.config)) << "\"}\n";
 }
 
@@ -393,8 +457,12 @@ Explorer::emitBatch(const ExploreBatchStats &stats) const
                 << ",\"new_edges\":" << stats.newEdges
                 << ",\"nt_spawned\":" << stats.ntSpawned
                 << ",\"nt_early_stops\":" << stats.ntEarlyStops
-                << ",\"failed\":" << stats.failedJobs
-                << "}\n";
+                << ",\"failed\":" << stats.failedJobs;
+    if (paths) {
+        *opts.jsonl << ",\"paths_completed\":" << stats.pathsCompleted
+                    << ",\"cover_completed\":" << stats.coverCompleted;
+    }
+    *opts.jsonl << "}\n";
     // Crash safety: a consumer tailing the stream (or reading it
     // after a kill) always sees whole lines up to the last finished
     // batch.
@@ -419,7 +487,17 @@ Explorer::emitDone(const ExploreResult &res) const
                 << ",\"edges_combined\":"
                 << corp.frontier().combinedCovered()
                 << ",\"frontier_digest\":\""
-                << fmtHex(coverageDigest(corp.frontier())) << "\"}\n";
+                << fmtHex(coverageDigest(corp.frontier())) << "\"";
+    if (paths) {
+        *opts.jsonl << ",\"paths_completed\":"
+                    << paths->completedCount()
+                    << ",\"cover_size\":" << paths->coverSize()
+                    << ",\"path_cover_completed\":"
+                    << paths->coverCompleted()
+                    << ",\"path_digest\":\""
+                    << fmtHex(paths->digest()) << "\"";
+    }
+    *opts.jsonl << "}\n";
     // Terminal record: every clean shutdown (checkpoint-triggered
     // included) ends the stream the same way, so "no stopped line"
     // reliably means the session died hard.

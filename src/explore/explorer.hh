@@ -26,11 +26,13 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/analysis/priors.hh"
 #include "src/core/campaign.hh"
+#include "src/coverage/pathcov.hh"
 #include "src/explore/corpus.hh"
 #include "src/explore/mutator.hh"
 #include "src/explore/scheduler.hh"
@@ -156,6 +158,22 @@ struct ExploreOptions
      * priors on cannot silently resume a priors-off session.
      */
     bool useStaticPriors = false;
+
+    /**
+     * Path-cover-guided scheduling.  Requires config.recordEdgeTrace
+     * (asserted at construction): the explorer builds the program's
+     * prime-path set and minimum path cover (analysis/primepaths.hh),
+     * folds every run's branch trace into a coverage::PathCoverage
+     * tracker, and multiplies each entry's scheduling energy by
+     * (1 + cover adjacency), leaning batches toward parents whose
+     * runs already walk long prefixes of incomplete cover paths.
+     * The tracker itself exists whenever recordEdgeTrace is on (that
+     * flag is part of configHash); this option only adds the energy
+     * shaping, and is folded into the checkpoint/fleet policy word
+     * (bit 0x200) so a path-objective checkpoint cannot silently
+     * resume an edge-objective session or vice versa.
+     */
+    bool pathObjective = false;
 };
 
 /** Per-batch progress snapshot (one JSONL line each). */
@@ -172,6 +190,8 @@ struct ExploreBatchStats
     uint64_t ntSpawned = 0;         //!< NT-Paths spawned this batch
     uint64_t ntEarlyStops = 0;      //!< capacity/max-length stops
     uint64_t failedJobs = 0;        //!< jobs with no result this batch
+    uint64_t pathsCompleted = 0;    //!< cumulative prime paths done
+    uint64_t coverCompleted = 0;    //!< cumulative cover paths done
 };
 
 struct ExploreResult
@@ -238,6 +258,25 @@ class Explorer
      */
     std::vector<const CorpusEntry *> drainNewLocalEntries();
 
+    /**
+     * The prime-path completion tracker, or null when
+     * config.recordEdgeTrace is off.  Fleet workers serialize its
+     * words into RoundDelta; benches read its counters.
+     */
+    const coverage::PathCoverage *pathTracker() const
+    {
+        return paths.get();
+    }
+
+    /**
+     * Fleet hook: OR the coordinator's merged completion words into
+     * the local tracker (no-op when the tracker is off and the vector
+     * is empty).  Refreshes entry path energies when the bits changed
+     * and pathObjective is on — a path completed elsewhere stops
+     * attracting local energy.
+     */
+    void importPathWords(const std::vector<uint64_t> &words);
+
     /** Progress so far (step() sessions; run() returns the same). */
     const ExploreResult &progress() const { return acc; }
 
@@ -287,10 +326,24 @@ class Explorer
      */
     double entryPriorEnergy(const CorpusEntry &entry) const;
 
+    /**
+     * Cover-adjacency energy for @p entry (0 when pathObjective is
+     * off).  Deterministic in (program, tracker bits, entry
+     * coverage); resume recomputes it like entryPriorEnergy.
+     */
+    double entryPathEnergy(const CorpusEntry &entry) const;
+
+    /** Recompute pathEnergy for every corpus entry. */
+    void refreshPathEnergies();
+
     const isa::Program &program;
     std::vector<std::vector<int32_t>> seeds;
     ExploreOptions opts;
     analysis::BranchPriors priors;
+
+    /** Prime-path tracker; null unless config.recordEdgeTrace. */
+    std::unique_ptr<coverage::PathCoverage> paths;
+
     Corpus corp;
     Mutator mut;
     Scheduler sched;

@@ -43,7 +43,10 @@ Scheduler::energy(const CorpusEntry &entry) const
     // Static-prior seeding: priorEnergy is 0 unless the explorer
     // computed spawn priors, so the default stays bit-identical.
     double prior = 1.0 + entry.priorEnergy;
-    return rare * depth * prior / fatigue;
+    // Path-cover adjacency: 0 unless the explorer runs with
+    // pathObjective, preserving bit-identity the same way.
+    double pathw = 1.0 + entry.pathEnergy;
+    return rare * depth * prior * pathw / fatigue;
 }
 
 std::vector<size_t>

@@ -43,7 +43,8 @@ uint32_t
 policyWord(const ExploreOptions &opts)
 {
     return static_cast<uint32_t>(opts.policy) |
-           (opts.useStaticPriors ? 0x100u : 0u);
+           (opts.useStaticPriors ? 0x100u : 0u) |
+           (opts.pathObjective ? 0x200u : 0u);
 }
 
 uint64_t
@@ -120,6 +121,8 @@ encodeBatchStats(wire::Encoder &enc, const ExploreBatchStats &stats)
     enc.u64(stats.ntSpawned);
     enc.u64(stats.ntEarlyStops);
     enc.u64(stats.failedJobs);
+    enc.u64(stats.pathsCompleted);
+    enc.u64(stats.coverCompleted);
 }
 
 ExploreBatchStats
@@ -137,6 +140,8 @@ decodeBatchStats(wire::Decoder &dec)
     s.ntSpawned = dec.u64("stats ntSpawned");
     s.ntEarlyStops = dec.u64("stats ntEarlyStops");
     s.failedJobs = dec.u64("stats failedJobs");
+    s.pathsCompleted = dec.u64("stats pathsCompleted");
+    s.coverCompleted = dec.u64("stats coverCompleted");
     return s;
 }
 

@@ -23,8 +23,13 @@ namespace
 
 constexpr char magic[8] = {'P', 'E', 'F', 'C', 'K', 'P', '1', '\0'};
 
-/** Version 1: the PR 9 durable-session format. */
-constexpr uint32_t checkpointVersion = 1;
+/**
+ * Version 1: the PR 9 durable-session format.  Version 2: the merged
+ * prime-path completion words follow the entry origins (empty vector
+ * when the tracker is off).  Older files are refused with both
+ * numbers reported.
+ */
+constexpr uint32_t checkpointVersion = 2;
 
 void
 encodeShard(wire::Encoder &enc, const ShardCheckpoint &s)
@@ -106,6 +111,7 @@ saveFleetCheckpoint(const std::string &path,
     for (const explore::CorpusEntry &e : ckpt.entries)
         explore::encodeEntry(enc, e);
     enc.u32vec(ckpt.origins);
+    enc.u64vec(ckpt.pathWords);
 
     enc.u32(static_cast<uint32_t>(ckpt.shardStates.size()));
     for (const ShardCheckpoint &s : ckpt.shardStates)
@@ -186,6 +192,7 @@ loadFleetCheckpoint(const std::string &path,
             ckpt.entries.push_back(
                 explore::decodeEntry(dec, program));
         ckpt.origins = dec.u32vec("entry origins");
+        ckpt.pathWords = dec.u64vec("path completion words");
         if (ckpt.origins.size() != ckpt.entries.size()) {
             pe_fatal("fleet checkpoint '", path,
                      "' is inconsistent: ", ckpt.entries.size(),

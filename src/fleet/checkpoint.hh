@@ -100,6 +100,12 @@ struct FleetCheckpoint
     /** Origin shard per entry (echo-free rebroadcast needs it). */
     std::vector<uint32_t> origins;
 
+    /**
+     * Merged prime-path completion words (version 2); empty when the
+     * session ran without the tracker (config.recordEdgeTrace off).
+     */
+    std::vector<uint64_t> pathWords;
+
     std::vector<ShardCheckpoint> shardStates;
 };
 

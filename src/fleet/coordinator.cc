@@ -156,6 +156,13 @@ Coordinator::Coordinator(const isa::Program &program,
     shardPlan = makeShardPlan(core::configHash(this->opts.base.config),
                               this->opts.base.seed, this->opts.shards,
                               this->seeds.size());
+    // Same construction path as every worker's Explorer: the tracker
+    // is a pure function of the program (default enumeration caps),
+    // so coordinator and shards agree on the path-id space and the
+    // completion words can be OR-merged without translation.
+    if (this->opts.base.config.recordEdgeTrace)
+        pathTracker =
+            std::make_unique<coverage::PathCoverage>(program);
 }
 
 void
@@ -351,6 +358,10 @@ Coordinator::sendRoundStart(Shard &shard, uint64_t round,
     start.frontier =
         diffFrontier(global.frontier(), shard.sentTaken,
                      shard.sentNt);
+    // Dense and idempotent (the worker ORs them in), so no per-shard
+    // cursor is needed — resending unchanged words is harmless.
+    if (pathTracker)
+        start.pathWords = pathTracker->words();
 
     // Globally-admitted entries this shard has not seen, skipping
     // the ones it contributed itself (echo-free exchange).
@@ -415,6 +426,13 @@ Coordinator::mergeRoundDelta(Shard &shard, const RoundDelta &delta,
         applyFrontier(delta.frontier, taken, nt);
         global.mergeFrontierWords(taken, nt);
     }
+
+    // Path completion is a word-OR like the frontier, so shard-order
+    // merging keeps the digest a pure function of the plan.  A size
+    // disagreement is impossible past the handshake (recordEdgeTrace
+    // rides in configHash), which mergeWords asserts.
+    if (pathTracker && !delta.pathWords.empty())
+        pathTracker->mergeWords(delta.pathWords);
 
     size_t grown = global.frontier().combinedCovered() - before;
     shard.summary.newEdges += grown;
@@ -901,6 +919,8 @@ Coordinator::maybeCheckpoint(const FleetResult &res)
     ckpt.exerciseRuns = global.exercise().runsAccumulated();
     ckpt.entries = global.entries();
     ckpt.origins = origins;
+    if (pathTracker)
+        ckpt.pathWords = pathTracker->words();
 
     for (const Shard &shard : fleet) {
         ShardCheckpoint sc;
@@ -964,6 +984,11 @@ Coordinator::resumeState(FleetResult &res)
                    ckpt.frontierNt, ckpt.exerciseCounts,
                    ckpt.exerciseRuns);
     origins = std::move(ckpt.origins);
+    // Tracker presence is implied by recordEdgeTrace, which the
+    // config-hash check above already judged; an empty word vector in
+    // the checkpoint means the session ran without the tracker.
+    if (pathTracker && !ckpt.pathWords.empty())
+        pathTracker->restoreWords(ckpt.pathWords);
 
     res.rounds = ckpt.rounds;
     res.runs = ckpt.runs;
@@ -1145,7 +1170,15 @@ Coordinator::emitRound(const FleetResult &res, uint64_t round,
             << global.frontier().combinedCovered()
             << ",\"corpus\":" << global.size()
             << ",\"stolen_runs\":" << res.stolenRuns
-            << ",\"alive\":" << alive << "}\n";
+            << ",\"alive\":" << alive;
+        if (pathTracker) {
+            *opts.base.jsonl
+                << ",\"paths_completed\":"
+                << pathTracker->completedCount()
+                << ",\"cover_completed\":"
+                << pathTracker->coverCompleted();
+        }
+        *opts.base.jsonl << "}\n";
         opts.base.jsonl->flush();
     }
     if (opts.status) {
@@ -1182,7 +1215,17 @@ Coordinator::emitDone(const FleetResult &res)
         << ",\"plan_digest\":\"" << fmtHex(res.planDigest)
         << "\",\"frontier_digest\":\"" << fmtHex(res.frontierDigest)
         << "\",\"corpus_digest\":\"" << fmtHex(res.corpusDigest)
-        << "\"}\n";
+        << "\"";
+    if (pathTracker) {
+        *opts.base.jsonl
+            << ",\"prime_paths\":" << res.primePaths
+            << ",\"path_cover_size\":" << res.pathCoverSize
+            << ",\"paths_completed\":" << res.pathsCompleted
+            << ",\"path_cover_completed\":" << res.pathCoverCompleted
+            << ",\"path_digest\":\"" << fmtHex(res.pathDigest)
+            << "\"";
+    }
+    *opts.base.jsonl << "}\n";
     opts.base.jsonl->flush();
 }
 
@@ -1281,6 +1324,13 @@ Coordinator::run()
     res.edgesTaken = global.frontier().takenCovered();
     res.edgesCombined = global.frontier().combinedCovered();
     res.frontierDigest = explore::coverageDigest(global.frontier());
+    if (pathTracker) {
+        res.primePaths = pathTracker->numPaths();
+        res.pathCoverSize = pathTracker->coverSize();
+        res.pathsCompleted = pathTracker->completedCount();
+        res.pathCoverCompleted = pathTracker->coverCompleted();
+        res.pathDigest = pathTracker->digest();
+    }
 
     // Corpus digest: FNV over every admitted entry's serialized
     // bytes, in admission order — the second reproducibility witness

@@ -241,6 +241,13 @@ struct FleetResult
     uint64_t frontierDigest = 0;
     uint64_t corpusDigest = 0;
 
+    /** Prime-path tracker totals (0 when recordEdgeTrace is off). */
+    uint64_t primePaths = 0;
+    uint64_t pathCoverSize = 0;
+    uint64_t pathsCompleted = 0;
+    uint64_t pathCoverCompleted = 0;
+    uint64_t pathDigest = 0;
+
     /** Runs re-partitioned away from fair shares by stealing. */
     uint64_t stolenRuns = 0;
     uint32_t lostWorkers = 0;
@@ -340,6 +347,15 @@ class Coordinator
     std::shared_ptr<Transport> transport;
     ShardPlan shardPlan;
     explore::Corpus global;
+
+    /**
+     * Merged prime-path completion tracker, built from the program
+     * alone (same enumeration every worker performs) when
+     * base.config.recordEdgeTrace is on; null otherwise.  Shard
+     * deltas OR into it, RoundStart broadcasts it back.
+     */
+    std::unique_ptr<coverage::PathCoverage> pathTracker;
+
     /** Origin shard of every globally admitted corpus entry. */
     std::vector<uint32_t> origins;
     std::vector<Shard> fleet;

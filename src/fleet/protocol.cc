@@ -136,6 +136,7 @@ encodeRoundStart(wire::Encoder &enc, const RoundStart &r)
     enc.u64(r.round);
     enc.u64(r.budgetRuns);
     encodeSparse(enc, r.frontier);
+    enc.u64vec(r.pathWords);
     encodeEntries(enc, r.entries);
 }
 
@@ -146,6 +147,7 @@ decodeRoundStart(wire::Decoder &dec, const isa::Program &program)
     r.round = dec.u64("round-start round");
     r.budgetRuns = dec.u64("round-start budget");
     r.frontier = decodeSparse(dec);
+    r.pathWords = dec.u64vec("round-start path words");
     r.entries = decodeEntries(dec, program);
     return r;
 }
@@ -161,6 +163,7 @@ encodeRoundDelta(wire::Encoder &enc, const RoundDelta &r)
     enc.u64(r.admittedLocal);
     enc.u8(r.exhausted ? 1 : 0);
     encodeSparse(enc, r.frontier);
+    enc.u64vec(r.pathWords);
     encodeEntries(enc, r.entries);
 }
 
@@ -176,6 +179,7 @@ decodeRoundDelta(wire::Decoder &dec, const isa::Program &program)
     r.admittedLocal = dec.u64("round-delta admitted");
     r.exhausted = dec.u8("round-delta exhausted") != 0;
     r.frontier = decodeSparse(dec);
+    r.pathWords = dec.u64vec("round-delta path words");
     r.entries = decodeEntries(dec, program);
     return r;
 }

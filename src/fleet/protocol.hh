@@ -114,6 +114,14 @@ struct RoundStart
     uint64_t round = 0;
     uint64_t budgetRuns = 0;    //!< runs this shard may execute now
     SparseWords frontier;       //!< global frontier growth
+
+    /**
+     * Merged prime-path completion words (wire v4); empty when the
+     * tracker is off.  Shipped dense — the capped path-id space is at
+     * most 64 words — so no per-word diffing is needed.
+     */
+    std::vector<uint64_t> pathWords;
+
     std::vector<explore::CorpusEntry> entries;  //!< foreign admits
 };
 
@@ -128,6 +136,10 @@ struct RoundDelta
     uint64_t admittedLocal = 0;
     bool exhausted = false;     //!< cannot make further progress
     SparseWords frontier;       //!< local frontier growth
+
+    /** Local prime-path completion words (wire v4; empty when off). */
+    std::vector<uint64_t> pathWords;
+
     std::vector<explore::CorpusEntry> entries;  //!< local admits
 };
 

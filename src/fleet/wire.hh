@@ -42,10 +42,11 @@ namespace pe::wire
  * Protocol revision spoken by this build's coordinator + workers.
  * v2 added the Join frame (TCP workers dialing in, with
  * reconnect/resume); v3 added the Heartbeat/HeartbeatAck liveness
- * frames and the heartbeat interval in Hello.  The v1 frame layouts
- * are unchanged.
+ * frames and the heartbeat interval in Hello; v4 appended the
+ * prime-path completion words to RoundStart/RoundDelta (empty when
+ * the path tracker is off).  The v1 frame layouts are unchanged.
  */
-constexpr uint32_t kWireVersion = 3;
+constexpr uint32_t kWireVersion = 4;
 
 /** Why a decode was refused. */
 enum class WireErrorKind : uint8_t

@@ -276,6 +276,7 @@ class WorkerSession
         }
         if (!start.entries.empty())
             explorer.importForeignEntries(std::move(start.entries));
+        explorer.importPathWords(start.pathWords);
 
         uint64_t before = explorer.progress().failedJobs;
         uint64_t beforeInst = explorer.progress().instructions;
@@ -292,6 +293,10 @@ class WorkerSession
         delta.exhausted = ran == 0 && start.budgetRuns > 0;
         delta.frontier = diffFrontier(explorer.corpus().frontier(),
                                       sentTaken, sentNt);
+        // Dense and tiny (<= 64 words at the enumeration cap), so no
+        // diffing: the coordinator's merge is an idempotent OR.
+        if (const coverage::PathCoverage *pt = explorer.pathTracker())
+            delta.pathWords = pt->words();
         for (const explore::CorpusEntry *e :
              explorer.drainNewLocalEntries())
             delta.entries.push_back(*e);

@@ -461,6 +461,33 @@ TEST(FleetTcp, LoopbackDigestsMatchTheForkFleet)
     EXPECT_EQ(tcp.reconnects, 0u);
 }
 
+TEST(FleetTcp, PathTrackerDigestsMatchAcrossTransports)
+{
+    // With the prime-path tracker on, the merged completion words are
+    // part of the reproducibility contract too: fork and TCP fleets
+    // must land on the same path digest, and the workers' folded
+    // completions must actually reach the coordinator.
+    fleet::FleetOptions opts = fleetOptions(3, 120, 0x42);
+    opts.base.config.recordEdgeTrace = true;
+    opts.base.pathObjective = true;
+    fleet::FleetResult forked =
+        fleet::runFleet(scheduleProgram(),
+                        scheduleWorkload().benignInputs, opts);
+    fleet::FleetResult tcp = runTcpFleet(opts);
+
+    EXPECT_GT(forked.primePaths, 0u);
+    EXPECT_GT(forked.pathCoverSize, 0u);
+    EXPECT_GT(forked.pathsCompleted, 0u);
+    EXPECT_EQ(tcp.primePaths, forked.primePaths);
+    EXPECT_EQ(tcp.pathCoverSize, forked.pathCoverSize);
+    EXPECT_EQ(tcp.pathsCompleted, forked.pathsCompleted);
+    EXPECT_EQ(tcp.pathCoverCompleted, forked.pathCoverCompleted);
+    EXPECT_EQ(tcp.pathDigest, forked.pathDigest);
+    EXPECT_EQ(tcp.frontierDigest, forked.frontierDigest);
+    EXPECT_EQ(tcp.corpusDigest, forked.corpusDigest);
+    EXPECT_EQ(tcp.lostWorkers, 0u);
+}
+
 TEST(FleetTcp, DroppedConnectionsResumeWithoutPerturbingDigests)
 {
     fleet::FleetOptions opts = fleetOptions(3, 120, 0x42);

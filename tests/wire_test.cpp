@@ -702,7 +702,7 @@ TEST_F(WireCheckpointTest, VersionCorruptionReportsExpectedAndFound)
     } catch (const FatalError &err) {
         std::string what = err.what();
         EXPECT_NE(what.find("version mismatch"), std::string::npos);
-        EXPECT_NE(what.find("expected 2"), std::string::npos);
+        EXPECT_NE(what.find("expected 3"), std::string::npos);
         EXPECT_NE(what.find("found 77"), std::string::npos);
     }
     std::remove(file.c_str());
